@@ -1,0 +1,86 @@
+// Reproduces the §IV-I online A/B test: AW-MoE (treatment) vs the previous
+// production model Category-MoE (control), replaying the same user
+// sessions through both arms with a position-biased cascade user model.
+// The paper reports +0.78% UCVR (p=2.20E-5) and +0.35% UCTR (p=2.97E-5);
+// the expected shape here is a positive, significant lift on both proxies.
+
+#include <cstdio>
+
+#include "common/experiment_lib.h"
+#include "serving/ranking_service.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace awmoe;
+using namespace awmoe::bench;
+
+int Run(int argc, char** argv) {
+  BenchFlags flags;
+  flags.test_sessions = 2500;  // Traffic volume for the experiment.
+  Status status = flags.Parse(
+      argc, argv, "Online A/B test: AW-MoE vs Category-MoE (simulated)");
+  if (status.code() == StatusCode::kNotFound) return 0;
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("[abtest] generating JD dataset...\n");
+  JdDataset data = JdSyntheticGenerator(flags.MakeJdConfig()).Generate();
+  Standardizer standardizer;
+  standardizer.Fit(data.train);
+
+  std::printf("[abtest] training control (Category-MoE)...\n");
+  TrainedModel control = TrainOne(
+      ModelKind::kCategoryMoe, data.train, data.meta, &standardizer,
+      ModelDims::Default(), flags.MakeTrainerConfig(),
+      static_cast<uint64_t>(flags.seed) + 10);
+  std::printf("[abtest] training treatment (AW-MoE & CL)...\n");
+  TrainedModel treatment = TrainOne(
+      ModelKind::kAwMoeCl, data.train, data.meta, &standardizer,
+      ModelDims::Default(), flags.MakeTrainerConfig(),
+      static_cast<uint64_t>(flags.seed) + 10);
+
+  RankingService control_service(control.model.get(), data.meta,
+                                 &standardizer, /*share_gate=*/false);
+  RankingService treatment_service(treatment.model.get(), data.meta,
+                                   &standardizer, /*share_gate=*/true);
+
+  auto sessions = GroupBySession(data.full_test);
+  std::printf("[abtest] replaying %zu sessions through both arms...\n",
+              sessions.size());
+  AbTestResult result =
+      RunAbTest(&control_service, &treatment_service, sessions,
+                static_cast<uint64_t>(flags.seed) + 99);
+
+  TablePrinter table("Online A/B test (simulated traffic)");
+  table.SetHeader({"Metric", "Category-MoE", "AW-MoE & CL", "Lift",
+                   "p-value"});
+  table.AddRow({"UCTR", FormatDouble(result.control.uctr, 4),
+                FormatDouble(result.treatment.uctr, 4),
+                FormatDouble(result.uctr_lift_percent, 2) + "%",
+                FormatPValue(result.uctr_p_value)});
+  table.AddRow({"UCVR", FormatDouble(result.control.ucvr, 4),
+                FormatDouble(result.treatment.ucvr, 4),
+                FormatDouble(result.ucvr_lift_percent, 2) + "%",
+                FormatPValue(result.ucvr_p_value)});
+  table.Print();
+
+  std::printf(
+      "[abtest] mean session latency: control %.2f ms, treatment %.2f ms "
+      "(gate sharing %s)\n",
+      control_service.stats().MeanSessionLatencyMs(),
+      treatment_service.stats().MeanSessionLatencyMs(),
+      treatment_service.gate_sharing_active() ? "ON" : "OFF");
+
+  bool ok = result.ucvr_lift_percent > 0.0;
+  std::printf("[abtest] shape checks %s (positive UCVR lift expected)\n",
+              ok ? "PASS" : "FAIL");
+  return 0;  // Lift sign is stochastic at small scale; report, don't gate.
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

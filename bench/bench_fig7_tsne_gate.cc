@@ -1,0 +1,149 @@
+// Reproduces Figure 7: t-SNE visualisation of the user representations
+// learned by the gate network, coloured by user group (new user / old user
+// without target order / old user with target order). The 2-D coordinates
+// are written to fig7_tsne.csv; cluster-separation statistics quantify the
+// "well clustered and separated" observation of the paper.
+
+#include <cstdio>
+#include <set>
+
+#include "common/experiment_lib.h"
+#include "eval/cluster_metrics.h"
+#include "eval/tsne.h"
+#include "util/csv_writer.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace awmoe;
+using namespace awmoe::bench;
+
+const char* GroupName(UserGroup group) {
+  switch (group) {
+    case UserGroup::kNewUser:
+      return "New user";
+    case UserGroup::kOldWithoutTargetOrder:
+      return "Old user w/o target order";
+    case UserGroup::kOldWithTargetOrder:
+      return "Old user w/ target order";
+  }
+  return "?";
+}
+
+int Run(int argc, char** argv) {
+  BenchFlags flags;
+  flags.train_sessions = 12000;
+  Status status = flags.Parse(
+      argc, argv, "Figure 7: t-SNE of gate-network user representations");
+  if (status.code() == StatusCode::kNotFound) return 0;
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("[fig7] generating JD dataset...\n");
+  JdDataset data = JdSyntheticGenerator(flags.MakeJdConfig()).Generate();
+  Standardizer standardizer;
+  standardizer.Fit(data.train);
+
+  std::printf("[fig7] training AW-MoE...\n");
+  TrainedModel trained = TrainOne(
+      ModelKind::kAwMoe, data.train, data.meta, &standardizer,
+      ModelDims::Default(), flags.MakeTrainerConfig(),
+      static_cast<uint64_t>(flags.seed) + 10);
+  auto* aw_moe = dynamic_cast<AwMoeRanker*>(trained.model.get());
+  AWMOE_CHECK(aw_moe != nullptr);
+
+  // Gate outputs for a sample of test impressions (one per session),
+  // balanced across the three user groups so separation statistics are
+  // interpretable against a 1/3 chance level.
+  std::vector<const Example*> sample;
+  std::set<int64_t> seen_sessions;
+  const int64_t kMaxPerGroup = flags.quick ? 70 : 280;
+  int64_t group_counts[3] = {0, 0, 0};
+  for (const Example& ex : data.full_test) {
+    int group = static_cast<int>(ex.user_group);
+    if (group_counts[group] >= kMaxPerGroup) continue;
+    if (seen_sessions.insert(ex.session_id).second) {
+      sample.push_back(&ex);
+      ++group_counts[group];
+    }
+  }
+  std::printf("[fig7] computing gate representations for %zu users...\n",
+              sample.size());
+  NoGradGuard guard;
+  Matrix gates(static_cast<int64_t>(sample.size()),
+               ModelDims::Default().num_experts);
+  std::vector<int64_t> labels;
+  for (size_t i = 0; i < sample.size(); ++i) {
+    Batch one = CollateBatch({sample[i]}, data.meta, &standardizer);
+    Matrix g = aw_moe->GateRepresentation(one).value();
+    for (int64_t k = 0; k < g.cols(); ++k) {
+      gates(static_cast<int64_t>(i), k) = g(0, k);
+    }
+    labels.push_back(static_cast<int64_t>(sample[i]->user_group));
+  }
+
+  std::printf("[fig7] running t-SNE (%lld points)...\n",
+              static_cast<long long>(gates.rows()));
+  TsneOptions options;
+  options.iterations = flags.quick ? 150 : 350;
+  options.perplexity = 30.0;
+  Matrix embedding = TsneEmbed(gates, options);
+
+  CsvWriter csv;
+  if (csv.Open("fig7_tsne.csv").ok()) {
+    csv.WriteRow({"x", "y", "group", "group_name", "history_len"});
+    for (size_t i = 0; i < sample.size(); ++i) {
+      csv.WriteRow({FormatDouble(embedding(static_cast<int64_t>(i), 0), 4),
+                    FormatDouble(embedding(static_cast<int64_t>(i), 1), 4),
+                    std::to_string(labels[i]),
+                    GroupName(sample[i]->user_group),
+                    std::to_string(sample[i]->history_len)});
+    }
+    csv.Close();
+    std::printf("[fig7] coordinates written to fig7_tsne.csv\n");
+  }
+
+  // Separation in the raw gate space and in the t-SNE plane, both for the
+  // three paper groups and for the binary split the paper's headline
+  // observation rests on (new users vs old users).
+  ClusterSeparation raw = ComputeClusterSeparation(gates, labels);
+  ClusterSeparation plane = ComputeClusterSeparation(embedding, labels);
+  std::vector<int64_t> binary_labels;
+  for (int64_t label : labels) {
+    binary_labels.push_back(label == 0 ? 0 : 1);  // new vs old.
+  }
+  ClusterSeparation raw_binary =
+      ComputeClusterSeparation(gates, binary_labels);
+
+  TablePrinter table("Figure 7 — cluster separation of gate outputs");
+  table.SetHeader({"Space / grouping", "Silhouette", "Centroid acc.",
+                   "Sep. ratio"});
+  table.AddRow({"Gate output, 3 groups", FormatDouble(raw.silhouette, 3),
+                FormatDouble(raw.centroid_accuracy, 3),
+                FormatDouble(raw.separation_ratio, 3)});
+  table.AddRow({"Gate output, new vs old",
+                FormatDouble(raw_binary.silhouette, 3),
+                FormatDouble(raw_binary.centroid_accuracy, 3),
+                FormatDouble(raw_binary.separation_ratio, 3)});
+  table.AddRow({"t-SNE plane, 3 groups", FormatDouble(plane.silhouette, 3),
+                FormatDouble(plane.centroid_accuracy, 3),
+                FormatDouble(plane.separation_ratio, 3)});
+  table.Print();
+
+  // Shape checks: (a) new users separate from old users above chance (the
+  // paper's primary observation — users with no history activate experts
+  // through the shared bias point); (b) the 3-way grouping beats chance.
+  // The separation is weaker than the paper's figure: their gate reads
+  // 1000+-item sequences, ours 10-item ones (see EXPERIMENTS.md).
+  bool ok = raw_binary.centroid_accuracy > 0.6 &&
+            raw.centroid_accuracy > 1.0 / 3.0;
+  std::printf("[fig7] shape checks %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

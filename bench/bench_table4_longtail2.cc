@@ -1,0 +1,40 @@
+// Reproduces Table IV: the five models evaluated on long-tail test set 2
+// (elderly users with sparse, narrow behaviour). Expected shape (paper):
+// absolute metrics are lower than Table II for every model, the MoE
+// variants lead, and AW-MoE & CL adds a significant gain on top of AW-MoE.
+
+#include <cstdio>
+
+#include "common/experiment_lib.h"
+
+namespace {
+
+using namespace awmoe;
+using namespace awmoe::bench;
+
+int Run(int argc, char** argv) {
+  BenchFlags flags;
+  Status status = flags.Parse(
+      argc, argv, "Table IV: model comparison on long-tail test set 2");
+  if (status.code() == StatusCode::kNotFound) return 0;
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  JdComparison comparison = TrainAllOnJd(flags, "table4");
+  std::vector<ModelEvaluation> rows;
+  for (const TrainedModel& trained : comparison.models) {
+    ModelEvaluation row =
+        EvaluateModel(trained, comparison.data.longtail2_test,
+                      comparison.data.meta, &comparison.standardizer);
+    std::printf("[table4]   %s: AUC %.4f\n", row.name.c_str(), row.eval.auc);
+    rows.push_back(std::move(row));
+  }
+  PrintPaperTable("Table IV — long-tail test set 2 (elderly users)", rows);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

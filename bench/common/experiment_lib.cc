@@ -1,0 +1,197 @@
+#include "common/experiment_lib.h"
+
+#include <cstdio>
+
+#include "models/category_moe.h"
+#include "models/dnn_ranker.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace awmoe {
+namespace bench {
+
+std::string ModelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kDnn:
+      return "DNN";
+    case ModelKind::kDin:
+      return "DIN";
+    case ModelKind::kCategoryMoe:
+      return "Category-MoE";
+    case ModelKind::kAwMoe:
+      return "AW-MoE";
+    case ModelKind::kAwMoeCl:
+      return "AW-MoE & CL";
+  }
+  return "?";
+}
+
+std::vector<ModelKind> AllModelKinds() {
+  return {ModelKind::kDnn, ModelKind::kDin, ModelKind::kCategoryMoe,
+          ModelKind::kAwMoe, ModelKind::kAwMoeCl};
+}
+
+std::unique_ptr<Ranker> MakeModel(ModelKind kind, const DatasetMeta& meta,
+                                  const ModelDims& dims, uint64_t seed) {
+  Rng rng(seed);
+  switch (kind) {
+    case ModelKind::kDnn:
+      return std::make_unique<DnnRanker>(meta, dims, &rng);
+    case ModelKind::kDin:
+      return std::make_unique<DinRanker>(meta, dims, &rng);
+    case ModelKind::kCategoryMoe:
+      return std::make_unique<CategoryMoeRanker>(meta, dims, &rng);
+    case ModelKind::kAwMoe:
+    case ModelKind::kAwMoeCl: {
+      AwMoeConfig config;
+      config.dims = dims;
+      if (kind == ModelKind::kAwMoeCl) config.name = "AW-MoE & CL";
+      return std::make_unique<AwMoeRanker>(meta, config, &rng);
+    }
+  }
+  return nullptr;
+}
+
+TrainedModel TrainOne(ModelKind kind, const std::vector<Example>& train,
+                      const DatasetMeta& meta,
+                      const Standardizer* standardizer,
+                      const ModelDims& dims, TrainerConfig trainer_config,
+                      uint64_t seed) {
+  TrainedModel result;
+  result.kind = kind;
+  result.model = MakeModel(kind, meta, dims, seed);
+  trainer_config.contrastive = (kind == ModelKind::kAwMoeCl);
+  Trainer trainer(result.model.get(), trainer_config);
+  Stopwatch watch;
+  result.history = trainer.Train(train, meta, standardizer);
+  result.train_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+ModelEvaluation EvaluateModel(const TrainedModel& trained,
+                              const std::vector<Example>& split,
+                              const DatasetMeta& meta,
+                              const Standardizer* standardizer) {
+  ModelEvaluation row;
+  row.kind = trained.kind;
+  row.name = trained.model->name();
+  row.train_seconds = trained.train_seconds;
+  std::vector<double> scores =
+      Predict(trained.model.get(), split, meta, standardizer);
+  row.eval = EvaluateRanking(split, scores);
+  return row;
+}
+
+void PrintPaperTable(const std::string& title,
+                     const std::vector<ModelEvaluation>& rows) {
+  const ModelEvaluation* dnn = nullptr;
+  const ModelEvaluation* category_moe = nullptr;
+  for (const auto& row : rows) {
+    if (row.kind == ModelKind::kDnn) dnn = &row;
+    if (row.kind == ModelKind::kCategoryMoe) category_moe = &row;
+  }
+
+  TablePrinter table(title);
+  table.SetHeader({"Model", "AUC", "AUC@10", "NDCG", "NDCG@10",
+                   "p-AUC", "p-AUC@10", "p-NDCG", "p-NDCG@10"});
+  for (const auto& row : rows) {
+    const ModelEvaluation* reference = nullptr;
+    const char* marker = "";
+    if (row.kind == ModelKind::kDin ||
+        row.kind == ModelKind::kCategoryMoe) {
+      reference = dnn;
+      marker = "*";  // vs DNN.
+    } else if (row.kind == ModelKind::kAwMoe ||
+               row.kind == ModelKind::kAwMoeCl) {
+      reference = category_moe;
+      marker = "\xE2\x80\xA1";  // double dagger: vs Category-MoE.
+    }
+    auto pvalue = [&](auto ids_member, auto values_member) -> std::string {
+      if (reference == nullptr || reference == &row) return "-";
+      double p = SessionPValue(row.eval.*ids_member, row.eval.*values_member,
+                               reference->eval.*ids_member,
+                               reference->eval.*values_member);
+      return FormatPValue(p) + marker;
+    };
+    table.AddRow(
+        {row.name, FormatDouble(row.eval.auc, 4),
+         FormatDouble(row.eval.auc_at_k, 4), FormatDouble(row.eval.ndcg, 4),
+         FormatDouble(row.eval.ndcg_at_k, 4),
+         pvalue(&RankingEvaluation::auc_session_ids,
+                &RankingEvaluation::session_auc),
+         pvalue(&RankingEvaluation::auc_session_ids,
+                &RankingEvaluation::session_auc_at_k),
+         pvalue(&RankingEvaluation::ndcg_session_ids,
+                &RankingEvaluation::session_ndcg),
+         pvalue(&RankingEvaluation::ndcg_session_ids,
+                &RankingEvaluation::session_ndcg_at_k)});
+  }
+  table.Print();
+}
+
+Status BenchFlags::Parse(int argc, char** argv,
+                         const std::string& description) {
+  FlagSet flags(description);
+  flags.AddInt("train_sessions", &train_sessions, "training sessions");
+  flags.AddInt("test_sessions", &test_sessions, "full-test sessions");
+  flags.AddInt("longtail1_sessions", &longtail1_sessions,
+               "long-tail test set 1 sessions");
+  flags.AddInt("longtail2_sessions", &longtail2_sessions,
+               "long-tail test set 2 sessions");
+  flags.AddInt("epochs", &epochs, "training epochs");
+  flags.AddInt("batch_size", &batch_size, "minibatch size");
+  flags.AddDouble("lr", &lr, "AdamW learning rate");
+  flags.AddDouble("weight_decay", &weight_decay, "AdamW weight decay");
+  flags.AddInt("seed", &seed, "global seed");
+  flags.AddBool("quick", &quick, "shrink the corpus for a smoke run");
+  AWMOE_RETURN_IF_ERROR(flags.Parse(argc, argv));
+  if (quick) {
+    train_sessions = std::min<int64_t>(train_sessions, 1500);
+    test_sessions = std::min<int64_t>(test_sessions, 200);
+    longtail1_sessions = std::min<int64_t>(longtail1_sessions, 100);
+    longtail2_sessions = std::min<int64_t>(longtail2_sessions, 100);
+    epochs = std::min<int64_t>(epochs, 1);
+  }
+  return Status::OK();
+}
+
+JdConfig BenchFlags::MakeJdConfig() const {
+  JdConfig jd;
+  jd.train_sessions = train_sessions;
+  jd.test_sessions = test_sessions;
+  jd.longtail1_sessions = longtail1_sessions;
+  jd.longtail2_sessions = longtail2_sessions;
+  jd.seed = static_cast<uint64_t>(seed);
+  return jd;
+}
+
+TrainerConfig BenchFlags::MakeTrainerConfig() const {
+  TrainerConfig tc;
+  tc.epochs = epochs;
+  tc.batch_size = batch_size;
+  tc.lr = static_cast<float>(lr);
+  tc.weight_decay = static_cast<float>(weight_decay);
+  tc.seed = static_cast<uint64_t>(seed) + 1;
+  tc.verbose = false;
+  return tc;
+}
+
+JdComparison TrainAllOnJd(const BenchFlags& flags, const char* tag) {
+  JdComparison comparison;
+  std::printf("[%s] generating JD dataset (seed %lld)...\n", tag,
+              static_cast<long long>(flags.seed));
+  comparison.data = JdSyntheticGenerator(flags.MakeJdConfig()).Generate();
+  std::printf("[%s] train %zu examples\n", tag, comparison.data.train.size());
+  comparison.standardizer.Fit(comparison.data.train);
+  for (ModelKind kind : AllModelKinds()) {
+    std::printf("[%s] training %s...\n", tag, ModelKindName(kind).c_str());
+    comparison.models.push_back(TrainOne(
+        kind, comparison.data.train, comparison.data.meta,
+        &comparison.standardizer, ModelDims::Default(),
+        flags.MakeTrainerConfig(), static_cast<uint64_t>(flags.seed) + 10));
+  }
+  return comparison;
+}
+
+}  // namespace bench
+}  // namespace awmoe

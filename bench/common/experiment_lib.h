@@ -1,0 +1,117 @@
+#ifndef AWMOE_BENCH_COMMON_EXPERIMENT_LIB_H_
+#define AWMOE_BENCH_COMMON_EXPERIMENT_LIB_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/aw_moe.h"
+#include "core/trainer.h"
+#include "data/batcher.h"
+#include "data/example.h"
+#include "data/jd_synthetic.h"
+#include "eval/metrics.h"
+#include "models/model_dims.h"
+#include "models/ranker.h"
+#include "util/flags.h"
+#include "util/table_printer.h"
+
+namespace awmoe {
+namespace bench {
+
+/// The five compared algorithms of §IV-C.
+enum class ModelKind {
+  kDnn,
+  kDin,
+  kCategoryMoe,
+  kAwMoe,
+  kAwMoeCl,
+};
+
+/// Display name matching the paper's tables.
+std::string ModelKindName(ModelKind kind);
+
+/// All five kinds in paper order.
+std::vector<ModelKind> AllModelKinds();
+
+/// Builds an untrained model of the given kind.
+std::unique_ptr<Ranker> MakeModel(ModelKind kind, const DatasetMeta& meta,
+                                  const ModelDims& dims, uint64_t seed);
+
+/// A model trained on one corpus.
+struct TrainedModel {
+  ModelKind kind;
+  std::unique_ptr<Ranker> model;
+  double train_seconds = 0.0;
+  std::vector<EpochStats> history;
+};
+
+/// Trains one model (enables the contrastive objective for kAwMoeCl).
+TrainedModel TrainOne(ModelKind kind, const std::vector<Example>& train,
+                      const DatasetMeta& meta,
+                      const Standardizer* standardizer,
+                      const ModelDims& dims, TrainerConfig trainer_config,
+                      uint64_t seed);
+
+/// Per-model evaluation on one test split.
+struct ModelEvaluation {
+  ModelKind kind;
+  std::string name;
+  RankingEvaluation eval;
+  double train_seconds = 0.0;
+};
+
+/// Evaluates a trained model on a split with session grouping.
+ModelEvaluation EvaluateModel(const TrainedModel& trained,
+                              const std::vector<Example>& split,
+                              const DatasetMeta& meta,
+                              const Standardizer* standardizer);
+
+/// Renders a paper-style results table (Tables II-IV): four metrics plus
+/// p-values. DIN / Category-MoE report p vs DNN ("*"); the AW-MoE variants
+/// report p vs Category-MoE ("‡"), matching the papers footnotes.
+void PrintPaperTable(const std::string& title,
+                     const std::vector<ModelEvaluation>& rows);
+
+/// Shared CLI for the experiment benches. Defaults reproduce the paper's
+/// shapes in ~1-2 minutes per bench on one CPU core; --quick shrinks the
+/// corpus for smoke runs.
+struct BenchFlags {
+  int64_t train_sessions = 12000;
+  int64_t test_sessions = 1000;
+  int64_t longtail1_sessions = 500;
+  int64_t longtail2_sessions = 700;
+  int64_t epochs = 3;
+  int64_t batch_size = 256;
+  double lr = 2e-3;
+  double weight_decay = 3e-4;
+  int64_t seed = 20230608;
+  bool quick = false;
+
+  /// Registers the shared flags and parses argv. Returns NotFound for
+  /// --help (caller should exit 0).
+  Status Parse(int argc, char** argv, const std::string& description);
+
+  /// JdConfig with this CLI's sizes applied.
+  JdConfig MakeJdConfig() const;
+
+  /// TrainerConfig with this CLI's optimisation settings applied.
+  TrainerConfig MakeTrainerConfig() const;
+};
+
+/// Dataset plus the five trained models — the shared setup of the Table
+/// II/III/IV benches (identical training, different evaluation splits).
+struct JdComparison {
+  JdDataset data;
+  Standardizer standardizer;
+  std::vector<TrainedModel> models;
+};
+
+/// Generates the JD corpus and trains all five models on it, logging
+/// progress with the given tag.
+JdComparison TrainAllOnJd(const BenchFlags& flags, const char* tag);
+
+}  // namespace bench
+}  // namespace awmoe
+
+#endif  // AWMOE_BENCH_COMMON_EXPERIMENT_LIB_H_

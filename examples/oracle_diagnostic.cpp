@@ -1,0 +1,60 @@
+// Diagnostic: scores the test sets with the generator's noiseless utility
+// (the Bayes-optimal ranker for this corpus) to establish the achievable
+// ceiling that Tables II-IV results should be read against.
+
+#include <cstdio>
+
+#include "data/jd_synthetic.h"
+#include "eval/metrics.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace awmoe;
+
+void Report(TablePrinter* table, const char* split_name,
+            const std::vector<Example>& split) {
+  std::vector<double> oracle;
+  oracle.reserve(split.size());
+  for (const Example& ex : split) oracle.push_back(ex.oracle_utility);
+  RankingEvaluation eval = EvaluateRanking(split, oracle);
+  table->AddRow({split_name, FormatDouble(eval.auc, 4),
+                 FormatDouble(eval.auc_at_k, 4), FormatDouble(eval.ndcg, 4),
+                 FormatDouble(eval.ndcg_at_k, 4)});
+}
+
+int Run(int argc, char** argv) {
+  int64_t test_sessions = 800;
+  int64_t seed = 20230608;
+  FlagSet flags("Oracle ranking ceiling for the synthetic JD corpus");
+  flags.AddInt("test_sessions", &test_sessions, "full-test sessions");
+  flags.AddInt("seed", &seed, "generator seed");
+  Status status = flags.Parse(argc, argv);
+  if (status.code() == StatusCode::kNotFound) return 0;
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  JdConfig jd;
+  jd.train_sessions = 10;  // Unused here.
+  jd.test_sessions = test_sessions;
+  jd.longtail1_sessions = 300;
+  jd.longtail2_sessions = 300;
+  jd.seed = static_cast<uint64_t>(seed);
+  JdDataset data = JdSyntheticGenerator(jd).Generate();
+
+  TablePrinter table("Oracle (noiseless utility) ranking quality");
+  table.SetHeader({"Split", "AUC", "AUC@10", "NDCG", "NDCG@10"});
+  Report(&table, "full test", data.full_test);
+  Report(&table, "long-tail 1", data.longtail1_test);
+  Report(&table, "long-tail 2", data.longtail2_test);
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,124 @@
+// Recommendation-scenario example (paper §IV-A2): trains AW-MoE on the
+// synthetic Amazon review corpus in recommendation mode — no query, the
+// gate network receives the target item — and produces top-K next-item
+// recommendations for a few held-out users by scoring candidate items.
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "core/aw_moe.h"
+#include "core/trainer.h"
+#include "data/amazon_synthetic.h"
+#include "eval/metrics.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace awmoe;
+
+int Run(int argc, char** argv) {
+  int64_t num_users = 6000;
+  int64_t epochs = 2;
+  int64_t show_users = 3;
+  int64_t top_k = 5;
+  int64_t candidates = 60;
+  int64_t seed = 1992015;
+
+  FlagSet flags("Recommendation example: AW-MoE in recommendation mode");
+  flags.AddInt("num_users", &num_users, "simulated users");
+  flags.AddInt("epochs", &epochs, "training epochs");
+  flags.AddInt("show_users", &show_users, "users to recommend for");
+  flags.AddInt("top_k", &top_k, "recommendations per user");
+  flags.AddInt("candidates", &candidates, "candidate items scored per user");
+  flags.AddInt("seed", &seed, "global seed");
+  Status status = flags.Parse(argc, argv);
+  if (status.code() == StatusCode::kNotFound) return 0;
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  AmazonConfig config;
+  config.num_users = num_users;
+  config.seed = static_cast<uint64_t>(seed);
+  std::printf("Generating synthetic review corpus...\n");
+  AmazonDataset data = AmazonSyntheticGenerator(config).Generate();
+  Standardizer standardizer;
+  standardizer.Fit(data.train);
+
+  std::printf("Training AW-MoE (recommendation mode, gate <- target item)"
+              "...\n");
+  Rng rng(static_cast<uint64_t>(seed) + 1);
+  AwMoeConfig aw_config;
+  AwMoeRanker model(data.meta, aw_config, &rng);
+  TrainerConfig tc;
+  tc.epochs = epochs;
+  tc.seed = static_cast<uint64_t>(seed) + 2;
+  Trainer trainer(&model, tc);
+  trainer.Train(data.train, data.meta, &standardizer);
+
+  // Held-out AUC for context.
+  std::vector<double> scores =
+      Predict(&model, data.test, data.meta, &standardizer);
+  std::vector<float> labels;
+  for (const Example& ex : data.test) labels.push_back(ex.label);
+  std::printf("Held-out AUC: %.4f\n", OverallAuc(labels, scores));
+
+  // Top-K recommendation: take a positive test example as the user's
+  // state, swap in candidate items, and rank by predicted score. The
+  // candidate pool always contains the user's true next item.
+  Rng candidate_rng(static_cast<uint64_t>(seed) + 3);
+  int64_t shown = 0;
+  for (const Example& ex : data.test) {
+    if (ex.label < 0.5f || shown >= show_users) continue;
+    ++shown;
+
+    std::vector<Example> pool;
+    pool.push_back(ex);  // The true next item.
+    while (static_cast<int64_t>(pool.size()) < candidates) {
+      Example candidate = ex;
+      candidate.target_item =
+          candidate_rng.UniformInt(1, data.meta.num_items);
+      pool.push_back(candidate);
+    }
+    std::vector<double> pool_scores =
+        Predict(&model, pool, data.meta, &standardizer);
+    std::vector<size_t> order(pool.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return pool_scores[a] > pool_scores[b];
+    });
+
+    TablePrinter table(StrFormat(
+        "User %lld (history %lld reviews) — top-%lld recommendations",
+        static_cast<long long>(ex.user_id),
+        static_cast<long long>(ex.history_len),
+        static_cast<long long>(top_k)));
+    table.SetHeader({"Rank", "Item", "Score", "True next item"});
+    for (int64_t r = 0; r < top_k &&
+                        r < static_cast<int64_t>(order.size());
+         ++r) {
+      const Example& c = pool[order[static_cast<size_t>(r)]];
+      table.AddRow({std::to_string(r + 1), std::to_string(c.target_item),
+                    FormatDouble(pool_scores[order[static_cast<size_t>(r)]], 4),
+                    order[static_cast<size_t>(r)] == 0 ? "<-- actual" : ""});
+    }
+    table.Print();
+    // Where did the actual item land?
+    for (size_t r = 0; r < order.size(); ++r) {
+      if (order[r] == 0) {
+        std::printf("  actual next item ranked %zu of %zu candidates\n\n",
+                    r + 1, order.size());
+        break;
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

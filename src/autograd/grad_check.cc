@@ -1,0 +1,76 @@
+#include "autograd/grad_check.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace awmoe {
+
+GradCheckResult CheckGradients(
+    const std::function<Var(const std::vector<Var>&)>& fn,
+    std::vector<Var> inputs, const GradCheckOptions& options) {
+  GradCheckResult result;
+
+  for (const Var& input : inputs) {
+    AWMOE_CHECK(input.requires_grad())
+        << "CheckGradients: all inputs must require grad";
+    // Const-cast free: Var handles share impls, so zeroing via a copy works.
+    Var handle = input;
+    handle.ZeroGrad();
+  }
+
+  // Analytic pass.
+  Var out = fn(inputs);
+  AWMOE_CHECK(out.rows() == 1 && out.cols() == 1)
+      << "CheckGradients: fn must return a scalar, got "
+      << out.value().ShapeString();
+  out.Backward();
+
+  std::vector<Matrix> analytic;
+  analytic.reserve(inputs.size());
+  for (const Var& input : inputs) {
+    if (input.has_grad()) {
+      analytic.push_back(input.grad());
+    } else {
+      analytic.push_back(Matrix(input.rows(), input.cols()));
+    }
+  }
+
+  auto eval = [&]() -> float {
+    NoGradGuard guard;
+    return fn(inputs).value()(0, 0);
+  };
+
+  for (size_t v = 0; v < inputs.size(); ++v) {
+    Matrix& value = inputs[v].mutable_value();
+    for (int64_t r = 0; r < value.rows(); ++r) {
+      for (int64_t c = 0; c < value.cols(); ++c) {
+        float original = value(r, c);
+        value(r, c) = original + options.epsilon;
+        float f_plus = eval();
+        value(r, c) = original - options.epsilon;
+        float f_minus = eval();
+        value(r, c) = original;
+
+        float numeric = (f_plus - f_minus) / (2.0f * options.epsilon);
+        float exact = analytic[v](r, c);
+        float err = std::abs(exact - numeric);
+        result.max_abs_error = std::max(result.max_abs_error, err);
+        if (err > options.abs_tol + options.rel_tol * std::abs(numeric)) {
+          result.ok = false;
+          if (result.message.empty()) {
+            result.message = StrFormat(
+                "input %zu element (%lld,%lld): analytic %.6f vs numeric "
+                "%.6f (err %.6f)",
+                v, static_cast<long long>(r), static_cast<long long>(c),
+                exact, numeric, err);
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace awmoe

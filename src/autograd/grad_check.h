@@ -1,0 +1,39 @@
+#ifndef AWMOE_AUTOGRAD_GRAD_CHECK_H_
+#define AWMOE_AUTOGRAD_GRAD_CHECK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace awmoe {
+
+/// Configuration for numerical gradient verification.
+struct GradCheckOptions {
+  /// Central-difference step.
+  float epsilon = 1e-2f;
+  /// Accept if |analytic - numeric| <= abs_tol + rel_tol * |numeric|.
+  float abs_tol = 2e-3f;
+  float rel_tol = 5e-2f;
+};
+
+/// Result of a gradient check; `ok` with the worst offending element
+/// described in `message` on failure.
+struct GradCheckResult {
+  bool ok = true;
+  std::string message;
+  float max_abs_error = 0.0f;
+};
+
+/// Verifies analytic gradients against central differences.
+///
+/// `fn` must build a scalar Var from `inputs` (re-invocable; it is called
+/// O(total elements) times). All inputs must have requires_grad = true.
+GradCheckResult CheckGradients(
+    const std::function<Var(const std::vector<Var>&)>& fn,
+    std::vector<Var> inputs, const GradCheckOptions& options = {});
+
+}  // namespace awmoe
+
+#endif  // AWMOE_AUTOGRAD_GRAD_CHECK_H_

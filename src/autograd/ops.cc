@@ -1,0 +1,356 @@
+#include "autograd/ops.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "mat/kernels.h"
+#include "util/check.h"
+
+namespace awmoe {
+namespace ag {
+
+using internal_ag::AccumulateGrad;
+using internal_ag::EnsureGrad;
+using internal_ag::VarImpl;
+using Impl = std::shared_ptr<VarImpl>;
+
+Var MatMul(const Var& a, const Var& b) {
+  Matrix value = ::awmoe::MatMul(a.value(), b.value());
+  Impl ai = a.impl(), bi = b.impl();
+  return MakeOpResult(
+      std::move(value), "matmul", {a, b}, [ai, bi](const VarImpl& self) {
+        if (ai->requires_grad) {
+          AccumulateGrad(ai.get(), MatMulTransB(self.grad, bi->value));
+        }
+        if (bi->requires_grad) {
+          AccumulateGrad(bi.get(), MatMulTransA(ai->value, self.grad));
+        }
+      });
+}
+
+Var Add(const Var& a, const Var& b) {
+  Matrix value = ::awmoe::Add(a.value(), b.value());
+  Impl ai = a.impl(), bi = b.impl();
+  return MakeOpResult(std::move(value), "add", {a, b},
+                      [ai, bi](const VarImpl& self) {
+                        AccumulateGrad(ai.get(), self.grad);
+                        AccumulateGrad(bi.get(), self.grad);
+                      });
+}
+
+Var Sub(const Var& a, const Var& b) {
+  Matrix value = ::awmoe::Sub(a.value(), b.value());
+  Impl ai = a.impl(), bi = b.impl();
+  return MakeOpResult(std::move(value), "sub", {a, b},
+                      [ai, bi](const VarImpl& self) {
+                        AccumulateGrad(ai.get(), self.grad);
+                        AccumulateGrad(bi.get(), ::awmoe::Neg(self.grad));
+                      });
+}
+
+Var Mul(const Var& a, const Var& b) {
+  Matrix value = ::awmoe::Mul(a.value(), b.value());
+  Impl ai = a.impl(), bi = b.impl();
+  return MakeOpResult(
+      std::move(value), "mul", {a, b}, [ai, bi](const VarImpl& self) {
+        if (ai->requires_grad) {
+          AccumulateGrad(ai.get(), ::awmoe::Mul(self.grad, bi->value));
+        }
+        if (bi->requires_grad) {
+          AccumulateGrad(bi.get(), ::awmoe::Mul(self.grad, ai->value));
+        }
+      });
+}
+
+Var AddBias(const Var& a, const Var& bias) {
+  Matrix value = AddRowBroadcast(a.value(), bias.value());
+  Impl ai = a.impl(), bi = bias.impl();
+  return MakeOpResult(std::move(value), "add_bias", {a, bias},
+                      [ai, bi](const VarImpl& self) {
+                        AccumulateGrad(ai.get(), self.grad);
+                        if (bi->requires_grad) {
+                          AccumulateGrad(bi.get(), ColSum(self.grad));
+                        }
+                      });
+}
+
+Var Scale(const Var& a, float s) {
+  Matrix value = MulScalar(a.value(), s);
+  Impl ai = a.impl();
+  return MakeOpResult(std::move(value), "scale", {a},
+                      [ai, s](const VarImpl& self) {
+                        AccumulateGrad(ai.get(), MulScalar(self.grad, s));
+                      });
+}
+
+Var AddScalar(const Var& a, float s) {
+  Matrix value = ::awmoe::AddScalar(a.value(), s);
+  Impl ai = a.impl();
+  return MakeOpResult(std::move(value), "add_scalar", {a},
+                      [ai](const VarImpl& self) {
+                        AccumulateGrad(ai.get(), self.grad);
+                      });
+}
+
+Var Neg(const Var& a) { return Scale(a, -1.0f); }
+
+Var Relu(const Var& a) {
+  Matrix value = ::awmoe::Relu(a.value());
+  Impl ai = a.impl();
+  return MakeOpResult(
+      std::move(value), "relu", {a}, [ai](const VarImpl& self) {
+        AccumulateGrad(ai.get(), ReluBackward(self.grad, ai->value));
+      });
+}
+
+Var Sigmoid(const Var& a) {
+  Matrix value = ::awmoe::Sigmoid(a.value());
+  Impl ai = a.impl();
+  return MakeOpResult(
+      std::move(value), "sigmoid", {a}, [ai](const VarImpl& self) {
+        // dy/dx = y (1 - y), reading y back from self.value.
+        Matrix one_minus = ::awmoe::AddScalar(::awmoe::Neg(self.value), 1.0f);
+        Matrix dydx = ::awmoe::Mul(self.value, one_minus);
+        AccumulateGrad(ai.get(), ::awmoe::Mul(self.grad, dydx));
+      });
+}
+
+Var Tanh(const Var& a) {
+  Matrix value = ::awmoe::Tanh(a.value());
+  Impl ai = a.impl();
+  return MakeOpResult(
+      std::move(value), "tanh", {a}, [ai](const VarImpl& self) {
+        Matrix dydx =
+            ::awmoe::AddScalar(::awmoe::Neg(Square(self.value)), 1.0f);
+        AccumulateGrad(ai.get(), ::awmoe::Mul(self.grad, dydx));
+      });
+}
+
+Var Exp(const Var& a) {
+  Matrix value = ::awmoe::Exp(a.value());
+  Impl ai = a.impl();
+  return MakeOpResult(std::move(value), "exp", {a},
+                      [ai](const VarImpl& self) {
+                        AccumulateGrad(ai.get(),
+                                       ::awmoe::Mul(self.grad, self.value));
+                      });
+}
+
+Var Log(const Var& a, float floor) {
+  Matrix value = ::awmoe::Log(a.value(), floor);
+  Impl ai = a.impl();
+  return MakeOpResult(
+      std::move(value), "log", {a}, [ai, floor](const VarImpl& self) {
+        Matrix clipped =
+            Clip(ai->value, floor, std::numeric_limits<float>::max());
+        AccumulateGrad(ai.get(), Div(self.grad, clipped));
+      });
+}
+
+Var ConcatCols(const std::vector<Var>& parts) {
+  AWMOE_CHECK(!parts.empty()) << "ConcatCols: no parts";
+  std::vector<const Matrix*> values;
+  values.reserve(parts.size());
+  for (const Var& p : parts) values.push_back(&p.value());
+  Matrix value = ::awmoe::ConcatCols(values);
+
+  std::vector<Impl> impls;
+  impls.reserve(parts.size());
+  for (const Var& p : parts) impls.push_back(p.impl());
+  return MakeOpResult(std::move(value), "concat_cols", parts,
+                      [impls](const VarImpl& self) {
+                        int64_t offset = 0;
+                        for (const Impl& impl : impls) {
+                          int64_t width = impl->value.cols();
+                          if (impl->requires_grad) {
+                            AccumulateGrad(
+                                impl.get(),
+                                ::awmoe::SliceCols(self.grad, offset,
+                                                   offset + width));
+                          }
+                          offset += width;
+                        }
+                      });
+}
+
+Var SliceCols(const Var& a, int64_t begin, int64_t end) {
+  Matrix value = ::awmoe::SliceCols(a.value(), begin, end);
+  Impl ai = a.impl();
+  return MakeOpResult(
+      std::move(value), "slice_cols", {a},
+      [ai, begin, end](const VarImpl& self) {
+        if (!ai->requires_grad) return;
+        Matrix padded(ai->value.rows(), ai->value.cols());
+        for (int64_t r = 0; r < self.grad.rows(); ++r) {
+          const float* src = self.grad.row(r);
+          float* dst = padded.row(r) + begin;
+          for (int64_t c = 0; c < end - begin; ++c) dst[c] = src[c];
+        }
+        AccumulateGrad(ai.get(), padded);
+      });
+}
+
+Var GatherRows(const Var& table, const std::vector<int64_t>& indices) {
+  Matrix value = ::awmoe::GatherRows(table.value(), indices);
+  Impl ti = table.impl();
+  return MakeOpResult(std::move(value), "gather_rows", {table},
+                      [ti, indices](const VarImpl& self) {
+                        if (!ti->requires_grad) return;
+                        EnsureGrad(ti.get());
+                        ScatterAddRows(&ti->grad, indices, self.grad);
+                      });
+}
+
+Var MulColBroadcast(const Var& a, const Var& w) {
+  Matrix value = ::awmoe::MulColBroadcast(a.value(), w.value());
+  Impl ai = a.impl(), wi = w.impl();
+  return MakeOpResult(
+      std::move(value), "mul_col_broadcast", {a, w},
+      [ai, wi](const VarImpl& self) {
+        if (ai->requires_grad) {
+          AccumulateGrad(ai.get(),
+                         ::awmoe::MulColBroadcast(self.grad, wi->value));
+        }
+        if (wi->requires_grad) {
+          AccumulateGrad(wi.get(), ::awmoe::DotRows(self.grad, ai->value));
+        }
+      });
+}
+
+Var DotRows(const Var& a, const Var& b) {
+  Matrix value = ::awmoe::DotRows(a.value(), b.value());
+  Impl ai = a.impl(), bi = b.impl();
+  return MakeOpResult(
+      std::move(value), "dot_rows", {a, b}, [ai, bi](const VarImpl& self) {
+        if (ai->requires_grad) {
+          AccumulateGrad(ai.get(),
+                         ::awmoe::MulColBroadcast(bi->value, self.grad));
+        }
+        if (bi->requires_grad) {
+          AccumulateGrad(bi.get(),
+                         ::awmoe::MulColBroadcast(ai->value, self.grad));
+        }
+      });
+}
+
+Var SumAll(const Var& a) {
+  Matrix value = Matrix::Full(1, 1, static_cast<float>(::awmoe::SumAll(a.value())));
+  Impl ai = a.impl();
+  return MakeOpResult(
+      std::move(value), "sum_all", {a}, [ai](const VarImpl& self) {
+        AccumulateGrad(ai.get(),
+                       Matrix::Full(ai->value.rows(), ai->value.cols(),
+                                    self.grad(0, 0)));
+      });
+}
+
+Var MeanAll(const Var& a) {
+  AWMOE_CHECK(a.value().size() > 0) << "MeanAll on empty matrix";
+  float inv = 1.0f / static_cast<float>(a.value().size());
+  Matrix value =
+      Matrix::Full(1, 1, static_cast<float>(::awmoe::MeanAll(a.value())));
+  Impl ai = a.impl();
+  return MakeOpResult(
+      std::move(value), "mean_all", {a}, [ai, inv](const VarImpl& self) {
+        AccumulateGrad(ai.get(),
+                       Matrix::Full(ai->value.rows(), ai->value.cols(),
+                                    self.grad(0, 0) * inv));
+      });
+}
+
+Var SoftmaxRows(const Var& a) {
+  Matrix value = ::awmoe::SoftmaxRows(a.value());
+  Impl ai = a.impl();
+  return MakeOpResult(
+      std::move(value), "softmax_rows", {a}, [ai](const VarImpl& self) {
+        // dx = y * (g - rowsum(g*y)).
+        Matrix gy = ::awmoe::Mul(self.grad, self.value);
+        Matrix s = ::awmoe::RowSum(gy);
+        Matrix centered = ::awmoe::Sub(
+            self.grad, ::awmoe::BroadcastCol(s, self.grad.cols()));
+        AccumulateGrad(ai.get(), ::awmoe::Mul(self.value, centered));
+      });
+}
+
+Var LogSumExpRows(const Var& a) {
+  Matrix value = ::awmoe::LogSumExpRows(a.value());
+  Impl ai = a.impl();
+  return MakeOpResult(
+      std::move(value), "log_sum_exp_rows", {a}, [ai](const VarImpl& self) {
+        Matrix soft = ::awmoe::SoftmaxRows(ai->value);
+        Matrix spread = ::awmoe::BroadcastCol(self.grad, ai->value.cols());
+        AccumulateGrad(ai.get(), ::awmoe::Mul(soft, spread));
+      });
+}
+
+Var MulMask(const Var& a, const Matrix& mask) {
+  Matrix value = ::awmoe::Mul(a.value(), mask);
+  Impl ai = a.impl();
+  return MakeOpResult(std::move(value), "mul_mask", {a},
+                      [ai, mask](const VarImpl& self) {
+                        AccumulateGrad(ai.get(),
+                                       ::awmoe::Mul(self.grad, mask));
+                      });
+}
+
+Var StopGradient(const Var& a) {
+  return Var(a.value(), /*requires_grad=*/false);
+}
+
+Var BceWithLogitsLoss(const Var& logits, const Matrix& targets) {
+  const Matrix& x = logits.value();
+  AWMOE_CHECK(x.cols() == 1) << "BceWithLogitsLoss expects [m,1] logits, got "
+                             << x.ShapeString();
+  AWMOE_CHECK(x.SameShape(targets))
+      << "BceWithLogitsLoss: logits " << x.ShapeString() << " vs targets "
+      << targets.ShapeString();
+  const int64_t m = x.rows();
+  AWMOE_CHECK(m > 0) << "BceWithLogitsLoss on empty batch";
+
+  // Stable form: max(x,0) - x*t + log(1 + exp(-|x|)).
+  double total = 0.0;
+  for (int64_t r = 0; r < m; ++r) {
+    float xv = x(r, 0);
+    float t = targets(r, 0);
+    total += std::max(xv, 0.0f) - xv * t + std::log1p(std::exp(-std::abs(xv)));
+  }
+  Matrix value = Matrix::Full(1, 1, static_cast<float>(total / m));
+
+  Impl li = logits.impl();
+  return MakeOpResult(
+      std::move(value), "bce_with_logits", {logits},
+      [li, targets, m](const VarImpl& self) {
+        // d/dx = (sigmoid(x) - t) / m.
+        Matrix g = ::awmoe::Sigmoid(li->value);
+        float scale = self.grad(0, 0) / static_cast<float>(m);
+        float* pg = g.data();
+        const float* pt = targets.data();
+        for (int64_t i = 0; i < g.size(); ++i) {
+          pg[i] = (pg[i] - pt[i]) * scale;
+        }
+        AccumulateGrad(li.get(), g);
+      });
+}
+
+Var InfoNceLoss(const Var& anchor, const Var& positive,
+                const std::vector<Var>& negatives) {
+  AWMOE_CHECK(anchor.value().SameShape(positive.value()))
+      << "InfoNceLoss: anchor " << anchor.value().ShapeString()
+      << " vs positive " << positive.value().ShapeString();
+  std::vector<Var> sims;
+  sims.reserve(negatives.size() + 1);
+  sims.push_back(DotRows(anchor, positive));
+  for (const Var& neg : negatives) {
+    AWMOE_CHECK(neg.value().SameShape(anchor.value()))
+        << "InfoNceLoss: negative shape " << neg.value().ShapeString();
+    sims.push_back(DotRows(anchor, neg));
+  }
+  // -log(exp(pos) / sum(exp(all))) = logsumexp(all) - pos, averaged.
+  Var all = ConcatCols(sims);
+  Var lse = LogSumExpRows(all);
+  return MeanAll(Sub(lse, sims[0]));
+}
+
+}  // namespace ag
+}  // namespace awmoe

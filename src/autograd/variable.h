@@ -1,0 +1,127 @@
+#ifndef AWMOE_AUTOGRAD_VARIABLE_H_
+#define AWMOE_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mat/matrix.h"
+
+namespace awmoe {
+
+namespace internal_ag {
+
+/// Graph node behind a Var handle. Ops append parents and a backward
+/// closure; Backward() walks the DAG in reverse topological order.
+struct VarImpl {
+  Matrix value;
+  Matrix grad;  // Allocated lazily on first accumulation.
+  bool requires_grad = false;
+  bool has_grad = false;
+  const char* op = "leaf";
+  std::vector<std::shared_ptr<VarImpl>> parents;
+  /// Reads `self.grad` (and possibly `self.value`) and accumulates into
+  /// parent grads. Null for leaves.
+  std::function<void(const VarImpl& self)> backward_fn;
+};
+
+/// Accumulates `g` into `node`'s gradient (no-op if the node does not
+/// require grad).
+void AccumulateGrad(VarImpl* node, const Matrix& g);
+
+/// Ensures `node->grad` is allocated (zeros, value-shaped) so ops can
+/// accumulate into it sparsely (embedding scatter-add).
+void EnsureGrad(VarImpl* node);
+
+}  // namespace internal_ag
+
+/// Value-semantic handle to an autograd graph node. Copying a Var aliases
+/// the same node (like a tensor handle), so passing Vars around is cheap.
+///
+/// Typical use:
+///   Var w(Matrix(...), /*requires_grad=*/true);   // parameter leaf
+///   Var y = ag::MatMul(x, w);
+///   Var loss = ag::BceWithLogitsLoss(y, targets);
+///   loss.Backward();
+///   ... read w.grad(), step optimizer, w.ZeroGrad() ...
+class Var {
+ public:
+  /// Undefined handle.
+  Var() = default;
+
+  /// Leaf variable wrapping `value`.
+  explicit Var(Matrix value, bool requires_grad = false);
+
+  Var(const Var&) = default;
+  Var& operator=(const Var&) = default;
+  Var(Var&&) = default;
+  Var& operator=(Var&&) = default;
+
+  bool defined() const { return impl_ != nullptr; }
+
+  const Matrix& value() const;
+  /// Mutable access for optimizers; must not be called on interior graph
+  /// nodes while a backward pass is pending.
+  Matrix& mutable_value();
+
+  int64_t rows() const { return value().rows(); }
+  int64_t cols() const { return value().cols(); }
+
+  bool requires_grad() const;
+
+  /// True once a gradient has been accumulated.
+  bool has_grad() const;
+
+  /// The accumulated gradient. CHECK-fails if no gradient is present.
+  const Matrix& grad() const;
+
+  /// Drops the accumulated gradient (shape is kept lazily).
+  void ZeroGrad();
+
+  /// Runs reverse-mode differentiation from this node, which must hold a
+  /// 1x1 scalar; seeds d(self)/d(self) = 1.
+  void Backward();
+
+  /// Number of graph parents (0 for leaves). Exposed for tests.
+  size_t NumParents() const;
+
+  /// Name of the op that produced this node ("leaf" for leaves).
+  const char* OpName() const;
+
+  /// Internal node access for op implementations.
+  const std::shared_ptr<internal_ag::VarImpl>& impl() const { return impl_; }
+
+ private:
+  explicit Var(std::shared_ptr<internal_ag::VarImpl> impl)
+      : impl_(std::move(impl)) {}
+
+  std::shared_ptr<internal_ag::VarImpl> impl_;
+
+  friend Var MakeOpResult(Matrix value, const char* op,
+                          std::vector<Var> parents,
+                          std::function<void(const internal_ag::VarImpl&)>
+                              backward_fn);
+};
+
+/// Builds an op-result Var: if graph recording is enabled and any parent
+/// requires grad, the node is wired into the graph; otherwise it is a
+/// detached leaf (cheap inference path).
+Var MakeOpResult(Matrix value, const char* op, std::vector<Var> parents,
+                 std::function<void(const internal_ag::VarImpl&)> backward_fn);
+
+/// RAII guard that disables graph recording in its scope (like
+/// torch::NoGradGuard). Nestable.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+  /// True when recording is currently suppressed.
+  static bool Active();
+};
+
+}  // namespace awmoe
+
+#endif  // AWMOE_AUTOGRAD_VARIABLE_H_

@@ -1,0 +1,78 @@
+#include "core/aw_moe.h"
+
+#include "autograd/ops.h"
+
+namespace awmoe {
+
+AwMoeRanker::AwMoeRanker(const DatasetMeta& meta, const AwMoeConfig& config,
+                         Rng* rng)
+    : meta_(meta),
+      config_(config),
+      embeddings_(meta, config.dims.emb_dim, rng),
+      input_network_(meta, config.dims, &embeddings_,
+                     UserPooling::kAttention, rng),
+      experts_(input_network_.output_dim(), config.dims, rng),
+      gate_network_(meta, config.dims, &embeddings_, config.gate, rng) {}
+
+AwMoeRanker::ForwardResult AwMoeRanker::Forward(const Batch& batch) {
+  ForwardResult result;
+  // Step 1: input network -> impression vector (Eq. 2-4).
+  Var v_imp = input_network_.Forward(batch);
+  // Step 2: expert scores s_k (Eq. 5).
+  result.expert_scores = experts_.ForwardAll(v_imp);
+  // Step 3: gate activations g (Eq. 6-8).
+  result.gate = gate_network_.Forward(batch);
+  // Step 4: weighted sum (Eq. 9).
+  result.logits = ag::DotRows(result.expert_scores, result.gate);
+
+  if (config_.diversity_weight > 0.0) {
+    // Disagreement regulariser: reward per-example variance across expert
+    // scores, -w * tanh(mean_i Var_k(s_ik)). The tanh bounds the reward so
+    // maximising disagreement cannot blow the expert scores up — raw
+    // variance maximisation is unbounded and destabilises training.
+    const int64_t k = experts_.num_experts();
+    Var ones_over_k(
+        Matrix::Full(k, 1, 1.0f / static_cast<float>(k)));
+    Var mean_k = ag::MatMul(result.expert_scores, ones_over_k);  // [B,1].
+    Var spread = ag::MatMul(mean_k, Var(Matrix::Full(1, k, 1.0f)));
+    Var dev = ag::Sub(result.expert_scores, spread);
+    Var variance = ag::MeanAll(ag::Mul(dev, dev));
+    pending_aux_loss_ = ag::Scale(
+        ag::Tanh(variance), -static_cast<float>(config_.diversity_weight));
+  } else {
+    pending_aux_loss_ = Var();
+  }
+  return result;
+}
+
+Var AwMoeRanker::ForwardLogits(const Batch& batch) {
+  return Forward(batch).logits;
+}
+
+Var AwMoeRanker::GateRepresentation(const Batch& batch) {
+  return gate_network_.Forward(batch);
+}
+
+Var AwMoeRanker::ForwardLogitsWithGate(const Batch& batch, const Var& gate) {
+  AWMOE_CHECK(gate.defined()) << "ForwardLogitsWithGate: undefined gate";
+  Var scores = experts_.ForwardAll(input_network_.Forward(batch));
+  Var effective_gate = gate;
+  if (gate.rows() == 1 && batch.size > 1) {
+    std::vector<int64_t> zeros(static_cast<size_t>(batch.size), 0);
+    effective_gate = ag::GatherRows(gate, zeros);
+  }
+  AWMOE_CHECK(effective_gate.rows() == batch.size)
+      << "gate rows " << effective_gate.rows() << " vs batch " << batch.size;
+  return ag::DotRows(scores, effective_gate);
+}
+
+std::vector<Var> AwMoeRanker::Parameters() const {
+  std::vector<Var> params;
+  embeddings_.CollectParameters(&params);
+  input_network_.CollectParameters(&params);
+  experts_.CollectParameters(&params);
+  gate_network_.CollectParameters(&params);
+  return params;
+}
+
+}  // namespace awmoe

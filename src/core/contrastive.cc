@@ -1,0 +1,83 @@
+#include "core/contrastive.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace awmoe {
+
+ContrastiveAugmenter::ContrastiveAugmenter(const ContrastiveConfig& config,
+                                           Rng* rng)
+    : config_(config), rng_(rng) {
+  AWMOE_CHECK(config.mask_prob >= 0.0 && config.mask_prob <= 1.0)
+      << "mask_prob=" << config.mask_prob;
+  AWMOE_CHECK(config.num_negatives >= 0)
+      << "num_negatives=" << config.num_negatives;
+  AWMOE_CHECK(rng != nullptr);
+}
+
+Batch ContrastiveAugmenter::Augment(const Batch& batch) {
+  Batch out = batch;
+  for (int64_t i = 0; i < batch.size; ++i) {
+    std::vector<int64_t> surviving;
+    for (int64_t j = 0; j < batch.seq_len; ++j) {
+      if (batch.behavior_mask(i, j) <= 0.0f) continue;
+      if (rng_->Bernoulli(config_.mask_prob)) {
+        const size_t idx = static_cast<size_t>(i * batch.seq_len + j);
+        out.behavior_items[idx] = 0;
+        out.behavior_cats[idx] = 0;
+        out.behavior_brands[idx] = 0;
+        out.behavior_mask(i, j) = 0.0f;
+      } else {
+        surviving.push_back(j);
+      }
+    }
+    if (config_.strategy == ContrastiveConfig::Strategy::kMaskAndReorder &&
+        surviving.size() > 1) {
+      // Shuffle the surviving items among their positions.
+      std::vector<int64_t> items, cats, brands;
+      items.reserve(surviving.size());
+      for (int64_t j : surviving) {
+        const size_t idx = static_cast<size_t>(i * batch.seq_len + j);
+        items.push_back(out.behavior_items[idx]);
+        cats.push_back(out.behavior_cats[idx]);
+        brands.push_back(out.behavior_brands[idx]);
+      }
+      std::vector<int64_t> perm(surviving.size());
+      for (size_t s = 0; s < perm.size(); ++s) {
+        perm[s] = static_cast<int64_t>(s);
+      }
+      rng_->Shuffle(&perm);
+      for (size_t s = 0; s < surviving.size(); ++s) {
+        const size_t dst =
+            static_cast<size_t>(i * batch.seq_len + surviving[s]);
+        const size_t src = static_cast<size_t>(perm[s]);
+        out.behavior_items[dst] = items[src];
+        out.behavior_cats[dst] = cats[src];
+        out.behavior_brands[dst] = brands[src];
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<int64_t>> ContrastiveAugmenter::SampleNegatives(
+    int64_t batch_size) {
+  std::vector<std::vector<int64_t>> negatives(
+      static_cast<size_t>(config_.num_negatives));
+  for (auto& column : negatives) {
+    column.resize(static_cast<size_t>(batch_size));
+    for (int64_t i = 0; i < batch_size; ++i) {
+      if (batch_size <= 1) {
+        column[static_cast<size_t>(i)] = i;
+        continue;
+      }
+      int64_t j = rng_->UniformInt(batch_size - 1);
+      if (j >= i) ++j;  // Skip self.
+      column[static_cast<size_t>(i)] = j;
+    }
+  }
+  return negatives;
+}
+
+}  // namespace awmoe

@@ -1,0 +1,52 @@
+#ifndef AWMOE_CORE_CONTRASTIVE_H_
+#define AWMOE_CORE_CONTRASTIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/example.h"
+#include "util/rng.h"
+
+namespace awmoe {
+
+/// Contrastive-learning hyper-parameters (§III-D): mask probability p,
+/// in-batch negatives l, and loss weight lambda. Paper optima: p = 0.1,
+/// l = 3, lambda = 0.05 (§IV-H).
+struct ContrastiveConfig {
+  double mask_prob = 0.1;
+  int64_t num_negatives = 3;
+  double weight = 0.05;
+
+  /// Behaviour-sequence augmentation strategy. kMask is the paper's;
+  /// kMaskAndReorder adds the item-reordering augmentation the paper lists
+  /// as future work (§V, after [43]/[44]).
+  enum class Strategy { kMask, kMaskAndReorder };
+  Strategy strategy = Strategy::kMask;
+};
+
+/// Builds positive instances u'_i by randomly masking the user behaviour
+/// sequence (simulating long-tail users) and samples in-batch negatives
+/// u_j (Fig. 5).
+class ContrastiveAugmenter {
+ public:
+  ContrastiveAugmenter(const ContrastiveConfig& config, Rng* rng);
+
+  /// A copy of `batch` with every valid behaviour position independently
+  /// masked with probability p (ids zeroed, mask cleared); with
+  /// kMaskAndReorder the surviving items are additionally shuffled.
+  Batch Augment(const Batch& batch);
+
+  /// l vectors of in-batch negative indices; negatives[r][i] != i whenever
+  /// the batch has more than one row.
+  std::vector<std::vector<int64_t>> SampleNegatives(int64_t batch_size);
+
+  const ContrastiveConfig& config() const { return config_; }
+
+ private:
+  ContrastiveConfig config_;
+  Rng* rng_;
+};
+
+}  // namespace awmoe
+
+#endif  // AWMOE_CORE_CONTRASTIVE_H_

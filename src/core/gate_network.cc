@@ -1,0 +1,137 @@
+#include "core/gate_network.h"
+
+#include "autograd/ops.h"
+#include "mat/kernels.h"
+
+namespace awmoe {
+
+namespace {
+std::vector<int64_t> WithOutput(std::vector<int64_t> dims, int64_t out) {
+  dims.push_back(out);
+  return dims;
+}
+}  // namespace
+
+GateUnit::GateUnit(int64_t hidden_dim, std::vector<int64_t> mlp_dims,
+                   int64_t num_experts, Rng* rng)
+    : hidden_dim_(hidden_dim),
+      mlp_(3 * hidden_dim, WithOutput(std::move(mlp_dims), num_experts),
+           rng) {}
+
+Var GateUnit::Forward(const Var& h_b, const Var& h_ref) const {
+  AWMOE_CHECK(h_b.cols() == hidden_dim_ && h_ref.cols() == hidden_dim_)
+      << "GateUnit: dims " << h_b.cols() << "/" << h_ref.cols() << " vs "
+      << hidden_dim_;
+  Var interaction = ag::Mul(h_b, h_ref);
+  return mlp_.Forward(ag::ConcatCols({h_b, h_ref, interaction}));
+}
+
+void GateUnit::CollectParameters(std::vector<Var>* params) const {
+  mlp_.CollectParameters(params);
+}
+
+GateNetwork::GateNetwork(const DatasetMeta& meta, const ModelDims& dims,
+                         const EmbeddingSet* embeddings,
+                         const GateConfig& config, Rng* rng)
+    : meta_(meta),
+      dims_(dims),
+      config_(config),
+      embeddings_(embeddings),
+      item_tower_(embeddings->item_dim() + Example::kItemAttrs,
+                  dims.tower_mlp, rng),
+      ref_tower_(meta.recommendation_mode
+                     ? embeddings->item_dim() + Example::kItemAttrs
+                     : embeddings->emb_dim(),
+                 dims.tower_mlp, rng),
+      gate_unit_(dims.hidden_dim(), dims.gate_unit, dims.num_experts, rng),
+      activation_unit_(dims.hidden_dim(), dims.activation_unit, rng),
+      gate_bias_(Matrix(1, dims.num_experts), /*requires_grad=*/true) {
+  AWMOE_CHECK(config.top_k >= 0 && config.top_k <= dims.num_experts)
+      << "top_k=" << config.top_k << " with K=" << dims.num_experts;
+}
+
+Var GateNetwork::Reference(const Batch& batch) const {
+  if (meta_.recommendation_mode) {
+    // No query exists: the target item drives expert activation (§IV-A2).
+    return ref_tower_.Forward(ag::ConcatCols(
+        {embeddings_->ItemTriple(batch.target_items, batch.target_cats,
+                                 batch.target_brands),
+         Var(batch.target_attrs)}));
+  }
+  return ref_tower_.Forward(embeddings_->Query(batch.query_ids));
+}
+
+Var GateNetwork::Forward(const Batch& batch) const {
+  Var h_ref = Reference(batch);
+  const int64_t k = dims_.num_experts;
+
+  Var g;  // [B, K] accumulated below (without bias).
+  if (config_.mode == GateMode::kFull ||
+      config_.mode == GateMode::kBaseGateUnit) {
+    // Per-item gate units (Eq. 7), optionally attention-weighted (Eq. 8).
+    for (int64_t j = 0; j < batch.seq_len; ++j) {
+      Var h_bj = item_tower_.Forward(ag::ConcatCols(
+          {embeddings_->ItemTriple(
+               batch.BehaviorColumn(batch.behavior_items, j),
+               batch.BehaviorColumn(batch.behavior_cats, j),
+               batch.BehaviorColumn(batch.behavior_brands, j)),
+           Var(batch.BehaviorAttrsColumn(j))}));
+      Var a_j = gate_unit_.Forward(h_bj, h_ref);
+      Matrix mask_j = batch.MaskColumn(j);
+      Var contribution;
+      if (config_.mode == GateMode::kFull) {
+        Var w_j = activation_unit_.Forward(h_bj, h_ref);
+        contribution = ag::MulColBroadcast(a_j, ag::MulMask(w_j, mask_j));
+      } else {
+        contribution = ag::MulMask(a_j, BroadcastCol(mask_j, k));
+      }
+      g = g.defined() ? ag::Add(g, contribution) : contribution;
+    }
+  } else {
+    // Pooled modes: pool behaviour hiddens first, then one gate unit.
+    Var pooled;
+    for (int64_t j = 0; j < batch.seq_len; ++j) {
+      Var h_bj = item_tower_.Forward(ag::ConcatCols(
+          {embeddings_->ItemTriple(
+               batch.BehaviorColumn(batch.behavior_items, j),
+               batch.BehaviorColumn(batch.behavior_cats, j),
+               batch.BehaviorColumn(batch.behavior_brands, j)),
+           Var(batch.BehaviorAttrsColumn(j))}));
+      Matrix mask_j = batch.MaskColumn(j);
+      Var contribution;
+      if (config_.mode == GateMode::kBaseActivationUnit) {
+        Var w_j = activation_unit_.Forward(h_bj, h_ref);
+        contribution = ag::MulColBroadcast(h_bj, ag::MulMask(w_j, mask_j));
+      } else {  // kBaseSumPool.
+        contribution =
+            ag::MulMask(h_bj, BroadcastCol(mask_j, h_bj.cols()));
+      }
+      pooled =
+          pooled.defined() ? ag::Add(pooled, contribution) : contribution;
+    }
+    g = gate_unit_.Forward(pooled, h_ref);
+  }
+
+  g = ag::AddBias(g, gate_bias_);
+  if (config_.softmax) g = ag::SoftmaxRows(g);
+  if (config_.top_k > 0 && config_.top_k < k) {
+    // Sparsely-gated MoE (§V): hard top-k selection; gradients flow only
+    // through the surviving activations.
+    Matrix mask = TopKMaskRows(g.value(), config_.top_k);
+    g = ag::MulMask(g, mask);
+  }
+  return g;
+}
+
+void GateNetwork::CollectParameters(std::vector<Var>* params) const {
+  item_tower_.CollectParameters(params);
+  ref_tower_.CollectParameters(params);
+  gate_unit_.CollectParameters(params);
+  if (config_.mode == GateMode::kFull ||
+      config_.mode == GateMode::kBaseActivationUnit) {
+    activation_unit_.CollectParameters(params);
+  }
+  params->push_back(gate_bias_);
+}
+
+}  // namespace awmoe

@@ -1,0 +1,118 @@
+#include "core/trainer.h"
+
+#include "autograd/ops.h"
+#include "core/aw_moe.h"
+#include "mat/kernels.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace awmoe {
+
+Trainer::Trainer(Ranker* model, const TrainerConfig& config)
+    : model_(model),
+      config_(config),
+      rng_(config.seed),
+      shuffle_rng_(rng_.Fork()),
+      augment_rng_(rng_.Fork()) {
+  AWMOE_CHECK(model != nullptr);
+  optimizer_ = std::make_unique<AdamW>(model->Parameters(), config.lr,
+                                       config.weight_decay);
+  if (config_.contrastive) {
+    augmenter_ =
+        std::make_unique<ContrastiveAugmenter>(config_.cl, &augment_rng_);
+  }
+}
+
+EpochStats Trainer::TrainEpoch(const std::vector<Example>& train,
+                               const DatasetMeta& meta,
+                               const Standardizer* standardizer) {
+  Stopwatch watch;
+  EpochStats stats;
+  BatchIterator it(&train, meta, config_.batch_size, standardizer,
+                   &shuffle_rng_);
+  Batch batch;
+  double rank_total = 0.0, cl_total = 0.0;
+  while (it.Next(&batch)) {
+    optimizer_->ZeroGrad();
+
+    Var logits = model_->ForwardLogits(batch);
+    Var loss = ag::BceWithLogitsLoss(logits, batch.labels);
+    rank_total += loss.value()(0, 0);
+
+    if (config_.contrastive && config_.cl.weight > 0.0) {
+      // Anchor g(u_i), positive g(u'_i) from the masked sequence, and l
+      // in-batch negatives gathered from the anchor matrix (Fig. 5).
+      Var anchor = model_->GateRepresentation(batch);
+      AWMOE_CHECK(anchor.defined())
+          << model_->name() << " has no gate representation for CL";
+      Batch augmented = augmenter_->Augment(batch);
+      Var positive = model_->GateRepresentation(augmented);
+      std::vector<Var> negatives;
+      for (const auto& idx : augmenter_->SampleNegatives(batch.size)) {
+        negatives.push_back(ag::GatherRows(anchor, idx));
+      }
+      Var cl_loss = ag::InfoNceLoss(anchor, positive, negatives);
+      cl_total += cl_loss.value()(0, 0);
+      loss = ag::Add(loss,
+                     ag::Scale(cl_loss, static_cast<float>(config_.cl.weight)));
+    }
+
+    // Model-specific auxiliary losses (the expert-disagreement
+    // regulariser) attach to the most recent forward pass.
+    if (auto* aw = dynamic_cast<AwMoeRanker*>(model_)) {
+      Var aux = aw->PendingAuxiliaryLoss();
+      if (aux.defined()) loss = ag::Add(loss, aux);
+    }
+
+    loss.Backward();
+    std::vector<Var> params = model_->Parameters();
+    if (config_.grad_clip > 0.0) ClipGradNorm(&params, config_.grad_clip);
+    optimizer_->Step();
+    ++stats.num_batches;
+  }
+  if (stats.num_batches > 0) {
+    stats.mean_rank_loss = rank_total / stats.num_batches;
+    stats.mean_cl_loss = cl_total / stats.num_batches;
+  }
+  stats.seconds = watch.ElapsedSeconds();
+  return stats;
+}
+
+std::vector<EpochStats> Trainer::Train(const std::vector<Example>& train,
+                                       const DatasetMeta& meta,
+                                       const Standardizer* standardizer) {
+  std::vector<EpochStats> history;
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    EpochStats stats = TrainEpoch(train, meta, standardizer);
+    if (config_.verbose) {
+      AWMOE_LOG(Info) << model_->name() << " epoch " << (epoch + 1) << "/"
+                      << config_.epochs << " rank_loss "
+                      << stats.mean_rank_loss << " cl_loss "
+                      << stats.mean_cl_loss << " (" << stats.seconds << "s)";
+    }
+    history.push_back(stats);
+  }
+  return history;
+}
+
+std::vector<double> Predict(Ranker* model,
+                            const std::vector<Example>& examples,
+                            const DatasetMeta& meta,
+                            const Standardizer* standardizer,
+                            int64_t batch_size) {
+  NoGradGuard guard;
+  std::vector<double> scores;
+  scores.reserve(examples.size());
+  BatchIterator it(&examples, meta, batch_size, standardizer,
+                   /*rng=*/nullptr);
+  Batch batch;
+  while (it.Next(&batch)) {
+    Matrix probs = Sigmoid(model->ForwardLogits(batch).value());
+    for (int64_t i = 0; i < probs.rows(); ++i) {
+      scores.push_back(static_cast<double>(probs(i, 0)));
+    }
+  }
+  return scores;
+}
+
+}  // namespace awmoe

@@ -1,0 +1,298 @@
+#include "data/amazon_synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/check.h"
+
+namespace awmoe {
+
+AmazonSyntheticGenerator::AmazonSyntheticGenerator(const AmazonConfig& config)
+    : config_(config), rng_(config.seed) {
+  AWMOE_CHECK(config.num_items >= config.num_categories * 2);
+  AWMOE_CHECK(config.max_history >= 2);
+}
+
+void AmazonSyntheticGenerator::BuildCatalog() {
+  items_.assign(static_cast<size_t>(config_.num_items) + 1, ItemInfo{});
+  items_by_cat_.assign(static_cast<size_t>(config_.num_categories) + 1, {});
+  weights_by_cat_.assign(static_cast<size_t>(config_.num_categories) + 1, {});
+  global_weights_.assign(static_cast<size_t>(config_.num_items) + 1, 0.0);
+
+  for (int64_t item = 1; item <= config_.num_items; ++item) {
+    ItemInfo info;
+    info.cat = rng_.UniformInt(config_.num_categories) + 1;
+    info.brand = (info.cat - 1) * config_.brands_per_category +
+                 rng_.UniformInt(config_.brands_per_category) + 1;
+    info.shop = rng_.UniformInt(config_.num_shops) + 1;
+    info.price_z = static_cast<float>(rng_.Normal());
+    info.item_age = static_cast<float>(rng_.Uniform());
+    info.promoted = rng_.Bernoulli(0.1);
+    items_[static_cast<size_t>(item)] = info;
+    items_by_cat_[static_cast<size_t>(info.cat)].push_back(item);
+  }
+  // Give empty categories one item each (steal from a random item).
+  for (int64_t cat = 1; cat <= config_.num_categories; ++cat) {
+    auto& members = items_by_cat_[static_cast<size_t>(cat)];
+    while (members.size() < 2) {
+      int64_t item = rng_.UniformInt(config_.num_items) + 1;
+      auto& old_members =
+          items_by_cat_[static_cast<size_t>(items_[item].cat)];
+      if (old_members.size() <= 2) continue;
+      old_members.erase(
+          std::find(old_members.begin(), old_members.end(), item));
+      items_[static_cast<size_t>(item)].cat = cat;
+      items_[static_cast<size_t>(item)].brand =
+          (cat - 1) * config_.brands_per_category +
+          rng_.UniformInt(config_.brands_per_category) + 1;
+      members.push_back(item);
+    }
+    for (size_t rank = 0; rank < members.size(); ++rank) {
+      ItemInfo& info = items_[static_cast<size_t>(members[rank])];
+      info.popularity = static_cast<float>(
+          std::min(1.5, 1.0 / std::pow(static_cast<double>(rank) + 1.0, 0.7) *
+                            std::exp(rng_.Normal(0.0, 0.2))));
+      info.sales = std::min(
+          1.5f, info.popularity *
+                    static_cast<float>(std::exp(rng_.Normal(0.0, 0.25))));
+      info.ctr = 0.4f * info.popularity +
+                 static_cast<float>(rng_.Normal(0.05, 0.04));
+      info.cvr = 0.6f * info.ctr + static_cast<float>(rng_.Normal(0.0, 0.03));
+      info.review = static_cast<float>(
+          1.0 / (1.0 + std::exp(-rng_.Normal(0.6, 1.0))));
+    }
+    auto& weights = weights_by_cat_[static_cast<size_t>(cat)];
+    weights.resize(members.size());
+    for (size_t i = 0; i < members.size(); ++i) {
+      weights[i] = std::pow(
+          std::max(1e-3, static_cast<double>(
+                             items_[static_cast<size_t>(members[i])]
+                                 .popularity)),
+          0.7);
+    }
+  }
+  for (int64_t item = 1; item <= config_.num_items; ++item) {
+    global_weights_[static_cast<size_t>(item)] = std::pow(
+        std::max(1e-3,
+                 static_cast<double>(items_[static_cast<size_t>(item)]
+                                         .popularity)),
+        0.7);
+  }
+}
+
+int64_t AmazonSyntheticGenerator::SampleFromCategory(int64_t cat) {
+  const auto& members = items_by_cat_[static_cast<size_t>(cat)];
+  return members[static_cast<size_t>(
+      rng_.Categorical(weights_by_cat_[static_cast<size_t>(cat)]))];
+}
+
+std::vector<int64_t> AmazonSyntheticGenerator::GenerateSequence(
+    int style, int64_t pref_cat, int64_t len) {
+  std::vector<int64_t> seq;
+  seq.reserve(static_cast<size_t>(len));
+  seq.push_back(SampleFromCategory(pref_cat));
+  // Style-dependent transition behaviour: how strongly the next review
+  // follows the category/brand of the previous one.
+  double p_same_cat, p_same_brand, p_pref;
+  switch (style) {
+    case 0:  // Category loyal.
+      p_same_cat = 0.65; p_same_brand = 0.05; p_pref = 0.2;
+      break;
+    case 1:  // Brand loyal.
+      p_same_cat = 0.15; p_same_brand = 0.5; p_pref = 0.2;
+      break;
+    case 2:  // Preference-anchored.
+      p_same_cat = 0.15; p_same_brand = 0.05; p_pref = 0.6;
+      break;
+    default:  // Explorer: popularity-driven.
+      p_same_cat = 0.15; p_same_brand = 0.05; p_pref = 0.1;
+      break;
+  }
+  while (static_cast<int64_t>(seq.size()) < len) {
+    const ItemInfo& prev = items_[static_cast<size_t>(seq.back())];
+    double u = rng_.Uniform();
+    int64_t next;
+    if (u < p_same_cat) {
+      next = SampleFromCategory(prev.cat);
+    } else if (u < p_same_cat + p_same_brand) {
+      // Same brand: pick among items of the previous brand.
+      std::vector<int64_t> same_brand;
+      for (int64_t item : items_by_cat_[static_cast<size_t>(prev.cat)]) {
+        if (items_[static_cast<size_t>(item)].brand == prev.brand) {
+          same_brand.push_back(item);
+        }
+      }
+      next = same_brand.empty()
+                 ? SampleFromCategory(prev.cat)
+                 : same_brand[static_cast<size_t>(rng_.UniformInt(
+                       static_cast<int64_t>(same_brand.size())))];
+    } else if (u < p_same_cat + p_same_brand + p_pref) {
+      next = SampleFromCategory(pref_cat);
+    } else {
+      next = static_cast<int64_t>(rng_.Categorical(global_weights_));
+      if (next == 0) next = 1;
+    }
+    seq.push_back(next);
+  }
+  return seq;
+}
+
+Example AmazonSyntheticGenerator::MakeExample(
+    int64_t user_id, int style, int64_t age_segment,
+    const std::vector<int64_t>& history, int64_t target,
+    int64_t session_id) const {
+  const ItemInfo& info = items_[static_cast<size_t>(target)];
+  Example ex;
+  // History is chronological; models expect most-recent-first.
+  for (auto it = history.rbegin(); it != history.rend(); ++it) {
+    if (static_cast<int64_t>(ex.behavior_items.size()) >=
+        config_.max_history) {
+      break;
+    }
+    const ItemInfo& h = items_[static_cast<size_t>(*it)];
+    ex.behavior_items.push_back(*it);
+    ex.behavior_cats.push_back(h.cat);
+    ex.behavior_brands.push_back(h.brand);
+    ex.behavior_attrs.push_back(h.price_z);
+    ex.behavior_attrs.push_back(h.popularity);
+    ex.behavior_attrs.push_back(h.review);
+  }
+  ex.target_item = target;
+  ex.target_cat = info.cat;
+  ex.target_brand = info.brand;
+  ex.target_shop = info.shop;
+  ex.target_attrs[0] = info.price_z;
+  ex.target_attrs[1] = info.popularity;
+  ex.target_attrs[2] = info.review;
+  ex.query_id = 0;  // Recommendation mode: no query.
+  ex.query_cat = 0;
+  ex.user_id = user_id;
+  ex.age_segment = age_segment;
+  ex.session_id = session_id;
+
+  // Cross statistics against the (truncated) visible history.
+  int item_cnt = 0, brand_cnt = 0, shop_cnt = 0, cat_cnt = 0;
+  int brand_pos = -1, cat_pos = -1;
+  float price_sum = 0.0f;
+  std::set<int64_t> cats;
+  std::vector<int64_t> brands;
+  for (size_t j = 0; j < ex.behavior_items.size(); ++j) {
+    const ItemInfo& h =
+        items_[static_cast<size_t>(ex.behavior_items[j])];
+    if (ex.behavior_items[j] == target) ++item_cnt;
+    if (h.brand == info.brand) {
+      ++brand_cnt;
+      if (brand_pos < 0) brand_pos = static_cast<int>(j);
+    }
+    if (h.shop == info.shop) ++shop_cnt;
+    if (h.cat == info.cat) {
+      ++cat_cnt;
+      if (cat_pos < 0) cat_pos = static_cast<int>(j);
+    }
+    price_sum += h.price_z;
+    cats.insert(h.cat);
+    brands.push_back(h.brand);
+  }
+  const float m = static_cast<float>(config_.max_history);
+  const float hist_size = static_cast<float>(ex.behavior_items.size());
+  float price_affinity = hist_size > 0 ? price_sum / hist_size : 0.0f;
+  float loyalty = 0.0f, diversity = 0.0f;
+  if (!brands.empty()) {
+    std::sort(brands.begin(), brands.end());
+    int best = 1, run = 1;
+    for (size_t i = 1; i < brands.size(); ++i) {
+      run = (brands[i] == brands[i - 1]) ? run + 1 : 1;
+      best = std::max(best, run);
+    }
+    loyalty = static_cast<float>(best) / hist_size;
+    diversity = static_cast<float>(cats.size()) / hist_size;
+  }
+
+  ex.numeric.assign(kNumNumericFeatures, 0.0f);
+  ex.numeric[kFeatSales] = info.sales;
+  ex.numeric[kFeatPopularity] = info.popularity;
+  ex.numeric[kFeatPrice] = info.price_z;
+  ex.numeric[kFeatItemClickCnt] = std::min(1.0f, item_cnt / 2.0f);
+  ex.numeric[kFeatBrandClickTimeDiff] =
+      brand_pos < 0 ? 1.0f : static_cast<float>(brand_pos) / m;
+  ex.numeric[kFeatShopClickCnt] = std::min(1.0f, shop_cnt / 3.0f);
+  ex.numeric[kFeatBrandClickCnt] = std::min(1.0f, brand_cnt / 3.0f);
+  ex.numeric[kFeatCatClickCnt] = std::min(1.0f, cat_cnt / 4.0f);
+  ex.numeric[kFeatCatClickTimeDiff] =
+      cat_pos < 0 ? 1.0f : static_cast<float>(cat_pos) / m;
+  ex.numeric[kFeatUserActivity] = hist_size / m;
+  ex.numeric[kFeatUserPriceAffinity] = price_affinity;
+  ex.numeric[kFeatPriceMatch] = -std::abs(info.price_z - price_affinity);
+  ex.numeric[kFeatQueryCatMatch] = 1.0f;  // No query: trivially matched.
+  ex.numeric[kFeatUserBrandLoyalty] = loyalty;
+  ex.numeric[kFeatUserCatDiversity] = diversity;
+  ex.numeric[kFeatTargetCtr] = info.ctr;
+  ex.numeric[kFeatTargetCvr] = info.cvr;
+  ex.numeric[kFeatHourOfDay] = 0.5f;
+  ex.numeric[kFeatSessionLength] = 2.0f / 20.0f;
+  ex.numeric[kFeatItemAge] = info.item_age;
+  ex.numeric[kFeatReviewScore] = info.review;
+  ex.numeric[kFeatIsPromoted] = info.promoted ? 1.0f : 0.0f;
+
+  ex.latent_style = style;
+  ex.is_category_new = (cat_cnt == 0);
+  ex.history_len = static_cast<int64_t>(ex.behavior_items.size());
+  if (ex.behavior_items.empty()) {
+    ex.user_group = UserGroup::kNewUser;
+  } else if (item_cnt > 0) {
+    ex.user_group = UserGroup::kOldWithTargetOrder;
+  } else {
+    ex.user_group = UserGroup::kOldWithoutTargetOrder;
+  }
+  return ex;
+}
+
+AmazonDataset AmazonSyntheticGenerator::Generate() {
+  BuildCatalog();
+
+  AmazonDataset dataset;
+  dataset.meta.num_items = config_.num_items + 1;
+  dataset.meta.num_cats = config_.num_categories + 1;
+  dataset.meta.num_brands =
+      config_.num_categories * config_.brands_per_category + 1;
+  dataset.meta.num_shops = config_.num_shops + 1;
+  dataset.meta.num_queries = 1;  // No queries in recommendation mode.
+  dataset.meta.max_seq_len = config_.max_history;
+  dataset.meta.recommendation_mode = true;
+
+  int64_t session_id = 0;
+  for (int64_t u = 1; u <= config_.num_users; ++u) {
+    int style = static_cast<int>(rng_.UniformInt(4));
+    int64_t age_segment = rng_.Bernoulli(0.15) ? 2 : rng_.UniformInt(2);
+    int64_t pref_cat = rng_.UniformInt(config_.num_categories) + 1;
+    int64_t len = rng_.UniformInt(3, config_.max_history + 2);
+    std::vector<int64_t> seq = GenerateSequence(style, pref_cat, len);
+
+    int64_t target = seq.back();
+    std::vector<int64_t> history(seq.begin(), seq.end() - 1);
+
+    // Negative: popularity-weighted random item that differs from target.
+    int64_t negative = target;
+    int guard = 0;
+    while (negative == target && guard++ < 100) {
+      negative = static_cast<int64_t>(rng_.Categorical(global_weights_));
+      if (negative == 0) negative = 1;
+    }
+
+    bool is_test = rng_.Bernoulli(config_.test_user_fraction);
+    std::vector<Example>* out = is_test ? &dataset.test : &dataset.train;
+    ++session_id;
+    Example pos = MakeExample(u, style, age_segment, history, target,
+                              session_id);
+    pos.label = 1.0f;
+    Example neg = MakeExample(u, style, age_segment, history, negative,
+                              session_id);
+    neg.label = 0.0f;
+    out->push_back(std::move(pos));
+    out->push_back(std::move(neg));
+  }
+  return dataset;
+}
+
+}  // namespace awmoe

@@ -1,0 +1,72 @@
+#ifndef AWMOE_DATA_BATCHER_H_
+#define AWMOE_DATA_BATCHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/example.h"
+#include "util/rng.h"
+
+namespace awmoe {
+
+/// Per-feature z-score normalisation fitted on the training split and
+/// applied everywhere (constant features keep inv_std = 1 so they pass
+/// through centred).
+class Standardizer {
+ public:
+  Standardizer() = default;
+
+  /// Estimates mean/std over `examples` (must be non-empty).
+  void Fit(const std::vector<Example>& examples);
+
+  /// True once Fit has been called.
+  bool fitted() const { return !mean_.empty(); }
+
+  /// z-scores one numeric vector.
+  std::vector<float> Transform(const std::vector<float>& numeric) const;
+
+  const std::vector<float>& mean() const { return mean_; }
+  const std::vector<float>& inv_std() const { return inv_std_; }
+
+ private:
+  std::vector<float> mean_;
+  std::vector<float> inv_std_;
+};
+
+/// Collates examples into a padded Batch. `standardizer` may be null (raw
+/// features).
+Batch CollateBatch(const std::vector<const Example*>& examples,
+                   const DatasetMeta& meta,
+                   const Standardizer* standardizer);
+
+/// Minibatch iterator over a dataset. With an Rng it reshuffles every
+/// epoch; without, it iterates in order (evaluation).
+class BatchIterator {
+ public:
+  /// `data` must outlive the iterator. `rng` null = sequential order.
+  BatchIterator(const std::vector<Example>* data, const DatasetMeta& meta,
+                int64_t batch_size, const Standardizer* standardizer,
+                Rng* rng);
+
+  /// Fills `out` with the next batch; returns false at epoch end (call
+  /// Reset to start the next epoch).
+  bool Next(Batch* out);
+
+  /// Restarts the epoch (reshuffles when an Rng was supplied).
+  void Reset();
+
+  int64_t num_batches() const;
+
+ private:
+  const std::vector<Example>* data_;
+  DatasetMeta meta_;
+  int64_t batch_size_;
+  const Standardizer* standardizer_;
+  Rng* rng_;
+  std::vector<int64_t> order_;
+  int64_t cursor_ = 0;
+};
+
+}  // namespace awmoe
+
+#endif  // AWMOE_DATA_BATCHER_H_

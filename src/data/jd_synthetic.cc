@@ -1,0 +1,608 @@
+#include "data/jd_synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace awmoe {
+
+namespace {
+
+float SigmoidD(double x) {
+  return static_cast<float>(1.0 / (1.0 + std::exp(-x)));
+}
+
+}  // namespace
+
+JdSyntheticGenerator::JdSyntheticGenerator(const JdConfig& config)
+    : config_(config), rng_(config.seed) {
+  AWMOE_CHECK(config.num_categories > 1);
+  AWMOE_CHECK(config.num_items >= config.num_categories);
+  AWMOE_CHECK(config.max_history >= 1);
+  AWMOE_CHECK(config.items_per_session >= 2);
+}
+
+void JdSyntheticGenerator::BuildCatalog() {
+  const int64_t c = config_.num_categories;
+  items_.assign(static_cast<size_t>(config_.num_items) + 1, ItemInfo{});
+  items_by_cat_.assign(static_cast<size_t>(c) + 1, {});
+  item_weights_by_cat_.assign(static_cast<size_t>(c) + 1, {});
+
+  // Categories have Zipf-distributed sizes so some are big and generic.
+  ZipfDistribution cat_sizes(c, 0.4);
+  for (int64_t item = 1; item <= config_.num_items; ++item) {
+    ItemInfo info;
+    info.cat = cat_sizes.Sample(&rng_) + 1;
+    // Brand pool is partitioned by category so a brand implies a category.
+    int64_t brand_in_cat = rng_.UniformInt(config_.brands_per_category);
+    info.brand = (info.cat - 1) * config_.brands_per_category + brand_in_cat + 1;
+    info.shop = rng_.UniformInt(config_.num_shops) + 1;
+    info.price_z = static_cast<float>(rng_.Normal());
+    info.quality = static_cast<float>(rng_.Normal());
+    info.item_age = static_cast<float>(rng_.Uniform());
+    info.promoted = rng_.Bernoulli(0.15);
+    items_[static_cast<size_t>(item)] = info;
+    items_by_cat_[static_cast<size_t>(info.cat)].push_back(item);
+  }
+
+  // Popularity: Zipf within category by assignment order, then noise.
+  for (int64_t cat = 1; cat <= c; ++cat) {
+    auto& members = items_by_cat_[static_cast<size_t>(cat)];
+    // Guarantee every category has at least 2 items (move from biggest).
+    while (members.size() < 2) {
+      int64_t biggest = 1;
+      for (int64_t k = 1; k <= c; ++k) {
+        if (items_by_cat_[static_cast<size_t>(k)].size() >
+            items_by_cat_[static_cast<size_t>(biggest)].size()) {
+          biggest = k;
+        }
+      }
+      int64_t moved = items_by_cat_[static_cast<size_t>(biggest)].back();
+      items_by_cat_[static_cast<size_t>(biggest)].pop_back();
+      ItemInfo& info = items_[static_cast<size_t>(moved)];
+      info.cat = cat;
+      int64_t brand_in_cat = rng_.UniformInt(config_.brands_per_category);
+      info.brand = (cat - 1) * config_.brands_per_category + brand_in_cat + 1;
+      members.push_back(moved);
+    }
+    const double n = static_cast<double>(members.size());
+    for (size_t rank = 0; rank < members.size(); ++rank) {
+      ItemInfo& info = items_[static_cast<size_t>(members[rank])];
+      // popularity in (0,1], heavier head for low ranks.
+      double base = 1.0 / std::pow(static_cast<double>(rank) + 1.0, 0.8);
+      double ceiling = 1.0;  // rank 0.
+      info.popularity = static_cast<float>(base / ceiling *
+                                           std::exp(rng_.Normal(0.0, 0.15)));
+      info.popularity = std::min(info.popularity, 1.5f);
+      info.sales = std::min(
+          1.5f, info.popularity * static_cast<float>(
+                                      std::exp(rng_.Normal(0.0, 0.25))));
+      info.ctr = 0.45f * info.popularity + 0.35f * SigmoidD(info.quality) +
+                 static_cast<float>(rng_.Normal(0.0, 0.05));
+      info.cvr = 0.6f * info.ctr + static_cast<float>(rng_.Normal(0.0, 0.04));
+      info.review = SigmoidD(1.2 * info.quality + rng_.Normal(0.0, 0.3));
+      (void)n;
+    }
+    // Sampling weights: popularity^0.6.
+    auto& weights = item_weights_by_cat_[static_cast<size_t>(cat)];
+    weights.resize(members.size());
+    for (size_t i = 0; i < members.size(); ++i) {
+      weights[i] = std::pow(
+          std::max(1e-3, static_cast<double>(
+                             items_[static_cast<size_t>(members[i])]
+                                 .popularity)),
+          0.6);
+    }
+  }
+}
+
+void JdSyntheticGenerator::BuildUsers() {
+  users_.assign(static_cast<size_t>(config_.num_users) + 1, UserInfo{});
+  for (int64_t u = 1; u <= config_.num_users; ++u) {
+    UserInfo user;
+    user.style = static_cast<int>(rng_.UniformInt(4));
+    bool elderly = rng_.Bernoulli(config_.elderly_fraction);
+    user.age_segment = elderly ? 2 : static_cast<int>(rng_.UniformInt(2));
+
+    // Preferred categories: elderly users are narrower.
+    int64_t num_prefs = elderly ? rng_.UniformInt(1, 3) : rng_.UniformInt(2, 5);
+    auto cats = rng_.SampleWithoutReplacement(config_.num_categories,
+                                              num_prefs);
+    for (int64_t cat0 : cats) {
+      user.pref_cats.push_back(cat0 + 1);
+      user.pref_cat_weights.push_back(rng_.Uniform(0.5, 1.5));
+    }
+    // Preferred brands live inside preferred categories.
+    for (int64_t cat : user.pref_cats) {
+      int64_t brand_in_cat = rng_.UniformInt(config_.brands_per_category);
+      user.pref_brands.push_back((cat - 1) * config_.brands_per_category +
+                                 brand_in_cat + 1);
+    }
+
+    user.price_pref = static_cast<float>(rng_.Normal());
+    user.price_sensitivity =
+        static_cast<float>(rng_.Uniform(0.3, 1.2)) *
+        (user.style == 0 ? 1.6f : 1.0f);
+    user.brand_loyalty = static_cast<float>(rng_.Uniform(0.2, 0.8)) *
+                         (user.style == 1 ? 1.25f : 1.0f);
+    if (elderly) user.brand_loyalty = std::min(1.0f, user.brand_loyalty + 0.15f);
+
+    // History length: new users have none; long-tail 1-3; elderly shorter.
+    int64_t hist_len;
+    if (rng_.Bernoulli(config_.new_user_fraction)) {
+      hist_len = 0;
+    } else if (rng_.Bernoulli(config_.longtail_user_fraction)) {
+      hist_len = rng_.UniformInt(1, 4);
+    } else {
+      hist_len = rng_.UniformInt(4, config_.max_history + 1);
+    }
+    if (elderly && hist_len > 2) hist_len = 1 + hist_len / 2;
+
+    BuildUserHistory(&user, hist_len);
+    users_[static_cast<size_t>(u)] = std::move(user);
+  }
+}
+
+int64_t JdSyntheticGenerator::SampleItemFromCategory(int64_t cat,
+                                                     const UserInfo* user) {
+  const auto& members = items_by_cat_[static_cast<size_t>(cat)];
+  const auto& base_weights = item_weights_by_cat_[static_cast<size_t>(cat)];
+  AWMOE_CHECK(!members.empty()) << "empty category " << cat;
+  if (user == nullptr) {
+    return members[static_cast<size_t>(rng_.Categorical(base_weights))];
+  }
+  // Bias towards the user's preferred brands and price level.
+  std::vector<double> weights(base_weights);
+  for (size_t i = 0; i < members.size(); ++i) {
+    const ItemInfo& info = items_[static_cast<size_t>(members[i])];
+    double w = weights[i];
+    w *= std::exp(-0.5 * user->price_sensitivity *
+                  std::abs(info.price_z - user->price_pref));
+    for (int64_t brand : user->pref_brands) {
+      if (brand == info.brand) {
+        w *= 1.0 + 3.0 * user->brand_loyalty;
+        break;
+      }
+    }
+    if (user->style == 2) {
+      // Quality seekers browse high-review items.
+      w *= 0.3 + static_cast<double>(info.review);
+    }
+    if (user->style == 3) {
+      // Trend followers browse popular items, so their history signals
+      // the style to the gate network.
+      w *= 0.3 + static_cast<double>(info.popularity);
+    }
+    weights[i] = w;
+  }
+  return members[static_cast<size_t>(rng_.Categorical(weights))];
+}
+
+void JdSyntheticGenerator::BuildUserHistory(UserInfo* user,
+                                            int64_t target_len) {
+  user->history.clear();
+  for (int64_t t = 0; t < target_len; ++t) {
+    int64_t cat;
+    if (!user->pref_cats.empty() && rng_.Bernoulli(0.75)) {
+      cat = user->pref_cats[static_cast<size_t>(
+          rng_.Categorical(user->pref_cat_weights))];
+    } else {
+      cat = rng_.UniformInt(config_.num_categories) + 1;
+    }
+    user->history.push_back(SampleItemFromCategory(cat, user));
+  }
+}
+
+int JdSyntheticGenerator::CountInHistory(const UserInfo& user,
+                                         int64_t item) const {
+  int count = 0;
+  for (int64_t h : user.history) count += (h == item) ? 1 : 0;
+  return count;
+}
+
+int JdSyntheticGenerator::CountCatInHistory(const UserInfo& user,
+                                            int64_t cat) const {
+  int count = 0;
+  for (int64_t h : user.history) {
+    count += (items_[static_cast<size_t>(h)].cat == cat) ? 1 : 0;
+  }
+  return count;
+}
+
+int JdSyntheticGenerator::CountBrandInHistory(const UserInfo& user,
+                                              int64_t brand) const {
+  int count = 0;
+  for (int64_t h : user.history) {
+    count += (items_[static_cast<size_t>(h)].brand == brand) ? 1 : 0;
+  }
+  return count;
+}
+
+int JdSyntheticGenerator::CountShopInHistory(const UserInfo& user,
+                                             int64_t shop) const {
+  int count = 0;
+  for (int64_t h : user.history) {
+    count += (items_[static_cast<size_t>(h)].shop == shop) ? 1 : 0;
+  }
+  return count;
+}
+
+int JdSyntheticGenerator::LastBrandPosition(const UserInfo& user,
+                                            int64_t brand) const {
+  for (size_t j = 0; j < user.history.size(); ++j) {
+    if (items_[static_cast<size_t>(user.history[j])].brand == brand) {
+      return static_cast<int>(j);
+    }
+  }
+  return -1;
+}
+
+int JdSyntheticGenerator::LastCatPosition(const UserInfo& user,
+                                          int64_t cat) const {
+  for (size_t j = 0; j < user.history.size(); ++j) {
+    if (items_[static_cast<size_t>(user.history[j])].cat == cat) {
+      return static_cast<int>(j);
+    }
+  }
+  return -1;
+}
+
+float JdSyntheticGenerator::UserPriceAffinity(const UserInfo& user) const {
+  // Observable proxy: mean price of the three most recent behaviours only,
+  // so the feature is a *noisy* estimate of the latent price preference —
+  // models that read the whole sequence can estimate it better.
+  if (user.history.empty()) return 0.0f;
+  const size_t window = std::min<size_t>(3, user.history.size());
+  float total = 0.0f;
+  for (size_t j = 0; j < window; ++j) {
+    total += items_[static_cast<size_t>(user.history[j])].price_z;
+  }
+  return total / static_cast<float>(window);
+}
+
+JdSyntheticGenerator::CrossStats JdSyntheticGenerator::ComputeCross(
+    const UserInfo& user, int64_t item) const {
+  const ItemInfo& info = items_[static_cast<size_t>(item)];
+  CrossStats s;
+  const float m = static_cast<float>(config_.max_history);
+
+  s.item_cnt_n = std::min(1.0f, CountInHistory(user, item) / 2.0f);
+  s.shop_cnt_n = std::min(1.0f, CountShopInHistory(user, info.shop) / 3.0f);
+  s.brand_cnt_n = std::min(1.0f, CountBrandInHistory(user, info.brand) / 3.0f);
+
+  int brand_pos = LastBrandPosition(user, info.brand);
+  s.brand_time_diff =
+      brand_pos < 0 ? 1.0f : static_cast<float>(brand_pos) / m;
+  int cat_count = CountCatInHistory(user, info.cat);
+  s.cat_cnt_n = std::min(1.0f, cat_count / 4.0f);
+  int cat_pos = LastCatPosition(user, info.cat);
+  s.cat_time_diff = cat_pos < 0 ? 1.0f : static_cast<float>(cat_pos) / m;
+
+  s.price_affinity = UserPriceAffinity(user);
+  s.price_match = -std::abs(info.price_z - s.price_affinity);
+
+  // Observable brand loyalty: largest brand share in history.
+  if (!user.history.empty()) {
+    std::vector<int64_t> brands;
+    brands.reserve(user.history.size());
+    for (int64_t h : user.history) {
+      brands.push_back(items_[static_cast<size_t>(h)].brand);
+    }
+    std::sort(brands.begin(), brands.end());
+    int best = 1, run = 1;
+    for (size_t i = 1; i < brands.size(); ++i) {
+      run = (brands[i] == brands[i - 1]) ? run + 1 : 1;
+      best = std::max(best, run);
+    }
+    s.brand_loyalty_obs =
+        static_cast<float>(best) / static_cast<float>(user.history.size());
+    std::set<int64_t> cats;
+    for (int64_t h : user.history) {
+      cats.insert(items_[static_cast<size_t>(h)].cat);
+    }
+    s.cat_diversity = static_cast<float>(cats.size()) /
+                      static_cast<float>(user.history.size());
+  }
+  s.cat_new = (cat_count == 0);
+  return s;
+}
+
+double JdSyntheticGenerator::Utility(const UserInfo& user, int64_t item,
+                                     int64_t query_cat) const {
+  (void)query_cat;
+  const ItemInfo& info = items_[static_cast<size_t>(item)];
+  CrossStats s = ComputeCross(user, item);
+
+  // Style-conditional regime weights. The signs and magnitudes flip with
+  // the latent style, which is only recoverable from the behaviour
+  // sequence (price level, brand concentration, review/popularity mix of
+  // the history items) — exactly the structure a user-gated MoE captures
+  // and a single shared FFN must burn capacity approximating.
+  double price_coef;        // Acts on the target's standardised price.
+  switch (user.style) {
+    case 0: price_coef = -1.8; break;  // Bargain hunters: cheap wins.
+    case 2: price_coef = +0.8; break;  // Quality seekers accept premium.
+    default: price_coef = -0.4; break;
+  }
+  const double style_brand = user.style == 1 ? 2.5 : 0.7;
+  const double style_quality = user.style == 2 ? 2.0 : 0.4;
+  const double style_pop = user.style == 3 ? 1.8 : 1.0;
+  const double style_price_match = user.style == 0 ? 2.0 : 0.6;
+
+  // Popularity regime: what a user without category experience responds to
+  // (Fig. 2, "category new" bars).
+  double pop_term = style_pop * (0.9 * info.sales + 0.7 * info.popularity +
+                                 0.5 * info.ctr) +
+                    price_coef * info.price_z +
+                    0.2 * (info.promoted ? 1.0 : 0.0);
+
+  // Recency-weighted sequence-target affinities: these depend on *where*
+  // in the sequence matching items sit, information the scalar count/
+  // time-diff features only coarsely summarise — sequence-attention
+  // models (DIN, the AW-MoE gate) can recover it exactly.
+  double rec_brand = 0.0, rec_cat = 0.0, decay = 1.0;
+  for (int64_t h : user.history) {
+    const ItemInfo& hist = items_[static_cast<size_t>(h)];
+    if (hist.brand == info.brand) rec_brand += decay;
+    if (hist.cat == info.cat) rec_cat += decay;
+    decay *= 0.75;
+  }
+
+  // Latent price match: uses the user's true price preference, of which
+  // the observable price-affinity feature is only a 3-item-window proxy.
+  const double latent_price_match =
+      -std::abs(static_cast<double>(info.price_z) - user.price_pref);
+
+  // Preference regime: cross features dominate for experienced users
+  // (Fig. 2, "category old" bars).
+  double pref_term = 1.1 * style_brand * s.brand_cnt_n +
+                     0.8 * s.shop_cnt_n + 0.9 * s.item_cnt_n +
+                     style_price_match * latent_price_match +
+                     style_quality * info.review +
+                     1.2 * style_brand * rec_brand + 0.8 * rec_cat +
+                     0.4 * (1.0 - s.cat_time_diff) -
+                     0.5 * style_brand * s.brand_time_diff +
+                     0.4 * price_coef * info.price_z;
+
+  RegimeWeights w = regime_weights();
+  double alpha = s.cat_new ? w.alpha_category_new : w.alpha_category_old;
+  // Trend followers behave like category-new users even with history.
+  if (user.style == 3) alpha = std::max(alpha, 0.6);
+  // Category type shifts the regime too: "standardised" categories are
+  // popularity-driven, "personal" categories are preference-driven. This
+  // component is visible from the query category alone — the slice of the
+  // regime structure Category-MoE [34] can exploit.
+  switch (info.cat % 3) {
+    case 0:
+      alpha = std::min(1.0, alpha + 0.25);
+      break;
+    case 2:
+      alpha = std::max(0.0, alpha - 0.2);
+      break;
+    default:
+      break;
+  }
+
+  return alpha * pop_term + (1.0 - alpha) * pref_term;
+}
+
+Example JdSyntheticGenerator::MakeExample(int64_t user_id,
+                                          const UserInfo& user, int64_t item,
+                                          int64_t query_id, int64_t query_cat,
+                                          float hour,
+                                          int64_t session_id) const {
+  const ItemInfo& info = items_[static_cast<size_t>(item)];
+  CrossStats s = ComputeCross(user, item);
+
+  Example ex;
+  for (size_t j = 0;
+       j < user.history.size() &&
+       j < static_cast<size_t>(config_.max_history);
+       ++j) {
+    int64_t h = user.history[j];
+    const ItemInfo& hist_info = items_[static_cast<size_t>(h)];
+    ex.behavior_items.push_back(h);
+    ex.behavior_cats.push_back(hist_info.cat);
+    ex.behavior_brands.push_back(hist_info.brand);
+    ex.behavior_attrs.push_back(hist_info.price_z);
+    ex.behavior_attrs.push_back(hist_info.popularity);
+    ex.behavior_attrs.push_back(hist_info.review);
+  }
+  ex.target_item = item;
+  ex.target_cat = info.cat;
+  ex.target_brand = info.brand;
+  ex.target_shop = info.shop;
+  ex.target_attrs[0] = info.price_z;
+  ex.target_attrs[1] = info.popularity;
+  ex.target_attrs[2] = info.review;
+  ex.query_id = query_id;
+  ex.query_cat = query_cat;
+  ex.user_id = user_id;
+  ex.age_segment = user.age_segment;
+  ex.session_id = session_id;
+
+  ex.numeric.assign(kNumNumericFeatures, 0.0f);
+  ex.numeric[kFeatSales] = info.sales;
+  ex.numeric[kFeatPopularity] = info.popularity;
+  ex.numeric[kFeatPrice] = info.price_z;
+  ex.numeric[kFeatItemClickCnt] = s.item_cnt_n;
+  ex.numeric[kFeatBrandClickTimeDiff] = s.brand_time_diff;
+  ex.numeric[kFeatShopClickCnt] = s.shop_cnt_n;
+  ex.numeric[kFeatBrandClickCnt] = s.brand_cnt_n;
+  ex.numeric[kFeatCatClickCnt] = s.cat_cnt_n;
+  ex.numeric[kFeatCatClickTimeDiff] = s.cat_time_diff;
+  ex.numeric[kFeatUserActivity] =
+      static_cast<float>(user.history.size()) /
+      static_cast<float>(config_.max_history);
+  ex.numeric[kFeatUserPriceAffinity] = s.price_affinity;
+  ex.numeric[kFeatPriceMatch] = s.price_match;
+  ex.numeric[kFeatQueryCatMatch] = (info.cat == query_cat) ? 1.0f : 0.0f;
+  ex.numeric[kFeatUserBrandLoyalty] = s.brand_loyalty_obs;
+  ex.numeric[kFeatUserCatDiversity] = s.cat_diversity;
+  ex.numeric[kFeatTargetCtr] = info.ctr;
+  ex.numeric[kFeatTargetCvr] = info.cvr;
+  ex.numeric[kFeatHourOfDay] = hour;
+  ex.numeric[kFeatSessionLength] =
+      static_cast<float>(config_.items_per_session) / 20.0f;
+  ex.numeric[kFeatItemAge] = info.item_age;
+  ex.numeric[kFeatReviewScore] = info.review;
+  ex.numeric[kFeatIsPromoted] = info.promoted ? 1.0f : 0.0f;
+
+  ex.latent_style = user.style;
+  ex.is_category_new = s.cat_new;
+  ex.history_len = static_cast<int64_t>(user.history.size());
+  if (user.history.empty()) {
+    ex.user_group = UserGroup::kNewUser;
+  } else if (s.item_cnt_n > 0.0f) {
+    ex.user_group = UserGroup::kOldWithTargetOrder;
+  } else {
+    ex.user_group = UserGroup::kOldWithoutTargetOrder;
+  }
+  return ex;
+}
+
+void JdSyntheticGenerator::GenerateSession(int64_t user_id,
+                                           int64_t session_id,
+                                           bool keep_all_impressions,
+                                           std::vector<Example>* out) {
+  const UserInfo& user = users_[static_cast<size_t>(user_id)];
+
+  // Query category: usually one of the user's preferred categories so that
+  // category-old impressions are common, otherwise random exploration.
+  int64_t query_cat;
+  if (!user.pref_cats.empty() && rng_.Bernoulli(0.6)) {
+    query_cat = user.pref_cats[static_cast<size_t>(
+        rng_.Categorical(user.pref_cat_weights))];
+  } else {
+    query_cat = rng_.UniformInt(config_.num_categories) + 1;
+  }
+  int64_t query_id = (query_cat - 1) * config_.queries_per_category +
+                     rng_.UniformInt(config_.queries_per_category) + 1;
+  float hour = static_cast<float>(rng_.Uniform());
+
+  // Candidates: mostly in-category, some from an adjacent category.
+  std::vector<int64_t> candidates;
+  std::unordered_set<int64_t> seen;
+  int guard = 0;
+  while (static_cast<int64_t>(candidates.size()) <
+             config_.items_per_session &&
+         guard++ < config_.items_per_session * 30) {
+    int64_t cat = query_cat;
+    if (rng_.Bernoulli(0.2)) {
+      cat = 1 + (query_cat - 1 + rng_.UniformInt(1, 3)) %
+                    config_.num_categories;
+    }
+    int64_t item = SampleItemFromCategory(cat, nullptr);
+    if (seen.insert(item).second) candidates.push_back(item);
+  }
+  if (candidates.size() < 2) return;
+
+  // Ground-truth utilities and purchase sampling (softmax over session).
+  std::vector<double> utilities(candidates.size());
+  std::vector<double> noisy(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    utilities[i] = Utility(user, candidates[i], query_cat);
+    noisy[i] = utilities[i] + rng_.Normal(0.0, config_.utility_noise);
+  }
+  std::vector<double> probs(candidates.size());
+  double max_u = *std::max_element(noisy.begin(), noisy.end());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    probs[i] = std::exp((noisy[i] - max_u) / config_.purchase_temperature);
+  }
+  std::set<size_t> purchased;
+  purchased.insert(static_cast<size_t>(rng_.Categorical(probs)));
+  if (rng_.Bernoulli(0.2)) {
+    // Occasional second purchase.
+    std::vector<double> rest = probs;
+    rest[*purchased.begin()] = 0.0;
+    purchased.insert(static_cast<size_t>(rng_.Categorical(rest)));
+  }
+
+  auto emit = [&](size_t idx, float label) {
+    Example ex = MakeExample(user_id, user, candidates[idx], query_id,
+                             query_cat, hour, session_id);
+    ex.label = label;
+    ex.oracle_utility = utilities[idx];
+    out->push_back(std::move(ex));
+  };
+
+  if (keep_all_impressions) {
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      emit(i, purchased.count(i) ? 1.0f : 0.0f);
+    }
+    return;
+  }
+
+  // Training mode: positives plus an equal number of sampled negatives
+  // (paper §IV-A1, 1:1 ratio).
+  std::vector<size_t> negatives;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (!purchased.count(i)) negatives.push_back(i);
+  }
+  Rng shuffle_rng = rng_.Fork();
+  shuffle_rng.Shuffle(&negatives);
+  size_t num_neg = std::min(purchased.size(), negatives.size());
+  for (size_t idx : purchased) emit(idx, 1.0f);
+  for (size_t i = 0; i < num_neg; ++i) emit(negatives[i], 0.0f);
+}
+
+JdDataset JdSyntheticGenerator::Generate() {
+  BuildCatalog();
+  BuildUsers();
+
+  JdDataset dataset;
+  dataset.meta.num_items = config_.num_items + 1;
+  dataset.meta.num_cats = config_.num_categories + 1;
+  dataset.meta.num_brands =
+      config_.num_categories * config_.brands_per_category + 1;
+  dataset.meta.num_shops = config_.num_shops + 1;
+  dataset.meta.num_queries =
+      config_.num_categories * config_.queries_per_category + 1;
+  dataset.meta.max_seq_len = config_.max_history;
+  dataset.meta.recommendation_mode = false;
+
+  int64_t session_id = 0;
+
+  for (int64_t s = 0; s < config_.train_sessions; ++s) {
+    int64_t user = rng_.UniformInt(config_.num_users) + 1;
+    GenerateSession(user, ++session_id, /*keep_all_impressions=*/false,
+                    &dataset.train);
+  }
+  for (int64_t s = 0; s < config_.test_sessions; ++s) {
+    int64_t user = rng_.UniformInt(config_.num_users) + 1;
+    GenerateSession(user, ++session_id, /*keep_all_impressions=*/true,
+                    &dataset.full_test);
+  }
+
+  // Long-tail test 1: users with at most 3 behaviours.
+  std::vector<int64_t> longtail_users;
+  std::vector<int64_t> elderly_users;
+  for (int64_t u = 1; u <= config_.num_users; ++u) {
+    if (users_[static_cast<size_t>(u)].history.size() <= 3) {
+      longtail_users.push_back(u);
+    }
+    if (users_[static_cast<size_t>(u)].age_segment == 2) {
+      elderly_users.push_back(u);
+    }
+  }
+  AWMOE_CHECK(!longtail_users.empty()) << "no long-tail users generated";
+  AWMOE_CHECK(!elderly_users.empty()) << "no elderly users generated";
+  for (int64_t s = 0; s < config_.longtail1_sessions; ++s) {
+    int64_t user = longtail_users[static_cast<size_t>(
+        rng_.UniformInt(static_cast<int64_t>(longtail_users.size())))];
+    GenerateSession(user, ++session_id, /*keep_all_impressions=*/true,
+                    &dataset.longtail1_test);
+  }
+  for (int64_t s = 0; s < config_.longtail2_sessions; ++s) {
+    int64_t user = elderly_users[static_cast<size_t>(
+        rng_.UniformInt(static_cast<int64_t>(elderly_users.size())))];
+    GenerateSession(user, ++session_id, /*keep_all_impressions=*/true,
+                    &dataset.longtail2_test);
+  }
+  return dataset;
+}
+
+}  // namespace awmoe

@@ -1,0 +1,133 @@
+#include "eval/cluster_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "util/check.h"
+
+namespace awmoe {
+
+namespace {
+
+double RowDistance(const Matrix& points, int64_t i, int64_t j) {
+  double acc = 0.0;
+  const float* a = points.row(i);
+  const float* b = points.row(j);
+  for (int64_t c = 0; c < points.cols(); ++c) {
+    double diff = static_cast<double>(a[c]) - b[c];
+    acc += diff * diff;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+ClusterSeparation ComputeClusterSeparation(
+    const Matrix& points, const std::vector<int64_t>& labels) {
+  const int64_t n = points.rows();
+  AWMOE_CHECK(static_cast<int64_t>(labels.size()) == n)
+      << labels.size() << " labels for " << n << " points";
+  std::map<int64_t, std::vector<int64_t>> groups;
+  for (int64_t i = 0; i < n; ++i) groups[labels[i]].push_back(i);
+  AWMOE_CHECK(groups.size() >= 2) << "need at least 2 groups";
+
+  // Centroids and intra-group spread.
+  std::map<int64_t, std::vector<double>> centroids;
+  for (const auto& [label, members] : groups) {
+    std::vector<double> centroid(static_cast<size_t>(points.cols()), 0.0);
+    for (int64_t i : members) {
+      const float* row = points.row(i);
+      for (int64_t c = 0; c < points.cols(); ++c) centroid[c] += row[c];
+    }
+    for (double& v : centroid) v /= static_cast<double>(members.size());
+    centroids[label] = std::move(centroid);
+  }
+
+  auto centroid_distance = [&](int64_t i, const std::vector<double>& c) {
+    double acc = 0.0;
+    const float* row = points.row(i);
+    for (int64_t col = 0; col < points.cols(); ++col) {
+      double diff = static_cast<double>(row[col]) - c[static_cast<size_t>(col)];
+      acc += diff * diff;
+    }
+    return std::sqrt(acc);
+  };
+
+  ClusterSeparation result;
+
+  // Nearest-centroid accuracy.
+  int64_t correct = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    double best = std::numeric_limits<double>::max();
+    int64_t best_label = -1;
+    for (const auto& [label, centroid] : centroids) {
+      double d = centroid_distance(i, centroid);
+      if (d < best) {
+        best = d;
+        best_label = label;
+      }
+    }
+    if (best_label == labels[static_cast<size_t>(i)]) ++correct;
+  }
+  result.centroid_accuracy =
+      static_cast<double>(correct) / static_cast<double>(n);
+
+  // Separation ratio: inter-centroid distance vs intra spread.
+  double intra = 0.0;
+  for (const auto& [label, members] : groups) {
+    const auto& centroid = centroids[label];
+    double spread = 0.0;
+    for (int64_t i : members) spread += centroid_distance(i, centroid);
+    intra += spread / static_cast<double>(members.size());
+  }
+  intra /= static_cast<double>(groups.size());
+  double inter = 0.0;
+  int64_t pairs = 0;
+  for (auto a = centroids.begin(); a != centroids.end(); ++a) {
+    for (auto b = std::next(a); b != centroids.end(); ++b) {
+      double acc = 0.0;
+      for (size_t c = 0; c < a->second.size(); ++c) {
+        double diff = a->second[c] - b->second[c];
+        acc += diff * diff;
+      }
+      inter += std::sqrt(acc);
+      ++pairs;
+    }
+  }
+  inter /= static_cast<double>(pairs);
+  result.separation_ratio = intra > 0.0 ? inter / intra : 0.0;
+
+  // Silhouette (exact O(n^2); fine for Fig. 7 sample sizes).
+  double silhouette_sum = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    double a_dist = 0.0;
+    int64_t a_count = 0;
+    std::map<int64_t, std::pair<double, int64_t>> other;  // label -> (sum, n).
+    for (int64_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      double d = RowDistance(points, i, j);
+      if (labels[static_cast<size_t>(j)] == labels[static_cast<size_t>(i)]) {
+        a_dist += d;
+        ++a_count;
+      } else {
+        auto& slot = other[labels[static_cast<size_t>(j)]];
+        slot.first += d;
+        ++slot.second;
+      }
+    }
+    if (a_count == 0 || other.empty()) continue;
+    double a = a_dist / static_cast<double>(a_count);
+    double b = std::numeric_limits<double>::max();
+    for (const auto& [label, slot] : other) {
+      b = std::min(b, slot.first / static_cast<double>(slot.second));
+    }
+    double denom = std::max(a, b);
+    if (denom > 0.0) silhouette_sum += (b - a) / denom;
+  }
+  result.silhouette = silhouette_sum / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace awmoe

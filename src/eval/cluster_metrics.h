@@ -1,0 +1,31 @@
+#ifndef AWMOE_EVAL_CLUSTER_METRICS_H_
+#define AWMOE_EVAL_CLUSTER_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mat/matrix.h"
+
+namespace awmoe {
+
+/// Quantifies how well labelled groups separate in an embedding — the
+/// numeric counterpart of "the clusters are visibly separated" in Fig. 7.
+struct ClusterSeparation {
+  /// Mean silhouette coefficient in [-1, 1]; > 0 means points sit closer
+  /// to their own group than to the nearest other group.
+  double silhouette = 0.0;
+  /// Accuracy of nearest-centroid classification by group.
+  double centroid_accuracy = 0.0;
+  /// Ratio of mean inter-group centroid distance to mean intra-group
+  /// spread (> 1 = separated).
+  double separation_ratio = 0.0;
+};
+
+/// Computes separation statistics for `points` [n, d] with integer group
+/// `labels` (size n, at least 2 distinct groups required).
+ClusterSeparation ComputeClusterSeparation(const Matrix& points,
+                                           const std::vector<int64_t>& labels);
+
+}  // namespace awmoe
+
+#endif  // AWMOE_EVAL_CLUSTER_METRICS_H_

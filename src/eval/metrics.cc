@@ -1,0 +1,274 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace awmoe {
+
+namespace {
+
+/// Indices that sort `scores` descending (ties by original order).
+std::vector<size_t> DescendingOrder(const std::vector<double>& scores) {
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return scores[x] > scores[y];
+  });
+  return order;
+}
+
+/// Student-t two-sided p-value via the regularised incomplete beta
+/// function (continued-fraction evaluation, Numerical Recipes style).
+double IncompleteBetaCf(double a, double b, double x) {
+  const int kMaxIter = 300;
+  const double kEps = 3e-12;
+  const double kFpMin = 1e-300;
+  double qab = a + b, qap = a + 1.0, qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  double ln_beta = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                   a * std::log(x) + b * std::log(1.0 - x);
+  double front = std::exp(ln_beta);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * IncompleteBetaCf(a, b, x) / a;
+  }
+  return 1.0 - front * IncompleteBetaCf(b, a, 1.0 - x) / b;
+}
+
+double StudentTTwoSidedP(double t, double dof) {
+  double x = dof / (dof + t * t);
+  return RegularizedIncompleteBeta(dof / 2.0, 0.5, x);
+}
+
+}  // namespace
+
+double AucOf(const std::vector<float>& labels,
+             const std::vector<double>& scores) {
+  AWMOE_CHECK(labels.size() == scores.size());
+  // Rank-based computation with midrank tie handling.
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return scores[x] < scores[y]; });
+  double pos = 0.0, neg = 0.0, rank_sum_pos = 0.0;
+  size_t i = 0;
+  double rank = 1.0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() &&
+           scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    double midrank = (rank + rank + static_cast<double>(j - i)) / 2.0;
+    for (size_t t = i; t <= j; ++t) {
+      if (labels[order[t]] > 0.5f) {
+        pos += 1.0;
+        rank_sum_pos += midrank;
+      } else {
+        neg += 1.0;
+      }
+    }
+    rank += static_cast<double>(j - i + 1);
+    i = j + 1;
+  }
+  if (pos == 0.0 || neg == 0.0) return 0.5;
+  return (rank_sum_pos - pos * (pos + 1.0) / 2.0) / (pos * neg);
+}
+
+double NdcgOf(const std::vector<float>& labels,
+              const std::vector<double>& scores, int64_t k) {
+  AWMOE_CHECK(labels.size() == scores.size());
+  if (labels.empty()) return 0.0;
+  const int64_t cut = k <= 0 ? static_cast<int64_t>(labels.size())
+                             : std::min<int64_t>(k, labels.size());
+  std::vector<size_t> by_score = DescendingOrder(scores);
+  double dcg = 0.0;
+  for (int64_t i = 0; i < cut; ++i) {
+    dcg += labels[by_score[static_cast<size_t>(i)]] /
+           std::log2(static_cast<double>(i) + 2.0);
+  }
+  std::vector<double> ideal(labels.begin(), labels.end());
+  std::sort(ideal.begin(), ideal.end(), std::greater<double>());
+  double idcg = 0.0;
+  for (int64_t i = 0; i < cut; ++i) {
+    idcg += ideal[static_cast<size_t>(i)] /
+            std::log2(static_cast<double>(i) + 2.0);
+  }
+  if (idcg == 0.0) return 0.0;
+  return dcg / idcg;
+}
+
+RankingEvaluation EvaluateRanking(const std::vector<Example>& examples,
+                                  const std::vector<double>& scores,
+                                  int64_t k) {
+  AWMOE_CHECK(examples.size() == scores.size())
+      << examples.size() << " examples vs " << scores.size() << " scores";
+  // Group by session id (ordered map keeps evaluation deterministic).
+  std::map<int64_t, std::vector<size_t>> sessions;
+  for (size_t i = 0; i < examples.size(); ++i) {
+    sessions[examples[i].session_id].push_back(i);
+  }
+
+  RankingEvaluation eval;
+  for (const auto& [session_id, indices] : sessions) {
+    std::vector<float> labels;
+    std::vector<double> session_scores;
+    labels.reserve(indices.size());
+    for (size_t idx : indices) {
+      labels.push_back(examples[idx].label);
+      session_scores.push_back(scores[idx]);
+    }
+    ++eval.num_sessions;
+
+    double ndcg = NdcgOf(labels, session_scores, /*k=*/0);
+    double ndcg_k = NdcgOf(labels, session_scores, k);
+    eval.session_ndcg.push_back(ndcg);
+    eval.session_ndcg_at_k.push_back(ndcg_k);
+    eval.ndcg_session_ids.push_back(session_id);
+
+    bool has_pos = false, has_neg = false;
+    for (float label : labels) {
+      (label > 0.5f ? has_pos : has_neg) = true;
+    }
+    if (has_pos && has_neg) {
+      double auc = AucOf(labels, session_scores);
+      // @K: restrict to the K top-scored items of the session.
+      std::vector<size_t> order = DescendingOrder(session_scores);
+      const int64_t cut = std::min<int64_t>(k, order.size());
+      std::vector<float> top_labels;
+      std::vector<double> top_scores;
+      for (int64_t i = 0; i < cut; ++i) {
+        top_labels.push_back(labels[order[static_cast<size_t>(i)]]);
+        top_scores.push_back(session_scores[order[static_cast<size_t>(i)]]);
+      }
+      double auc_k = AucOf(top_labels, top_scores);
+      eval.session_auc.push_back(auc);
+      eval.session_auc_at_k.push_back(auc_k);
+      eval.auc_session_ids.push_back(session_id);
+    }
+  }
+
+  auto mean = [](const std::vector<double>& v) {
+    if (v.empty()) return 0.0;
+    return std::accumulate(v.begin(), v.end(), 0.0) /
+           static_cast<double>(v.size());
+  };
+  eval.auc = mean(eval.session_auc);
+  eval.auc_at_k = mean(eval.session_auc_at_k);
+  eval.ndcg = mean(eval.session_ndcg);
+  eval.ndcg_at_k = mean(eval.session_ndcg_at_k);
+  return eval;
+}
+
+double OverallAuc(const std::vector<float>& labels,
+                  const std::vector<double>& scores) {
+  return AucOf(labels, scores);
+}
+
+double PairedTTestPValue(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  AWMOE_CHECK(a.size() == b.size())
+      << "paired test needs aligned vectors: " << a.size() << " vs "
+      << b.size();
+  const size_t n = a.size();
+  AWMOE_CHECK(n >= 2) << "paired test needs n >= 2";
+  double mean = 0.0;
+  for (size_t i = 0; i < n; ++i) mean += a[i] - b[i];
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double d = (a[i] - b[i]) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(n - 1);
+  if (var <= 0.0) return mean == 0.0 ? 1.0 : 0.0;
+  double t = mean / std::sqrt(var / static_cast<double>(n));
+  return StudentTTwoSidedP(t, static_cast<double>(n - 1));
+}
+
+double PairedBootstrapPValue(const std::vector<double>& a,
+                             const std::vector<double>& b,
+                             int64_t iterations, uint64_t seed) {
+  AWMOE_CHECK(a.size() == b.size());
+  const int64_t n = static_cast<int64_t>(a.size());
+  AWMOE_CHECK(n >= 2);
+  std::vector<double> diff(a.size());
+  double observed = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    diff[i] = a[i] - b[i];
+    observed += diff[i];
+  }
+  observed /= static_cast<double>(n);
+
+  Rng rng(seed);
+  int64_t crossings = 0;
+  for (int64_t it = 0; it < iterations; ++it) {
+    double total = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      total += diff[static_cast<size_t>(rng.UniformInt(n))];
+    }
+    double mean = total / static_cast<double>(n);
+    if ((observed >= 0.0 && mean <= 0.0) ||
+        (observed <= 0.0 && mean >= 0.0)) {
+      ++crossings;
+    }
+  }
+  double p = 2.0 * static_cast<double>(crossings + 1) /
+             static_cast<double>(iterations + 1);
+  return std::min(1.0, p);
+}
+
+double SessionPValue(const std::vector<int64_t>& ids_a,
+                     const std::vector<double>& values_a,
+                     const std::vector<int64_t>& ids_b,
+                     const std::vector<double>& values_b) {
+  AWMOE_CHECK(ids_a.size() == values_a.size());
+  AWMOE_CHECK(ids_b.size() == values_b.size());
+  std::map<int64_t, double> b_by_id;
+  for (size_t i = 0; i < ids_b.size(); ++i) b_by_id[ids_b[i]] = values_b[i];
+  std::vector<double> paired_a, paired_b;
+  for (size_t i = 0; i < ids_a.size(); ++i) {
+    auto it = b_by_id.find(ids_a[i]);
+    if (it != b_by_id.end()) {
+      paired_a.push_back(values_a[i]);
+      paired_b.push_back(it->second);
+    }
+  }
+  if (paired_a.size() < 2) return 1.0;
+  return PairedTTestPValue(paired_a, paired_b);
+}
+
+}  // namespace awmoe

@@ -1,0 +1,76 @@
+#ifndef AWMOE_EVAL_METRICS_H_
+#define AWMOE_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/example.h"
+
+namespace awmoe {
+
+/// Session-grouped ranking evaluation (paper §IV-B). AUC follows Eq. 12
+/// (mean of per-session AUCs over sessions that contain both classes);
+/// NDCG follows Eq. 13 with binary gains. The @K variants restrict each
+/// session to its top-K items by predicted score.
+struct RankingEvaluation {
+  double auc = 0.0;
+  double auc_at_k = 0.0;
+  double ndcg = 0.0;
+  double ndcg_at_k = 0.0;
+
+  /// Per-session metric values (aligned across the four vectors), for
+  /// paired significance testing. Sessions lacking both classes are
+  /// excluded from the AUC vectors but kept for NDCG.
+  std::vector<double> session_auc;
+  std::vector<double> session_auc_at_k;
+  std::vector<double> session_ndcg;
+  std::vector<double> session_ndcg_at_k;
+  /// Session ids aligned with session_ndcg (the superset).
+  std::vector<int64_t> ndcg_session_ids;
+  /// Session ids aligned with session_auc.
+  std::vector<int64_t> auc_session_ids;
+
+  int64_t num_sessions = 0;
+};
+
+/// Evaluates predicted `scores` (aligned with `examples`) with session
+/// grouping. `k` is the @K cut (paper: 10).
+RankingEvaluation EvaluateRanking(const std::vector<Example>& examples,
+                                  const std::vector<double>& scores,
+                                  int64_t k = 10);
+
+/// Pooled (sessionless) AUC over all examples — the Table V metric for the
+/// Amazon dataset, where each "session" is one positive/negative pair.
+double OverallAuc(const std::vector<float>& labels,
+                  const std::vector<double>& scores);
+
+/// AUC of one score/label list; returns 0.5 when only one class present.
+double AucOf(const std::vector<float>& labels,
+             const std::vector<double>& scores);
+
+/// Binary-gain NDCG of one list (Eq. 13); `k` <= 0 means no cut.
+double NdcgOf(const std::vector<float>& labels,
+              const std::vector<double>& scores, int64_t k);
+
+/// Two-sided paired t-test p-value over per-unit metric differences.
+/// Inputs must be equally sized and pairwise aligned; n >= 2.
+double PairedTTestPValue(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+/// Two-sided paired bootstrap p-value (resampling units with replacement):
+/// the fraction of resamples whose mean difference crosses zero, doubled
+/// and clamped to [2/(iters+1), 1].
+double PairedBootstrapPValue(const std::vector<double>& a,
+                             const std::vector<double>& b,
+                             int64_t iterations = 2000, uint64_t seed = 99);
+
+/// Aligns the per-session vectors of two evaluations on common session ids
+/// and returns the paired t-test p-value for the chosen vectors.
+double SessionPValue(const std::vector<int64_t>& ids_a,
+                     const std::vector<double>& values_a,
+                     const std::vector<int64_t>& ids_b,
+                     const std::vector<double>& values_b);
+
+}  // namespace awmoe
+
+#endif  // AWMOE_EVAL_METRICS_H_

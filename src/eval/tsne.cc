@@ -1,0 +1,178 @@
+#include "eval/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace awmoe {
+
+namespace {
+
+/// Squared Euclidean distances between all row pairs: [n, n].
+std::vector<double> PairwiseSquaredDistances(const Matrix& x) {
+  const int64_t n = x.rows(), d = x.cols();
+  std::vector<double> dist(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    const float* xi = x.row(i);
+    for (int64_t j = i + 1; j < n; ++j) {
+      const float* xj = x.row(j);
+      double acc = 0.0;
+      for (int64_t c = 0; c < d; ++c) {
+        double diff = static_cast<double>(xi[c]) - xj[c];
+        acc += diff * diff;
+      }
+      dist[static_cast<size_t>(i * n + j)] = acc;
+      dist[static_cast<size_t>(j * n + i)] = acc;
+    }
+  }
+  return dist;
+}
+
+/// Row-conditional affinities with per-point bandwidth found by binary
+/// search on the target perplexity.
+std::vector<double> ConditionalAffinities(const std::vector<double>& dist,
+                                          int64_t n, double perplexity) {
+  std::vector<double> p(static_cast<size_t>(n * n), 0.0);
+  const double target_entropy = std::log(perplexity);
+  std::vector<double> row(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    double beta = 1.0, beta_min = -1e300, beta_max = 1e300;
+    for (int iter = 0; iter < 60; ++iter) {
+      double sum = 0.0, weighted = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        if (j == i) {
+          row[static_cast<size_t>(j)] = 0.0;
+          continue;
+        }
+        double pij = std::exp(-dist[static_cast<size_t>(i * n + j)] * beta);
+        row[static_cast<size_t>(j)] = pij;
+        sum += pij;
+        weighted += dist[static_cast<size_t>(i * n + j)] * pij;
+      }
+      if (sum <= 0.0) sum = 1e-300;
+      double entropy = std::log(sum) + beta * weighted / sum;
+      double diff = entropy - target_entropy;
+      if (std::abs(diff) < 1e-5) break;
+      if (diff > 0.0) {
+        beta_min = beta;
+        beta = (beta_max >= 1e300) ? beta * 2.0 : (beta + beta_max) / 2.0;
+      } else {
+        beta_max = beta;
+        beta = (beta_min <= -1e300) ? beta / 2.0 : (beta + beta_min) / 2.0;
+      }
+    }
+    double sum = 0.0;
+    for (int64_t j = 0; j < n; ++j) sum += row[static_cast<size_t>(j)];
+    if (sum <= 0.0) sum = 1e-300;
+    for (int64_t j = 0; j < n; ++j) {
+      p[static_cast<size_t>(i * n + j)] = row[static_cast<size_t>(j)] / sum;
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+Matrix TsneEmbed(const Matrix& points, const TsneOptions& options) {
+  const int64_t n = points.rows();
+  AWMOE_CHECK(n >= 5) << "TsneEmbed needs at least 5 points, got " << n;
+  // Perplexity must satisfy 3*perp < n; shrink if necessary.
+  double perplexity =
+      std::min(options.perplexity, static_cast<double>(n - 1) / 3.0);
+  perplexity = std::max(2.0, perplexity);
+
+  std::vector<double> dist = PairwiseSquaredDistances(points);
+  std::vector<double> cond = ConditionalAffinities(dist, n, perplexity);
+
+  // Symmetrise: P = (P + P^T) / 2n, floored for stability.
+  std::vector<double> p(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      p[static_cast<size_t>(i * n + j)] =
+          std::max((cond[static_cast<size_t>(i * n + j)] +
+                    cond[static_cast<size_t>(j * n + i)]) /
+                       (2.0 * static_cast<double>(n)),
+                   1e-12);
+    }
+  }
+
+  Rng rng(options.seed);
+  Matrix y(n, 2);
+  for (int64_t i = 0; i < n; ++i) {
+    y(i, 0) = static_cast<float>(rng.Normal(0.0, 1e-2));
+    y(i, 1) = static_cast<float>(rng.Normal(0.0, 1e-2));
+  }
+  Matrix velocity(n, 2);
+  std::vector<double> q(static_cast<size_t>(n * n), 0.0);
+  std::vector<double> gains(static_cast<size_t>(n * 2), 1.0);
+
+  for (int64_t iter = 0; iter < options.iterations; ++iter) {
+    const double exaggeration =
+        iter < options.exaggeration_iters ? options.early_exaggeration : 1.0;
+    const double momentum = iter < options.momentum_switch_iter
+                                ? options.initial_momentum
+                                : options.final_momentum;
+
+    // Student-t affinities in the embedding.
+    double q_sum = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = i + 1; j < n; ++j) {
+        double dx = static_cast<double>(y(i, 0)) - y(j, 0);
+        double dy = static_cast<double>(y(i, 1)) - y(j, 1);
+        double w = 1.0 / (1.0 + dx * dx + dy * dy);
+        q[static_cast<size_t>(i * n + j)] = w;
+        q[static_cast<size_t>(j * n + i)] = w;
+        q_sum += 2.0 * w;
+      }
+    }
+    if (q_sum <= 0.0) q_sum = 1e-300;
+
+    // Gradient: 4 * sum_j (exag*p_ij - q_ij) w_ij (y_i - y_j).
+    for (int64_t i = 0; i < n; ++i) {
+      double grad0 = 0.0, grad1 = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        double w = q[static_cast<size_t>(i * n + j)];
+        double q_ij = std::max(w / q_sum, 1e-12);
+        double mult =
+            (exaggeration * p[static_cast<size_t>(i * n + j)] - q_ij) * w;
+        grad0 += mult * (static_cast<double>(y(i, 0)) - y(j, 0));
+        grad1 += mult * (static_cast<double>(y(i, 1)) - y(j, 1));
+      }
+      grad0 *= 4.0;
+      grad1 *= 4.0;
+
+      // Adaptive gains (van der Maaten's reference implementation).
+      for (int c = 0; c < 2; ++c) {
+        double g = (c == 0) ? grad0 : grad1;
+        double& gain = gains[static_cast<size_t>(i * 2 + c)];
+        double v = velocity(i, c);
+        gain = ((g > 0.0) != (v > 0.0)) ? gain + 0.2 : gain * 0.8;
+        gain = std::max(gain, 0.01);
+        double new_v = momentum * v - options.learning_rate * gain * g;
+        new_v = std::min(std::max(new_v, -options.max_step),
+                         options.max_step);
+        velocity(i, c) = static_cast<float>(new_v);
+        y(i, c) = static_cast<float>(y(i, c) + new_v);
+      }
+    }
+
+    // Recentre.
+    double mean0 = 0.0, mean1 = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      mean0 += y(i, 0);
+      mean1 += y(i, 1);
+    }
+    mean0 /= static_cast<double>(n);
+    mean1 /= static_cast<double>(n);
+    for (int64_t i = 0; i < n; ++i) {
+      y(i, 0) = static_cast<float>(y(i, 0) - mean0);
+      y(i, 1) = static_cast<float>(y(i, 1) - mean1);
+    }
+  }
+  return y;
+}
+
+}  // namespace awmoe

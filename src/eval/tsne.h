@@ -1,0 +1,35 @@
+#ifndef AWMOE_EVAL_TSNE_H_
+#define AWMOE_EVAL_TSNE_H_
+
+#include <cstdint>
+
+#include "mat/matrix.h"
+#include "util/rng.h"
+
+namespace awmoe {
+
+/// Exact (O(n^2)) t-SNE, sufficient for the few thousand gate vectors of
+/// Fig. 7. Follows van der Maaten & Hinton 2008: perplexity-calibrated
+/// Gaussian affinities, symmetrised, embedded by gradient descent with
+/// momentum and early exaggeration.
+struct TsneOptions {
+  double perplexity = 30.0;
+  int64_t iterations = 400;
+  double learning_rate = 100.0;
+  /// Per-step displacement clamp; keeps the layout finite under early
+  /// exaggeration without changing converged structure.
+  double max_step = 5.0;
+  double early_exaggeration = 12.0;
+  int64_t exaggeration_iters = 80;
+  double initial_momentum = 0.5;
+  double final_momentum = 0.8;
+  int64_t momentum_switch_iter = 100;
+  uint64_t seed = 42;
+};
+
+/// Embeds `points` [n, d] into 2-D; returns [n, 2].
+Matrix TsneEmbed(const Matrix& points, const TsneOptions& options = {});
+
+}  // namespace awmoe
+
+#endif  // AWMOE_EVAL_TSNE_H_

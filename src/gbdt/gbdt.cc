@@ -1,0 +1,194 @@
+#include "gbdt/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace awmoe {
+
+namespace {
+
+double SigmoidD(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+/// Structure score of a node: G^2 / (H + lambda).
+double StructureScore(double g, double h, double reg_lambda) {
+  return g * g / (h + reg_lambda);
+}
+
+}  // namespace
+
+GbdtClassifier::GbdtClassifier(const GbdtConfig& config) : config_(config) {
+  AWMOE_CHECK(config.num_trees > 0);
+  AWMOE_CHECK(config.max_depth >= 1);
+  AWMOE_CHECK(config.learning_rate > 0.0);
+}
+
+int GbdtClassifier::BuildNode(Tree* tree, const Matrix& features,
+                              const std::vector<double>& grad,
+                              const std::vector<double>& hess,
+                              std::vector<int64_t>& indices, int depth) {
+  double g_total = 0.0, h_total = 0.0;
+  for (int64_t idx : indices) {
+    g_total += grad[static_cast<size_t>(idx)];
+    h_total += hess[static_cast<size_t>(idx)];
+  }
+
+  const int node_index = static_cast<int>(tree->nodes.size());
+  tree->nodes.emplace_back();
+  // Leaf weight: Newton step -G/(H + lambda).
+  tree->nodes[node_index].value =
+      -g_total / (h_total + config_.reg_lambda);
+
+  if (depth >= config_.max_depth || indices.size() < 2) return node_index;
+
+  // Exact greedy split search over all features.
+  const double parent_score =
+      StructureScore(g_total, h_total, config_.reg_lambda);
+  double best_gain = config_.min_split_gain;
+  int best_feature = -1;
+  float best_threshold = 0.0f;
+
+  std::vector<int64_t> sorted = indices;
+  for (int64_t f = 0; f < num_features_; ++f) {
+    std::sort(sorted.begin(), sorted.end(), [&](int64_t a, int64_t b) {
+      return features(a, f) < features(b, f);
+    });
+    double g_left = 0.0, h_left = 0.0;
+    for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+      const int64_t idx = sorted[i];
+      g_left += grad[static_cast<size_t>(idx)];
+      h_left += hess[static_cast<size_t>(idx)];
+      const float value = features(idx, f);
+      const float next_value = features(sorted[i + 1], f);
+      if (value == next_value) continue;  // No separating threshold here.
+      const double h_right = h_total - h_left;
+      if (h_left < config_.min_child_weight ||
+          h_right < config_.min_child_weight) {
+        continue;
+      }
+      const double g_right = g_total - g_left;
+      const double gain =
+          0.5 * (StructureScore(g_left, h_left, config_.reg_lambda) +
+                 StructureScore(g_right, h_right, config_.reg_lambda) -
+                 parent_score);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = (value + next_value) / 2.0f;
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_index;
+
+  std::vector<int64_t> left, right;
+  for (int64_t idx : indices) {
+    if (features(idx, best_feature) < best_threshold) {
+      left.push_back(idx);
+    } else {
+      right.push_back(idx);
+    }
+  }
+  if (left.empty() || right.empty()) return node_index;
+
+  tree->nodes[node_index].feature = best_feature;
+  tree->nodes[node_index].threshold = best_threshold;
+  tree->nodes[node_index].gain = best_gain;
+  gain_importance_[static_cast<size_t>(best_feature)] += best_gain;
+
+  const int left_child = BuildNode(tree, features, grad, hess, left,
+                                   depth + 1);
+  const int right_child = BuildNode(tree, features, grad, hess, right,
+                                    depth + 1);
+  tree->nodes[node_index].left = left_child;
+  tree->nodes[node_index].right = right_child;
+  return node_index;
+}
+
+Status GbdtClassifier::Fit(const Matrix& features,
+                           const std::vector<float>& labels) {
+  const int64_t n = features.rows();
+  if (static_cast<int64_t>(labels.size()) != n) {
+    return Status::InvalidArgument("labels/features size mismatch");
+  }
+  if (n < 4) return Status::InvalidArgument("need at least 4 rows");
+  double pos = 0.0;
+  for (float y : labels) pos += (y > 0.5f) ? 1.0 : 0.0;
+  if (pos == 0.0 || pos == static_cast<double>(n)) {
+    return Status::InvalidArgument("labels contain a single class");
+  }
+
+  num_features_ = features.cols();
+  trees_.clear();
+  gain_importance_.assign(static_cast<size_t>(num_features_), 0.0);
+  const double prior = pos / static_cast<double>(n);
+  base_margin_ = std::log(prior / (1.0 - prior));
+
+  std::vector<double> margin(static_cast<size_t>(n), base_margin_);
+  std::vector<double> grad(static_cast<size_t>(n));
+  std::vector<double> hess(static_cast<size_t>(n));
+
+  for (int64_t t = 0; t < config_.num_trees; ++t) {
+    for (int64_t i = 0; i < n; ++i) {
+      double p = SigmoidD(margin[static_cast<size_t>(i)]);
+      grad[static_cast<size_t>(i)] =
+          p - static_cast<double>(labels[static_cast<size_t>(i)]);
+      hess[static_cast<size_t>(i)] = std::max(p * (1.0 - p), 1e-12);
+    }
+    Tree tree;
+    std::vector<int64_t> all(static_cast<size_t>(n));
+    std::iota(all.begin(), all.end(), int64_t{0});
+    BuildNode(&tree, features, grad, hess, all, /*depth=*/0);
+    for (int64_t i = 0; i < n; ++i) {
+      margin[static_cast<size_t>(i)] +=
+          config_.learning_rate * PredictTree(tree, features.row(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+double GbdtClassifier::PredictTree(const Tree& tree, const float* row) const {
+  int node = 0;
+  while (tree.nodes[static_cast<size_t>(node)].feature >= 0) {
+    const Node& n = tree.nodes[static_cast<size_t>(node)];
+    node = row[n.feature] < n.threshold ? n.left : n.right;
+  }
+  return tree.nodes[static_cast<size_t>(node)].value;
+}
+
+std::vector<double> GbdtClassifier::PredictMargin(
+    const Matrix& features) const {
+  AWMOE_CHECK(features.cols() == num_features_)
+      << "feature width " << features.cols() << " vs " << num_features_;
+  std::vector<double> out(static_cast<size_t>(features.rows()),
+                          base_margin_);
+  for (int64_t i = 0; i < features.rows(); ++i) {
+    const float* row = features.row(i);
+    for (const Tree& tree : trees_) {
+      out[static_cast<size_t>(i)] +=
+          config_.learning_rate * PredictTree(tree, row);
+    }
+  }
+  return out;
+}
+
+std::vector<double> GbdtClassifier::PredictProba(
+    const Matrix& features) const {
+  std::vector<double> margins = PredictMargin(features);
+  for (double& m : margins) m = SigmoidD(m);
+  return margins;
+}
+
+std::vector<double> GbdtClassifier::FeatureImportanceGain() const {
+  std::vector<double> normalised = gain_importance_;
+  double total = std::accumulate(normalised.begin(), normalised.end(), 0.0);
+  if (total > 0.0) {
+    for (double& v : normalised) v /= total;
+  }
+  return normalised;
+}
+
+}  // namespace awmoe

@@ -1,0 +1,482 @@
+#include "mat/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace awmoe {
+
+namespace {
+
+void CheckSameShape(const Matrix& a, const Matrix& b, const char* op) {
+  AWMOE_CHECK(a.SameShape(b)) << op << ": shape mismatch " << a.ShapeString()
+                              << " vs " << b.ShapeString();
+}
+
+template <typename Fn>
+Matrix ElementwiseUnary(const Matrix& a, Fn fn) {
+  Matrix out(a.rows(), a.cols());
+  const float* src = a.data();
+  float* dst = out.data();
+  int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) dst[i] = fn(src[i]);
+  return out;
+}
+
+}  // namespace
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  AWMOE_CHECK(a.cols() == b.rows())
+      << "MatMul: " << a.ShapeString() << " * " << b.ShapeString();
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix c(m, n);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (int64_t p = 0; p < k; ++p) {
+      const float aip = arow[p];
+      if (aip == 0.0f) continue;
+      const float* brow = b.row(p);
+      for (int64_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  AWMOE_CHECK(a.rows() == b.rows())
+      << "MatMulTransA: " << a.ShapeString() << "^T * " << b.ShapeString();
+  const int64_t k = a.rows(), m = a.cols(), n = b.cols();
+  Matrix c(m, n);
+  for (int64_t p = 0; p < k; ++p) {
+    const float* arow = a.row(p);
+    const float* brow = b.row(p);
+    for (int64_t i = 0; i < m; ++i) {
+      const float api = arow[i];
+      if (api == 0.0f) continue;
+      float* crow = c.row(i);
+      for (int64_t j = 0; j < n; ++j) crow[j] += api * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  AWMOE_CHECK(a.cols() == b.cols())
+      << "MatMulTransB: " << a.ShapeString() << " * " << b.ShapeString()
+      << "^T";
+  const int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  Matrix c(m, n);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b.row(j);
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix out(a.cols(), a.rows());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* arow = a.row(r);
+    for (int64_t c = 0; c < a.cols(); ++c) out(c, r) = arow[c];
+  }
+  return out;
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b, "Add");
+  Matrix out(a.rows(), a.cols());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < a.size(); ++i) po[i] = pa[i] + pb[i];
+  return out;
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b, "Sub");
+  Matrix out(a.rows(), a.cols());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < a.size(); ++i) po[i] = pa[i] - pb[i];
+  return out;
+}
+
+Matrix Mul(const Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b, "Mul");
+  Matrix out(a.rows(), a.cols());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < a.size(); ++i) po[i] = pa[i] * pb[i];
+  return out;
+}
+
+Matrix Div(const Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b, "Div");
+  Matrix out(a.rows(), a.cols());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < a.size(); ++i) po[i] = pa[i] / pb[i];
+  return out;
+}
+
+void AddInPlace(Matrix* a, const Matrix& b) {
+  CheckSameShape(*a, b, "AddInPlace");
+  float* pa = a->data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a->size(); ++i) pa[i] += pb[i];
+}
+
+void AxpyInPlace(Matrix* a, float alpha, const Matrix& b) {
+  CheckSameShape(*a, b, "AxpyInPlace");
+  float* pa = a->data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a->size(); ++i) pa[i] += alpha * pb[i];
+}
+
+void ScaleInPlace(Matrix* a, float s) {
+  float* pa = a->data();
+  for (int64_t i = 0; i < a->size(); ++i) pa[i] *= s;
+}
+
+Matrix AddScalar(const Matrix& a, float s) {
+  return ElementwiseUnary(a, [s](float x) { return x + s; });
+}
+
+Matrix MulScalar(const Matrix& a, float s) {
+  return ElementwiseUnary(a, [s](float x) { return x * s; });
+}
+
+Matrix Relu(const Matrix& a) {
+  return ElementwiseUnary(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Matrix ReluBackward(const Matrix& grad, const Matrix& input) {
+  CheckSameShape(grad, input, "ReluBackward");
+  Matrix out(grad.rows(), grad.cols());
+  const float* pg = grad.data();
+  const float* pi = input.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < grad.size(); ++i) {
+    po[i] = pi[i] > 0.0f ? pg[i] : 0.0f;
+  }
+  return out;
+}
+
+Matrix Sigmoid(const Matrix& a) {
+  return ElementwiseUnary(a, [](float x) {
+    // Split by sign for numerical stability.
+    if (x >= 0.0f) {
+      float z = std::exp(-x);
+      return 1.0f / (1.0f + z);
+    }
+    float z = std::exp(x);
+    return z / (1.0f + z);
+  });
+}
+
+Matrix Tanh(const Matrix& a) {
+  return ElementwiseUnary(a, [](float x) { return std::tanh(x); });
+}
+
+Matrix Exp(const Matrix& a) {
+  return ElementwiseUnary(a, [](float x) { return std::exp(x); });
+}
+
+Matrix Log(const Matrix& a, float floor) {
+  return ElementwiseUnary(
+      a, [floor](float x) { return std::log(std::max(x, floor)); });
+}
+
+Matrix Square(const Matrix& a) {
+  return ElementwiseUnary(a, [](float x) { return x * x; });
+}
+
+Matrix Sqrt(const Matrix& a) {
+  return ElementwiseUnary(a, [](float x) { return std::sqrt(x); });
+}
+
+Matrix Neg(const Matrix& a) {
+  return ElementwiseUnary(a, [](float x) { return -x; });
+}
+
+Matrix Clip(const Matrix& a, float lo, float hi) {
+  AWMOE_CHECK(lo <= hi) << "Clip: lo=" << lo << " hi=" << hi;
+  return ElementwiseUnary(
+      a, [lo, hi](float x) { return std::min(std::max(x, lo), hi); });
+}
+
+Matrix AddRowBroadcast(const Matrix& a, const Matrix& b) {
+  AWMOE_CHECK(b.rows() == 1 && b.cols() == a.cols())
+      << "AddRowBroadcast: " << a.ShapeString() << " + " << b.ShapeString();
+  Matrix out(a.rows(), a.cols());
+  const float* pb = b.data();
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* arow = a.row(r);
+    float* orow = out.row(r);
+    for (int64_t c = 0; c < a.cols(); ++c) orow[c] = arow[c] + pb[c];
+  }
+  return out;
+}
+
+Matrix MulColBroadcast(const Matrix& a, const Matrix& w) {
+  AWMOE_CHECK(w.cols() == 1 && w.rows() == a.rows())
+      << "MulColBroadcast: " << a.ShapeString() << " * " << w.ShapeString();
+  Matrix out(a.rows(), a.cols());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float wr = w(r, 0);
+    const float* arow = a.row(r);
+    float* orow = out.row(r);
+    for (int64_t c = 0; c < a.cols(); ++c) orow[c] = arow[c] * wr;
+  }
+  return out;
+}
+
+Matrix MulRowBroadcast(const Matrix& a, const Matrix& r) {
+  AWMOE_CHECK(r.rows() == 1 && r.cols() == a.cols())
+      << "MulRowBroadcast: " << a.ShapeString() << " * " << r.ShapeString();
+  Matrix out(a.rows(), a.cols());
+  const float* pr = r.data();
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row(i);
+    float* orow = out.row(i);
+    for (int64_t c = 0; c < a.cols(); ++c) orow[c] = arow[c] * pr[c];
+  }
+  return out;
+}
+
+Matrix BroadcastCol(const Matrix& col, int64_t cols) {
+  AWMOE_CHECK(col.cols() == 1)
+      << "BroadcastCol: expected column vector, got " << col.ShapeString();
+  Matrix out(col.rows(), cols);
+  for (int64_t r = 0; r < col.rows(); ++r) {
+    float v = col(r, 0);
+    float* orow = out.row(r);
+    for (int64_t c = 0; c < cols; ++c) orow[c] = v;
+  }
+  return out;
+}
+
+Matrix ColSum(const Matrix& a) {
+  Matrix out(1, a.cols());
+  float* po = out.data();
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* arow = a.row(r);
+    for (int64_t c = 0; c < a.cols(); ++c) po[c] += arow[c];
+  }
+  return out;
+}
+
+Matrix RowSum(const Matrix& a) {
+  Matrix out(a.rows(), 1);
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* arow = a.row(r);
+    float acc = 0.0f;
+    for (int64_t c = 0; c < a.cols(); ++c) acc += arow[c];
+    out(r, 0) = acc;
+  }
+  return out;
+}
+
+Matrix RowMean(const Matrix& a) {
+  AWMOE_CHECK(a.cols() > 0);
+  Matrix out = RowSum(a);
+  ScaleInPlace(&out, 1.0f / static_cast<float>(a.cols()));
+  return out;
+}
+
+double SumAll(const Matrix& a) {
+  double acc = 0.0;
+  const float* p = a.data();
+  for (int64_t i = 0; i < a.size(); ++i) acc += p[i];
+  return acc;
+}
+
+double MeanAll(const Matrix& a) {
+  AWMOE_CHECK(a.size() > 0);
+  return SumAll(a) / static_cast<double>(a.size());
+}
+
+float MaxAll(const Matrix& a) {
+  AWMOE_CHECK(a.size() > 0);
+  const float* p = a.data();
+  float best = p[0];
+  for (int64_t i = 1; i < a.size(); ++i) best = std::max(best, p[i]);
+  return best;
+}
+
+float MinAll(const Matrix& a) {
+  AWMOE_CHECK(a.size() > 0);
+  const float* p = a.data();
+  float best = p[0];
+  for (int64_t i = 1; i < a.size(); ++i) best = std::min(best, p[i]);
+  return best;
+}
+
+double Norm(const Matrix& a) {
+  double acc = 0.0;
+  const float* p = a.data();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(p[i]) * static_cast<double>(p[i]);
+  }
+  return std::sqrt(acc);
+}
+
+Matrix DotRows(const Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b, "DotRows");
+  Matrix out(a.rows(), 1);
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* arow = a.row(r);
+    const float* brow = b.row(r);
+    float acc = 0.0f;
+    for (int64_t c = 0; c < a.cols(); ++c) acc += arow[c] * brow[c];
+    out(r, 0) = acc;
+  }
+  return out;
+}
+
+Matrix SoftmaxRows(const Matrix& a) {
+  AWMOE_CHECK(a.cols() > 0);
+  Matrix out(a.rows(), a.cols());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* arow = a.row(r);
+    float* orow = out.row(r);
+    float max_val = arow[0];
+    for (int64_t c = 1; c < a.cols(); ++c) max_val = std::max(max_val, arow[c]);
+    float denom = 0.0f;
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      orow[c] = std::exp(arow[c] - max_val);
+      denom += orow[c];
+    }
+    for (int64_t c = 0; c < a.cols(); ++c) orow[c] /= denom;
+  }
+  return out;
+}
+
+Matrix LogSumExpRows(const Matrix& a) {
+  AWMOE_CHECK(a.cols() > 0);
+  Matrix out(a.rows(), 1);
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* arow = a.row(r);
+    float max_val = arow[0];
+    for (int64_t c = 1; c < a.cols(); ++c) max_val = std::max(max_val, arow[c]);
+    float acc = 0.0f;
+    for (int64_t c = 0; c < a.cols(); ++c) acc += std::exp(arow[c] - max_val);
+    out(r, 0) = max_val + std::log(acc);
+  }
+  return out;
+}
+
+Matrix GatherRows(const Matrix& a, const std::vector<int64_t>& indices) {
+  Matrix out(static_cast<int64_t>(indices.size()), a.cols());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    int64_t idx = indices[i];
+    AWMOE_CHECK(idx >= 0 && idx < a.rows())
+        << "GatherRows: index " << idx << " out of " << a.rows();
+    const float* src = a.row(idx);
+    float* dst = out.row(static_cast<int64_t>(i));
+    std::copy(src, src + a.cols(), dst);
+  }
+  return out;
+}
+
+void ScatterAddRows(Matrix* target, const std::vector<int64_t>& indices,
+                    const Matrix& rows) {
+  AWMOE_CHECK(static_cast<int64_t>(indices.size()) == rows.rows())
+      << "ScatterAddRows: " << indices.size() << " indices vs "
+      << rows.rows() << " rows";
+  AWMOE_CHECK(target->cols() == rows.cols())
+      << "ScatterAddRows: col mismatch " << target->ShapeString() << " vs "
+      << rows.ShapeString();
+  for (size_t i = 0; i < indices.size(); ++i) {
+    int64_t idx = indices[i];
+    AWMOE_CHECK(idx >= 0 && idx < target->rows())
+        << "ScatterAddRows: index " << idx << " out of " << target->rows();
+    float* dst = target->row(idx);
+    const float* src = rows.row(static_cast<int64_t>(i));
+    for (int64_t c = 0; c < rows.cols(); ++c) dst[c] += src[c];
+  }
+}
+
+Matrix ConcatCols(const std::vector<const Matrix*>& parts) {
+  AWMOE_CHECK(!parts.empty()) << "ConcatCols: no parts";
+  int64_t rows = parts[0]->rows();
+  int64_t total_cols = 0;
+  for (const Matrix* part : parts) {
+    AWMOE_CHECK(part->rows() == rows)
+        << "ConcatCols: row mismatch " << part->rows() << " vs " << rows;
+    total_cols += part->cols();
+  }
+  Matrix out(rows, total_cols);
+  int64_t offset = 0;
+  for (const Matrix* part : parts) {
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* src = part->row(r);
+      float* dst = out.row(r) + offset;
+      std::copy(src, src + part->cols(), dst);
+    }
+    offset += part->cols();
+  }
+  return out;
+}
+
+Matrix SliceCols(const Matrix& a, int64_t begin, int64_t end) {
+  AWMOE_CHECK(0 <= begin && begin <= end && end <= a.cols())
+      << "SliceCols: [" << begin << "," << end << ") of " << a.cols();
+  Matrix out(a.rows(), end - begin);
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* src = a.row(r) + begin;
+    std::copy(src, src + (end - begin), out.row(r));
+  }
+  return out;
+}
+
+Matrix SliceRows(const Matrix& a, int64_t begin, int64_t end) {
+  AWMOE_CHECK(0 <= begin && begin <= end && end <= a.rows())
+      << "SliceRows: [" << begin << "," << end << ") of " << a.rows();
+  Matrix out(end - begin, a.cols());
+  for (int64_t r = begin; r < end; ++r) {
+    const float* src = a.row(r);
+    std::copy(src, src + a.cols(), out.row(r - begin));
+  }
+  return out;
+}
+
+Matrix TopKMaskRows(const Matrix& a, int64_t k) {
+  AWMOE_CHECK(k >= 1 && k <= a.cols())
+      << "TopKMaskRows: k=" << k << " cols=" << a.cols();
+  Matrix out(a.rows(), a.cols());
+  std::vector<int64_t> order(static_cast<size_t>(a.cols()));
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* arow = a.row(r);
+    for (int64_t c = 0; c < a.cols(); ++c) order[c] = c;
+    std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                      [arow](int64_t x, int64_t y) {
+                        if (arow[x] != arow[y]) return arow[x] > arow[y];
+                        return x < y;
+                      });
+    float* orow = out.row(r);
+    for (int64_t i = 0; i < k; ++i) orow[order[i]] = 1.0f;
+  }
+  return out;
+}
+
+bool AllClose(const Matrix& a, const Matrix& b, float tol) {
+  if (!a.SameShape(b)) return false;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    if (std::abs(pa[i] - pb[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace awmoe

@@ -1,0 +1,143 @@
+#ifndef AWMOE_MAT_KERNELS_H_
+#define AWMOE_MAT_KERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mat/matrix.h"
+
+namespace awmoe {
+
+// Dense kernels over Matrix. All functions shape-check their inputs with
+// AWMOE_CHECK (shape bugs are programmer errors, not recoverable states).
+// Kernels return results by value; gradient-accumulation variants mutate in
+// place and end in `InPlace`.
+
+// ---------------------------------------------------------------------------
+// GEMM family.
+// ---------------------------------------------------------------------------
+
+/// C = A[m,k] * B[k,n].
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B where A is [k,m], B is [k,n]; result [m,n]. Avoids forming
+/// the transpose (used for weight gradients dW = X^T dY).
+Matrix MatMulTransA(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T where A is [m,k], B is [n,k]; result [m,n]. Avoids forming
+/// the transpose (used for input gradients dX = dY W^T).
+Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+
+/// A^T.
+Matrix Transpose(const Matrix& a);
+
+// ---------------------------------------------------------------------------
+// Elementwise.
+// ---------------------------------------------------------------------------
+
+Matrix Add(const Matrix& a, const Matrix& b);
+Matrix Sub(const Matrix& a, const Matrix& b);
+Matrix Mul(const Matrix& a, const Matrix& b);
+Matrix Div(const Matrix& a, const Matrix& b);
+
+/// a += b.
+void AddInPlace(Matrix* a, const Matrix& b);
+/// a += alpha * b.
+void AxpyInPlace(Matrix* a, float alpha, const Matrix& b);
+/// a *= s.
+void ScaleInPlace(Matrix* a, float s);
+
+Matrix AddScalar(const Matrix& a, float s);
+Matrix MulScalar(const Matrix& a, float s);
+
+Matrix Relu(const Matrix& a);
+/// Gradient of ReLU: grad where input > 0, else 0.
+Matrix ReluBackward(const Matrix& grad, const Matrix& input);
+
+/// Numerically stable logistic sigmoid.
+Matrix Sigmoid(const Matrix& a);
+Matrix Tanh(const Matrix& a);
+Matrix Exp(const Matrix& a);
+/// Natural log with inputs clamped to >= `floor` for stability.
+Matrix Log(const Matrix& a, float floor = 1e-12f);
+Matrix Square(const Matrix& a);
+Matrix Sqrt(const Matrix& a);
+Matrix Neg(const Matrix& a);
+/// Elementwise clamp to [lo, hi].
+Matrix Clip(const Matrix& a, float lo, float hi);
+
+// ---------------------------------------------------------------------------
+// Broadcasting.
+// ---------------------------------------------------------------------------
+
+/// A[m,n] + b[1,n] broadcast over rows (bias add).
+Matrix AddRowBroadcast(const Matrix& a, const Matrix& b);
+
+/// A[m,n] * w[m,1]: scales row i of A by w(i,0).
+Matrix MulColBroadcast(const Matrix& a, const Matrix& w);
+
+/// A[m,n] * r[1,n]: scales column j of A by r(0,j).
+Matrix MulRowBroadcast(const Matrix& a, const Matrix& r);
+
+/// Tiles column vector col[m,1] across `cols` columns: result [m, cols].
+Matrix BroadcastCol(const Matrix& col, int64_t cols);
+
+// ---------------------------------------------------------------------------
+// Reductions.
+// ---------------------------------------------------------------------------
+
+/// Column sums: [1,n].
+Matrix ColSum(const Matrix& a);
+/// Row sums: [m,1].
+Matrix RowSum(const Matrix& a);
+/// Row means: [m,1].
+Matrix RowMean(const Matrix& a);
+double SumAll(const Matrix& a);
+double MeanAll(const Matrix& a);
+float MaxAll(const Matrix& a);
+float MinAll(const Matrix& a);
+/// Frobenius norm.
+double Norm(const Matrix& a);
+
+/// Rowwise dot product of equally shaped A, B: [m,1].
+Matrix DotRows(const Matrix& a, const Matrix& b);
+
+/// Row-wise softmax.
+Matrix SoftmaxRows(const Matrix& a);
+
+/// Row-wise log-sum-exp: [m,1], numerically stable.
+Matrix LogSumExpRows(const Matrix& a);
+
+// ---------------------------------------------------------------------------
+// Indexing / layout.
+// ---------------------------------------------------------------------------
+
+/// Stacks rows `a.row(idx[i])` into a new [idx.size, n] matrix. Indices may
+/// repeat; each must be in [0, a.rows()).
+Matrix GatherRows(const Matrix& a, const std::vector<int64_t>& indices);
+
+/// target->row(indices[i]) += rows.row(i) for all i (duplicate indices
+/// accumulate). Used for embedding gradients.
+void ScatterAddRows(Matrix* target, const std::vector<int64_t>& indices,
+                    const Matrix& rows);
+
+/// Horizontal concatenation; all parts must have equal row counts.
+Matrix ConcatCols(const std::vector<const Matrix*>& parts);
+
+/// Columns [begin, end) of A.
+Matrix SliceCols(const Matrix& a, int64_t begin, int64_t end);
+
+/// Rows [begin, end) of A.
+Matrix SliceRows(const Matrix& a, int64_t begin, int64_t end);
+
+/// Per row, 1.0 at the k largest entries and 0.0 elsewhere (ties broken by
+/// lower column index). k must be in [1, cols].
+Matrix TopKMaskRows(const Matrix& a, int64_t k);
+
+/// True if all elements of a and b are within `tol` of each other
+/// (and shapes match).
+bool AllClose(const Matrix& a, const Matrix& b, float tol);
+
+}  // namespace awmoe
+
+#endif  // AWMOE_MAT_KERNELS_H_

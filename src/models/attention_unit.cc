@@ -1,0 +1,32 @@
+#include "models/attention_unit.h"
+
+#include "autograd/ops.h"
+
+namespace awmoe {
+
+namespace {
+std::vector<int64_t> WithScalarOutput(std::vector<int64_t> dims) {
+  dims.push_back(1);
+  return dims;
+}
+}  // namespace
+
+AttentionUnit::AttentionUnit(int64_t hidden_dim,
+                             std::vector<int64_t> mlp_dims, Rng* rng)
+    : hidden_dim_(hidden_dim),
+      mlp_(3 * hidden_dim, WithScalarOutput(std::move(mlp_dims)), rng) {}
+
+Var AttentionUnit::Forward(const Var& h_user, const Var& h_ref) const {
+  AWMOE_CHECK(h_user.cols() == hidden_dim_ && h_ref.cols() == hidden_dim_)
+      << "AttentionUnit: dims " << h_user.cols() << "/" << h_ref.cols()
+      << " vs " << hidden_dim_;
+  Var interaction = ag::Mul(h_user, h_ref);
+  Var joined = ag::ConcatCols({h_user, h_ref, interaction});
+  return mlp_.Forward(joined);
+}
+
+void AttentionUnit::CollectParameters(std::vector<Var>* params) const {
+  mlp_.CollectParameters(params);
+}
+
+}  // namespace awmoe

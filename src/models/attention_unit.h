@@ -1,0 +1,37 @@
+#ifndef AWMOE_MODELS_ATTENTION_UNIT_H_
+#define AWMOE_MODELS_ATTENTION_UNIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/mlp.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace awmoe {
+
+/// The activation unit of Fig. 4a: scores how much one behaviour item
+/// matters given a reference (target item in the input network, query in
+/// the gate network). Input is concat(h_user, h_ref, h_user * h_ref) — the
+/// "product" path in the figure — through an MLP ending in a single linear
+/// unit. Scores are unnormalised (DIN-style), so callers mask padded
+/// positions instead of softmaxing.
+class AttentionUnit : public Module {
+ public:
+  /// `hidden_dim` is the width of both inputs; `mlp_dims` are the hidden
+  /// layers (the paper uses 32x16), with a final scalar appended.
+  AttentionUnit(int64_t hidden_dim, std::vector<int64_t> mlp_dims, Rng* rng);
+
+  /// h_user, h_ref: [B, hidden_dim] -> attention scores [B, 1].
+  Var Forward(const Var& h_user, const Var& h_ref) const;
+
+  void CollectParameters(std::vector<Var>* params) const override;
+
+ private:
+  int64_t hidden_dim_;
+  Mlp mlp_;
+};
+
+}  // namespace awmoe
+
+#endif  // AWMOE_MODELS_ATTENTION_UNIT_H_

@@ -1,0 +1,45 @@
+#include "models/category_moe.h"
+
+#include "autograd/ops.h"
+
+namespace awmoe {
+
+namespace {
+std::vector<int64_t> WithOutput(std::vector<int64_t> dims, int64_t out) {
+  dims.push_back(out);
+  return dims;
+}
+}  // namespace
+
+CategoryMoeRanker::CategoryMoeRanker(const DatasetMeta& meta,
+                                     const ModelDims& dims, Rng* rng)
+    : meta_(meta),
+      embeddings_(meta, dims.emb_dim, rng),
+      input_network_(meta, dims, &embeddings_, UserPooling::kAttention, rng),
+      experts_(input_network_.output_dim(), dims, rng),
+      gate_mlp_(dims.emb_dim,
+                WithOutput(dims.gate_unit, dims.num_experts), rng) {}
+
+Var CategoryMoeRanker::GateRepresentation(const Batch& batch) {
+  // Query category in search mode; target category when there is no query.
+  const std::vector<int64_t>& cats =
+      meta_.recommendation_mode ? batch.target_cats : batch.query_cats;
+  return ag::SoftmaxRows(gate_mlp_.Forward(embeddings_.Category(cats)));
+}
+
+Var CategoryMoeRanker::ForwardLogits(const Batch& batch) {
+  Var scores = experts_.ForwardAll(input_network_.Forward(batch));
+  Var gate = GateRepresentation(batch);
+  return ag::DotRows(scores, gate);
+}
+
+std::vector<Var> CategoryMoeRanker::Parameters() const {
+  std::vector<Var> params;
+  embeddings_.CollectParameters(&params);
+  input_network_.CollectParameters(&params);
+  experts_.CollectParameters(&params);
+  gate_mlp_.CollectParameters(&params);
+  return params;
+}
+
+}  // namespace awmoe

@@ -1,0 +1,44 @@
+#ifndef AWMOE_MODELS_CATEGORY_MOE_H_
+#define AWMOE_MODELS_CATEGORY_MOE_H_
+
+#include <string>
+#include <vector>
+
+#include "models/embedding_set.h"
+#include "models/expert.h"
+#include "models/input_network.h"
+#include "models/model_dims.h"
+#include "models/ranker.h"
+#include "nn/mlp.h"
+#include "util/rng.h"
+
+namespace awmoe {
+
+/// Baseline "Category-MoE" [34]: MoE over the same expert bank as AW-MoE,
+/// but the gate is a vanilla FFN fed with the *query category* embedding
+/// (the target category in recommendation mode). The gate output is
+/// softmax-normalised, the convention of [34]; this is the model AW-MoE
+/// replaced in production (§IV-E1).
+class CategoryMoeRanker : public Ranker {
+ public:
+  CategoryMoeRanker(const DatasetMeta& meta, const ModelDims& dims,
+                    Rng* rng);
+
+  Var ForwardLogits(const Batch& batch) override;
+  std::vector<Var> Parameters() const override;
+  std::string name() const override { return "Category-MoE"; }
+
+  /// The softmax gate activations [B, K]; exposed for tests.
+  Var GateRepresentation(const Batch& batch) override;
+
+ private:
+  DatasetMeta meta_;
+  EmbeddingSet embeddings_;
+  InputNetwork input_network_;
+  ExpertBank experts_;
+  Mlp gate_mlp_;
+};
+
+}  // namespace awmoe
+
+#endif  // AWMOE_MODELS_CATEGORY_MOE_H_

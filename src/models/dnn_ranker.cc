@@ -1,0 +1,41 @@
+#include "models/dnn_ranker.h"
+
+namespace awmoe {
+
+DnnRanker::DnnRanker(const DatasetMeta& meta, const ModelDims& dims,
+                     Rng* rng)
+    : embeddings_(meta, dims.emb_dim, rng),
+      input_network_(meta, dims, &embeddings_, UserPooling::kSumPool, rng),
+      ffn_(input_network_.output_dim(), dims, rng) {}
+
+Var DnnRanker::ForwardLogits(const Batch& batch) {
+  return ffn_.Forward(input_network_.Forward(batch));
+}
+
+std::vector<Var> DnnRanker::Parameters() const {
+  std::vector<Var> params;
+  embeddings_.CollectParameters(&params);
+  input_network_.CollectParameters(&params);
+  ffn_.CollectParameters(&params);
+  return params;
+}
+
+DinRanker::DinRanker(const DatasetMeta& meta, const ModelDims& dims,
+                     Rng* rng)
+    : embeddings_(meta, dims.emb_dim, rng),
+      input_network_(meta, dims, &embeddings_, UserPooling::kAttention, rng),
+      ffn_(input_network_.output_dim(), dims, rng) {}
+
+Var DinRanker::ForwardLogits(const Batch& batch) {
+  return ffn_.Forward(input_network_.Forward(batch));
+}
+
+std::vector<Var> DinRanker::Parameters() const {
+  std::vector<Var> params;
+  embeddings_.CollectParameters(&params);
+  input_network_.CollectParameters(&params);
+  ffn_.CollectParameters(&params);
+  return params;
+}
+
+}  // namespace awmoe

@@ -1,0 +1,51 @@
+#ifndef AWMOE_MODELS_DNN_RANKER_H_
+#define AWMOE_MODELS_DNN_RANKER_H_
+
+#include <string>
+#include <vector>
+
+#include "models/embedding_set.h"
+#include "models/expert.h"
+#include "models/input_network.h"
+#include "models/model_dims.h"
+#include "models/ranker.h"
+#include "util/rng.h"
+
+namespace awmoe {
+
+/// Baseline "DNN" [1] (YouTube DNN style): the user vector is the
+/// sum-pooled behaviour sequence and a single FFN (with the same structure
+/// as one expert network, per §IV-D) produces the ranking score.
+class DnnRanker : public Ranker {
+ public:
+  DnnRanker(const DatasetMeta& meta, const ModelDims& dims, Rng* rng);
+
+  Var ForwardLogits(const Batch& batch) override;
+  std::vector<Var> Parameters() const override;
+  std::string name() const override { return "DNN"; }
+
+ private:
+  EmbeddingSet embeddings_;
+  InputNetwork input_network_;
+  ExpertNetwork ffn_;
+};
+
+/// Baseline "DIN" [2]: identical to DnnRanker but the user vector uses the
+/// activation-unit attention of Eq. 3.
+class DinRanker : public Ranker {
+ public:
+  DinRanker(const DatasetMeta& meta, const ModelDims& dims, Rng* rng);
+
+  Var ForwardLogits(const Batch& batch) override;
+  std::vector<Var> Parameters() const override;
+  std::string name() const override { return "DIN"; }
+
+ private:
+  EmbeddingSet embeddings_;
+  InputNetwork input_network_;
+  ExpertNetwork ffn_;
+};
+
+}  // namespace awmoe
+
+#endif  // AWMOE_MODELS_DNN_RANKER_H_

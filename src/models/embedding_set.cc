@@ -1,0 +1,46 @@
+#include "models/embedding_set.h"
+
+namespace awmoe {
+
+EmbeddingSet::EmbeddingSet(const DatasetMeta& meta, int64_t emb_dim, Rng* rng)
+    : emb_dim_(emb_dim),
+      item_(meta.num_items, emb_dim, rng),
+      cat_(meta.num_cats, emb_dim, rng),
+      brand_(meta.num_brands, emb_dim, rng),
+      shop_(meta.num_shops, emb_dim, rng),
+      query_(std::max<int64_t>(meta.num_queries, 1), emb_dim, rng),
+      age_(meta.num_age_segments + 1, emb_dim, rng) {}
+
+Var EmbeddingSet::ItemTriple(const std::vector<int64_t>& items,
+                             const std::vector<int64_t>& cats,
+                             const std::vector<int64_t>& brands) const {
+  return ag::ConcatCols(
+      {item_.Forward(items), cat_.Forward(cats), brand_.Forward(brands)});
+}
+
+Var EmbeddingSet::Query(const std::vector<int64_t>& query_ids) const {
+  return query_.Forward(query_ids);
+}
+
+Var EmbeddingSet::Shop(const std::vector<int64_t>& shop_ids) const {
+  return shop_.Forward(shop_ids);
+}
+
+Var EmbeddingSet::Age(const std::vector<int64_t>& age_segments) const {
+  return age_.Forward(age_segments);
+}
+
+Var EmbeddingSet::Category(const std::vector<int64_t>& cat_ids) const {
+  return cat_.Forward(cat_ids);
+}
+
+void EmbeddingSet::CollectParameters(std::vector<Var>* params) const {
+  item_.CollectParameters(params);
+  cat_.CollectParameters(params);
+  brand_.CollectParameters(params);
+  shop_.CollectParameters(params);
+  query_.CollectParameters(params);
+  age_.CollectParameters(params);
+}
+
+}  // namespace awmoe

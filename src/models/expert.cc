@@ -1,0 +1,49 @@
+#include "models/expert.h"
+
+#include "autograd/ops.h"
+
+namespace awmoe {
+
+namespace {
+std::vector<int64_t> WithScalarOutput(std::vector<int64_t> dims) {
+  dims.push_back(1);
+  return dims;
+}
+}  // namespace
+
+ExpertNetwork::ExpertNetwork(int64_t input_dim, const ModelDims& dims,
+                             Rng* rng)
+    : mlp_(input_dim, WithScalarOutput(dims.expert), rng) {}
+
+Var ExpertNetwork::Forward(const Var& v_imp) const {
+  return mlp_.Forward(v_imp);
+}
+
+void ExpertNetwork::CollectParameters(std::vector<Var>* params) const {
+  mlp_.CollectParameters(params);
+}
+
+ExpertBank::ExpertBank(int64_t input_dim, const ModelDims& dims, Rng* rng) {
+  AWMOE_CHECK(dims.num_experts >= 1) << "num_experts=" << dims.num_experts;
+  experts_.reserve(static_cast<size_t>(dims.num_experts));
+  for (int64_t k = 0; k < dims.num_experts; ++k) {
+    experts_.emplace_back(input_dim, dims, rng);
+  }
+}
+
+Var ExpertBank::ForwardAll(const Var& v_imp) const {
+  std::vector<Var> scores;
+  scores.reserve(experts_.size());
+  for (const ExpertNetwork& expert : experts_) {
+    scores.push_back(expert.Forward(v_imp));
+  }
+  return ag::ConcatCols(scores);
+}
+
+void ExpertBank::CollectParameters(std::vector<Var>* params) const {
+  for (const ExpertNetwork& expert : experts_) {
+    expert.CollectParameters(params);
+  }
+}
+
+}  // namespace awmoe

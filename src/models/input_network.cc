@@ -1,0 +1,78 @@
+#include "models/input_network.h"
+
+#include "autograd/ops.h"
+#include "mat/kernels.h"
+
+namespace awmoe {
+
+InputNetwork::InputNetwork(const DatasetMeta& meta, const ModelDims& dims,
+                           const EmbeddingSet* embeddings,
+                           UserPooling pooling, Rng* rng)
+    : meta_(meta),
+      dims_(dims),
+      embeddings_(embeddings),
+      pooling_(pooling),
+      item_tower_(embeddings->item_dim() + Example::kItemAttrs,
+                  dims.tower_mlp, rng),
+      query_tower_(embeddings->emb_dim(), dims.tower_mlp, rng),
+      other_tower_(2 * embeddings->emb_dim() + meta.numeric_dim,
+                   dims.tower_mlp, rng),
+      activation_unit_(dims.hidden_dim(), dims.activation_unit, rng) {}
+
+int64_t InputNetwork::output_dim() const {
+  int64_t parts = meta_.recommendation_mode ? 3 : 4;
+  return parts * dims_.hidden_dim();
+}
+
+Var InputNetwork::Forward(const Batch& batch) const {
+  // h_t: target-item tower (Eq. 2). Item representations combine the id
+  // embeddings with the item's dense side-info attributes.
+  Var h_target = item_tower_.Forward(ag::ConcatCols(
+      {embeddings_->ItemTriple(batch.target_items, batch.target_cats,
+                               batch.target_brands),
+       Var(batch.target_attrs)}));
+
+  // v_u: behaviour pooling (Eq. 3), padded positions masked out.
+  Var v_user;
+  for (int64_t j = 0; j < batch.seq_len; ++j) {
+    Var h_bj = item_tower_.Forward(ag::ConcatCols(
+        {embeddings_->ItemTriple(
+             batch.BehaviorColumn(batch.behavior_items, j),
+             batch.BehaviorColumn(batch.behavior_cats, j),
+             batch.BehaviorColumn(batch.behavior_brands, j)),
+         Var(batch.BehaviorAttrsColumn(j))}));
+    Matrix mask_j = batch.MaskColumn(j);
+    Var contribution;
+    if (pooling_ == UserPooling::kAttention) {
+      Var w_j = activation_unit_.Forward(h_bj, h_target);
+      Var masked_w = ag::MulMask(w_j, mask_j);
+      contribution = ag::MulColBroadcast(h_bj, masked_w);
+    } else {
+      contribution = ag::MulMask(
+          h_bj, BroadcastCol(mask_j, h_bj.cols()));
+    }
+    v_user = v_user.defined() ? ag::Add(v_user, contribution) : contribution;
+  }
+
+  // h_o: profile + cross/numeric features.
+  Var h_other = other_tower_.Forward(ag::ConcatCols(
+      {embeddings_->Age(batch.age_segments),
+       embeddings_->Shop(batch.target_shops), Var(batch.numeric)}));
+
+  if (meta_.recommendation_mode) {
+    return ag::ConcatCols({v_user, h_target, h_other});
+  }
+  Var h_query = query_tower_.Forward(embeddings_->Query(batch.query_ids));
+  return ag::ConcatCols({v_user, h_target, h_query, h_other});
+}
+
+void InputNetwork::CollectParameters(std::vector<Var>* params) const {
+  item_tower_.CollectParameters(params);
+  if (!meta_.recommendation_mode) query_tower_.CollectParameters(params);
+  other_tower_.CollectParameters(params);
+  if (pooling_ == UserPooling::kAttention) {
+    activation_unit_.CollectParameters(params);
+  }
+}
+
+}  // namespace awmoe

@@ -1,0 +1,56 @@
+#ifndef AWMOE_MODELS_INPUT_NETWORK_H_
+#define AWMOE_MODELS_INPUT_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/example.h"
+#include "models/attention_unit.h"
+#include "models/embedding_set.h"
+#include "models/model_dims.h"
+#include "nn/mlp.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace awmoe {
+
+/// How the user representation v^I_u is pooled from the behaviour sequence.
+enum class UserPooling {
+  kSumPool,    // YouTube-DNN style (baseline "DNN", [1]).
+  kAttention,  // DIN-style activation-unit weighting (Eq. 3, [2]).
+};
+
+/// The input network of Fig. 3b: embeds every feature type, runs the
+/// per-type tower MLPs (Eq. 2), pools the behaviour sequence into the user
+/// vector (Eq. 3), and concatenates the impression representation (Eq. 4):
+///   v_imp = v_u || h_t || h_q || h_o
+/// In recommendation mode the query tower is dropped (no query exists).
+class InputNetwork : public Module {
+ public:
+  /// `embeddings` is shared with the gate network and not owned.
+  InputNetwork(const DatasetMeta& meta, const ModelDims& dims,
+               const EmbeddingSet* embeddings, UserPooling pooling,
+               Rng* rng);
+
+  /// Impression representation [B, output_dim()].
+  Var Forward(const Batch& batch) const;
+
+  /// Width of the impression vector v_imp.
+  int64_t output_dim() const;
+
+  void CollectParameters(std::vector<Var>* params) const override;
+
+ private:
+  DatasetMeta meta_;
+  ModelDims dims_;
+  const EmbeddingSet* embeddings_;
+  UserPooling pooling_;
+  Mlp item_tower_;   // MLP^I for behaviour items and the target item.
+  Mlp query_tower_;  // MLP^I for the query (unused in recommendation mode).
+  Mlp other_tower_;  // MLP^I for profile + numeric features.
+  AttentionUnit activation_unit_;  // Phi^I (only used with kAttention).
+};
+
+}  // namespace awmoe
+
+#endif  // AWMOE_MODELS_INPUT_NETWORK_H_

@@ -1,0 +1,52 @@
+#ifndef AWMOE_MODELS_RANKER_H_
+#define AWMOE_MODELS_RANKER_H_
+
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "data/example.h"
+
+namespace awmoe {
+
+/// Common interface of every ranking model in the repo. Implementations
+/// return *logits*; apply a sigmoid for the predicted CTR/CVR (Eq. 1 trains
+/// on the fused logits form for stability).
+class Ranker {
+ public:
+  virtual ~Ranker() = default;
+
+  /// Ranking logits [B, 1] for a batch. Builds an autograd graph unless a
+  /// NoGradGuard is active.
+  virtual Var ForwardLogits(const Batch& batch) = 0;
+
+  /// All trainable parameters.
+  virtual std::vector<Var> Parameters() const = 0;
+
+  /// Display name ("DNN", "DIN", "Category-MoE", "AW-MoE", ...).
+  virtual std::string name() const = 0;
+
+  /// The gate network's user representation g (Eq. 6-8) for models that
+  /// have one; undefined Var otherwise. Used by the contrastive loss and
+  /// the Fig. 7 visualisation.
+  virtual Var GateRepresentation(const Batch& batch) {
+    (void)batch;
+    return Var();
+  }
+
+  /// Total scalar parameter count.
+  int64_t NumParameters() const {
+    int64_t total = 0;
+    for (const Var& p : Parameters()) total += p.value().size();
+    return total;
+  }
+
+  /// Clears all parameter gradients.
+  void ZeroGrad() {
+    for (Var& p : Parameters()) p.ZeroGrad();
+  }
+};
+
+}  // namespace awmoe
+
+#endif  // AWMOE_MODELS_RANKER_H_

@@ -1,0 +1,22 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+
+namespace awmoe {
+
+Linear::Linear(int64_t in_dim, int64_t out_dim, Rng* rng)
+    : weight_(HeNormal(in_dim, out_dim, rng), /*requires_grad=*/true),
+      bias_(Matrix(1, out_dim), /*requires_grad=*/true) {}
+
+Var Linear::Forward(const Var& x) const {
+  AWMOE_CHECK(x.cols() == weight_.rows())
+      << "Linear: input dim " << x.cols() << " != " << weight_.rows();
+  return ag::AddBias(ag::MatMul(x, weight_), bias_);
+}
+
+void Linear::CollectParameters(std::vector<Var>* params) const {
+  params->push_back(weight_);
+  params->push_back(bias_);
+}
+
+}  // namespace awmoe

@@ -1,0 +1,32 @@
+#include "nn/mlp.h"
+
+namespace awmoe {
+
+Mlp::Mlp(int64_t input_dim, std::vector<int64_t> layer_dims, Rng* rng,
+         bool relu_output)
+    : input_dim_(input_dim), relu_output_(relu_output) {
+  AWMOE_CHECK(!layer_dims.empty()) << "Mlp needs at least one layer";
+  int64_t in = input_dim;
+  layers_.reserve(layer_dims.size());
+  for (int64_t out : layer_dims) {
+    AWMOE_CHECK(out > 0) << "Mlp layer dim must be positive, got " << out;
+    layers_.emplace_back(in, out, rng);
+    in = out;
+  }
+}
+
+Var Mlp::Forward(const Var& x) const {
+  Var h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(h);
+    bool is_last = (i + 1 == layers_.size());
+    if (!is_last || relu_output_) h = ag::Relu(h);
+  }
+  return h;
+}
+
+void Mlp::CollectParameters(std::vector<Var>* params) const {
+  for (const Linear& layer : layers_) layer.CollectParameters(params);
+}
+
+}  // namespace awmoe

@@ -1,0 +1,43 @@
+#ifndef AWMOE_NN_MODULE_H_
+#define AWMOE_NN_MODULE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace awmoe {
+
+/// Base class for neural-network building blocks. A Module owns parameter
+/// Vars (leaf variables with requires_grad = true) and exposes them for
+/// optimizers via CollectParameters.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Appends this module's parameters (including submodules') to `params`.
+  virtual void CollectParameters(std::vector<Var>* params) const = 0;
+
+  /// All parameters as a flat list.
+  std::vector<Var> Parameters() const {
+    std::vector<Var> params;
+    CollectParameters(&params);
+    return params;
+  }
+
+  /// Total number of scalar parameters.
+  int64_t NumParameters() const {
+    int64_t total = 0;
+    for (const Var& p : Parameters()) total += p.value().size();
+    return total;
+  }
+
+  /// Clears gradients on all parameters.
+  void ZeroGrad() {
+    for (Var& p : Parameters()) p.ZeroGrad();
+  }
+};
+
+}  // namespace awmoe
+
+#endif  // AWMOE_NN_MODULE_H_

@@ -1,0 +1,132 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "mat/kernels.h"
+#include "util/check.h"
+
+namespace awmoe {
+
+Sgd::Sgd(std::vector<Var> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  AWMOE_CHECK(lr > 0.0f) << "Sgd lr=" << lr;
+  if (momentum_ != 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const Var& p : params_) {
+      velocity_.emplace_back(p.value().rows(), p.value().cols());
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Var& p = params_[i];
+    if (!p.has_grad()) continue;
+    Matrix& value = p.mutable_value();
+    const Matrix& g = p.grad();
+    if (momentum_ == 0.0f) {
+      AxpyInPlace(&value, -lr_, g);
+    } else {
+      Matrix& vel = velocity_[i];
+      ScaleInPlace(&vel, momentum_);
+      AxpyInPlace(&vel, 1.0f, g);
+      AxpyInPlace(&value, -lr_, vel);
+    }
+  }
+}
+
+Adam::Adam(std::vector<Var> params, float lr, float beta1, float beta2,
+           float epsilon)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {
+  AWMOE_CHECK(lr > 0.0f) << "Adam lr=" << lr;
+  AWMOE_CHECK(beta1 >= 0.0f && beta1 < 1.0f) << "beta1=" << beta1;
+  AWMOE_CHECK(beta2 >= 0.0f && beta2 < 1.0f) << "beta2=" << beta2;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Var& p : params_) {
+    m_.emplace_back(p.value().rows(), p.value().cols());
+    v_.emplace_back(p.value().rows(), p.value().cols());
+  }
+}
+
+void Adam::Step() {
+  ++step_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(step_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(step_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Var& p = params_[i];
+    if (!p.has_grad()) continue;
+    float* value = p.mutable_value().data();
+    const float* g = p.grad().data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const int64_t n = p.value().size();
+    for (int64_t j = 0; j < n; ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      float m_hat = m[j] / bc1;
+      float v_hat = v[j] / bc2;
+      value[j] -= lr_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+AdamW::AdamW(std::vector<Var> params, float lr, float weight_decay,
+             float beta1, float beta2, float epsilon)
+    : Adam(std::move(params), lr, beta1, beta2, epsilon),
+      weight_decay_(weight_decay) {
+  AWMOE_CHECK(weight_decay >= 0.0f) << "weight_decay=" << weight_decay;
+}
+
+void AdamW::Step() {
+  ++step_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(step_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(step_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Var& p = params_[i];
+    if (!p.has_grad()) continue;
+    float* value = p.mutable_value().data();
+    const float* g = p.grad().data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const int64_t n = p.value().size();
+    for (int64_t j = 0; j < n; ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      float m_hat = m[j] / bc1;
+      float v_hat = v[j] / bc2;
+      // Decoupled decay: shrink the weight directly, outside the moment
+      // machinery (Loshchilov & Hutter eq. 12).
+      value[j] -=
+          lr_ * (m_hat / (std::sqrt(v_hat) + epsilon_) + weight_decay_ * value[j]);
+    }
+  }
+}
+
+double ClipGradNorm(std::vector<Var>* params, double max_norm) {
+  AWMOE_CHECK(max_norm > 0.0) << "max_norm=" << max_norm;
+  double total_sq = 0.0;
+  for (const Var& p : *params) {
+    if (!p.has_grad()) continue;
+    double n = Norm(p.grad());
+    total_sq += n * n;
+  }
+  double total = std::sqrt(total_sq);
+  if (total > max_norm) {
+    float scale = static_cast<float>(max_norm / (total + 1e-12));
+    for (Var& p : *params) {
+      if (!p.has_grad()) continue;
+      // Scale the accumulated gradient in place.
+      Matrix scaled = MulScalar(p.grad(), scale);
+      p.ZeroGrad();
+      internal_ag::AccumulateGrad(p.impl().get(), scaled);
+    }
+  }
+  return total;
+}
+
+}  // namespace awmoe

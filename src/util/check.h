@@ -1,0 +1,58 @@
+#ifndef AWMOE_UTIL_CHECK_H_
+#define AWMOE_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace awmoe {
+namespace internal_check {
+
+/// Collects a streamed failure message and aborts the process when
+/// destroyed. Used only via the AWMOE_CHECK macros below.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "CHECK failed: " << condition << " at " << file << ":" << line
+            << " ";
+  }
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Turns the streamed expression into void so the ternary in AWMOE_CHECK
+/// type-checks; `&` binds looser than `<<`, so the whole message is
+/// collected first.
+struct Voidifier {
+  void operator&(CheckFailureStream&) const {}
+  void operator&(CheckFailureStream&&) const {}
+};
+
+}  // namespace internal_check
+}  // namespace awmoe
+
+/// Fatal invariant check: aborts with a message when `condition` is false.
+/// Supports streaming extra context: AWMOE_CHECK(n > 0) << "n=" << n;
+/// Used for programmer errors (shape mismatches, index bugs); recoverable
+/// errors go through Status/Result instead.
+#define AWMOE_CHECK(condition)                                 \
+  (condition) ? (void)0                                        \
+              : ::awmoe::internal_check::Voidifier() &         \
+                    ::awmoe::internal_check::CheckFailureStream( \
+                        #condition, __FILE__, __LINE__)
+
+/// Debug-only check. The library is small enough that keeping these on in
+/// release builds is cheap and catches real bugs, so it aliases AWMOE_CHECK.
+#define AWMOE_DCHECK(condition) AWMOE_CHECK(condition)
+
+#endif  // AWMOE_UTIL_CHECK_H_

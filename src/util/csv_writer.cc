@@ -1,0 +1,46 @@
+#include "util/csv_writer.h"
+
+namespace awmoe {
+
+Status CsvWriter::Open(const std::string& path) {
+  out_.open(path, std::ios::out | std::ios::trunc);
+  if (!out_.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  return Status::OK();
+}
+
+std::string CsvWriter::EscapeField(const std::string& field) {
+  bool needs_quoting = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+Status CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (!out_.is_open()) {
+    return Status::FailedPrecondition("CsvWriter not open");
+  }
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << EscapeField(fields[i]);
+  }
+  out_ << '\n';
+  if (!out_.good()) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Status CsvWriter::Close() {
+  if (out_.is_open()) {
+    out_.close();
+    if (out_.fail()) return Status::IOError("close failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace awmoe

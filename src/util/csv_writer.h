@@ -1,0 +1,40 @@
+#ifndef AWMOE_UTIL_CSV_WRITER_H_
+#define AWMOE_UTIL_CSV_WRITER_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace awmoe {
+
+/// Writes simple CSV files (figure data series, t-SNE coordinates). Fields
+/// containing commas/quotes are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  CsvWriter() = default;
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Opens `path` for writing (truncates).
+  Status Open(const std::string& path);
+
+  /// Writes one row. No-op error if the file is not open.
+  Status WriteRow(const std::vector<std::string>& fields);
+
+  /// Flushes and closes.
+  Status Close();
+
+  bool is_open() const { return out_.is_open(); }
+
+ private:
+  static std::string EscapeField(const std::string& field);
+
+  std::ofstream out_;
+};
+
+}  // namespace awmoe
+
+#endif  // AWMOE_UTIL_CSV_WRITER_H_

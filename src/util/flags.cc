@@ -1,0 +1,125 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace awmoe {
+
+FlagSet::FlagSet(std::string program_description)
+    : program_description_(std::move(program_description)) {}
+
+void FlagSet::AddInt(const std::string& name, int64_t* value,
+                     const std::string& help) {
+  flags_[name] = Flag{Kind::kInt, value, help, std::to_string(*value)};
+}
+
+void FlagSet::AddDouble(const std::string& name, double* value,
+                        const std::string& help) {
+  flags_[name] = Flag{Kind::kDouble, value, help, StrFormat("%g", *value)};
+}
+
+void FlagSet::AddString(const std::string& name, std::string* value,
+                        const std::string& help) {
+  flags_[name] = Flag{Kind::kString, value, help, *value};
+}
+
+void FlagSet::AddBool(const std::string& name, bool* value,
+                      const std::string& help) {
+  flags_[name] = Flag{Kind::kBool, value, help, *value ? "true" : "false"};
+}
+
+Status FlagSet::SetValue(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name);
+  }
+  Flag& flag = it->second;
+  char* end = nullptr;
+  switch (flag.kind) {
+    case Kind::kInt: {
+      long long v = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects an integer, got '" + value +
+                                       "'");
+      }
+      *static_cast<int64_t*>(flag.target) = v;
+      return Status::OK();
+    }
+    case Kind::kDouble: {
+      double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects a number, got '" + value +
+                                       "'");
+      }
+      *static_cast<double*>(flag.target) = v;
+      return Status::OK();
+    }
+    case Kind::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      return Status::OK();
+    case Kind::kBool: {
+      if (value == "true" || value == "1") {
+        *static_cast<bool*>(flag.target) = true;
+      } else if (value == "false" || value == "0") {
+        *static_cast<bool*>(flag.target) = false;
+      } else {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects true/false, got '" + value +
+                                       "'");
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable flag kind");
+}
+
+Status FlagSet::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << Usage();
+      return Status::NotFound("help requested");
+    }
+    if (!StartsWith(arg, "--")) {
+      return Status::InvalidArgument("unexpected positional argument '" + arg +
+                                     "'");
+    }
+    std::string body = arg.substr(2);
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      AWMOE_RETURN_IF_ERROR(SetValue(body.substr(0, eq), body.substr(eq + 1)));
+      continue;
+    }
+    auto it = flags_.find(body);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + body);
+    }
+    if (it->second.kind == Kind::kBool) {
+      *static_cast<bool*>(it->second.target) = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("flag --" + body + " needs a value");
+    }
+    AWMOE_RETURN_IF_ERROR(SetValue(body, argv[++i]));
+  }
+  return Status::OK();
+}
+
+std::string FlagSet::Usage() const {
+  std::ostringstream os;
+  if (!program_description_.empty()) os << program_description_ << "\n";
+  os << "Flags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (default: " << flag.default_repr << ")\n"
+       << "      " << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace awmoe

@@ -1,0 +1,56 @@
+#ifndef AWMOE_UTIL_FLAGS_H_
+#define AWMOE_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace awmoe {
+
+/// Minimal command-line flag parser used by the examples and bench harnesses.
+/// Flags are registered with defaults, then Parse consumes `--name=value` or
+/// `--name value` tokens (and bare `--name` for bools). Unknown flags are an
+/// error so typos fail loudly.
+class FlagSet {
+ public:
+  explicit FlagSet(std::string program_description = "");
+
+  FlagSet(const FlagSet&) = delete;
+  FlagSet& operator=(const FlagSet&) = delete;
+
+  /// Registration. Pointers must outlive Parse().
+  void AddInt(const std::string& name, int64_t* value,
+              const std::string& help);
+  void AddDouble(const std::string& name, double* value,
+                 const std::string& help);
+  void AddString(const std::string& name, std::string* value,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool* value, const std::string& help);
+
+  /// Parses argv; on `--help` prints usage and returns a NotFound status the
+  /// caller should treat as "exit 0".
+  Status Parse(int argc, char** argv);
+
+  /// Usage text for all registered flags.
+  std::string Usage() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kBool };
+  struct Flag {
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  Status SetValue(const std::string& name, const std::string& value);
+
+  std::string program_description_;
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace awmoe
+
+#endif  // AWMOE_UTIL_FLAGS_H_

@@ -1,0 +1,43 @@
+#include "util/logging.h"
+
+#include <atomic>
+
+namespace awmoe {
+
+namespace {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level));
+}
+
+namespace internal_log {
+
+LogMessage::LogMessage(LogLevel level, const char* /*file*/, int /*line*/)
+    : enabled_(static_cast<int>(level) >= g_log_level.load()) {
+  if (enabled_) stream_ << "[" << LevelName(level) << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) std::cerr << stream_.str() << "\n";
+}
+
+}  // namespace internal_log
+}  // namespace awmoe

@@ -1,0 +1,74 @@
+#ifndef AWMOE_UTIL_RESULT_H_
+#define AWMOE_UTIL_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "util/check.h"
+#include "util/status.h"
+
+namespace awmoe {
+
+/// Holds either a value of type `T` or an error `Status` (never both).
+/// Mirrors arrow::Result / absl::StatusOr. Accessing the value of an errored
+/// result is a checked fatal error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value makes `return value;` work in
+  /// functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status; CHECK-fails on OK status
+  /// because an OK Result must carry a value.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    AWMOE_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const& {
+    AWMOE_CHECK(ok()) << "ValueOrDie on error: " << status_.ToString();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    AWMOE_CHECK(ok()) << "ValueOrDie on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    AWMOE_CHECK(ok()) << "ValueOrDie on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace awmoe
+
+/// Evaluates `rexpr` (a Result<T>), propagating errors; on success binds the
+/// value to `lhs`.
+#define AWMOE_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  AWMOE_ASSIGN_OR_RETURN_IMPL(                                  \
+      AWMOE_CONCAT_NAME(_awmoe_result_, __LINE__), lhs, rexpr)
+
+#define AWMOE_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                                \
+  if (!result_name.ok()) return result_name.status();        \
+  lhs = std::move(result_name).ValueOrDie()
+
+#define AWMOE_CONCAT_NAME(x, y) AWMOE_CONCAT_NAME_IMPL(x, y)
+#define AWMOE_CONCAT_NAME_IMPL(x, y) x##y
+
+#endif  // AWMOE_UTIL_RESULT_H_

@@ -1,0 +1,95 @@
+#ifndef AWMOE_UTIL_STATUS_H_
+#define AWMOE_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace awmoe {
+
+/// Canonical error codes, modelled after the Arrow/RocksDB status idiom.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kUnimplemented = 6,
+  kIOError = 7,
+  kInternal = 8,
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value returned by every fallible operation
+/// in the library. Constructors never fail; anything that can fail returns a
+/// `Status` (or a `Result<T>`, see result.h). Exceptions are not used.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace awmoe
+
+/// Propagates a non-OK status to the caller.
+#define AWMOE_RETURN_IF_ERROR(expr)                 \
+  do {                                              \
+    ::awmoe::Status _awmoe_status = (expr);         \
+    if (!_awmoe_status.ok()) return _awmoe_status;  \
+  } while (false)
+
+#endif  // AWMOE_UTIL_STATUS_H_

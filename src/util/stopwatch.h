@@ -1,0 +1,30 @@
+#ifndef AWMOE_UTIL_STOPWATCH_H_
+#define AWMOE_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace awmoe {
+
+/// Wall-clock stopwatch for coarse progress reporting and serving-latency
+/// accounting. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace awmoe
+
+#endif  // AWMOE_UTIL_STOPWATCH_H_

@@ -1,0 +1,117 @@
+// Parameterized gradient verification: every composite expression used by
+// the models must pass numerical gradient checks across a sweep of shapes.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "autograd/grad_check.h"
+#include "autograd/ops.h"
+#include "util/rng.h"
+
+namespace awmoe {
+namespace {
+
+Var RandomVar(int64_t rows, int64_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng->Normal(0.0, 0.7));
+  }
+  return Var(std::move(m), /*requires_grad=*/true);
+}
+
+using Shape = std::pair<int64_t, int64_t>;
+
+class OpGradSweepTest : public ::testing::TestWithParam<Shape> {
+ protected:
+  void ExpectOk(const std::function<Var(const std::vector<Var>&)>& fn,
+                std::vector<Var> inputs) {
+    GradCheckResult result = CheckGradients(fn, std::move(inputs));
+    EXPECT_TRUE(result.ok) << result.message;
+  }
+};
+
+TEST_P(OpGradSweepTest, LinearLayerExpression) {
+  auto [rows, cols] = GetParam();
+  Rng rng(rows * 101 + cols);
+  ExpectOk(
+      [](const std::vector<Var>& in) {
+        return ag::MeanAll(ag::Relu(ag::AddBias(
+            ag::MatMul(in[0], in[1]), in[2])));
+      },
+      {RandomVar(rows, cols, &rng), RandomVar(cols, 3, &rng),
+       RandomVar(1, 3, &rng)});
+}
+
+TEST_P(OpGradSweepTest, AttentionUnitExpression) {
+  auto [rows, cols] = GetParam();
+  Rng rng(rows * 103 + cols);
+  // concat(u, r, u*r) -> weights -> weighted pooling.
+  ExpectOk(
+      [](const std::vector<Var>& in) {
+        Var joined =
+            ag::ConcatCols({in[0], in[1], ag::Mul(in[0], in[1])});
+        Var w = ag::Sigmoid(ag::MatMul(joined, in[2]));
+        return ag::MeanAll(ag::MulColBroadcast(in[0], w));
+      },
+      {RandomVar(rows, cols, &rng), RandomVar(rows, cols, &rng),
+       RandomVar(3 * cols, 1, &rng)});
+}
+
+TEST_P(OpGradSweepTest, GateWeightedSum) {
+  auto [rows, cols] = GetParam();
+  Rng rng(rows * 107 + cols);
+  // Eq. 9: dot of expert scores and gate activations.
+  ExpectOk(
+      [](const std::vector<Var>& in) {
+        Matrix targets(in[0].rows(), 1);
+        for (int64_t i = 0; i < targets.rows(); ++i) {
+          targets(i, 0) = static_cast<float>(i % 2);
+        }
+        return ag::BceWithLogitsLoss(ag::DotRows(in[0], in[1]), targets);
+      },
+      {RandomVar(rows, cols, &rng), RandomVar(rows, cols, &rng)});
+}
+
+TEST_P(OpGradSweepTest, InfoNceExpression) {
+  auto [rows, cols] = GetParam();
+  Rng rng(rows * 109 + cols);
+  ExpectOk(
+      [](const std::vector<Var>& in) {
+        return ag::InfoNceLoss(in[0], in[1], {in[2]});
+      },
+      {RandomVar(rows, cols, &rng), RandomVar(rows, cols, &rng),
+       RandomVar(rows, cols, &rng)});
+}
+
+TEST_P(OpGradSweepTest, SoftmaxGateExpression) {
+  auto [rows, cols] = GetParam();
+  Rng rng(rows * 113 + cols);
+  ExpectOk(
+      [](const std::vector<Var>& in) {
+        Var gate = ag::SoftmaxRows(in[0]);
+        return ag::MeanAll(ag::DotRows(gate, in[1]));
+      },
+      {RandomVar(rows, cols, &rng), RandomVar(rows, cols, &rng)});
+}
+
+TEST_P(OpGradSweepTest, MaskedPoolingExpression) {
+  auto [rows, cols] = GetParam();
+  Rng rng(rows * 127 + cols);
+  Matrix mask(rows, 1);
+  for (int64_t i = 0; i < rows; ++i) mask(i, 0) = (i % 2 == 0) ? 1.0f : 0.0f;
+  ExpectOk(
+      [mask](const std::vector<Var>& in) {
+        Var w = ag::MulMask(ag::Tanh(ag::DotRows(in[0], in[1])), mask);
+        return ag::MeanAll(ag::MulColBroadcast(in[0], w));
+      },
+      {RandomVar(rows, cols, &rng), RandomVar(rows, cols, &rng)});
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, OpGradSweepTest,
+                         ::testing::Values(Shape{2, 2}, Shape{3, 4},
+                                           Shape{5, 3}, Shape{4, 6},
+                                           Shape{7, 2}));
+
+}  // namespace
+}  // namespace awmoe

@@ -1,0 +1,185 @@
+#include "autograd/ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "mat/kernels.h"
+#include "util/rng.h"
+
+namespace awmoe {
+namespace {
+
+Var RandomVar(int64_t rows, int64_t cols, Rng* rng, bool requires_grad) {
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng->Normal());
+  }
+  return Var(std::move(m), requires_grad);
+}
+
+TEST(OpsTest, MatMulForward) {
+  Var a(Matrix::FromVector(2, 2, {1, 2, 3, 4}));
+  Var b(Matrix::FromVector(2, 2, {5, 6, 7, 8}));
+  Var c = ag::MatMul(a, b);
+  EXPECT_TRUE(AllClose(c.value(),
+                       Matrix::FromVector(2, 2, {19, 22, 43, 50}), 1e-6f));
+}
+
+TEST(OpsTest, MatMulBackwardShapes) {
+  Rng rng(1);
+  Var a = RandomVar(3, 4, &rng, true);
+  Var b = RandomVar(4, 2, &rng, true);
+  Var loss = ag::MeanAll(ag::MatMul(a, b));
+  loss.Backward();
+  EXPECT_TRUE(a.grad().SameShape(a.value()));
+  EXPECT_TRUE(b.grad().SameShape(b.value()));
+}
+
+TEST(OpsTest, SigmoidForwardMidpoint) {
+  Var a(Matrix::Full(1, 1, 0.0f));
+  EXPECT_NEAR(ag::Sigmoid(a).value()(0, 0), 0.5f, 1e-6f);
+}
+
+TEST(OpsTest, ConcatColsForwardAndBackward) {
+  Var a(Matrix::Full(2, 1, 1.0f), true);
+  Var b(Matrix::Full(2, 2, 2.0f), true);
+  Var c = ag::ConcatCols({a, b});
+  EXPECT_EQ(c.cols(), 3);
+  Var loss = ag::SumAll(c);
+  loss.Backward();
+  EXPECT_TRUE(AllClose(a.grad(), Matrix::Full(2, 1, 1.0f), 0.0f));
+  EXPECT_TRUE(AllClose(b.grad(), Matrix::Full(2, 2, 1.0f), 0.0f));
+}
+
+TEST(OpsTest, GatherRowsBackwardScatters) {
+  Var table(Matrix::FromVector(3, 2, {1, 1, 2, 2, 3, 3}), true);
+  Var rows = ag::GatherRows(table, {0, 2, 2});
+  Var loss = ag::SumAll(rows);
+  loss.Backward();
+  // Row 0 used once, row 1 never, row 2 twice.
+  EXPECT_TRUE(AllClose(table.grad(),
+                       Matrix::FromVector(3, 2, {1, 1, 0, 0, 2, 2}), 0.0f));
+}
+
+TEST(OpsTest, MulColBroadcastForward) {
+  Var a(Matrix::FromVector(2, 2, {1, 2, 3, 4}));
+  Var w(Matrix::ColVector({10, 0.5f}));
+  Var out = ag::MulColBroadcast(a, w);
+  EXPECT_TRUE(AllClose(out.value(),
+                       Matrix::FromVector(2, 2, {10, 20, 1.5f, 2}), 1e-6f));
+}
+
+TEST(OpsTest, DotRowsForward) {
+  Var a(Matrix::FromVector(2, 2, {1, 2, 3, 4}));
+  Var b(Matrix::FromVector(2, 2, {1, 1, 1, 1}));
+  EXPECT_TRUE(AllClose(ag::DotRows(a, b).value(),
+                       Matrix::ColVector({3, 7}), 1e-6f));
+}
+
+TEST(OpsTest, SoftmaxRowsIsDistribution) {
+  Rng rng(2);
+  Var a = RandomVar(4, 5, &rng, false);
+  Matrix s = ag::SoftmaxRows(a).value();
+  for (int64_t r = 0; r < 4; ++r) {
+    float total = 0;
+    for (int64_t c = 0; c < 5; ++c) total += s(r, c);
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+  }
+}
+
+TEST(OpsTest, StopGradientBlocksFlow) {
+  Var a(Matrix::Full(1, 1, 2.0f), true);
+  Var detached = ag::StopGradient(ag::Scale(a, 3.0f));
+  EXPECT_FALSE(detached.requires_grad());
+  Var out = ag::Mul(detached, detached);
+  EXPECT_FALSE(out.requires_grad());
+}
+
+TEST(OpsTest, MulMaskZeroesAndPasses) {
+  Var a(Matrix::FromVector(1, 4, {1, 2, 3, 4}), true);
+  Matrix mask = Matrix::FromVector(1, 4, {1, 0, 1, 0});
+  Var out = ag::MulMask(a, mask);
+  EXPECT_TRUE(AllClose(out.value(),
+                       Matrix::FromVector(1, 4, {1, 0, 3, 0}), 0.0f));
+  ag::SumAll(out).Backward();
+  EXPECT_TRUE(AllClose(a.grad(), mask, 0.0f));
+}
+
+TEST(OpsTest, BceWithLogitsMatchesNaive) {
+  // Hand-check against -[t log(p) + (1-t) log(1-p)].
+  Var logits(Matrix::ColVector({0.7f, -1.3f, 2.0f}), true);
+  Matrix targets = Matrix::ColVector({1.0f, 0.0f, 1.0f});
+  Var loss = ag::BceWithLogitsLoss(logits, targets);
+  double expected = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    double x = logits.value()(i, 0);
+    double t = targets(i, 0);
+    double p = 1.0 / (1.0 + std::exp(-x));
+    expected += -(t * std::log(p) + (1 - t) * std::log(1 - p));
+  }
+  expected /= 3.0;
+  EXPECT_NEAR(loss.value()(0, 0), expected, 1e-5f);
+}
+
+TEST(OpsTest, BceWithLogitsStableForExtremeLogits) {
+  Var logits(Matrix::ColVector({80.0f, -80.0f}), true);
+  Matrix targets = Matrix::ColVector({0.0f, 1.0f});
+  Var loss = ag::BceWithLogitsLoss(logits, targets);
+  EXPECT_TRUE(std::isfinite(loss.value()(0, 0)));
+  loss.Backward();
+  EXPECT_TRUE(std::isfinite(logits.grad()(0, 0)));
+  // Gradient saturates at +-1/m.
+  EXPECT_NEAR(logits.grad()(0, 0), 0.5f, 1e-4f);
+  EXPECT_NEAR(logits.grad()(1, 0), -0.5f, 1e-4f);
+}
+
+TEST(OpsTest, BceGradientIsSigmoidMinusTarget) {
+  Var logits(Matrix::ColVector({0.0f}), true);
+  Matrix targets = Matrix::ColVector({1.0f});
+  ag::BceWithLogitsLoss(logits, targets).Backward();
+  EXPECT_NEAR(logits.grad()(0, 0), 0.5f - 1.0f, 1e-6f);
+}
+
+TEST(OpsTest, InfoNceDecreasesWhenPositiveCloser) {
+  Rng rng(3);
+  Var anchor = RandomVar(8, 4, &rng, false);
+  // Positive identical to anchor; negatives random.
+  Var positive(anchor.value());
+  Var neg1 = RandomVar(8, 4, &rng, false);
+  Var neg2 = RandomVar(8, 4, &rng, false);
+  Var aligned = ag::InfoNceLoss(anchor, positive, {neg1, neg2});
+
+  Var random_pos = RandomVar(8, 4, &rng, false);
+  Var misaligned = ag::InfoNceLoss(anchor, random_pos, {neg1, neg2});
+  EXPECT_LT(aligned.value()(0, 0), misaligned.value()(0, 0));
+}
+
+TEST(OpsTest, InfoNceWithNoNegativesIsZero) {
+  // With only the positive in the denominator the loss is exactly zero.
+  Rng rng(4);
+  Var anchor = RandomVar(4, 3, &rng, false);
+  Var positive(anchor.value());
+  Var loss = ag::InfoNceLoss(anchor, positive, {});
+  EXPECT_NEAR(loss.value()(0, 0), 0.0f, 1e-6f);
+}
+
+TEST(OpsTest, LogSumExpRowsForward) {
+  Var a(Matrix::FromVector(1, 3, {1.0f, 2.0f, 3.0f}));
+  float expected =
+      std::log(std::exp(1.0f) + std::exp(2.0f) + std::exp(3.0f));
+  EXPECT_NEAR(ag::LogSumExpRows(a).value()(0, 0), expected, 1e-5f);
+}
+
+TEST(OpsTest, InferenceUnderNoGradBuildsNoGraph) {
+  Rng rng(5);
+  Var w = RandomVar(4, 4, &rng, true);
+  Var x = RandomVar(2, 4, &rng, false);
+  NoGradGuard guard;
+  Var y = ag::Relu(ag::MatMul(x, w));
+  EXPECT_EQ(y.NumParents(), 0u);
+  EXPECT_FALSE(y.requires_grad());
+}
+
+}  // namespace
+}  // namespace awmoe

@@ -1,0 +1,135 @@
+#include "autograd/variable.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "mat/kernels.h"
+
+namespace awmoe {
+namespace {
+
+TEST(VariableTest, DefaultUndefined) {
+  Var v;
+  EXPECT_FALSE(v.defined());
+}
+
+TEST(VariableTest, LeafHoldsValue) {
+  Var v(Matrix::Full(2, 2, 1.5f));
+  EXPECT_TRUE(v.defined());
+  EXPECT_EQ(v.rows(), 2);
+  EXPECT_EQ(v.cols(), 2);
+  EXPECT_EQ(v.value()(0, 0), 1.5f);
+  EXPECT_FALSE(v.requires_grad());
+  EXPECT_EQ(v.NumParents(), 0u);
+  EXPECT_STREQ(v.OpName(), "leaf");
+}
+
+TEST(VariableTest, CopyAliasesSameNode) {
+  Var a(Matrix::Full(1, 1, 1.0f), /*requires_grad=*/true);
+  Var b = a;
+  b.mutable_value()(0, 0) = 9.0f;
+  EXPECT_EQ(a.value()(0, 0), 9.0f);
+}
+
+TEST(VariableTest, BackwardOnScalarSeedsGradOne) {
+  Var a(Matrix::Full(1, 1, 3.0f), /*requires_grad=*/true);
+  Var out = ag::Scale(a, 2.0f);
+  out.Backward();
+  ASSERT_TRUE(a.has_grad());
+  EXPECT_FLOAT_EQ(a.grad()(0, 0), 2.0f);
+}
+
+TEST(VariableTest, GradAccumulatesAcrossUses) {
+  // out = a + a: grad should be 2.
+  Var a(Matrix::Full(1, 1, 1.0f), /*requires_grad=*/true);
+  Var out = ag::Add(a, a);
+  out.Backward();
+  EXPECT_FLOAT_EQ(a.grad()(0, 0), 2.0f);
+}
+
+TEST(VariableTest, DiamondGraphAccumulatesOnce) {
+  // out = (a*a) + (a*a) computed through shared intermediate.
+  Var a(Matrix::Full(1, 1, 3.0f), /*requires_grad=*/true);
+  Var sq = ag::Mul(a, a);
+  Var out = ag::Add(sq, sq);
+  out.Backward();
+  // d/da (2 a^2) = 4a = 12.
+  EXPECT_FLOAT_EQ(a.grad()(0, 0), 12.0f);
+}
+
+TEST(VariableTest, ZeroGradClears) {
+  Var a(Matrix::Full(1, 1, 1.0f), /*requires_grad=*/true);
+  Var out = ag::Scale(a, 3.0f);
+  out.Backward();
+  EXPECT_TRUE(a.has_grad());
+  a.ZeroGrad();
+  EXPECT_FALSE(a.has_grad());
+}
+
+TEST(VariableTest, SecondBackwardAccumulates) {
+  Var a(Matrix::Full(1, 1, 1.0f), /*requires_grad=*/true);
+  Var out1 = ag::Scale(a, 3.0f);
+  out1.Backward();
+  Var out2 = ag::Scale(a, 4.0f);
+  out2.Backward();
+  EXPECT_FLOAT_EQ(a.grad()(0, 0), 7.0f);
+}
+
+TEST(VariableTest, NoGradLeafGetsNoGradient) {
+  Var a(Matrix::Full(1, 1, 2.0f), /*requires_grad=*/true);
+  Var constant(Matrix::Full(1, 1, 5.0f));
+  Var out = ag::Mul(a, constant);
+  out.Backward();
+  EXPECT_TRUE(a.has_grad());
+  EXPECT_FALSE(constant.has_grad());
+  EXPECT_FLOAT_EQ(a.grad()(0, 0), 5.0f);
+}
+
+TEST(VariableTest, NoGradGuardDetachesResults) {
+  Var a(Matrix::Full(1, 1, 2.0f), /*requires_grad=*/true);
+  {
+    NoGradGuard guard;
+    EXPECT_TRUE(NoGradGuard::Active());
+    Var out = ag::Scale(a, 2.0f);
+    EXPECT_FALSE(out.requires_grad());
+    EXPECT_EQ(out.NumParents(), 0u);
+  }
+  EXPECT_FALSE(NoGradGuard::Active());
+  Var out = ag::Scale(a, 2.0f);
+  EXPECT_TRUE(out.requires_grad());
+}
+
+TEST(VariableTest, NoGradGuardNests) {
+  NoGradGuard outer;
+  {
+    NoGradGuard inner;
+    EXPECT_TRUE(NoGradGuard::Active());
+  }
+  EXPECT_TRUE(NoGradGuard::Active());
+}
+
+TEST(VariableTest, DeepChainBackward) {
+  // 60-op chain exercises the iterative DFS (no recursion limits).
+  Var a(Matrix::Full(1, 1, 1.0f), /*requires_grad=*/true);
+  Var h = a;
+  for (int i = 0; i < 60; ++i) h = ag::Scale(h, 1.01f);
+  h.Backward();
+  float expected = std::pow(1.01f, 60.0f);
+  EXPECT_NEAR(a.grad()(0, 0), expected, 1e-3f);
+}
+
+TEST(VariableDeathTest, BackwardRequiresScalar) {
+  Var a(Matrix::Full(2, 2, 1.0f), /*requires_grad=*/true);
+  Var out = ag::Scale(a, 2.0f);
+  EXPECT_DEATH(out.Backward(), "scalar");
+}
+
+TEST(VariableDeathTest, GradWithoutBackwardChecks) {
+  Var a(Matrix::Full(1, 1, 1.0f), /*requires_grad=*/true);
+  EXPECT_DEATH(a.grad(), "no gradient");
+}
+
+}  // namespace
+}  // namespace awmoe

@@ -1,0 +1,184 @@
+#include "core/contrastive.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/batcher.h"
+#include "util/rng.h"
+
+namespace awmoe {
+namespace {
+
+DatasetMeta TestMeta() {
+  DatasetMeta meta;
+  meta.num_items = 40;
+  meta.num_cats = 5;
+  meta.num_brands = 15;
+  meta.num_shops = 8;
+  meta.num_queries = 10;
+  meta.max_seq_len = 6;
+  return meta;
+}
+
+Batch MakeBatch(int64_t size, int64_t hist_len) {
+  static std::vector<Example> storage;
+  storage.clear();
+  for (int64_t i = 0; i < size; ++i) {
+    Example ex;
+    for (int64_t j = 0; j < hist_len; ++j) {
+      ex.behavior_items.push_back(1 + (i * 7 + j) % 39);
+      ex.behavior_cats.push_back(1 + j % 4);
+      ex.behavior_brands.push_back(1 + j % 14);
+    }
+    ex.target_item = 1 + i % 39;
+    ex.target_cat = 1;
+    ex.target_brand = 1;
+    ex.target_shop = 1;
+    ex.query_id = 1;
+    ex.query_cat = 1;
+    ex.numeric.assign(kNumNumericFeatures, 0.0f);
+    storage.push_back(std::move(ex));
+  }
+  std::vector<const Example*> ptrs;
+  for (const Example& ex : storage) ptrs.push_back(&ex);
+  return CollateBatch(ptrs, TestMeta(), nullptr);
+}
+
+TEST(ContrastiveAugmenterTest, MaskProbabilityZeroIsIdentity) {
+  Rng rng(1);
+  ContrastiveConfig config;
+  config.mask_prob = 0.0;
+  ContrastiveAugmenter augmenter(config, &rng);
+  Batch batch = MakeBatch(4, 5);
+  Batch augmented = augmenter.Augment(batch);
+  EXPECT_EQ(augmented.behavior_items, batch.behavior_items);
+  for (int64_t i = 0; i < batch.size; ++i) {
+    for (int64_t j = 0; j < batch.seq_len; ++j) {
+      EXPECT_EQ(augmented.behavior_mask(i, j), batch.behavior_mask(i, j));
+    }
+  }
+}
+
+TEST(ContrastiveAugmenterTest, MaskProbabilityOneMasksEverything) {
+  Rng rng(2);
+  ContrastiveConfig config;
+  config.mask_prob = 1.0;
+  ContrastiveAugmenter augmenter(config, &rng);
+  Batch batch = MakeBatch(3, 4);
+  Batch augmented = augmenter.Augment(batch);
+  for (int64_t i = 0; i < batch.size; ++i) {
+    for (int64_t j = 0; j < batch.seq_len; ++j) {
+      EXPECT_EQ(augmented.behavior_mask(i, j), 0.0f);
+      EXPECT_EQ(augmented.behavior_items[static_cast<size_t>(
+                    i * batch.seq_len + j)],
+                0);
+    }
+  }
+}
+
+TEST(ContrastiveAugmenterTest, MaskRateApproximatesP) {
+  Rng rng(3);
+  ContrastiveConfig config;
+  config.mask_prob = 0.3;
+  ContrastiveAugmenter augmenter(config, &rng);
+  int64_t masked = 0, total = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    Batch batch = MakeBatch(8, 6);
+    Batch augmented = augmenter.Augment(batch);
+    for (int64_t i = 0; i < batch.size; ++i) {
+      for (int64_t j = 0; j < batch.seq_len; ++j) {
+        if (batch.behavior_mask(i, j) > 0.0f) {
+          ++total;
+          if (augmented.behavior_mask(i, j) == 0.0f) ++masked;
+        }
+      }
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(masked) / total, 0.3, 0.03);
+}
+
+TEST(ContrastiveAugmenterTest, OriginalBatchUntouched) {
+  Rng rng(4);
+  ContrastiveConfig config;
+  config.mask_prob = 0.5;
+  ContrastiveAugmenter augmenter(config, &rng);
+  Batch batch = MakeBatch(4, 5);
+  std::vector<int64_t> items_before = batch.behavior_items;
+  augmenter.Augment(batch);
+  EXPECT_EQ(batch.behavior_items, items_before);
+}
+
+TEST(ContrastiveAugmenterTest, ReorderKeepsItemMultiset) {
+  Rng rng(5);
+  ContrastiveConfig config;
+  config.mask_prob = 0.0;
+  config.strategy = ContrastiveConfig::Strategy::kMaskAndReorder;
+  ContrastiveAugmenter augmenter(config, &rng);
+  Batch batch = MakeBatch(5, 6);
+  Batch augmented = augmenter.Augment(batch);
+  for (int64_t i = 0; i < batch.size; ++i) {
+    std::multiset<int64_t> before, after;
+    for (int64_t j = 0; j < batch.seq_len; ++j) {
+      before.insert(
+          batch.behavior_items[static_cast<size_t>(i * batch.seq_len + j)]);
+      after.insert(augmented.behavior_items[static_cast<size_t>(
+          i * batch.seq_len + j)]);
+    }
+    EXPECT_EQ(before, after);
+  }
+}
+
+TEST(ContrastiveAugmenterTest, ReorderActuallyPermutes) {
+  Rng rng(6);
+  ContrastiveConfig config;
+  config.mask_prob = 0.0;
+  config.strategy = ContrastiveConfig::Strategy::kMaskAndReorder;
+  ContrastiveAugmenter augmenter(config, &rng);
+  int changed = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    Batch batch = MakeBatch(4, 6);
+    Batch augmented = augmenter.Augment(batch);
+    if (augmented.behavior_items != batch.behavior_items) ++changed;
+  }
+  EXPECT_GT(changed, 10);
+}
+
+TEST(ContrastiveAugmenterTest, NegativesExcludeSelf) {
+  Rng rng(7);
+  ContrastiveConfig config;
+  config.num_negatives = 3;
+  ContrastiveAugmenter augmenter(config, &rng);
+  auto negatives = augmenter.SampleNegatives(16);
+  ASSERT_EQ(negatives.size(), 3u);
+  for (const auto& column : negatives) {
+    ASSERT_EQ(column.size(), 16u);
+    for (int64_t i = 0; i < 16; ++i) {
+      EXPECT_NE(column[static_cast<size_t>(i)], i);
+      EXPECT_GE(column[static_cast<size_t>(i)], 0);
+      EXPECT_LT(column[static_cast<size_t>(i)], 16);
+    }
+  }
+}
+
+TEST(ContrastiveAugmenterTest, SingleRowBatchNegativesDegrade) {
+  Rng rng(8);
+  ContrastiveConfig config;
+  config.num_negatives = 2;
+  ContrastiveAugmenter augmenter(config, &rng);
+  auto negatives = augmenter.SampleNegatives(1);
+  for (const auto& column : negatives) {
+    EXPECT_EQ(column[0], 0);  // Self is the only option.
+  }
+}
+
+TEST(ContrastiveConfigTest, PaperDefaults) {
+  ContrastiveConfig config;
+  EXPECT_DOUBLE_EQ(config.mask_prob, 0.1);
+  EXPECT_EQ(config.num_negatives, 3);
+  EXPECT_DOUBLE_EQ(config.weight, 0.05);
+}
+
+}  // namespace
+}  // namespace awmoe

@@ -1,0 +1,161 @@
+// Parameterized model-level properties: for every (batch size, history
+// length, mode) combination, all four rankers must produce correctly
+// shaped, finite, deterministic, padding-invariant outputs.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/aw_moe.h"
+#include "data/batcher.h"
+#include "mat/kernels.h"
+#include "models/category_moe.h"
+#include "models/dnn_ranker.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+namespace awmoe {
+namespace {
+
+using Params = std::tuple<int64_t, int64_t, bool>;  // batch, hist, rec mode.
+
+DatasetMeta TestMeta(bool recommendation) {
+  DatasetMeta meta;
+  meta.num_items = 60;
+  meta.num_cats = 7;
+  meta.num_brands = 21;
+  meta.num_shops = 9;
+  meta.num_queries = 14;
+  meta.max_seq_len = 5;
+  meta.recommendation_mode = recommendation;
+  return meta;
+}
+
+ModelDims TinyDims() {
+  ModelDims dims;
+  dims.emb_dim = 4;
+  dims.tower_mlp = {8, 6};
+  dims.activation_unit = {6, 4};
+  dims.gate_unit = {6, 4};
+  dims.expert = {12, 8};
+  dims.num_experts = 4;
+  return dims;
+}
+
+Batch MakeBatch(const DatasetMeta& meta, int64_t size, int64_t hist) {
+  static std::vector<Example> storage;
+  storage.clear();
+  Rng rng(size * 1000 + hist);
+  for (int64_t i = 0; i < size; ++i) {
+    Example ex;
+    int64_t len = hist == 0 ? 0 : 1 + (i % hist);
+    for (int64_t j = 0; j < len; ++j) {
+      ex.behavior_items.push_back(rng.UniformInt(1, 60));
+      ex.behavior_cats.push_back(rng.UniformInt(1, 7));
+      ex.behavior_brands.push_back(rng.UniformInt(1, 21));
+      ex.behavior_attrs.push_back(static_cast<float>(rng.Normal()));
+      ex.behavior_attrs.push_back(static_cast<float>(rng.Uniform()));
+      ex.behavior_attrs.push_back(static_cast<float>(rng.Uniform()));
+    }
+    ex.target_item = rng.UniformInt(1, 60);
+    ex.target_cat = rng.UniformInt(1, 7);
+    ex.target_brand = rng.UniformInt(1, 21);
+    ex.target_shop = rng.UniformInt(1, 9);
+    ex.query_id = rng.UniformInt(1, 14);
+    ex.query_cat = ex.target_cat;
+    ex.label = static_cast<float>(i % 2);
+    ex.numeric.assign(kNumNumericFeatures, 0.1f);
+    storage.push_back(std::move(ex));
+  }
+  std::vector<const Example*> ptrs;
+  for (const Example& ex : storage) ptrs.push_back(&ex);
+  return CollateBatch(ptrs, meta, nullptr);
+}
+
+class ModelPropertyTest : public ::testing::TestWithParam<Params> {};
+
+TEST_P(ModelPropertyTest, AllRankersProduceFiniteLogits) {
+  auto [batch_size, hist, rec] = GetParam();
+  DatasetMeta meta = TestMeta(rec);
+  Batch batch = MakeBatch(meta, batch_size, hist);
+
+  Rng r1(1), r2(2), r3(3), r4(4);
+  DnnRanker dnn(meta, TinyDims(), &r1);
+  DinRanker din(meta, TinyDims(), &r2);
+  CategoryMoeRanker cat_moe(meta, TinyDims(), &r3);
+  AwMoeConfig config;
+  config.dims = TinyDims();
+  AwMoeRanker aw_moe(meta, config, &r4);
+
+  for (Ranker* model :
+       std::initializer_list<Ranker*>{&dnn, &din, &cat_moe, &aw_moe}) {
+    Var logits = model->ForwardLogits(batch);
+    ASSERT_EQ(logits.rows(), batch_size) << model->name();
+    ASSERT_EQ(logits.cols(), 1) << model->name();
+    for (int64_t i = 0; i < batch_size; ++i) {
+      EXPECT_TRUE(std::isfinite(logits.value()(i, 0)))
+          << model->name() << " row " << i;
+    }
+  }
+}
+
+TEST_P(ModelPropertyTest, ForwardIsDeterministic) {
+  auto [batch_size, hist, rec] = GetParam();
+  DatasetMeta meta = TestMeta(rec);
+  Batch batch = MakeBatch(meta, batch_size, hist);
+  Rng rng(5);
+  AwMoeConfig config;
+  config.dims = TinyDims();
+  AwMoeRanker model(meta, config, &rng);
+  Matrix a = model.ForwardLogits(batch).value();
+  Matrix b = model.ForwardLogits(batch).value();
+  EXPECT_TRUE(AllClose(a, b, 0.0f));
+}
+
+TEST_P(ModelPropertyTest, TrainingStepReducesBatchLoss) {
+  auto [batch_size, hist, rec] = GetParam();
+  if (batch_size < 2) GTEST_SKIP() << "needs both labels present";
+  DatasetMeta meta = TestMeta(rec);
+  Batch batch = MakeBatch(meta, batch_size, hist);
+  Rng rng(6);
+  AwMoeConfig config;
+  config.dims = TinyDims();
+  AwMoeRanker model(meta, config, &rng);
+  AdamW opt(model.Parameters(), 5e-3f, 0.0f);
+
+  float first_loss = 0.0f, last_loss = 0.0f;
+  for (int step = 0; step < 30; ++step) {
+    opt.ZeroGrad();
+    Var loss =
+        ag::BceWithLogitsLoss(model.ForwardLogits(batch), batch.labels);
+    if (step == 0) first_loss = loss.value()(0, 0);
+    last_loss = loss.value()(0, 0);
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_LT(last_loss, first_loss)
+      << "30 full-batch steps must reduce training loss";
+}
+
+TEST_P(ModelPropertyTest, GateShapeAlwaysBatchByK) {
+  auto [batch_size, hist, rec] = GetParam();
+  DatasetMeta meta = TestMeta(rec);
+  Batch batch = MakeBatch(meta, batch_size, hist);
+  Rng rng(7);
+  AwMoeConfig config;
+  config.dims = TinyDims();
+  AwMoeRanker model(meta, config, &rng);
+  Var gate = model.GateRepresentation(batch);
+  EXPECT_EQ(gate.rows(), batch_size);
+  EXPECT_EQ(gate.cols(), TinyDims().num_experts);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ModelPropertyTest,
+    ::testing::Combine(::testing::Values<int64_t>(1, 3, 16),
+                       ::testing::Values<int64_t>(0, 2, 5),
+                       ::testing::Bool()));
+
+}  // namespace
+}  // namespace awmoe

@@ -1,0 +1,124 @@
+#include "data/amazon_synthetic.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace awmoe {
+namespace {
+
+AmazonConfig SmallConfig() {
+  AmazonConfig config;
+  config.num_users = 500;
+  config.num_items = 200;
+  config.num_categories = 8;
+  config.brands_per_category = 4;
+  config.seed = 321;
+  return config;
+}
+
+class AmazonSyntheticTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = AmazonSyntheticGenerator(SmallConfig()).Generate();
+  }
+  AmazonDataset data_;
+};
+
+TEST_F(AmazonSyntheticTest, RecommendationModeSet) {
+  EXPECT_TRUE(data_.meta.recommendation_mode);
+}
+
+TEST_F(AmazonSyntheticTest, TrainTestSplitRoughly90To10) {
+  double test_fraction =
+      static_cast<double>(data_.test.size()) /
+      static_cast<double>(data_.test.size() + data_.train.size());
+  EXPECT_NEAR(test_fraction, 0.10, 0.04);
+}
+
+TEST_F(AmazonSyntheticTest, EveryUserContributesOnePair) {
+  // 2 examples (1 pos + 1 neg) per user across both splits.
+  EXPECT_EQ(data_.train.size() + data_.test.size(),
+            static_cast<size_t>(2 * SmallConfig().num_users));
+}
+
+TEST_F(AmazonSyntheticTest, PairsShareSessionWithOppositeLabels) {
+  std::map<int64_t, std::vector<const Example*>> sessions;
+  for (const Example& ex : data_.train) {
+    sessions[ex.session_id].push_back(&ex);
+  }
+  for (const auto& [id, members] : sessions) {
+    ASSERT_EQ(members.size(), 2u);
+    EXPECT_NE(members[0]->label, members[1]->label);
+    EXPECT_EQ(members[0]->user_id, members[1]->user_id);
+  }
+}
+
+TEST_F(AmazonSyntheticTest, NoQueryFields) {
+  for (const Example& ex : data_.train) {
+    EXPECT_EQ(ex.query_id, 0);
+    EXPECT_EQ(ex.query_cat, 0);
+  }
+}
+
+TEST_F(AmazonSyntheticTest, HistoryNonEmptyAndMostRecentFirst) {
+  for (const Example& ex : data_.train) {
+    EXPECT_GE(ex.behavior_items.size(), 1u);
+    EXPECT_LE(static_cast<int64_t>(ex.behavior_items.size()),
+              SmallConfig().max_history);
+  }
+}
+
+TEST_F(AmazonSyntheticTest, PositiveTargetNotEqualToNegative) {
+  std::map<int64_t, std::vector<const Example*>> sessions;
+  for (const Example& ex : data_.test) sessions[ex.session_id].push_back(&ex);
+  for (const auto& [id, members] : sessions) {
+    ASSERT_EQ(members.size(), 2u);
+    EXPECT_NE(members[0]->target_item, members[1]->target_item);
+  }
+}
+
+TEST_F(AmazonSyntheticTest, SequentialStructureExists) {
+  // Positives (true next review) should match the category of a recent
+  // history item far more often than sampled negatives do — this is the
+  // signal the ranking models must pick up.
+  int64_t pos_match = 0, pos_total = 0, neg_match = 0, neg_total = 0;
+  for (const Example& ex : data_.train) {
+    bool match = ex.numeric[kFeatCatClickCnt] > 0.0f;
+    if (ex.label > 0.5f) {
+      pos_match += match;
+      ++pos_total;
+    } else {
+      neg_match += match;
+      ++neg_total;
+    }
+  }
+  double pos_rate = static_cast<double>(pos_match) / pos_total;
+  double neg_rate = static_cast<double>(neg_match) / neg_total;
+  EXPECT_GT(pos_rate, neg_rate + 0.15);
+}
+
+TEST_F(AmazonSyntheticTest, Deterministic) {
+  AmazonDataset again = AmazonSyntheticGenerator(SmallConfig()).Generate();
+  ASSERT_EQ(again.train.size(), data_.train.size());
+  for (size_t i = 0; i < data_.train.size(); ++i) {
+    EXPECT_EQ(again.train[i].target_item, data_.train[i].target_item);
+    EXPECT_EQ(again.train[i].label, data_.train[i].label);
+  }
+}
+
+TEST_F(AmazonSyntheticTest, VocabulariesRespected) {
+  for (const Example& ex : data_.train) {
+    EXPECT_GT(ex.target_item, 0);
+    EXPECT_LT(ex.target_item, data_.meta.num_items);
+    EXPECT_LT(ex.target_brand, data_.meta.num_brands);
+    for (int64_t b : ex.behavior_items) {
+      EXPECT_GT(b, 0);
+      EXPECT_LT(b, data_.meta.num_items);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace awmoe

@@ -1,0 +1,204 @@
+#include "data/jd_synthetic.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace awmoe {
+namespace {
+
+JdConfig SmallConfig() {
+  JdConfig config;
+  config.num_users = 400;
+  config.num_items = 300;
+  config.num_categories = 10;
+  config.brands_per_category = 5;
+  config.num_shops = 20;
+  config.train_sessions = 200;
+  config.test_sessions = 50;
+  config.longtail1_sessions = 20;
+  config.longtail2_sessions = 20;
+  config.seed = 99;
+  return config;
+}
+
+class JdSyntheticTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    JdSyntheticGenerator generator(SmallConfig());
+    data_ = generator.Generate();
+  }
+  JdDataset data_;
+};
+
+TEST_F(JdSyntheticTest, SplitsNonEmpty) {
+  EXPECT_FALSE(data_.train.empty());
+  EXPECT_FALSE(data_.full_test.empty());
+  EXPECT_FALSE(data_.longtail1_test.empty());
+  EXPECT_FALSE(data_.longtail2_test.empty());
+}
+
+TEST_F(JdSyntheticTest, MetaMatchesConfig) {
+  JdConfig config = SmallConfig();
+  EXPECT_EQ(data_.meta.num_items, config.num_items + 1);
+  EXPECT_EQ(data_.meta.num_cats, config.num_categories + 1);
+  EXPECT_EQ(data_.meta.max_seq_len, config.max_history);
+  EXPECT_FALSE(data_.meta.recommendation_mode);
+}
+
+TEST_F(JdSyntheticTest, TrainIsBalanced) {
+  int64_t pos = 0, neg = 0;
+  for (const Example& ex : data_.train) {
+    (ex.label > 0.5f ? pos : neg) += 1;
+  }
+  EXPECT_EQ(pos, neg) << "paper uses a 1:1 train ratio";
+}
+
+TEST_F(JdSyntheticTest, TestHasMoreNegativesThanPositives) {
+  int64_t pos = 0, neg = 0;
+  for (const Example& ex : data_.full_test) {
+    (ex.label > 0.5f ? pos : neg) += 1;
+  }
+  EXPECT_GT(pos, 0);
+  // All impressions kept: ~12 items per session with 1-2 purchases.
+  EXPECT_GT(neg, 4 * pos);
+}
+
+TEST_F(JdSyntheticTest, IdsWithinVocabularies) {
+  auto check = [&](const std::vector<Example>& split) {
+    for (const Example& ex : split) {
+      EXPECT_GT(ex.target_item, 0);
+      EXPECT_LT(ex.target_item, data_.meta.num_items);
+      EXPECT_GT(ex.target_cat, 0);
+      EXPECT_LT(ex.target_cat, data_.meta.num_cats);
+      EXPECT_GT(ex.target_brand, 0);
+      EXPECT_LT(ex.target_brand, data_.meta.num_brands);
+      EXPECT_GT(ex.query_id, 0);
+      EXPECT_LT(ex.query_id, data_.meta.num_queries);
+      for (int64_t b : ex.behavior_items) {
+        EXPECT_GT(b, 0);
+        EXPECT_LT(b, data_.meta.num_items);
+      }
+      EXPECT_EQ(ex.behavior_items.size(), ex.behavior_cats.size());
+      EXPECT_EQ(ex.behavior_items.size(), ex.behavior_brands.size());
+      EXPECT_EQ(static_cast<int64_t>(ex.numeric.size()),
+                static_cast<int64_t>(kNumNumericFeatures));
+    }
+  };
+  check(data_.train);
+  check(data_.full_test);
+}
+
+TEST_F(JdSyntheticTest, SessionsContainOnePositiveInTest) {
+  std::set<int64_t> sessions_with_pos;
+  std::set<int64_t> all_sessions;
+  for (const Example& ex : data_.full_test) {
+    all_sessions.insert(ex.session_id);
+    if (ex.label > 0.5f) sessions_with_pos.insert(ex.session_id);
+  }
+  EXPECT_EQ(sessions_with_pos.size(), all_sessions.size())
+      << "every kept test session has at least one purchase";
+}
+
+TEST_F(JdSyntheticTest, LongtailSet1HasShortHistories) {
+  for (const Example& ex : data_.longtail1_test) {
+    EXPECT_LE(ex.history_len, 3);
+  }
+}
+
+TEST_F(JdSyntheticTest, LongtailSet2IsElderly) {
+  for (const Example& ex : data_.longtail2_test) {
+    EXPECT_EQ(ex.age_segment, 2);
+  }
+}
+
+TEST_F(JdSyntheticTest, LongtailHistoriesShorterThanFullTest) {
+  double lt = 0.0, full = 0.0;
+  for (const Example& ex : data_.longtail1_test) lt += ex.history_len;
+  for (const Example& ex : data_.full_test) full += ex.history_len;
+  lt /= data_.longtail1_test.size();
+  full /= data_.full_test.size();
+  EXPECT_LT(lt, full);
+}
+
+TEST_F(JdSyntheticTest, UserGroupsConsistent) {
+  for (const Example& ex : data_.full_test) {
+    if (ex.history_len == 0) {
+      EXPECT_EQ(ex.user_group, UserGroup::kNewUser);
+    } else if (ex.numeric[kFeatItemClickCnt] > 0.0f) {
+      EXPECT_EQ(ex.user_group, UserGroup::kOldWithTargetOrder);
+    } else {
+      EXPECT_EQ(ex.user_group, UserGroup::kOldWithoutTargetOrder);
+    }
+  }
+}
+
+TEST_F(JdSyntheticTest, CategoryNewFlagMatchesFeatures) {
+  for (const Example& ex : data_.full_test) {
+    if (ex.is_category_new) {
+      EXPECT_EQ(ex.numeric[kFeatCatClickCnt], 0.0f);
+    } else {
+      EXPECT_GT(ex.numeric[kFeatCatClickCnt], 0.0f);
+    }
+  }
+}
+
+TEST_F(JdSyntheticTest, DeterministicForSameSeed) {
+  JdDataset again = JdSyntheticGenerator(SmallConfig()).Generate();
+  ASSERT_EQ(again.train.size(), data_.train.size());
+  for (size_t i = 0; i < data_.train.size(); ++i) {
+    EXPECT_EQ(again.train[i].target_item, data_.train[i].target_item);
+    EXPECT_EQ(again.train[i].label, data_.train[i].label);
+    EXPECT_EQ(again.train[i].session_id, data_.train[i].session_id);
+  }
+}
+
+TEST_F(JdSyntheticTest, DifferentSeedDifferentData) {
+  JdConfig config = SmallConfig();
+  config.seed = 12345;
+  JdDataset other = JdSyntheticGenerator(config).Generate();
+  bool any_diff = other.train.size() != data_.train.size();
+  for (size_t i = 0; !any_diff && i < data_.train.size(); ++i) {
+    any_diff = other.train[i].target_item != data_.train[i].target_item;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(JdSyntheticTest, OracleUtilityRanksBetterThanRandom) {
+  // The noiseless utility must order positives above negatives much more
+  // often than chance — the label model is anchored to it.
+  int64_t correct = 0, total = 0;
+  double pos_mean = 0.0, neg_mean = 0.0;
+  int64_t pos_n = 0, neg_n = 0;
+  for (const Example& ex : data_.full_test) {
+    if (ex.label > 0.5f) {
+      pos_mean += ex.oracle_utility;
+      ++pos_n;
+    } else {
+      neg_mean += ex.oracle_utility;
+      ++neg_n;
+    }
+  }
+  ASSERT_GT(pos_n, 0);
+  ASSERT_GT(neg_n, 0);
+  EXPECT_GT(pos_mean / pos_n, neg_mean / neg_n);
+  (void)correct;
+  (void)total;
+}
+
+TEST_F(JdSyntheticTest, BehaviorSequencesRespectMaxHistory) {
+  for (const Example& ex : data_.train) {
+    EXPECT_LE(static_cast<int64_t>(ex.behavior_items.size()),
+              SmallConfig().max_history);
+  }
+}
+
+TEST_F(JdSyntheticTest, StylesCoverAllFour) {
+  std::set<int64_t> styles;
+  for (const Example& ex : data_.full_test) styles.insert(ex.latent_style);
+  EXPECT_EQ(styles.size(), 4u);
+}
+
+}  // namespace
+}  // namespace awmoe

@@ -1,0 +1,130 @@
+// Property tests on the ranking metrics: invariances every correct AUC /
+// NDCG implementation must satisfy, swept over randomized list sizes.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "util/rng.h"
+
+namespace awmoe {
+namespace {
+
+struct Lists {
+  std::vector<float> labels;
+  std::vector<double> scores;
+};
+
+Lists RandomLists(int64_t n, Rng* rng) {
+  Lists lists;
+  bool has_pos = false, has_neg = false;
+  for (int64_t i = 0; i < n; ++i) {
+    bool pos = rng->Bernoulli(0.3);
+    has_pos |= pos;
+    has_neg |= !pos;
+    lists.labels.push_back(pos ? 1.0f : 0.0f);
+    lists.scores.push_back(rng->Uniform());
+  }
+  // Guarantee both classes.
+  if (!has_pos) lists.labels[0] = 1.0f;
+  if (!has_neg) lists.labels[static_cast<size_t>(n - 1)] = 0.0f;
+  return lists;
+}
+
+class MetricsPropertyTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(MetricsPropertyTest, AucInvariantUnderMonotoneTransform) {
+  Rng rng(GetParam() * 11 + 1);
+  Lists lists = RandomLists(GetParam(), &rng);
+  double base = AucOf(lists.labels, lists.scores);
+  std::vector<double> transformed = lists.scores;
+  for (double& s : transformed) s = std::exp(3.0 * s) + 7.0;
+  EXPECT_NEAR(AucOf(lists.labels, transformed), base, 1e-12);
+}
+
+TEST_P(MetricsPropertyTest, AucComplementUnderScoreNegation) {
+  Rng rng(GetParam() * 13 + 2);
+  Lists lists = RandomLists(GetParam(), &rng);
+  double base = AucOf(lists.labels, lists.scores);
+  std::vector<double> negated = lists.scores;
+  for (double& s : negated) s = -s;
+  EXPECT_NEAR(AucOf(lists.labels, negated), 1.0 - base, 1e-12);
+}
+
+TEST_P(MetricsPropertyTest, AucPermutationInvariant) {
+  Rng rng(GetParam() * 17 + 3);
+  Lists lists = RandomLists(GetParam(), &rng);
+  double base = AucOf(lists.labels, lists.scores);
+  std::vector<size_t> perm(lists.labels.size());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  std::vector<int64_t> perm64(perm.begin(), perm.end());
+  rng.Shuffle(&perm64);
+  Lists shuffled;
+  for (int64_t p : perm64) {
+    shuffled.labels.push_back(lists.labels[static_cast<size_t>(p)]);
+    shuffled.scores.push_back(lists.scores[static_cast<size_t>(p)]);
+  }
+  EXPECT_NEAR(AucOf(shuffled.labels, shuffled.scores), base, 1e-12);
+}
+
+TEST_P(MetricsPropertyTest, AucInUnitInterval) {
+  Rng rng(GetParam() * 19 + 4);
+  Lists lists = RandomLists(GetParam(), &rng);
+  double auc = AucOf(lists.labels, lists.scores);
+  EXPECT_GE(auc, 0.0);
+  EXPECT_LE(auc, 1.0);
+}
+
+TEST_P(MetricsPropertyTest, NdcgInUnitIntervalAndMonotoneInvariant) {
+  Rng rng(GetParam() * 23 + 5);
+  Lists lists = RandomLists(GetParam(), &rng);
+  for (int64_t k : {int64_t{0}, int64_t{3}, GetParam()}) {
+    double ndcg = NdcgOf(lists.labels, lists.scores, k);
+    EXPECT_GE(ndcg, 0.0);
+    EXPECT_LE(ndcg, 1.0 + 1e-12);
+    std::vector<double> transformed = lists.scores;
+    for (double& s : transformed) s = 10.0 * s - 2.0;
+    EXPECT_NEAR(NdcgOf(lists.labels, transformed, k), ndcg, 1e-12);
+  }
+}
+
+TEST_P(MetricsPropertyTest, NdcgPerfectRankingIsOne) {
+  Rng rng(GetParam() * 29 + 6);
+  Lists lists = RandomLists(GetParam(), &rng);
+  // Score = label: ideal ordering.
+  std::vector<double> ideal_scores(lists.labels.begin(), lists.labels.end());
+  EXPECT_NEAR(NdcgOf(lists.labels, ideal_scores, 0), 1.0, 1e-12);
+}
+
+TEST_P(MetricsPropertyTest, OracleBeatsShuffledScores) {
+  // Ranking by a signal correlated with labels must beat random ranking.
+  Rng rng(GetParam() * 31 + 7);
+  std::vector<float> labels;
+  std::vector<double> good, random;
+  for (int64_t i = 0; i < GetParam() * 10; ++i) {
+    float label = rng.Bernoulli(0.5) ? 1.0f : 0.0f;
+    labels.push_back(label);
+    good.push_back(label + rng.Normal(0.0, 0.5));
+    random.push_back(rng.Uniform());
+  }
+  EXPECT_GT(AucOf(labels, good), AucOf(labels, random));
+}
+
+TEST_P(MetricsPropertyTest, PairedTTestDetectsConstantShift) {
+  Rng rng(GetParam() * 37 + 8);
+  std::vector<double> a, b;
+  for (int64_t i = 0; i < 30 + GetParam() * 5; ++i) {
+    double base = rng.Uniform();
+    b.push_back(base);
+    a.push_back(base + 0.02);  // Deterministic shift: p must be tiny.
+  }
+  EXPECT_LT(PairedTTestPValue(a, b), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(ListSizes, MetricsPropertyTest,
+                         ::testing::Values(3, 5, 10, 25, 80));
+
+}  // namespace
+}  // namespace awmoe

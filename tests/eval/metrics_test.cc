@@ -1,0 +1,179 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace awmoe {
+namespace {
+
+Example Ex(int64_t session, float label) {
+  Example ex;
+  ex.session_id = session;
+  ex.label = label;
+  return ex;
+}
+
+TEST(AucTest, PerfectRankingIsOne) {
+  EXPECT_DOUBLE_EQ(AucOf({1, 1, 0, 0}, {0.9, 0.8, 0.2, 0.1}), 1.0);
+}
+
+TEST(AucTest, InvertedRankingIsZero) {
+  EXPECT_DOUBLE_EQ(AucOf({1, 0}, {0.1, 0.9}), 0.0);
+}
+
+TEST(AucTest, RandomTiesGiveHalf) {
+  EXPECT_DOUBLE_EQ(AucOf({1, 0, 1, 0}, {0.5, 0.5, 0.5, 0.5}), 0.5);
+}
+
+TEST(AucTest, SingleClassReturnsHalf) {
+  EXPECT_DOUBLE_EQ(AucOf({1, 1}, {0.3, 0.7}), 0.5);
+  EXPECT_DOUBLE_EQ(AucOf({0, 0}, {0.3, 0.7}), 0.5);
+}
+
+TEST(AucTest, MatchesPairCountingDefinition) {
+  // Eq. 12 inner term: fraction of (pos, neg) pairs ranked correctly.
+  std::vector<float> labels = {1, 0, 0, 1, 0};
+  std::vector<double> scores = {0.9, 0.7, 0.3, 0.4, 0.5};
+  int correct = 0, total = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    for (size_t j = 0; j < labels.size(); ++j) {
+      if (labels[i] > 0.5f && labels[j] < 0.5f) {
+        ++total;
+        if (scores[i] > scores[j]) ++correct;
+      }
+    }
+  }
+  EXPECT_NEAR(AucOf(labels, scores),
+              static_cast<double>(correct) / total, 1e-12);
+}
+
+TEST(NdcgTest, PerfectRankingIsOne) {
+  EXPECT_DOUBLE_EQ(NdcgOf({1, 0, 0}, {0.9, 0.5, 0.1}, 0), 1.0);
+}
+
+TEST(NdcgTest, WorstRankingMatchesHandComputation) {
+  // Positive ranked last of three: DCG = 1/log2(4), IDCG = 1/log2(2).
+  double expected = (1.0 / std::log2(4.0)) / (1.0 / std::log2(2.0));
+  EXPECT_NEAR(NdcgOf({1, 0, 0}, {0.1, 0.5, 0.9}, 0), expected, 1e-12);
+}
+
+TEST(NdcgTest, CutoffIgnoresTail) {
+  // Positive at rank 3 with k=2 -> DCG@2 = 0.
+  EXPECT_DOUBLE_EQ(NdcgOf({1, 0, 0}, {0.1, 0.5, 0.9}, 2), 0.0);
+}
+
+TEST(NdcgTest, AllNegativeIsZero) {
+  EXPECT_DOUBLE_EQ(NdcgOf({0, 0}, {0.5, 0.6}, 0), 0.0);
+}
+
+TEST(EvaluateRankingTest, GroupsBySession) {
+  std::vector<Example> examples = {
+      Ex(1, 1.0f), Ex(1, 0.0f),  // Session 1: perfect.
+      Ex(2, 1.0f), Ex(2, 0.0f),  // Session 2: inverted.
+  };
+  std::vector<double> scores = {0.9, 0.1, 0.2, 0.8};
+  RankingEvaluation eval = EvaluateRanking(examples, scores);
+  EXPECT_EQ(eval.num_sessions, 2);
+  ASSERT_EQ(eval.session_auc.size(), 2u);
+  EXPECT_DOUBLE_EQ(eval.auc, 0.5);  // (1.0 + 0.0) / 2.
+}
+
+TEST(EvaluateRankingTest, SkipsSingleClassSessionsForAuc) {
+  std::vector<Example> examples = {
+      Ex(1, 1.0f), Ex(1, 0.0f),
+      Ex(2, 0.0f), Ex(2, 0.0f),  // No positives: excluded from AUC.
+  };
+  std::vector<double> scores = {0.9, 0.1, 0.5, 0.4};
+  RankingEvaluation eval = EvaluateRanking(examples, scores);
+  EXPECT_EQ(eval.session_auc.size(), 1u);
+  EXPECT_EQ(eval.session_ndcg.size(), 2u);  // NDCG keeps both.
+}
+
+TEST(EvaluateRankingTest, AtKRestrictsToTopItems) {
+  // 12 items, positive ranked 11th: AUC@10 ignores it entirely (the
+  // top-10 have one class -> 0.5), NDCG@10 is 0.
+  std::vector<Example> examples;
+  std::vector<double> scores;
+  for (int i = 0; i < 12; ++i) {
+    examples.push_back(Ex(1, i == 10 ? 1.0f : 0.0f));
+    scores.push_back(1.0 - 0.05 * i);
+  }
+  RankingEvaluation eval = EvaluateRanking(examples, scores, /*k=*/10);
+  EXPECT_DOUBLE_EQ(eval.auc_at_k, 0.5);
+  EXPECT_DOUBLE_EQ(eval.ndcg_at_k, 0.0);
+  EXPECT_GT(eval.auc, 0.0);
+}
+
+TEST(PairedTTestTest, IdenticalVectorsGivePOne) {
+  std::vector<double> a = {0.5, 0.6, 0.7, 0.8};
+  EXPECT_DOUBLE_EQ(PairedTTestPValue(a, a), 1.0);
+}
+
+TEST(PairedTTestTest, ClearDifferenceGivesSmallP) {
+  Rng rng(1);
+  std::vector<double> a, b;
+  for (int i = 0; i < 200; ++i) {
+    double base = rng.Uniform();
+    a.push_back(base + 0.05 + rng.Normal(0, 0.01));
+    b.push_back(base);
+  }
+  EXPECT_LT(PairedTTestPValue(a, b), 1e-6);
+}
+
+TEST(PairedTTestTest, NoiseGivesLargeP) {
+  Rng rng(2);
+  std::vector<double> a, b;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back(rng.Normal(0.5, 0.1));
+    b.push_back(rng.Normal(0.5, 0.1));
+  }
+  EXPECT_GT(PairedTTestPValue(a, b), 0.01);
+}
+
+TEST(PairedTTestTest, SymmetricInSign) {
+  Rng rng(3);
+  std::vector<double> a, b;
+  for (int i = 0; i < 50; ++i) {
+    double base = rng.Uniform();
+    a.push_back(base + 0.1 + rng.Normal(0, 0.05));
+    b.push_back(base);
+  }
+  EXPECT_NEAR(PairedTTestPValue(a, b), PairedTTestPValue(b, a), 1e-12);
+}
+
+TEST(PairedBootstrapTest, AgreesWithTTestDirectionally) {
+  Rng rng(4);
+  std::vector<double> a, b;
+  for (int i = 0; i < 150; ++i) {
+    double base = rng.Uniform();
+    a.push_back(base + 0.08 + rng.Normal(0, 0.02));
+    b.push_back(base);
+  }
+  double p_boot = PairedBootstrapPValue(a, b, 500, 5);
+  double p_t = PairedTTestPValue(a, b);
+  EXPECT_LT(p_boot, 0.05);
+  EXPECT_LT(p_t, 0.05);
+}
+
+TEST(SessionPValueTest, AlignsOnCommonIds) {
+  std::vector<int64_t> ids_a = {1, 2, 3, 4};
+  std::vector<double> values_a = {0.8, 0.9, 0.7, 0.6};
+  std::vector<int64_t> ids_b = {2, 3, 4, 5};
+  std::vector<double> values_b = {0.9, 0.7, 0.6, 0.5};
+  // Common ids 2,3,4 have identical values -> p = 1.
+  EXPECT_DOUBLE_EQ(SessionPValue(ids_a, values_a, ids_b, values_b), 1.0);
+}
+
+TEST(SessionPValueTest, NoOverlapReturnsOne) {
+  EXPECT_DOUBLE_EQ(SessionPValue({1}, {0.5}, {2}, {0.6}), 1.0);
+}
+
+TEST(OverallAucTest, PooledComputation) {
+  EXPECT_DOUBLE_EQ(OverallAuc({1, 0, 1, 0}, {0.9, 0.2, 0.8, 0.3}), 1.0);
+}
+
+}  // namespace
+}  // namespace awmoe

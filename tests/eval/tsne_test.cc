@@ -1,0 +1,131 @@
+#include "eval/tsne.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/cluster_metrics.h"
+#include "util/rng.h"
+
+namespace awmoe {
+namespace {
+
+/// Three well-separated Gaussian blobs in 6-D.
+Matrix MakeBlobs(int64_t per_blob, std::vector<int64_t>* labels,
+                 uint64_t seed) {
+  Rng rng(seed);
+  Matrix points(3 * per_blob, 6);
+  labels->clear();
+  for (int64_t blob = 0; blob < 3; ++blob) {
+    for (int64_t i = 0; i < per_blob; ++i) {
+      int64_t row = blob * per_blob + i;
+      for (int64_t c = 0; c < 6; ++c) {
+        double center = (c == blob) ? 8.0 : 0.0;
+        points(row, c) = static_cast<float>(rng.Normal(center, 0.5));
+      }
+      labels->push_back(blob);
+    }
+  }
+  return points;
+}
+
+TEST(TsneTest, OutputShapeAndFiniteness) {
+  std::vector<int64_t> labels;
+  Matrix points = MakeBlobs(20, &labels, 1);
+  TsneOptions options;
+  options.iterations = 150;
+  Matrix embedding = TsneEmbed(points, options);
+  EXPECT_EQ(embedding.rows(), 60);
+  EXPECT_EQ(embedding.cols(), 2);
+  for (int64_t i = 0; i < embedding.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(embedding.data()[i]));
+  }
+}
+
+TEST(TsneTest, SeparatedBlobsStaySeparated) {
+  std::vector<int64_t> labels;
+  Matrix points = MakeBlobs(25, &labels, 2);
+  TsneOptions options;
+  options.iterations = 300;
+  options.perplexity = 15.0;
+  Matrix embedding = TsneEmbed(points, options);
+  ClusterSeparation separation =
+      ComputeClusterSeparation(embedding, labels);
+  EXPECT_GT(separation.centroid_accuracy, 0.9);
+  EXPECT_GT(separation.silhouette, 0.3);
+}
+
+TEST(TsneTest, DeterministicForSeed) {
+  std::vector<int64_t> labels;
+  Matrix points = MakeBlobs(10, &labels, 3);
+  TsneOptions options;
+  options.iterations = 100;
+  Matrix a = TsneEmbed(points, options);
+  Matrix b = TsneEmbed(points, options);
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+TEST(TsneTest, EmbeddingIsCentred) {
+  std::vector<int64_t> labels;
+  Matrix points = MakeBlobs(15, &labels, 4);
+  TsneOptions options;
+  options.iterations = 120;
+  Matrix embedding = TsneEmbed(points, options);
+  double mean0 = 0.0, mean1 = 0.0;
+  for (int64_t i = 0; i < embedding.rows(); ++i) {
+    mean0 += embedding(i, 0);
+    mean1 += embedding(i, 1);
+  }
+  EXPECT_NEAR(mean0 / embedding.rows(), 0.0, 1e-3);
+  EXPECT_NEAR(mean1 / embedding.rows(), 0.0, 1e-3);
+}
+
+TEST(TsneTest, HandlesSmallPerplexityCorrection) {
+  // n = 8 forces the perplexity clamp; must not crash or NaN.
+  Rng rng(5);
+  Matrix points(8, 3);
+  for (int64_t i = 0; i < points.size(); ++i) {
+    points.data()[i] = static_cast<float>(rng.Normal());
+  }
+  TsneOptions options;
+  options.iterations = 50;
+  options.perplexity = 30.0;
+  Matrix embedding = TsneEmbed(points, options);
+  for (int64_t i = 0; i < embedding.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(embedding.data()[i]));
+  }
+}
+
+TEST(ClusterMetricsTest, PerfectSeparationScoresHigh) {
+  Matrix points(20, 2);
+  std::vector<int64_t> labels;
+  for (int64_t i = 0; i < 20; ++i) {
+    bool second = i >= 10;
+    points(i, 0) = second ? 10.0f : 0.0f;
+    points(i, 1) = static_cast<float>(i % 10) * 0.1f;
+    labels.push_back(second ? 1 : 0);
+  }
+  ClusterSeparation separation = ComputeClusterSeparation(points, labels);
+  EXPECT_EQ(separation.centroid_accuracy, 1.0);
+  EXPECT_GT(separation.silhouette, 0.8);
+  EXPECT_GT(separation.separation_ratio, 5.0);
+}
+
+TEST(ClusterMetricsTest, RandomLabelsScoreLow) {
+  Rng rng(6);
+  Matrix points(60, 2);
+  std::vector<int64_t> labels;
+  for (int64_t i = 0; i < 60; ++i) {
+    points(i, 0) = static_cast<float>(rng.Normal());
+    points(i, 1) = static_cast<float>(rng.Normal());
+    labels.push_back(rng.UniformInt(3));
+  }
+  ClusterSeparation separation = ComputeClusterSeparation(points, labels);
+  EXPECT_LT(separation.silhouette, 0.15);
+  EXPECT_LT(separation.centroid_accuracy, 0.7);
+}
+
+}  // namespace
+}  // namespace awmoe

@@ -1,0 +1,161 @@
+#include "gbdt/gbdt.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "util/rng.h"
+
+namespace awmoe {
+namespace {
+
+/// Labels depend on feature 0 (strongly), feature 2 (weakly); features 1,
+/// 3 are noise.
+void MakeDataset(int64_t n, Matrix* x, std::vector<float>* y,
+                 uint64_t seed) {
+  Rng rng(seed);
+  *x = Matrix(n, 4);
+  y->resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t c = 0; c < 4; ++c) {
+      (*x)(i, c) = static_cast<float>(rng.Normal());
+    }
+    double margin = 2.0 * (*x)(i, 0) + 0.6 * (*x)(i, 2);
+    double p = 1.0 / (1.0 + std::exp(-margin));
+    (*y)[static_cast<size_t>(i)] = rng.Bernoulli(p) ? 1.0f : 0.0f;
+  }
+}
+
+TEST(GbdtTest, LearnsSeparableProblem) {
+  Matrix x;
+  std::vector<float> y;
+  MakeDataset(2000, &x, &y, 1);
+  GbdtClassifier model;
+  ASSERT_TRUE(model.Fit(x, y).ok());
+
+  Matrix x_test;
+  std::vector<float> y_test;
+  MakeDataset(500, &x_test, &y_test, 2);
+  std::vector<double> probs = model.PredictProba(x_test);
+  EXPECT_GT(AucOf(y_test, probs), 0.85);
+}
+
+TEST(GbdtTest, FeatureImportanceIdentifiesSignal) {
+  Matrix x;
+  std::vector<float> y;
+  MakeDataset(2000, &x, &y, 3);
+  GbdtClassifier model;
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  std::vector<double> importance = model.FeatureImportanceGain();
+  ASSERT_EQ(importance.size(), 4u);
+  // Feature 0 dominates; noise features are negligible.
+  EXPECT_GT(importance[0], importance[1]);
+  EXPECT_GT(importance[0], importance[3]);
+  EXPECT_GT(importance[0], importance[2]);
+  EXPECT_GT(importance[2], importance[1]);
+  EXPECT_GT(importance[0], 0.5);
+}
+
+TEST(GbdtTest, ImportancesSumToOne) {
+  Matrix x;
+  std::vector<float> y;
+  MakeDataset(800, &x, &y, 4);
+  GbdtClassifier model;
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  std::vector<double> importance = model.FeatureImportanceGain();
+  double total = 0.0;
+  for (double v : importance) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(GbdtTest, ProbabilitiesInUnitInterval) {
+  Matrix x;
+  std::vector<float> y;
+  MakeDataset(500, &x, &y, 5);
+  GbdtClassifier model;
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  for (double p : model.PredictProba(x)) {
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+  }
+}
+
+TEST(GbdtTest, RejectsSingleClass) {
+  Matrix x(10, 2);
+  std::vector<float> y(10, 1.0f);
+  GbdtClassifier model;
+  EXPECT_EQ(model.Fit(x, y).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GbdtTest, RejectsSizeMismatch) {
+  Matrix x(10, 2);
+  std::vector<float> y(9, 0.0f);
+  GbdtClassifier model;
+  EXPECT_EQ(model.Fit(x, y).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GbdtTest, MoreTreesFitBetterOnTrain) {
+  Matrix x;
+  std::vector<float> y;
+  MakeDataset(600, &x, &y, 6);
+
+  GbdtConfig small;
+  small.num_trees = 3;
+  GbdtClassifier few(small);
+  ASSERT_TRUE(few.Fit(x, y).ok());
+
+  GbdtConfig large;
+  large.num_trees = 40;
+  GbdtClassifier many(large);
+  ASSERT_TRUE(many.Fit(x, y).ok());
+
+  EXPECT_GT(AucOf(y, many.PredictProba(x)), AucOf(y, few.PredictProba(x)));
+}
+
+TEST(GbdtTest, DepthOneIsStumps) {
+  Matrix x;
+  std::vector<float> y;
+  MakeDataset(600, &x, &y, 7);
+  GbdtConfig config;
+  config.max_depth = 1;
+  GbdtClassifier model(config);
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  // Stumps still learn the dominant feature.
+  EXPECT_GT(AucOf(y, model.PredictProba(x)), 0.75);
+}
+
+TEST(GbdtTest, InteractionRequiresDepth) {
+  // XOR-of-signs: depth-1 stumps cannot fit, depth-3 can.
+  Rng rng(8);
+  Matrix x(1500, 2);
+  std::vector<float> y(1500);
+  for (int64_t i = 0; i < 1500; ++i) {
+    x(i, 0) = static_cast<float>(rng.Normal());
+    x(i, 1) = static_cast<float>(rng.Normal());
+    bool positive = (x(i, 0) > 0) != (x(i, 1) > 0);
+    y[static_cast<size_t>(i)] = positive ? 1.0f : 0.0f;
+  }
+  GbdtConfig stump_config;
+  stump_config.max_depth = 1;
+  stump_config.num_trees = 20;
+  GbdtClassifier stumps(stump_config);
+  ASSERT_TRUE(stumps.Fit(x, y).ok());
+
+  GbdtConfig deep_config;
+  deep_config.max_depth = 3;
+  deep_config.num_trees = 20;
+  GbdtClassifier deep(deep_config);
+  ASSERT_TRUE(deep.Fit(x, y).ok());
+
+  double stump_auc = AucOf(y, stumps.PredictProba(x));
+  double deep_auc = AucOf(y, deep.PredictProba(x));
+  EXPECT_LT(stump_auc, 0.6);
+  EXPECT_GT(deep_auc, 0.9);
+}
+
+}  // namespace
+}  // namespace awmoe

@@ -1,0 +1,198 @@
+// Integration tests: the full pipeline — synthetic corpus -> training ->
+// evaluation — exercised across modules, asserting the learning-dynamics
+// properties the benches rely on.
+
+#include <gtest/gtest.h>
+
+#include "core/aw_moe.h"
+#include "core/trainer.h"
+#include "data/amazon_synthetic.h"
+#include "data/jd_synthetic.h"
+#include "eval/metrics.h"
+#include "models/category_moe.h"
+#include "models/dnn_ranker.h"
+
+namespace awmoe {
+namespace {
+
+ModelDims SmallDims() {
+  ModelDims dims;
+  dims.emb_dim = 6;
+  dims.tower_mlp = {16, 12};
+  dims.activation_unit = {8, 6};
+  dims.gate_unit = {8, 6};
+  dims.expert = {32, 16};
+  dims.num_experts = 4;
+  return dims;
+}
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    JdConfig jd;
+    jd.num_users = 1200;
+    jd.num_items = 600;
+    jd.num_categories = 12;
+    jd.brands_per_category = 5;
+    jd.num_shops = 30;
+    jd.train_sessions = 2500;
+    jd.test_sessions = 250;
+    jd.longtail1_sessions = 80;
+    jd.longtail2_sessions = 80;
+    jd.seed = 20230608;
+    data_ = new JdDataset(JdSyntheticGenerator(jd).Generate());
+    standardizer_ = new Standardizer();
+    standardizer_->Fit(data_->train);
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    delete standardizer_;
+    data_ = nullptr;
+    standardizer_ = nullptr;
+  }
+
+  static double TrainAndEvaluate(Ranker* model, int64_t epochs,
+                                 bool contrastive = false) {
+    TrainerConfig config;
+    config.epochs = epochs;
+    config.batch_size = 128;
+    config.lr = 3e-3f;
+    config.weight_decay = 3e-4f;
+    config.contrastive = contrastive;
+    Trainer trainer(model, config);
+    trainer.Train(data_->train, data_->meta, standardizer_);
+    auto scores =
+        Predict(model, data_->full_test, data_->meta, standardizer_);
+    return EvaluateRanking(data_->full_test, scores).auc;
+  }
+
+  static JdDataset* data_;
+  static Standardizer* standardizer_;
+};
+
+JdDataset* EndToEndTest::data_ = nullptr;
+Standardizer* EndToEndTest::standardizer_ = nullptr;
+
+TEST_F(EndToEndTest, AwMoeLearnsWellAboveChance) {
+  Rng rng(1);
+  AwMoeConfig config;
+  config.dims = SmallDims();
+  AwMoeRanker model(data_->meta, config, &rng);
+  double auc = TrainAndEvaluate(&model, 2);
+  EXPECT_GT(auc, 0.65) << "AW-MoE must learn the synthetic structure";
+}
+
+TEST_F(EndToEndTest, ContrastiveTrainingDoesNotHurtOverall) {
+  Rng rng(2);
+  AwMoeConfig config;
+  config.dims = SmallDims();
+  AwMoeRanker model(data_->meta, config, &rng);
+  double auc = TrainAndEvaluate(&model, 2, /*contrastive=*/true);
+  EXPECT_GT(auc, 0.64);
+}
+
+TEST_F(EndToEndTest, OracleBeatsEveryModel) {
+  std::vector<double> oracle;
+  for (const Example& ex : data_->full_test) {
+    oracle.push_back(ex.oracle_utility);
+  }
+  double oracle_auc = EvaluateRanking(data_->full_test, oracle).auc;
+  EXPECT_GT(oracle_auc, 0.8);
+
+  Rng rng(3);
+  DnnRanker dnn(data_->meta, SmallDims(), &rng);
+  double dnn_auc = TrainAndEvaluate(&dnn, 2);
+  EXPECT_GT(oracle_auc, dnn_auc);
+}
+
+TEST_F(EndToEndTest, AmazonRecommendationPipelineLearns) {
+  AmazonConfig config;
+  config.num_users = 3000;
+  config.num_items = 800;
+  config.num_categories = 10;
+  config.brands_per_category = 4;
+  config.seed = 5;
+  AmazonDataset data = AmazonSyntheticGenerator(config).Generate();
+  Standardizer standardizer;
+  standardizer.Fit(data.train);
+
+  Rng rng(6);
+  AwMoeConfig aw_config;
+  aw_config.dims = SmallDims();
+  AwMoeRanker model(data.meta, aw_config, &rng);
+  TrainerConfig tc;
+  tc.epochs = 2;
+  tc.batch_size = 128;
+  tc.lr = 3e-3f;
+  Trainer trainer(&model, tc);
+  trainer.Train(data.train, data.meta, &standardizer);
+
+  auto scores = Predict(&model, data.test, data.meta, &standardizer);
+  std::vector<float> labels;
+  for (const Example& ex : data.test) labels.push_back(ex.label);
+  EXPECT_GT(OverallAuc(labels, scores), 0.6);
+}
+
+TEST_F(EndToEndTest, GateRepresentationsDifferAcrossUserGroups) {
+  // The Fig. 7 premise: after training, new users and experienced users
+  // produce different gate activations on average.
+  Rng rng(7);
+  AwMoeConfig config;
+  config.dims = SmallDims();
+  AwMoeRanker model(data_->meta, config, &rng);
+  TrainAndEvaluate(&model, 2);
+
+  NoGradGuard guard;
+  std::vector<double> new_user_gate, old_user_gate;
+  int64_t taken_new = 0, taken_old = 0;
+  for (const Example& ex : data_->full_test) {
+    bool is_new = ex.user_group == UserGroup::kNewUser;
+    if ((is_new && taken_new >= 40) || (!is_new && taken_old >= 40)) {
+      continue;
+    }
+    Batch one = CollateBatch({&ex}, data_->meta, standardizer_);
+    Matrix g = model.GateRepresentation(one).value();
+    double norm_sq = 0.0;
+    for (int64_t k = 0; k < g.cols(); ++k) {
+      norm_sq += static_cast<double>(g(0, k)) * g(0, k);
+    }
+    if (is_new) {
+      new_user_gate.push_back(norm_sq);
+      ++taken_new;
+    } else {
+      old_user_gate.push_back(norm_sq);
+      ++taken_old;
+    }
+  }
+  ASSERT_GT(new_user_gate.size(), 5u);
+  ASSERT_GT(old_user_gate.size(), 5u);
+  double mean_new = 0.0, mean_old = 0.0;
+  for (double v : new_user_gate) mean_new += v;
+  for (double v : old_user_gate) mean_old += v;
+  mean_new /= new_user_gate.size();
+  mean_old /= old_user_gate.size();
+  EXPECT_NE(mean_new, mean_old);
+  // New users all share the bias-only gate: zero variance.
+  double var_new = 0.0;
+  for (double v : new_user_gate) {
+    var_new += (v - mean_new) * (v - mean_new);
+  }
+  EXPECT_NEAR(var_new / new_user_gate.size(), 0.0, 1e-6);
+}
+
+TEST_F(EndToEndTest, PaperScaleDimsConstructAndForward) {
+  // The published layer sizes must work even if benches default smaller.
+  Rng rng(8);
+  AwMoeConfig config;
+  config.dims = ModelDims::PaperScale();
+  AwMoeRanker model(data_->meta, config, &rng);
+  std::vector<const Example*> slice = {&data_->full_test[0],
+                                       &data_->full_test[1]};
+  Batch batch = CollateBatch(slice, data_->meta, standardizer_);
+  Var logits = model.ForwardLogits(batch);
+  EXPECT_EQ(logits.rows(), 2);
+  EXPECT_GT(model.NumParameters(), 500000);
+}
+
+}  // namespace
+}  // namespace awmoe

@@ -1,0 +1,87 @@
+#include "mat/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace awmoe {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, ConstructorZeroInitialises) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.size(), 12);
+  for (int64_t r = 0; r < 3; ++r) {
+    for (int64_t c = 0; c < 4; ++c) EXPECT_EQ(m(r, c), 0.0f);
+  }
+}
+
+TEST(MatrixTest, FullFillsValue) {
+  Matrix m = Matrix::Full(2, 2, 3.5f);
+  EXPECT_EQ(m(0, 0), 3.5f);
+  EXPECT_EQ(m(1, 1), 3.5f);
+}
+
+TEST(MatrixTest, FromVectorRowMajor) {
+  Matrix m = Matrix::FromVector(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(m(0, 0), 1.0f);
+  EXPECT_EQ(m(0, 2), 3.0f);
+  EXPECT_EQ(m(1, 0), 4.0f);
+  EXPECT_EQ(m(1, 2), 6.0f);
+}
+
+TEST(MatrixTest, RowAndColVectors) {
+  Matrix r = Matrix::RowVector({1, 2, 3});
+  EXPECT_EQ(r.rows(), 1);
+  EXPECT_EQ(r.cols(), 3);
+  Matrix c = Matrix::ColVector({1, 2, 3});
+  EXPECT_EQ(c.rows(), 3);
+  EXPECT_EQ(c.cols(), 1);
+}
+
+TEST(MatrixTest, RowPointerAccess) {
+  Matrix m = Matrix::FromVector(2, 2, {1, 2, 3, 4});
+  const float* row1 = m.row(1);
+  EXPECT_EQ(row1[0], 3.0f);
+  EXPECT_EQ(row1[1], 4.0f);
+  m.row(0)[1] = 9.0f;
+  EXPECT_EQ(m(0, 1), 9.0f);
+}
+
+TEST(MatrixTest, CopyIsDeep) {
+  Matrix a = Matrix::Full(2, 2, 1.0f);
+  Matrix b = a;
+  b(0, 0) = 5.0f;
+  EXPECT_EQ(a(0, 0), 1.0f);
+  EXPECT_EQ(b(0, 0), 5.0f);
+}
+
+TEST(MatrixTest, SameShape) {
+  EXPECT_TRUE(Matrix(2, 3).SameShape(Matrix(2, 3)));
+  EXPECT_FALSE(Matrix(2, 3).SameShape(Matrix(3, 2)));
+}
+
+TEST(MatrixTest, FillAndSetZero) {
+  Matrix m(2, 2);
+  m.Fill(7.0f);
+  EXPECT_EQ(m(1, 0), 7.0f);
+  m.SetZero();
+  EXPECT_EQ(m(1, 0), 0.0f);
+}
+
+TEST(MatrixTest, ShapeString) {
+  EXPECT_EQ(Matrix(3, 5).ShapeString(), "3x5");
+}
+
+TEST(MatrixDeathTest, FromVectorSizeMismatchChecks) {
+  EXPECT_DEATH(Matrix::FromVector(2, 2, {1, 2, 3}), "FromVector");
+}
+
+}  // namespace
+}  // namespace awmoe

@@ -1,0 +1,63 @@
+#include "nn/linear.h"
+
+#include <gtest/gtest.h>
+
+#include "mat/kernels.h"
+#include "util/rng.h"
+
+namespace awmoe {
+namespace {
+
+TEST(LinearTest, OutputShape) {
+  Rng rng(1);
+  Linear layer(8, 3, &rng);
+  Var x(Matrix::Full(5, 8, 0.1f));
+  Var y = layer.Forward(x);
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), 3);
+}
+
+TEST(LinearTest, BiasStartsZeroWeightsNot) {
+  Rng rng(2);
+  Linear layer(4, 4, &rng);
+  EXPECT_TRUE(AllClose(layer.bias().value(), Matrix(1, 4), 0.0f));
+  EXPECT_GT(Norm(layer.weight().value()), 0.0);
+}
+
+TEST(LinearTest, ForwardMatchesManualComputation) {
+  Rng rng(3);
+  Linear layer(2, 2, &rng);
+  Var x(Matrix::FromVector(1, 2, {1.0f, 2.0f}));
+  Matrix expected = AddRowBroadcast(
+      MatMul(x.value(), layer.weight().value()), layer.bias().value());
+  EXPECT_TRUE(AllClose(layer.Forward(x).value(), expected, 1e-6f));
+}
+
+TEST(LinearTest, ParametersCollected) {
+  Rng rng(4);
+  Linear layer(3, 2, &rng);
+  auto params = layer.Parameters();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(layer.NumParameters(), 3 * 2 + 2);
+  for (const Var& p : params) EXPECT_TRUE(p.requires_grad());
+}
+
+TEST(LinearTest, GradientsFlowToParameters) {
+  Rng rng(5);
+  Linear layer(3, 1, &rng);
+  Var x(Matrix::Full(4, 3, 1.0f));
+  Var loss = ag::MeanAll(layer.Forward(x));
+  loss.Backward();
+  EXPECT_TRUE(layer.weight().has_grad());
+  EXPECT_TRUE(layer.bias().has_grad());
+}
+
+TEST(LinearDeathTest, WrongInputDimChecks) {
+  Rng rng(6);
+  Linear layer(3, 2, &rng);
+  Var x(Matrix(2, 5));
+  EXPECT_DEATH(layer.Forward(x), "input dim");
+}
+
+}  // namespace
+}  // namespace awmoe

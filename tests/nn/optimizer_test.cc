@@ -1,0 +1,147 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "mat/kernels.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+#include "util/rng.h"
+
+namespace awmoe {
+namespace {
+
+// Minimises f(w) = mean((w - target)^2) and returns final w for a 1-element
+// parameter, to verify each optimizer actually descends.
+template <typename MakeOpt>
+float MinimiseQuadratic(MakeOpt make_opt, int steps) {
+  Var w(Matrix::Full(1, 1, 5.0f), /*requires_grad=*/true);
+  auto opt = make_opt(std::vector<Var>{w});
+  for (int i = 0; i < steps; ++i) {
+    opt->ZeroGrad();
+    Var diff = ag::AddScalar(w, -2.0f);  // target = 2.
+    Var loss = ag::MeanAll(ag::Mul(diff, diff));
+    loss.Backward();
+    opt->Step();
+  }
+  return w.value()(0, 0);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  float w = MinimiseQuadratic(
+      [](std::vector<Var> p) {
+        return std::make_unique<Sgd>(std::move(p), 0.1f);
+      },
+      200);
+  EXPECT_NEAR(w, 2.0f, 1e-3f);
+}
+
+TEST(SgdTest, MomentumConverges) {
+  float w = MinimiseQuadratic(
+      [](std::vector<Var> p) {
+        return std::make_unique<Sgd>(std::move(p), 0.05f, 0.9f);
+      },
+      300);
+  EXPECT_NEAR(w, 2.0f, 1e-2f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  float w = MinimiseQuadratic(
+      [](std::vector<Var> p) {
+        return std::make_unique<Adam>(std::move(p), 0.1f);
+      },
+      500);
+  EXPECT_NEAR(w, 2.0f, 1e-2f);
+}
+
+TEST(AdamWTest, ConvergesOnQuadratic) {
+  float w = MinimiseQuadratic(
+      [](std::vector<Var> p) {
+        return std::make_unique<AdamW>(std::move(p), 0.1f, 1e-4f);
+      },
+      500);
+  EXPECT_NEAR(w, 2.0f, 5e-2f);
+}
+
+TEST(AdamWTest, DecayShrinksUnusedDirection) {
+  // With pure decay (zero gradient), AdamW shrinks weights; Adam leaves
+  // them, since its decay is coupled through the gradient (none here).
+  Var w_adamw(Matrix::Full(1, 1, 1.0f), true);
+  AdamW adamw({w_adamw}, /*lr=*/0.1f, /*weight_decay=*/0.5f);
+  // Give it a zero gradient so only decay acts.
+  internal_ag::AccumulateGrad(w_adamw.impl().get(), Matrix(1, 1));
+  adamw.Step();
+  EXPECT_LT(w_adamw.value()(0, 0), 1.0f);
+}
+
+TEST(OptimizerTest, SkipsParamsWithoutGrad) {
+  Var used(Matrix::Full(1, 1, 1.0f), true);
+  Var unused(Matrix::Full(1, 1, 1.0f), true);
+  Sgd opt({used, unused}, 0.5f);
+  ag::MeanAll(ag::Mul(used, used)).Backward();
+  opt.Step();
+  EXPECT_NE(used.value()(0, 0), 1.0f);
+  EXPECT_EQ(unused.value()(0, 0), 1.0f);
+}
+
+TEST(OptimizerTest, ZeroGradClearsAll) {
+  Var a(Matrix::Full(1, 1, 1.0f), true);
+  Sgd opt({a}, 0.1f);
+  ag::MeanAll(ag::Mul(a, a)).Backward();
+  EXPECT_TRUE(a.has_grad());
+  opt.ZeroGrad();
+  EXPECT_FALSE(a.has_grad());
+}
+
+TEST(ClipGradNormTest, ClipsLargeGradients) {
+  Var a(Matrix::Full(1, 2, 1.0f), true);
+  internal_ag::AccumulateGrad(a.impl().get(),
+                              Matrix::FromVector(1, 2, {3.0f, 4.0f}));
+  std::vector<Var> params = {a};
+  double pre = ClipGradNorm(&params, 1.0);
+  EXPECT_NEAR(pre, 5.0, 1e-6);
+  EXPECT_NEAR(Norm(a.grad()), 1.0, 1e-5);
+}
+
+TEST(ClipGradNormTest, LeavesSmallGradientsAlone) {
+  Var a(Matrix::Full(1, 2, 1.0f), true);
+  internal_ag::AccumulateGrad(a.impl().get(),
+                              Matrix::FromVector(1, 2, {0.3f, 0.4f}));
+  std::vector<Var> params = {a};
+  ClipGradNorm(&params, 1.0);
+  EXPECT_NEAR(Norm(a.grad()), 0.5, 1e-6);
+}
+
+TEST(TrainingIntegrationTest, MlpLearnsXor) {
+  // End-to-end learning sanity: a small MLP must fit XOR.
+  Rng rng(42);
+  Mlp mlp(2, {8, 1}, &rng);
+  AdamW opt(mlp.Parameters(), 0.05f, 0.0f);
+
+  Matrix x = Matrix::FromVector(4, 2, {0, 0, 0, 1, 1, 0, 1, 1});
+  Matrix y = Matrix::ColVector({0, 1, 1, 0});
+
+  float final_loss = 1e9f;
+  for (int epoch = 0; epoch < 800; ++epoch) {
+    opt.ZeroGrad();
+    Var logits = mlp.Forward(Var(x));
+    Var loss = ag::BceWithLogitsLoss(logits, y);
+    loss.Backward();
+    opt.Step();
+    final_loss = loss.value()(0, 0);
+  }
+  EXPECT_LT(final_loss, 0.1f);
+
+  // Predictions on all four corners must be on the right side of 0.5.
+  NoGradGuard guard;
+  Matrix probs = Sigmoid(mlp.Forward(Var(x)).value());
+  EXPECT_LT(probs(0, 0), 0.5f);
+  EXPECT_GT(probs(1, 0), 0.5f);
+  EXPECT_GT(probs(2, 0), 0.5f);
+  EXPECT_LT(probs(3, 0), 0.5f);
+}
+
+}  // namespace
+}  // namespace awmoe

@@ -1,0 +1,62 @@
+#include "util/csv_writer.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace awmoe {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class CsvWriterTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "/awmoe_csv_test.csv";
+};
+
+TEST_F(CsvWriterTest, WritesRows) {
+  CsvWriter writer;
+  ASSERT_TRUE(writer.Open(path_).ok());
+  ASSERT_TRUE(writer.WriteRow({"x", "y"}).ok());
+  ASSERT_TRUE(writer.WriteRow({"1", "2.5"}).ok());
+  ASSERT_TRUE(writer.Close().ok());
+  EXPECT_EQ(ReadFile(path_), "x,y\n1,2.5\n");
+}
+
+TEST_F(CsvWriterTest, QuotesSpecialCharacters) {
+  CsvWriter writer;
+  ASSERT_TRUE(writer.Open(path_).ok());
+  ASSERT_TRUE(writer.WriteRow({"a,b", "he said \"hi\"", "line\nbreak"}).ok());
+  ASSERT_TRUE(writer.Close().ok());
+  EXPECT_EQ(ReadFile(path_), "\"a,b\",\"he said \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST_F(CsvWriterTest, WriteBeforeOpenFails) {
+  CsvWriter writer;
+  EXPECT_EQ(writer.WriteRow({"x"}).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CsvWriterTest, OpenBadPathFails) {
+  CsvWriter writer;
+  EXPECT_EQ(writer.Open("/nonexistent-dir/x.csv").code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(CsvWriterTest, EmptyRowProducesBlankLine) {
+  CsvWriter writer;
+  ASSERT_TRUE(writer.Open(path_).ok());
+  ASSERT_TRUE(writer.WriteRow({}).ok());
+  ASSERT_TRUE(writer.Close().ok());
+  EXPECT_EQ(ReadFile(path_), "\n");
+}
+
+}  // namespace
+}  // namespace awmoe

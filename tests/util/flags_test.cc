@@ -1,0 +1,117 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace awmoe {
+namespace {
+
+// Builds a mutable argv from string literals.
+class ArgvBuilder {
+ public:
+  explicit ArgvBuilder(std::vector<std::string> args)
+      : storage_(std::move(args)) {
+    storage_.insert(storage_.begin(), "prog");
+    for (auto& s : storage_) argv_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(argv_.size()); }
+  char** argv() { return argv_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> argv_;
+};
+
+TEST(FlagsTest, ParsesAllTypes) {
+  int64_t n = 1;
+  double rate = 0.5;
+  std::string name = "default";
+  bool verbose = false;
+
+  FlagSet flags;
+  flags.AddInt("n", &n, "count");
+  flags.AddDouble("rate", &rate, "a rate");
+  flags.AddString("name", &name, "a name");
+  flags.AddBool("verbose", &verbose, "verbosity");
+
+  ArgvBuilder args({"--n=42", "--rate", "0.25", "--name=test", "--verbose"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(n, 42);
+  EXPECT_DOUBLE_EQ(rate, 0.25);
+  EXPECT_EQ(name, "test");
+  EXPECT_TRUE(verbose);
+}
+
+TEST(FlagsTest, DefaultsSurviveWhenUnset) {
+  int64_t n = 7;
+  FlagSet flags;
+  flags.AddInt("n", &n, "count");
+  ArgvBuilder args({});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(n, 7);
+}
+
+TEST(FlagsTest, UnknownFlagIsError) {
+  FlagSet flags;
+  ArgvBuilder args({"--nope=1"});
+  Status s = flags.Parse(args.argc(), args.argv());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, BadIntIsError) {
+  int64_t n = 0;
+  FlagSet flags;
+  flags.AddInt("n", &n, "count");
+  ArgvBuilder args({"--n=abc"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagsTest, BadBoolIsError) {
+  bool b = false;
+  FlagSet flags;
+  flags.AddBool("b", &b, "flag");
+  ArgvBuilder args({"--b=maybe"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagsTest, ExplicitBoolValues) {
+  bool b = true;
+  FlagSet flags;
+  flags.AddBool("b", &b, "flag");
+  ArgvBuilder args({"--b=false"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_FALSE(b);
+}
+
+TEST(FlagsTest, MissingValueIsError) {
+  int64_t n = 0;
+  FlagSet flags;
+  flags.AddInt("n", &n, "count");
+  ArgvBuilder args({"--n"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagsTest, PositionalArgumentIsError) {
+  FlagSet flags;
+  ArgvBuilder args({"stray"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagsTest, HelpReturnsNotFound) {
+  FlagSet flags("test program");
+  ArgvBuilder args({"--help"});
+  EXPECT_EQ(flags.Parse(args.argc(), args.argv()).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(FlagsTest, UsageMentionsFlagsAndDefaults) {
+  int64_t n = 9;
+  FlagSet flags("my tool");
+  flags.AddInt("count", &n, "how many");
+  std::string usage = flags.Usage();
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("9"), std::string::npos);
+  EXPECT_NE(usage.find("how many"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace awmoe

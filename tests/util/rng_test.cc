@@ -1,0 +1,207 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace awmoe {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedDifferentStream) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() != b.NextU64()) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanApproximatesHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntInRangeAndCoversAll) {
+  Rng rng(13);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(5);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformIntWithBounds) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-3, 4);
+    EXPECT_GE(v, -3);
+    EXPECT_LT(v, 4);
+  }
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(19);
+  const int n = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalWithParams) {
+  Rng rng(23);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(31);
+  std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(37);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng(41);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  rng.Shuffle(&v);
+  int moved = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (v[i] != i) ++moved;
+  }
+  EXPECT_GT(moved, 50);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(43);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto sample = rng.SampleWithoutReplacement(20, 10);
+    std::set<int64_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 10u);
+    for (int64_t s : sample) {
+      EXPECT_GE(s, 0);
+      EXPECT_LT(s, 20);
+    }
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullRange) {
+  Rng rng(47);
+  auto sample = rng.SampleWithoutReplacement(5, 5);
+  std::set<int64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(RngTest, ExponentialIsPositiveWithMatchingMean) {
+  Rng rng(53);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Exponential(2.0);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(59);
+  Rng child = a.Fork();
+  // The child should not replay the parent stream.
+  Rng b(59);
+  b.Fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child.NextU64() == a.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(ZipfDistributionTest, UniformWhenExponentZero) {
+  Rng rng(61);
+  ZipfDistribution zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(&rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(c / static_cast<double>(n), 0.1, 0.01);
+  }
+}
+
+TEST(ZipfDistributionTest, HeadHeavierWithLargerExponent) {
+  Rng rng(67);
+  ZipfDistribution zipf(100, 1.2);
+  int head = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Sample(&rng) < 10) ++head;
+  }
+  // With s=1.2 the top-10 of 100 items should carry well over half the mass.
+  EXPECT_GT(head, n / 2);
+}
+
+TEST(ZipfDistributionTest, InRange) {
+  Rng rng(71);
+  ZipfDistribution zipf(7, 0.8);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = zipf.Sample(&rng);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 7);
+  }
+}
+
+}  // namespace
+}  // namespace awmoe
