@@ -11,6 +11,8 @@
 #include "core/trainer.h"
 #include "data/amazon_synthetic.h"
 #include "eval/metrics.h"
+#include "serving/model_registry.h"
+#include "serving/serving_engine.h"
 #include "util/flags.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -67,6 +69,15 @@ int Run(int argc, char** argv) {
   for (const Example& ex : data.test) labels.push_back(ex.label);
   std::printf("Held-out AUC: %.4f\n", OverallAuc(labels, scores));
 
+  // Candidate scoring is served through the engine: in recommendation
+  // mode the gate reads the target item, so the engine automatically
+  // keeps §III-F gate sharing off for this model.
+  ModelRegistry registry(data.meta, &standardizer);
+  registry.Register("aw-moe", &model);
+  ServingEngine engine(&registry);
+  std::printf("Engine gate sharing: %s (recommendation mode)\n",
+              engine.GateSharingActive() ? "ON" : "OFF");
+
   // Top-K recommendation: take a positive test example as the user's
   // state, swap in candidate items, and rank by predicted score. The
   // candidate pool always contains the user's true next item.
@@ -84,8 +95,10 @@ int Run(int argc, char** argv) {
           candidate_rng.UniformInt(1, data.meta.num_items);
       pool.push_back(candidate);
     }
-    std::vector<double> pool_scores =
-        Predict(&model, pool, data.meta, &standardizer);
+    RankRequest request;
+    request.session_id = ex.session_id;
+    for (const Example& candidate : pool) request.items.push_back(&candidate);
+    std::vector<double> pool_scores = engine.Rank(request).scores;
     std::vector<size_t> order(pool.size());
     std::iota(order.begin(), order.end(), size_t{0});
     std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {

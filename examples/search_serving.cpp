@@ -1,6 +1,6 @@
 // Search-scenario example: trains AW-MoE on the synthetic JD log, then
-// serves live search sessions through the RankingService with the §III-F
-// per-session gate caching, printing the ranked product list the search
+// serves live search sessions through the ServingEngine with the §III-F
+// per-session gate path, printing the ranked product list the search
 // engine would return (Fig. 6 flow: query -> retrieve -> rank -> present).
 
 #include <algorithm>
@@ -10,7 +10,8 @@
 #include "core/aw_moe.h"
 #include "core/trainer.h"
 #include "data/jd_synthetic.h"
-#include "serving/ranking_service.h"
+#include "serving/model_registry.h"
+#include "serving/serving_engine.h"
 #include "util/flags.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -25,7 +26,7 @@ int Run(int argc, char** argv) {
   int64_t show_sessions = 3;
   int64_t seed = 20230608;
 
-  FlagSet flags("Search serving example: AW-MoE behind a ranking service");
+  FlagSet flags("Search serving example: AW-MoE behind the serving engine");
   flags.AddInt("train_sessions", &train_sessions, "training sessions");
   flags.AddInt("epochs", &epochs, "training epochs");
   flags.AddInt("show_sessions", &show_sessions, "sessions to display");
@@ -62,16 +63,23 @@ int Run(int argc, char** argv) {
   Trainer trainer(&model, tc);
   trainer.Train(data.train, data.meta, &standardizer);
 
-  // Online serving with the gate computed once per session (§III-F).
-  RankingService service(&model, data.meta, &standardizer,
-                         /*share_gate=*/true);
+  // Online serving behind the explicit request/response API: the model
+  // is registered by name, and the engine runs the §III-F gate path
+  // (computed once per session, cached across repeat requests).
+  ModelRegistry registry(data.meta, &standardizer);
+  registry.Register("aw-moe-cl", &model);
+  ServingEngine engine(&registry);
   auto sessions = GroupBySession(data.full_test);
 
   for (int64_t s = 0; s < show_sessions &&
                       s < static_cast<int64_t>(sessions.size());
        ++s) {
     const auto& session = sessions[static_cast<size_t>(s)];
-    std::vector<double> scores = service.RankSession(session);
+    RankRequest request;
+    request.session_id = session[0]->session_id;
+    request.items = session;
+    RankResponse response = engine.Rank(request);
+    const std::vector<double>& scores = response.scores;
     std::vector<size_t> order(scores.size());
     std::iota(order.begin(), order.end(), size_t{0});
     std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
@@ -99,13 +107,14 @@ int Run(int argc, char** argv) {
     table.Print();
   }
 
+  ServingStatsSnapshot stats = engine.Stats();
   std::printf(
-      "Served %lld sessions (%lld items), mean latency %.2f ms/session, "
-      "gate sharing %s.\n",
-      static_cast<long long>(service.stats().sessions),
-      static_cast<long long>(service.stats().items),
-      service.stats().MeanSessionLatencyMs(),
-      service.gate_sharing_active() ? "ON" : "OFF");
+      "Served %lld sessions (%lld items): mean %.2f ms, p50 %.2f ms, "
+      "p95 %.2f ms, p99 %.2f ms, %.0f req/s, gate sharing %s.\n",
+      static_cast<long long>(stats.requests),
+      static_cast<long long>(stats.items), stats.mean_ms, stats.p50_ms,
+      stats.p95_ms, stats.p99_ms, stats.qps,
+      engine.GateSharingActive() ? "ON" : "OFF");
   return 0;
 }
 

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verify plus a serving smoke run. Usage: scripts/check.sh [build_dir]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+echo "== ctest =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== serving gate-sharing bench (smoke) =="
+if [ -x "$BUILD_DIR/bench_serving_gate_sharing" ]; then
+  "$BUILD_DIR/bench_serving_gate_sharing" --benchmark_min_time=0.01
+else
+  echo "bench_serving_gate_sharing not built (google-benchmark missing); skipped"
+fi
+
+echo "== check.sh OK =="

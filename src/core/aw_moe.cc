@@ -66,6 +66,25 @@ Var AwMoeRanker::ForwardLogitsWithGate(const Batch& batch, const Var& gate) {
   return ag::DotRows(scores, effective_gate);
 }
 
+Matrix AwMoeRanker::InferenceLogits(const Batch& batch) {
+  NoGradGuard guard;
+  Var v_imp = input_network_.Forward(batch);
+  Var scores = experts_.ForwardAll(v_imp);
+  Var gate = gate_network_.Forward(batch);
+  return ag::DotRows(scores, gate).value();
+}
+
+Matrix AwMoeRanker::InferenceGate(const Batch& batch) {
+  NoGradGuard guard;
+  return gate_network_.Forward(batch).value();
+}
+
+Matrix AwMoeRanker::InferenceLogitsWithGate(const Batch& batch,
+                                            const Matrix& gate) {
+  NoGradGuard guard;
+  return ForwardLogitsWithGate(batch, Var(gate)).value();
+}
+
 std::vector<Var> AwMoeRanker::Parameters() const {
   std::vector<Var> params;
   embeddings_.CollectParameters(&params);

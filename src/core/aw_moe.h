@@ -56,6 +56,27 @@ class AwMoeRanker : public Ranker {
   /// broadcast when a single row is given.
   Var ForwardLogitsWithGate(const Batch& batch, const Var& gate);
 
+  /// Inference-only forward: logits without building a graph or touching
+  /// the pending auxiliary loss, so concurrent serving threads observe no
+  /// state mutation on the expert/gate path.
+  Matrix InferenceLogits(const Batch& batch) override;
+
+  /// Gate activations [B, K] for serving, graph-free. One row per batch
+  /// row; in search mode every row of a session is identical, which is
+  /// what the serving engine's per-session gate cache exploits.
+  Matrix InferenceGate(const Batch& batch);
+
+  /// Expert path with an externally supplied [B, K] gate matrix (rows
+  /// typically replicated from cached per-session gates), graph-free.
+  Matrix InferenceLogitsWithGate(const Batch& batch, const Matrix& gate);
+
+  /// The §III-F precondition: in search mode the gate reads only the
+  /// behaviour sequence and query, both constant within a session. In
+  /// recommendation mode the gate reads the target item, so reuse is off.
+  bool SupportsSessionGateReuse(const DatasetMeta& meta) const override {
+    return !meta.recommendation_mode;
+  }
+
   /// Expert-disagreement penalty for the most recent Forward /
   /// ForwardLogits call (undefined Var when diversity_weight == 0).
   Var PendingAuxiliaryLoss() const { return pending_aux_loss_; }

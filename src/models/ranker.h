@@ -34,6 +34,26 @@ class Ranker {
     return Var();
   }
 
+  /// Batched inference entry point: ranking logits [B, 1] with autograd
+  /// recording disabled (no graph is built). The batch may micro-batch
+  /// candidates from several sessions; implementations must keep per-row
+  /// results independent of batch composition (row-wise kernels, fixed
+  /// sequence padding), which is what lets the serving engine fuse
+  /// sessions without changing scores.
+  virtual Matrix InferenceLogits(const Batch& batch) {
+    NoGradGuard guard;
+    return ForwardLogits(batch).value();
+  }
+
+  /// True when the model's gate depends only on session-constant inputs
+  /// (user behaviour sequence + query) under `meta`, so one gate
+  /// evaluation can serve every candidate item of a session (§III-F).
+  /// Models without a reusable gate return false.
+  virtual bool SupportsSessionGateReuse(const DatasetMeta& meta) const {
+    (void)meta;
+    return false;
+  }
+
   /// Total scalar parameter count.
   int64_t NumParameters() const {
     int64_t total = 0;

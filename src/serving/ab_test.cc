@@ -1,0 +1,107 @@
+#include "serving/ab_test.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "eval/metrics.h"
+#include "serving/serving_engine.h"
+#include "util/rng.h"
+
+namespace awmoe {
+
+namespace {
+
+/// Cascade user model: attention decays geometrically with rank; relevant
+/// (label=1) items click with 0.75, irrelevant with 0.08; clicked relevant
+/// items convert with 0.6.
+struct UserModel {
+  double attention_decay = 0.85;
+  double p_click_relevant = 0.75;
+  double p_click_irrelevant = 0.08;
+  double p_order_given_click = 0.6;
+};
+
+AbArmResult RunArm(ServingEngine* engine, const std::string& model,
+                   const std::vector<std::vector<const Example*>>& sessions,
+                   uint64_t seed) {
+  // Score every session through the engine first (micro-batched), then
+  // replay the user model sequentially so the random stream depends only
+  // on `seed` and the ranked orders, never on batching.
+  std::vector<RankResponse> responses =
+      engine->RankBatch(MakeSessionRequests(sessions, model));
+
+  UserModel user;
+  Rng rng(seed);
+  AbArmResult result;
+  result.model = model;
+  for (size_t s = 0; s < sessions.size(); ++s) {
+    const auto& session = sessions[s];
+    const std::vector<double>& scores = responses[s].scores;
+    std::vector<size_t> order(scores.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return scores[a] > scores[b];
+    });
+
+    bool clicked = false, ordered = false;
+    double attention = 1.0;
+    for (size_t rank = 0; rank < order.size(); ++rank) {
+      if (rng.Uniform() < attention) {
+        const Example& ex = *session[order[rank]];
+        double p_click = ex.label > 0.5f ? user.p_click_relevant
+                                         : user.p_click_irrelevant;
+        if (rng.Bernoulli(p_click)) {
+          clicked = true;
+          if (ex.label > 0.5f &&
+              rng.Bernoulli(user.p_order_given_click)) {
+            ordered = true;
+          }
+        }
+      }
+      attention *= user.attention_decay;
+    }
+    result.session_clicked.push_back(clicked ? 1.0 : 0.0);
+    result.session_ordered.push_back(ordered ? 1.0 : 0.0);
+  }
+  auto mean = [](const std::vector<double>& v) {
+    return v.empty() ? 0.0
+                     : std::accumulate(v.begin(), v.end(), 0.0) /
+                           static_cast<double>(v.size());
+  };
+  result.uctr = mean(result.session_clicked);
+  result.ucvr = mean(result.session_ordered);
+  return result;
+}
+
+}  // namespace
+
+AbTestResult RunAbTest(ServingEngine* engine,
+                       const std::string& control_model,
+                       const std::string& treatment_model,
+                       const std::vector<std::vector<const Example*>>& sessions,
+                       uint64_t seed) {
+  AbTestResult result;
+  // Identical user randomness in both arms: differences come only from
+  // the ranking order, which keeps the comparison paired.
+  result.control = RunArm(engine, control_model, sessions, seed);
+  result.treatment = RunArm(engine, treatment_model, sessions, seed);
+  if (result.control.uctr > 0.0) {
+    result.uctr_lift_percent =
+        100.0 * (result.treatment.uctr - result.control.uctr) /
+        result.control.uctr;
+  }
+  if (result.control.ucvr > 0.0) {
+    result.ucvr_lift_percent =
+        100.0 * (result.treatment.ucvr - result.control.ucvr) /
+        result.control.ucvr;
+  }
+  if (result.control.session_clicked.size() >= 2) {
+    result.uctr_p_value = PairedTTestPValue(result.treatment.session_clicked,
+                                            result.control.session_clicked);
+    result.ucvr_p_value = PairedTTestPValue(result.treatment.session_ordered,
+                                            result.control.session_ordered);
+  }
+  return result;
+}
+
+}  // namespace awmoe

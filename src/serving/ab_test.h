@@ -1,0 +1,50 @@
+#ifndef AWMOE_SERVING_AB_TEST_H_
+#define AWMOE_SERVING_AB_TEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serving/request.h"
+
+namespace awmoe {
+
+class ServingEngine;
+
+/// Outcome statistics of one A/B arm (§IV-I). UCTR/UCVR are the fractions
+/// of simulated user sessions with at least one click / one order.
+struct AbArmResult {
+  std::string model;
+  double uctr = 0.0;
+  double ucvr = 0.0;
+  std::vector<double> session_clicked;  // 0/1 per session.
+  std::vector<double> session_ordered;  // 0/1 per session.
+};
+
+/// Result of a paired A/B comparison (same sessions replayed through both
+/// arms; paired t-test on the per-session outcomes).
+struct AbTestResult {
+  AbArmResult control;
+  AbArmResult treatment;
+  double uctr_lift_percent = 0.0;
+  double ucvr_lift_percent = 0.0;
+  double uctr_p_value = 1.0;
+  double ucvr_p_value = 1.0;
+};
+
+/// Replays `sessions` through two named models of one engine's registry
+/// with a position-biased user examination model (cascade with geometric
+/// attention decay): examined relevant items click with high probability,
+/// clicks on relevant items convert. Both arms see identical user
+/// randomness, so the comparison is paired; deterministic given `seed`.
+/// `control_model` / `treatment_model` are registry names (empty = the
+/// engine's default route, which only makes sense for one arm).
+AbTestResult RunAbTest(ServingEngine* engine,
+                       const std::string& control_model,
+                       const std::string& treatment_model,
+                       const std::vector<std::vector<const Example*>>& sessions,
+                       uint64_t seed);
+
+}  // namespace awmoe
+
+#endif  // AWMOE_SERVING_AB_TEST_H_

@@ -1,0 +1,63 @@
+#include "serving/model_registry.h"
+
+#include "models/ranker.h"
+#include "util/check.h"
+
+namespace awmoe {
+
+ModelRegistry::ModelRegistry(const DatasetMeta& meta,
+                             const Standardizer* standardizer)
+    : meta_(meta), standardizer_(standardizer) {}
+
+void ModelRegistry::Insert(const std::string& name, Entry entry) {
+  AWMOE_CHECK(!name.empty()) << "model name must be non-empty";
+  AWMOE_CHECK(entry.model != nullptr) << "null model for '" << name << "'";
+  AWMOE_CHECK(entries_.find(name) == entries_.end())
+      << "duplicate model name '" << name << "'";
+  entries_.emplace(name, std::move(entry));
+  names_.push_back(name);
+  if (default_name_.empty()) default_name_ = name;
+}
+
+void ModelRegistry::Register(const std::string& name, Ranker* model) {
+  Entry entry;
+  entry.model = model;
+  Insert(name, std::move(entry));
+}
+
+void ModelRegistry::RegisterOwned(const std::string& name,
+                                  std::unique_ptr<Ranker> model) {
+  Entry entry;
+  entry.model = model.get();
+  entry.owned = std::move(model);
+  Insert(name, std::move(entry));
+}
+
+void ModelRegistry::SetDefault(const std::string& name) {
+  AWMOE_CHECK(entries_.find(name) != entries_.end())
+      << "unknown model '" << name << "'";
+  default_name_ = name;
+}
+
+Ranker* ModelRegistry::Find(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.model;
+}
+
+const std::string& ModelRegistry::ResolveName(const std::string& name) const {
+  if (name.empty()) {
+    AWMOE_CHECK(!default_name_.empty()) << "empty ModelRegistry";
+    return default_name_;
+  }
+  auto it = entries_.find(name);
+  AWMOE_CHECK(it != entries_.end()) << "unknown model '" << name << "'";
+  // Return the stored key, never the argument: callers may pass a
+  // temporary, and aliasing it would dangle.
+  return it->first;
+}
+
+Ranker* ModelRegistry::Resolve(const std::string& name) const {
+  return entries_.at(ResolveName(name)).model;
+}
+
+}  // namespace awmoe

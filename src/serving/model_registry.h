@@ -1,0 +1,76 @@
+#ifndef AWMOE_SERVING_MODEL_REGISTRY_H_
+#define AWMOE_SERVING_MODEL_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/example.h"
+
+namespace awmoe {
+
+class Ranker;
+class Standardizer;
+
+/// Named ranking models behind one shared preprocessing context
+/// (DatasetMeta + fitted Standardizer). The registry is the unit an
+/// A/B experiment operates on: control and treatment are two names in
+/// the same registry, served by the same engine with identical
+/// collation, so score differences come only from the models.
+///
+/// Registration happens at startup; lookups afterwards are const and
+/// thread-safe.
+class ModelRegistry {
+ public:
+  /// `standardizer` may be null (raw features) and is not owned.
+  ModelRegistry(const DatasetMeta& meta, const Standardizer* standardizer);
+
+  /// Registers a non-owned model. The first registration becomes the
+  /// default route. Names must be unique and non-empty.
+  void Register(const std::string& name, Ranker* model);
+
+  /// Registers a model the registry takes ownership of.
+  void RegisterOwned(const std::string& name, std::unique_ptr<Ranker> model);
+
+  /// Re-points the default route (name must be registered).
+  void SetDefault(const std::string& name);
+
+  /// The model registered under `name`, or nullptr when absent.
+  Ranker* Find(const std::string& name) const;
+
+  /// Resolves a request route: empty name -> default model. CHECK-fails
+  /// on an unknown non-empty name or an empty registry.
+  Ranker* Resolve(const std::string& name) const;
+
+  /// The registry name `Resolve(name)` routes to.
+  const std::string& ResolveName(const std::string& name) const;
+
+  const std::string& default_model() const { return default_name_; }
+
+  /// Registered names in registration order.
+  const std::vector<std::string>& Names() const { return names_; }
+
+  size_t size() const { return names_.size(); }
+
+  const DatasetMeta& meta() const { return meta_; }
+  const Standardizer* standardizer() const { return standardizer_; }
+
+ private:
+  struct Entry {
+    Ranker* model = nullptr;
+    std::unique_ptr<Ranker> owned;
+  };
+
+  void Insert(const std::string& name, Entry entry);
+
+  DatasetMeta meta_;
+  const Standardizer* standardizer_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::string default_name_;
+};
+
+}  // namespace awmoe
+
+#endif  // AWMOE_SERVING_MODEL_REGISTRY_H_

@@ -1,27 +1,11 @@
 #include "serving/ranking_service.h"
 
-#include <algorithm>
-#include <map>
-#include <numeric>
-
-#include "eval/metrics.h"
+#include "core/aw_moe.h"
+#include "data/batcher.h"
 #include "mat/kernels.h"
-#include "util/rng.h"
 #include "util/stopwatch.h"
 
 namespace awmoe {
-
-std::vector<std::vector<const Example*>> GroupBySession(
-    const std::vector<Example>& examples) {
-  std::map<int64_t, std::vector<const Example*>> by_id;
-  for (const Example& ex : examples) {
-    by_id[ex.session_id].push_back(&ex);
-  }
-  std::vector<std::vector<const Example*>> sessions;
-  sessions.reserve(by_id.size());
-  for (auto& [id, items] : by_id) sessions.push_back(std::move(items));
-  return sessions;
-}
 
 RankingService::RankingService(Ranker* model, const DatasetMeta& meta,
                                const Standardizer* standardizer,
@@ -52,100 +36,14 @@ std::vector<double> RankingService::RankSession(
   }
   Matrix probs = Sigmoid(logits.value());
 
-  stats_.total_ms += watch.ElapsedMillis();
-  ++stats_.sessions;
-  stats_.items += static_cast<int64_t>(session.size());
+  stats_.RecordRequest(static_cast<int64_t>(session.size()),
+                       watch.ElapsedMillis());
 
   std::vector<double> scores(static_cast<size_t>(probs.rows()));
   for (int64_t i = 0; i < probs.rows(); ++i) {
     scores[static_cast<size_t>(i)] = probs(i, 0);
   }
   return scores;
-}
-
-namespace {
-
-/// Cascade user model: attention decays geometrically with rank; relevant
-/// (label=1) items click with 0.75, irrelevant with 0.08; clicked relevant
-/// items convert with 0.6.
-struct UserModel {
-  double attention_decay = 0.85;
-  double p_click_relevant = 0.75;
-  double p_click_irrelevant = 0.08;
-  double p_order_given_click = 0.6;
-};
-
-AbArmResult RunArm(RankingService* service,
-                   const std::vector<std::vector<const Example*>>& sessions,
-                   uint64_t seed) {
-  UserModel user;
-  Rng rng(seed);
-  AbArmResult result;
-  for (const auto& session : sessions) {
-    std::vector<double> scores = service->RankSession(session);
-    std::vector<size_t> order(scores.size());
-    std::iota(order.begin(), order.end(), size_t{0});
-    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      return scores[a] > scores[b];
-    });
-
-    bool clicked = false, ordered = false;
-    double attention = 1.0;
-    for (size_t rank = 0; rank < order.size(); ++rank) {
-      if (rng.Uniform() < attention) {
-        const Example& ex = *session[order[rank]];
-        double p_click = ex.label > 0.5f ? user.p_click_relevant
-                                         : user.p_click_irrelevant;
-        if (rng.Bernoulli(p_click)) {
-          clicked = true;
-          if (ex.label > 0.5f &&
-              rng.Bernoulli(user.p_order_given_click)) {
-            ordered = true;
-          }
-        }
-      }
-      attention *= user.attention_decay;
-    }
-    result.session_clicked.push_back(clicked ? 1.0 : 0.0);
-    result.session_ordered.push_back(ordered ? 1.0 : 0.0);
-  }
-  auto mean = [](const std::vector<double>& v) {
-    return v.empty() ? 0.0
-                     : std::accumulate(v.begin(), v.end(), 0.0) /
-                           static_cast<double>(v.size());
-  };
-  result.uctr = mean(result.session_clicked);
-  result.ucvr = mean(result.session_ordered);
-  return result;
-}
-
-}  // namespace
-
-AbTestResult RunAbTest(RankingService* control, RankingService* treatment,
-                       const std::vector<std::vector<const Example*>>& sessions,
-                       uint64_t seed) {
-  AbTestResult result;
-  // Identical user randomness in both arms: differences come only from
-  // the ranking order, which keeps the comparison paired.
-  result.control = RunArm(control, sessions, seed);
-  result.treatment = RunArm(treatment, sessions, seed);
-  if (result.control.uctr > 0.0) {
-    result.uctr_lift_percent =
-        100.0 * (result.treatment.uctr - result.control.uctr) /
-        result.control.uctr;
-  }
-  if (result.control.ucvr > 0.0) {
-    result.ucvr_lift_percent =
-        100.0 * (result.treatment.ucvr - result.control.ucvr) /
-        result.control.ucvr;
-  }
-  if (result.control.session_clicked.size() >= 2) {
-    result.uctr_p_value = PairedTTestPValue(result.treatment.session_clicked,
-                                            result.control.session_clicked);
-    result.ucvr_p_value = PairedTTestPValue(result.treatment.session_ordered,
-                                            result.control.session_ordered);
-  }
-  return result;
 }
 
 }  // namespace awmoe

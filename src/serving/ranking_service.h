@@ -1,37 +1,30 @@
 #ifndef AWMOE_SERVING_RANKING_SERVICE_H_
 #define AWMOE_SERVING_RANKING_SERVICE_H_
 
-#include <cstdint>
 #include <vector>
 
-#include "core/aw_moe.h"
-#include "data/batcher.h"
 #include "data/example.h"
-#include "models/ranker.h"
+#include "serving/serving_stats.h"
 
 namespace awmoe {
 
-/// Groups a flat labelled split into per-session impression lists (order
-/// preserved within a session).
-std::vector<std::vector<const Example*>> GroupBySession(
-    const std::vector<Example>& examples);
+// Forward declarations keep this header's rebuild fan-out small: callers
+// only pass pointers, so pulling in core/aw_moe.h / data/batcher.h
+// wholesale (as the old header did) is unnecessary.
+class AwMoeRanker;
+class Ranker;
+class Standardizer;
 
-/// Cumulative serving statistics.
-struct ServiceStats {
-  int64_t sessions = 0;
-  int64_t items = 0;
-  double total_ms = 0.0;
-
-  double MeanSessionLatencyMs() const {
-    return sessions > 0 ? total_ms / static_cast<double>(sessions) : 0.0;
-  }
-};
-
-/// The online ranking component of Fig. 6: receives a session's retrieved
-/// items plus user context and returns ranking scores. For AW-MoE in
-/// search mode it implements the §III-F optimisation — the gate network
-/// reads only user/query features, so it is evaluated once per session and
-/// reused for every target item (>10x gate-path saving at JD scale).
+/// Legacy single-model, single-session serving path, kept as the
+/// reference implementation the ServingEngine regression tests compare
+/// against bitwise. New code should use ServingEngine (serving_engine.h),
+/// which expresses the same §III-F gate optimisation behind an explicit
+/// request/response API with micro-batching and multi-model routing.
+///
+/// For AW-MoE in search mode it implements the §III-F optimisation — the
+/// gate network reads only user/query features, so it is evaluated once
+/// per session and reused for every target item (>10x gate-path saving
+/// at JD scale).
 class RankingService {
  public:
   /// `model`, `standardizer` are not owned. `share_gate` enables the
@@ -44,8 +37,8 @@ class RankingService {
   std::vector<double> RankSession(
       const std::vector<const Example*>& session);
 
-  const ServiceStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = ServiceStats{}; }
+  const ServingStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
 
   bool gate_sharing_active() const { return share_gate_active_; }
 
@@ -55,36 +48,8 @@ class RankingService {
   DatasetMeta meta_;
   const Standardizer* standardizer_;
   bool share_gate_active_;
-  ServiceStats stats_;
+  ServingStats stats_;
 };
-
-/// Outcome statistics of one A/B arm (§IV-I). UCTR/UCVR are the fractions
-/// of simulated user sessions with at least one click / one order.
-struct AbArmResult {
-  double uctr = 0.0;
-  double ucvr = 0.0;
-  std::vector<double> session_clicked;  // 0/1 per session.
-  std::vector<double> session_ordered;  // 0/1 per session.
-};
-
-/// Result of a paired A/B comparison (same sessions replayed through both
-/// arms; paired t-test on the per-session outcomes).
-struct AbTestResult {
-  AbArmResult control;
-  AbArmResult treatment;
-  double uctr_lift_percent = 0.0;
-  double ucvr_lift_percent = 0.0;
-  double uctr_p_value = 1.0;
-  double ucvr_p_value = 1.0;
-};
-
-/// Replays `sessions` through control and treatment services with a
-/// position-biased user examination model (cascade with geometric
-/// attention decay): examined relevant items click with high probability,
-/// clicks on relevant items convert. Deterministic given `seed`.
-AbTestResult RunAbTest(RankingService* control, RankingService* treatment,
-                       const std::vector<std::vector<const Example*>>& sessions,
-                       uint64_t seed);
 
 }  // namespace awmoe
 

@@ -1,0 +1,34 @@
+#include "serving/request.h"
+
+#include <map>
+
+namespace awmoe {
+
+std::vector<std::vector<const Example*>> GroupBySession(
+    const std::vector<Example>& examples) {
+  std::map<int64_t, std::vector<const Example*>> by_id;
+  for (const Example& ex : examples) {
+    by_id[ex.session_id].push_back(&ex);
+  }
+  std::vector<std::vector<const Example*>> sessions;
+  sessions.reserve(by_id.size());
+  for (auto& [id, items] : by_id) sessions.push_back(std::move(items));
+  return sessions;
+}
+
+std::vector<RankRequest> MakeSessionRequests(
+    const std::vector<std::vector<const Example*>>& sessions,
+    const std::string& model) {
+  std::vector<RankRequest> requests;
+  requests.reserve(sessions.size());
+  for (const auto& session : sessions) {
+    RankRequest request;
+    request.session_id = session.empty() ? 0 : session[0]->session_id;
+    request.model = model;
+    request.items = session;
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+}  // namespace awmoe

@@ -1,0 +1,55 @@
+#ifndef AWMOE_SERVING_REQUEST_H_
+#define AWMOE_SERVING_REQUEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/example.h"
+
+namespace awmoe {
+
+/// One ranking request (Fig. 6 flow: query -> retrieve -> rank): the
+/// candidate items retrieved for a single session, all sharing the same
+/// user context and query. Items are not owned and must outlive the call.
+struct RankRequest {
+  int64_t session_id = 0;
+  /// Registry name of the model to serve with; empty routes to the
+  /// engine's default model. This is the A/B-test hook: the same engine
+  /// instance serves every registered arm.
+  std::string model;
+  std::vector<const Example*> items;
+};
+
+/// Scores for one request, aligned with `RankRequest::items`.
+struct RankResponse {
+  int64_t session_id = 0;
+  /// Resolved model name (never empty).
+  std::string model;
+  /// Sigmoid probabilities, one per candidate item.
+  std::vector<double> scores;
+  /// Wall-clock from micro-batch dispatch to scores ready.
+  double latency_ms = 0.0;
+  /// True when the §III-F shared-gate path served this request.
+  bool gate_shared = false;
+  /// True when the session's gate came from the engine's gate cache
+  /// (repeat request for a session, e.g. pagination) without re-running
+  /// the gate network.
+  bool gate_cache_hit = false;
+};
+
+/// Groups a flat labelled split into per-session impression lists.
+/// Within-session impression order is preserved; sessions are ordered by
+/// ascending session id. An empty split yields an empty list.
+std::vector<std::vector<const Example*>> GroupBySession(
+    const std::vector<Example>& examples);
+
+/// Wraps per-session item lists into requests routed at `model` (empty =
+/// engine default). Session ids are taken from the first item.
+std::vector<RankRequest> MakeSessionRequests(
+    const std::vector<std::vector<const Example*>>& sessions,
+    const std::string& model = "");
+
+}  // namespace awmoe
+
+#endif  // AWMOE_SERVING_REQUEST_H_

@@ -1,0 +1,337 @@
+#include "serving/serving_engine.h"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <utility>
+
+#include "core/aw_moe.h"
+#include "data/batcher.h"
+#include "mat/kernels.h"
+#include "models/ranker.h"
+#include "util/check.h"
+
+namespace awmoe {
+
+namespace {
+
+/// FNV-1a over the features the search-mode gate reads (behaviour
+/// sequence + query + user): the validity stamp of a cached gate row.
+uint64_t GateContextHash(const Example& ex) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  mix(static_cast<uint64_t>(ex.user_id));
+  mix(static_cast<uint64_t>(ex.query_id));
+  mix(static_cast<uint64_t>(ex.query_cat));
+  mix(static_cast<uint64_t>(ex.behavior_items.size()));
+  for (int64_t v : ex.behavior_items) mix(static_cast<uint64_t>(v));
+  for (int64_t v : ex.behavior_cats) mix(static_cast<uint64_t>(v));
+  for (int64_t v : ex.behavior_brands) mix(static_cast<uint64_t>(v));
+  for (float f : ex.behavior_attrs) mix(std::bit_cast<uint32_t>(f));
+  return h;
+}
+
+}  // namespace
+
+ServingEngine::ServingEngine(ModelRegistry* registry,
+                             ServingEngineOptions options)
+    : registry_(registry), options_(options) {
+  AWMOE_CHECK(registry_ != nullptr) << "ServingEngine: null registry";
+  AWMOE_CHECK(options_.max_batch_items > 0)
+      << "max_batch_items " << options_.max_batch_items;
+  for (int t = 1; t < options_.num_threads; ++t) {
+    workers_.emplace_back([this] {
+      for (;;) {
+        std::function<void()> job;
+        {
+          std::unique_lock<std::mutex> lock(queue_mu_);
+          queue_cv_.wait(lock,
+                         [this] { return stopping_ || !queue_.empty(); });
+          if (queue_.empty()) {
+            if (stopping_) return;
+            continue;
+          }
+          job = std::move(queue_.back());
+          queue_.pop_back();
+        }
+        job();
+      }
+    });
+  }
+}
+
+ServingEngine::~ServingEngine() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+ServingEngine::ModelState* ServingEngine::StateFor(
+    const std::string& resolved_name) const {
+  std::lock_guard<std::mutex> lock(states_mu_);
+  auto it = states_.find(resolved_name);
+  if (it != states_.end()) return it->second.get();
+
+  auto state = std::make_unique<ModelState>();
+  state->name = resolved_name;
+  state->model = registry_->Find(resolved_name);
+  AWMOE_CHECK(state->model != nullptr)
+      << "model '" << resolved_name << "' vanished from registry";
+  state->aw_moe = dynamic_cast<AwMoeRanker*>(state->model);
+  state->gate_shareable =
+      state->aw_moe != nullptr &&
+      state->model->SupportsSessionGateReuse(registry_->meta());
+  ModelState* raw = state.get();
+  states_.emplace(resolved_name, std::move(state));
+  return raw;
+}
+
+bool ServingEngine::GateSharingActive(const std::string& model) const {
+  // Route through the cached ModelState so this answer and the path
+  // Rank actually takes come from one eligibility computation.
+  ModelState* state = StateFor(registry_->ResolveName(model));
+  return options_.share_gate && state->gate_shareable;
+}
+
+void ServingEngine::ExecuteMicroBatch(const MicroBatch& micro,
+                                      const std::vector<RankRequest>& requests,
+                                      const Stopwatch& submit_watch,
+                                      std::vector<RankResponse>* responses) {
+  ModelState* state = micro.state;
+  const DatasetMeta& meta = registry_->meta();
+  const size_t n = micro.request_indices.size();
+
+  std::vector<const Example*> items;
+  items.reserve(static_cast<size_t>(micro.total_items));
+  for (size_t idx : micro.request_indices) {
+    const RankRequest& request = requests[idx];
+    items.insert(items.end(), request.items.begin(), request.items.end());
+  }
+  Batch batch = CollateBatch(items, meta, registry_->standardizer());
+
+  const bool shared = options_.share_gate && state->gate_shareable;
+  std::vector<bool> cache_hit(n, false);
+  Matrix logits;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (shared) {
+      // §III-F behind the API: one gate row per session. Rows come from
+      // the per-model LRU when the session was served before, otherwise
+      // from a single fused probe pass (one row per missed session).
+      std::vector<std::vector<float>> session_gates(n);
+      // Probe dedup key is (session id, context hash), not session id
+      // alone: two same-session requests with *different* gate inputs
+      // in one micro-batch must each get their own probe, mirroring
+      // the staleness check the cross-request cache does.
+      std::map<std::pair<int64_t, uint64_t>, size_t> probe_slot;
+      std::vector<const Example*> probes;
+      std::vector<uint64_t> request_hash(n, 0);
+      for (size_t i = 0; i < n; ++i) {
+        const RankRequest& request = requests[micro.request_indices[i]];
+        const uint64_t hash = GateContextHash(*request.items[0]);
+        request_hash[i] = hash;
+        auto it = state->gate_index.find(request.session_id);
+        if (it != state->gate_index.end() &&
+            it->second->context_hash == hash) {
+          session_gates[i] = it->second->row;
+          state->gate_lru.splice(state->gate_lru.begin(), state->gate_lru,
+                                 it->second);
+          cache_hit[i] = true;
+          continue;
+        }
+        if (it != state->gate_index.end()) {
+          // Same session id, different gate inputs (e.g. the behaviour
+          // sequence grew between pagination requests): drop the stale
+          // row and re-probe rather than serve it.
+          state->gate_lru.erase(it->second);
+          state->gate_index.erase(it);
+        }
+        auto [slot, inserted] =
+            probe_slot.try_emplace({request.session_id, hash},
+                                   probes.size());
+        if (inserted) probes.push_back(request.items[0]);
+      }
+      if (!probes.empty()) {
+        Batch probe_batch =
+            CollateBatch(probes, meta, registry_->standardizer());
+        Matrix fresh = state->aw_moe->InferenceGate(probe_batch);
+        for (size_t i = 0; i < n; ++i) {
+          if (cache_hit[i]) continue;
+          const RankRequest& request = requests[micro.request_indices[i]];
+          const int64_t row = static_cast<int64_t>(
+              probe_slot.at({request.session_id, request_hash[i]}));
+          session_gates[i].assign(fresh.row(row),
+                                  fresh.row(row) + fresh.cols());
+        }
+        if (options_.gate_cache_capacity > 0) {
+          for (const auto& [key, row] : probe_slot) {
+            // Keep at most one cached row per session id: drop any
+            // entry a previous key of this batch inserted for it.
+            auto stale = state->gate_index.find(key.first);
+            if (stale != state->gate_index.end()) {
+              state->gate_lru.erase(stale->second);
+              state->gate_index.erase(stale);
+            }
+            ModelState::GateCacheEntry entry;
+            entry.session_id = key.first;
+            entry.context_hash = key.second;
+            entry.row.assign(
+                fresh.row(static_cast<int64_t>(row)),
+                fresh.row(static_cast<int64_t>(row)) + fresh.cols());
+            state->gate_lru.push_front(std::move(entry));
+            state->gate_index[key.first] = state->gate_lru.begin();
+          }
+          while (static_cast<int64_t>(state->gate_lru.size()) >
+                 options_.gate_cache_capacity) {
+            state->gate_index.erase(state->gate_lru.back().session_id);
+            state->gate_lru.pop_back();
+          }
+        }
+      }
+      const int64_t k = static_cast<int64_t>(session_gates[0].size());
+      Matrix gate(batch.size, k);
+      int64_t row = 0;
+      for (size_t i = 0; i < n; ++i) {
+        const RankRequest& request = requests[micro.request_indices[i]];
+        for (size_t j = 0; j < request.items.size(); ++j, ++row) {
+          std::copy(session_gates[i].begin(), session_gates[i].end(),
+                    gate.row(row));
+        }
+      }
+      logits = state->aw_moe->InferenceLogitsWithGate(batch, gate);
+    } else {
+      logits = state->model->InferenceLogits(batch);
+    }
+  }
+  Matrix probs = Sigmoid(logits);
+
+  const double latency_ms = submit_watch.ElapsedMillis();
+  int64_t row = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t idx = micro.request_indices[i];
+    const RankRequest& request = requests[idx];
+    RankResponse& response = (*responses)[idx];
+    response.session_id = request.session_id;
+    response.model = state->name;
+    response.latency_ms = latency_ms;
+    response.gate_shared = shared;
+    response.gate_cache_hit = cache_hit[i];
+    response.scores.resize(request.items.size());
+    for (size_t j = 0; j < request.items.size(); ++j, ++row) {
+      response.scores[j] = probs(row, 0);
+    }
+    stats_.RecordRequest(static_cast<int64_t>(request.items.size()),
+                         latency_ms);
+  }
+}
+
+void ServingEngine::RunJobs(std::vector<std::function<void()>> jobs) {
+  if (workers_.empty() || jobs.size() <= 1) {
+    for (auto& job : jobs) job();
+    return;
+  }
+  struct Sync {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining = 0;
+  };
+  auto sync = std::make_shared<Sync>();
+  sync->remaining = jobs.size();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    for (auto& job : jobs) {
+      queue_.push_back([task = std::move(job), sync] {
+        task();
+        {
+          std::lock_guard<std::mutex> lock(sync->mu);
+          --sync->remaining;
+        }
+        sync->cv.notify_one();
+      });
+    }
+  }
+  queue_cv_.notify_all();
+  // Work-share: the caller drains the queue alongside the workers
+  // instead of blocking idle, so num_threads means num_threads lanes of
+  // work (n-1 workers + this thread). The caller may pick up jobs from
+  // a concurrent RankBatch — that is fine, they are self-contained.
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (!queue_.empty()) {
+        job = std::move(queue_.back());
+        queue_.pop_back();
+      }
+    }
+    if (!job) break;
+    job();
+  }
+  std::unique_lock<std::mutex> lock(sync->mu);
+  sync->cv.wait(lock, [&] { return sync->remaining == 0; });
+}
+
+std::vector<RankResponse> ServingEngine::RankBatch(
+    const std::vector<RankRequest>& requests) {
+  std::vector<RankResponse> responses(requests.size());
+  if (requests.empty()) return responses;
+  Stopwatch submit_watch;
+
+  // Route: group request indices by resolved model, keeping first-seen
+  // model order and request order within a model.
+  std::vector<std::string> model_order;
+  std::unordered_map<std::string, std::vector<size_t>> by_model;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    AWMOE_CHECK(!requests[i].items.empty())
+        << "RankBatch: empty candidate list for session "
+        << requests[i].session_id;
+    const std::string& name = registry_->ResolveName(requests[i].model);
+    auto [it, inserted] = by_model.try_emplace(name);
+    if (inserted) model_order.push_back(name);
+    it->second.push_back(i);
+  }
+
+  // Micro-batch: pack whole sessions per model until the item cap.
+  std::vector<MicroBatch> micros;
+  for (const std::string& name : model_order) {
+    ModelState* state = StateFor(name);
+    MicroBatch current;
+    current.state = state;
+    for (size_t idx : by_model.at(name)) {
+      const int64_t items =
+          static_cast<int64_t>(requests[idx].items.size());
+      if (!current.request_indices.empty() &&
+          current.total_items + items > options_.max_batch_items) {
+        micros.push_back(std::move(current));
+        current = MicroBatch();
+        current.state = state;
+      }
+      current.request_indices.push_back(idx);
+      current.total_items += items;
+    }
+    if (!current.request_indices.empty()) micros.push_back(std::move(current));
+  }
+
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(micros.size());
+  for (const MicroBatch& micro : micros) {
+    jobs.push_back([this, &micro, &requests, &submit_watch, &responses] {
+      ExecuteMicroBatch(micro, requests, submit_watch, &responses);
+    });
+  }
+  RunJobs(std::move(jobs));
+  return responses;
+}
+
+RankResponse ServingEngine::Rank(const RankRequest& request) {
+  std::vector<RankResponse> responses = RankBatch({request});
+  return std::move(responses[0]);
+}
+
+}  // namespace awmoe

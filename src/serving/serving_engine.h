@@ -1,0 +1,153 @@
+#ifndef AWMOE_SERVING_SERVING_ENGINE_H_
+#define AWMOE_SERVING_SERVING_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "serving/model_registry.h"
+#include "serving/request.h"
+#include "serving/serving_stats.h"
+
+namespace awmoe {
+
+class AwMoeRanker;
+
+struct ServingEngineOptions {
+  /// Micro-batching cap: candidates from multiple sessions are fused
+  /// into one forward pass until adding the next whole session would
+  /// exceed this many items (a session is never split, so one oversized
+  /// session still forms a batch on its own).
+  int64_t max_batch_items = 256;
+
+  /// Lanes micro-batches are dispatched across: n-1 worker threads plus
+  /// the calling thread, which work-shares instead of blocking. 0 or 1
+  /// runs everything in the caller's thread. Forwards on one model are
+  /// serialised by a per-model lock (the autograd-free forward still
+  /// shares model state), so threads pay off across *different* models
+  /// — e.g. both arms of an A/B test scoring concurrently.
+  int num_threads = 0;
+
+  /// Enables the §III-F per-session gate path for models that support
+  /// it (gate evaluated once per session, reused for every candidate).
+  bool share_gate = true;
+
+  /// Per-model LRU capacity of cached session gate rows; a repeat
+  /// request for a cached session skips the gate network entirely
+  /// (generalising §III-F across requests, e.g. result pagination).
+  /// Entries are validated against a hash of the gate-relevant context
+  /// (behaviour sequence, query, user), so a session whose behaviour
+  /// sequence grew between requests is re-probed, never served stale.
+  /// 0 disables caching (the gate is still shared within a request).
+  int64_t gate_cache_capacity = 4096;
+};
+
+/// The serving platform of Fig. 6: accepts RankRequests, routes each to
+/// a named model in the ModelRegistry, fuses candidates from multiple
+/// sessions into micro-batches, runs the §III-F shared-gate fast path
+/// behind the API (instead of a constructor flag), and records exact
+/// latency percentiles. Scores are bitwise-identical to scoring each
+/// session alone: collation pads to the dataset's fixed sequence length
+/// and every kernel is row-wise, so batch composition cannot leak
+/// between rows.
+class ServingEngine {
+ public:
+  /// `registry` is not owned and must outlive the engine.
+  explicit ServingEngine(ModelRegistry* registry,
+                         ServingEngineOptions options = {});
+  ~ServingEngine();
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Scores one request (convenience wrapper over RankBatch).
+  RankResponse Rank(const RankRequest& request);
+
+  /// Scores a set of requests, micro-batching across sessions per model
+  /// and dispatching micro-batches over the worker pool. Responses are
+  /// returned in request order. Request latency is measured from call
+  /// entry to that request's micro-batch completing, so queueing behind
+  /// other micro-batches shows up in the percentiles.
+  std::vector<RankResponse> RankBatch(
+      const std::vector<RankRequest>& requests);
+
+  /// True when requests routed at `model` (empty = default) take the
+  /// §III-F shared-gate path.
+  bool GateSharingActive(const std::string& model = std::string()) const;
+
+  const ServingStats& stats() const { return stats_; }
+  ServingStatsSnapshot Stats() const { return stats_.Snapshot(); }
+  void ResetStats() { stats_.Reset(); }
+
+  const ServingEngineOptions& options() const { return options_; }
+  const ModelRegistry& registry() const { return *registry_; }
+
+ private:
+  /// Per-model serving state: the forward lock and the session-gate LRU.
+  struct ModelState {
+    std::string name;
+    Ranker* model = nullptr;
+    AwMoeRanker* aw_moe = nullptr;  // Non-null when model is an AwMoeRanker.
+    bool gate_shareable = false;    // §III-F path available.
+
+    /// Serialises forwards and guards the gate cache.
+    std::mutex mu;
+    /// One cached session gate: the row plus a hash of the inputs it
+    /// was computed from, so staleness is detectable.
+    struct GateCacheEntry {
+      int64_t session_id = 0;
+      uint64_t context_hash = 0;
+      std::vector<float> row;
+    };
+    /// LRU of session gates (front = most recent).
+    std::list<GateCacheEntry> gate_lru;
+    std::unordered_map<int64_t, std::list<GateCacheEntry>::iterator>
+        gate_index;
+  };
+
+  /// One fused forward pass: whole sessions, one model.
+  struct MicroBatch {
+    ModelState* state = nullptr;
+    std::vector<size_t> request_indices;
+    int64_t total_items = 0;
+  };
+
+  ModelState* StateFor(const std::string& resolved_name) const;
+  void ExecuteMicroBatch(const MicroBatch& micro,
+                         const std::vector<RankRequest>& requests,
+                         const Stopwatch& submit_watch,
+                         std::vector<RankResponse>* responses);
+
+  /// Blocks until every job has run; uses the worker threads when
+  /// configured, the caller's thread otherwise.
+  void RunJobs(std::vector<std::function<void()>> jobs);
+
+  ModelRegistry* registry_;
+  ServingEngineOptions options_;
+  ServingStats stats_;
+
+  // Lazily built per-model state (mutable: looked up from const
+  // accessors like GateSharingActive).
+  mutable std::mutex states_mu_;
+  mutable std::unordered_map<std::string, std::unique_ptr<ModelState>>
+      states_;
+
+  // Worker pool (created only when num_threads > 1).
+  std::vector<std::thread> workers_;
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::vector<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace awmoe
+
+#endif  // AWMOE_SERVING_SERVING_ENGINE_H_

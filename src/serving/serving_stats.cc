@@ -1,0 +1,123 @@
+#include "serving/serving_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace awmoe {
+
+namespace {
+
+/// Nearest-rank percentile over an ascending-sorted sample vector: the
+/// smallest sample with at least pct% of the mass at or below it.
+double NearestRank(const std::vector<double>& sorted, double pct) {
+  AWMOE_CHECK(pct > 0.0 && pct <= 100.0) << "percentile " << pct;
+  if (sorted.empty()) return 0.0;
+  size_t rank = static_cast<size_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(sorted.size())));
+  rank = std::max<size_t>(rank, 1);
+  return sorted[rank - 1];
+}
+
+}  // namespace
+
+void ServingStats::RecordRequest(int64_t items, double latency_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!wall_started_) {
+    // The clock starts when serving starts, not at construction; this
+    // is the first completion, so backdate by this request's latency to
+    // include its service time in the QPS window.
+    wall_.Restart();
+    wall_started_ = true;
+    wall_offset_s_ = latency_ms / 1e3;
+  }
+  ++requests_;
+  items_ += items;
+  total_ms_ += latency_ms;
+  if (static_cast<int64_t>(samples_ms_.size()) < kMaxSamples) {
+    samples_ms_.push_back(latency_ms);
+    return;
+  }
+  // Reservoir sampling (Algorithm R): keep each of the `requests_`
+  // samples with equal probability in O(kMaxSamples) memory.
+  reservoir_rng_ ^= reservoir_rng_ << 13;
+  reservoir_rng_ ^= reservoir_rng_ >> 7;
+  reservoir_rng_ ^= reservoir_rng_ << 17;
+  const uint64_t slot =
+      reservoir_rng_ % static_cast<uint64_t>(requests_);
+  if (slot < static_cast<uint64_t>(kMaxSamples)) {
+    samples_ms_[static_cast<size_t>(slot)] = latency_ms;
+  }
+}
+
+int64_t ServingStats::requests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return requests_;
+}
+
+int64_t ServingStats::items() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_;
+}
+
+double ServingStats::total_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ms_;
+}
+
+double ServingStats::MeanSessionLatencyMs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return requests_ == 0 ? 0.0 : total_ms_ / static_cast<double>(requests_);
+}
+
+double ServingStats::LatencyPercentileMs(double pct) const {
+  std::vector<double> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sorted = samples_ms_;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  return NearestRank(sorted, pct);
+}
+
+ServingStatsSnapshot ServingStats::Snapshot() const {
+  ServingStatsSnapshot snap;
+  std::vector<double> sorted;
+  double elapsed = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.requests = requests_;
+    snap.items = items_;
+    snap.total_ms = total_ms_;
+    if (requests_ > 0) {
+      snap.mean_ms = total_ms_ / static_cast<double>(requests_);
+    }
+    sorted = samples_ms_;
+    elapsed = wall_started_ ? wall_.ElapsedSeconds() + wall_offset_s_ : 0.0;
+  }
+  // Sort once outside the lock so concurrent RecordRequest callers are
+  // not blocked behind an O(n log n) pass.
+  std::sort(sorted.begin(), sorted.end());
+  if (!sorted.empty()) {
+    snap.p50_ms = NearestRank(sorted, 50.0);
+    snap.p95_ms = NearestRank(sorted, 95.0);
+    snap.p99_ms = NearestRank(sorted, 99.0);
+  }
+  if (elapsed > 0.0) {
+    snap.qps = static_cast<double>(snap.requests) / elapsed;
+  }
+  return snap;
+}
+
+void ServingStats::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_ms_.clear();
+  requests_ = 0;
+  items_ = 0;
+  total_ms_ = 0.0;
+  wall_started_ = false;
+  wall_offset_s_ = 0.0;
+}
+
+}  // namespace awmoe

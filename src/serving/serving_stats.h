@@ -1,0 +1,79 @@
+#ifndef AWMOE_SERVING_SERVING_STATS_H_
+#define AWMOE_SERVING_SERVING_STATS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace awmoe {
+
+/// Point-in-time view of the serving counters (safe to copy around and
+/// print without holding any lock).
+struct ServingStatsSnapshot {
+  int64_t requests = 0;
+  int64_t items = 0;
+  double total_ms = 0.0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  /// Completed requests per second of observed wall-clock, measured
+  /// from the first recorded request (not construction) to the
+  /// snapshot, so idle setup time does not dilute the number.
+  double qps = 0.0;
+};
+
+/// Latency accounting for the serving engine. Unlike the old aggregate
+/// counters (sessions/total_ms), per-request latency samples are kept,
+/// so percentiles are exact (nearest-rank) up to kMaxSamples requests;
+/// past that a uniform reservoir bounds memory and percentiles become
+/// statistically representative estimates. Counts, totals and the mean
+/// stay exact throughout. Thread-safe: engine workers record
+/// concurrently.
+class ServingStats {
+ public:
+  /// Samples retained for percentile computation.
+  static constexpr int64_t kMaxSamples = 1 << 16;
+
+  ServingStats() = default;
+
+  /// Records one completed request of `items` candidates.
+  void RecordRequest(int64_t items, double latency_ms);
+
+  int64_t requests() const;
+  /// Backward-compatible alias from the RankingService era, where one
+  /// request always carried one session.
+  int64_t sessions() const { return requests(); }
+  int64_t items() const;
+  double total_ms() const;
+
+  /// Backward-compatible mean accessor (total latency / requests).
+  double MeanSessionLatencyMs() const;
+
+  /// Nearest-rank percentile over the retained samples (exact until
+  /// kMaxSamples requests, reservoir-estimated beyond); `pct` in
+  /// (0, 100]. Returns 0 when nothing has been recorded.
+  double LatencyPercentileMs(double pct) const;
+
+  ServingStatsSnapshot Snapshot() const;
+
+  /// Drops all samples and restarts the QPS wall-clock.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> samples_ms_;  // Reservoir, capped at kMaxSamples.
+  int64_t requests_ = 0;
+  int64_t items_ = 0;
+  double total_ms_ = 0.0;
+  uint64_t reservoir_rng_ = 0x9E3779B97F4A7C15ull;
+  bool wall_started_ = false;  // Clock starts at the first request.
+  double wall_offset_s_ = 0.0;  // First request's own service time.
+  Stopwatch wall_;
+};
+
+}  // namespace awmoe
+
+#endif  // AWMOE_SERVING_SERVING_STATS_H_
