@@ -11,12 +11,20 @@
 //   (c) the isolated gate-network path, whose per-session cost drops by a
 //       factor equal to the session length (the >10x claim for their
 //       10+-item sessions);
-//   (d) the legacy RankingService path, as the pre-engine baseline.
+//   (d) the legacy RankingService path, as the pre-engine baseline;
+//   (e) the async Submit() front in closed-loop mode (one request in
+//       flight: per-request latency including the queue-delay bound a
+//       lone request pays) and open-loop burst mode (many requests in
+//       flight: the time-bounded queue coalesces them into shared
+//       forward passes; batch occupancy is reported as a counter).
 //
 // Smoke mode for CI: pass --benchmark_min_time=0.01 to cap each case at
 // ~10 ms of measurement (scripts/check.sh does this).
 
 #include <benchmark/benchmark.h>
+
+#include <future>
+#include <vector>
 
 #include "common/experiment_lib.h"
 #include "serving/ab_test.h"
@@ -141,6 +149,72 @@ BENCHMARK(BM_RankBatch_MicroBatched)
     ->Arg(32)
     ->Arg(128)
     ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+/// Closed-loop async serving: one request in flight at a time through
+/// Submit. A lone request can only flush on the time bound, so this
+/// measures the full Submit -> future latency floor: queue delay (the
+/// Arg, in microseconds) + one batch-of-one forward.
+void BM_AsyncSubmit_ClosedLoop(benchmark::State& state) {
+  ServingFixture& fixture = ServingFixture::Get();
+  ServingEngineOptions options = fixture.Options(/*share_gate=*/true, 0);
+  options.max_queue_delay_ms = static_cast<double>(state.range(0)) / 1e3;
+  ServingEngine engine(fixture.registry.get(), options);
+  std::vector<RankRequest> requests = MakeSessionRequests(fixture.sessions);
+  size_t i = 0;
+  for (auto _ : state) {
+    RankResponse response =
+        engine.Submit(requests[i % requests.size()]).get();
+    benchmark::DoNotOptimize(response.scores);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+  engine.Stop();
+}
+// UseRealTime: the work happens on the flusher thread, so CPU time of
+// the submitting thread would wildly overstate throughput.
+BENCHMARK(BM_AsyncSubmit_ClosedLoop)
+    ->Arg(100)
+    ->Arg(2000)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Open-loop async serving: a burst of single-session submits lands in
+/// the queue before the first flush completes, so the engine coalesces
+/// them into cap-bounded shared forward passes — the cross-session
+/// amortisation RankBatch only gets when one caller already holds all
+/// the requests. The "occupancy" counter is mean requests per forward.
+void BM_AsyncSubmit_OpenLoopBurst(benchmark::State& state) {
+  ServingFixture& fixture = ServingFixture::Get();
+  ServingEngineOptions options = fixture.Options(/*share_gate=*/true, 0);
+  options.max_queue_delay_ms = 2.0;
+  ServingEngine engine(fixture.registry.get(), options);
+  std::vector<RankRequest> requests = MakeSessionRequests(fixture.sessions);
+  const size_t burst = static_cast<size_t>(state.range(0));
+  size_t cursor = 0;
+  int64_t items = 0;
+  for (auto _ : state) {
+    std::vector<std::future<RankResponse>> futures;
+    futures.reserve(burst);
+    for (size_t s = 0; s < burst; ++s) {
+      const RankRequest& request = requests[(cursor + s) % requests.size()];
+      items += static_cast<int64_t>(request.items.size());
+      futures.push_back(engine.Submit(request));
+    }
+    cursor += burst;
+    for (auto& future : futures) {
+      RankResponse response = future.get();
+      benchmark::DoNotOptimize(response.scores);
+    }
+  }
+  state.SetItemsProcessed(items);
+  state.counters["occupancy"] = engine.Stats().mean_batch_requests;
+  engine.Stop();
+}
+BENCHMARK(BM_AsyncSubmit_OpenLoopBurst)
+    ->Arg(8)
+    ->Arg(32)
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 /// Pre-engine baseline: the legacy single-session RankingService with

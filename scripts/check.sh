@@ -1,8 +1,39 @@
 #!/usr/bin/env bash
-# Tier-1 verify plus a serving smoke run. Usage: scripts/check.sh [build_dir]
+# Tier-1 verify plus a serving smoke run.
+#
+# Usage:
+#   scripts/check.sh [build_dir]          # full build + ctest + bench smoke
+#   scripts/check.sh --tsan [build_dir]   # ThreadSanitizer build of the
+#                                         # serving concurrency suites
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+TSAN=0
+if [ "${1:-}" = "--tsan" ]; then
+  TSAN=1
+  shift
+fi
+
+if [ "$TSAN" = 1 ]; then
+  BUILD_DIR="${1:-$REPO_ROOT/build-tsan}"
+  echo "== configure (ThreadSanitizer) =="
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DAWMOE_TSAN=ON \
+    -DAWMOE_BUILD_BENCHES=OFF -DAWMOE_BUILD_EXAMPLES=OFF
+
+  echo "== build (tests only) =="
+  cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+  # The threaded subsystem lives in src/serving/; its suites (async
+  # queue, worker pool, stats contention) are where TSan has signal.
+  echo "== ctest (serving suites under TSan) =="
+  TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -R "^serving_"
+
+  echo "== check.sh --tsan OK =="
+  exit 0
+fi
+
 BUILD_DIR="${1:-$REPO_ROOT/build}"
 
 echo "== configure =="

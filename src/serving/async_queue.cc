@@ -1,0 +1,186 @@
+#include "serving/async_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace awmoe {
+
+namespace {
+
+/// Resolves a promise with a scoreless failure response, preserving the
+/// request identity so callers can still attribute the error.
+void Reject(std::promise<RankResponse> promise, Status status,
+            int64_t session_id, const std::string& model) {
+  RankResponse response;
+  response.status = std::move(status);
+  response.session_id = session_id;
+  response.model = model;
+  promise.set_value(std::move(response));
+}
+
+}  // namespace
+
+AsyncBatchQueue::AsyncBatchQueue(AsyncQueueOptions options, FlushFn flush)
+    : options_(options), flush_(std::move(flush)) {
+  AWMOE_CHECK(options_.max_batch_candidates > 0)
+      << "max_batch_candidates " << options_.max_batch_candidates;
+  AWMOE_CHECK(options_.max_queue_delay.count() >= 0)
+      << "negative max_queue_delay";
+  AWMOE_CHECK(flush_ != nullptr) << "AsyncBatchQueue: null flush callback";
+  flusher_ = std::thread([this] { FlusherLoop(); });
+}
+
+AsyncBatchQueue::~AsyncBatchQueue() { Stop(/*drain=*/true); }
+
+std::future<RankResponse> AsyncBatchQueue::Submit(
+    RankRequest request, const std::string& resolved_model) {
+  std::promise<RankResponse> promise;
+  std::future<RankResponse> future = promise.get_future();
+  if (request.items.empty()) {
+    Reject(std::move(promise),
+           Status::InvalidArgument("Submit: empty candidate list for session " +
+                                   std::to_string(request.session_id)),
+           request.session_id, resolved_model);
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      Reject(std::move(promise),
+             Status::Unavailable("Submit: serving engine is stopped"),
+             request.session_id, resolved_model);
+      return future;
+    }
+    if (options_.max_pending_requests > 0 &&
+        pending_total_ >= options_.max_pending_requests) {
+      Reject(std::move(promise),
+             Status::ResourceExhausted(
+                 "Submit: async queue full (" +
+                 std::to_string(pending_total_) + " pending requests)"),
+             request.session_id, resolved_model);
+      return future;
+    }
+    ModelQueue& queue = queues_[resolved_model];
+    queue.pending_items += static_cast<int64_t>(request.items.size());
+    ++pending_total_;
+    Pending pending;
+    pending.request = std::move(request);
+    pending.promise = std::move(promise);
+    pending.enqueued_at = std::chrono::steady_clock::now();
+    queue.pending.push_back(std::move(pending));
+  }
+  // Wake the flusher whether or not the cap was reached: a first
+  // request establishes a new flush deadline the flusher must adopt.
+  cv_.notify_one();
+  return future;
+}
+
+std::vector<AsyncBatchQueue::Pending> AsyncBatchQueue::PopBatchLocked(
+    ModelQueue* queue) {
+  std::vector<Pending> batch;
+  int64_t items = 0;
+  while (!queue->pending.empty()) {
+    const int64_t next =
+        static_cast<int64_t>(queue->pending.front().request.items.size());
+    // Whole requests only; an oversized lone request still flushes.
+    if (!batch.empty() && items + next > options_.max_batch_candidates) break;
+    items += next;
+    queue->pending_items -= next;
+    --pending_total_;
+    batch.push_back(std::move(queue->pending.front()));
+    queue->pending.pop_front();
+  }
+  return batch;
+}
+
+void AsyncBatchQueue::FlusherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    ModelQueue* ready = nullptr;
+    const std::string* ready_name = nullptr;
+    auto ready_oldest = std::chrono::steady_clock::time_point::max();
+    bool have_pending = false;
+    auto earliest_deadline = std::chrono::steady_clock::time_point::max();
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& [name, queue] : queues_) {
+      if (queue.pending.empty()) continue;
+      have_pending = true;
+      const auto oldest = queue.pending.front().enqueued_at;
+      const auto deadline = oldest + options_.max_queue_delay;
+      // A queue is flush-ready when its candidate cap is reached, its
+      // oldest request aged out, or the queue is draining for shutdown.
+      // Among ready queues the one with the OLDEST front request wins,
+      // so a cap-triggering stream on one model cannot starve another
+      // model's aged-out requests past their time bound.
+      if (stopping_ || queue.pending_items >= options_.max_batch_candidates ||
+          deadline <= now) {
+        if (oldest < ready_oldest) {
+          ready = &queue;
+          ready_name = &name;
+          ready_oldest = oldest;
+        }
+        continue;
+      }
+      earliest_deadline = std::min(earliest_deadline, deadline);
+    }
+    if (ready != nullptr) {
+      const std::string model = *ready_name;
+      std::vector<Pending> batch = PopBatchLocked(ready);
+      lock.unlock();
+      flush_(model, std::move(batch));  // Resolves every promise.
+      lock.lock();
+      continue;
+    }
+    if (stopping_) return;  // Nothing pending left to drain.
+    if (!have_pending) {
+      cv_.wait(lock);
+    } else {
+      cv_.wait_until(lock, earliest_deadline);
+    }
+  }
+}
+
+void AsyncBatchQueue::Stop(bool drain) {
+  // Paired with the resolved model name (the queue key), so the
+  // failure response keeps the "model is never empty" contract even
+  // for default-routed requests.
+  std::vector<std::pair<std::string, Pending>> abandoned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_) {
+      stopping_ = true;
+      if (!drain) {
+        // Fail pending requests instead of scoring them; batches the
+        // flusher already popped are in flight and still resolve with
+        // scores.
+        for (auto& [name, queue] : queues_) {
+          for (Pending& pending : queue.pending) {
+            abandoned.emplace_back(name, std::move(pending));
+          }
+          queue.pending.clear();
+          queue.pending_items = 0;
+        }
+        pending_total_ = 0;
+      }
+    }
+  }
+  cv_.notify_all();
+  for (auto& [model, pending] : abandoned) {
+    Reject(std::move(pending.promise),
+           Status::Unavailable(
+               "Submit: serving engine stopped before this request was "
+               "scored"),
+           pending.request.session_id, model);
+  }
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  if (flusher_.joinable()) flusher_.join();
+}
+
+int64_t AsyncBatchQueue::pending_requests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_total_;
+}
+
+}  // namespace awmoe

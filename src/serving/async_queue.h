@@ -1,0 +1,130 @@
+#ifndef AWMOE_SERVING_ASYNC_QUEUE_H_
+#define AWMOE_SERVING_ASYNC_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "serving/request.h"
+
+namespace awmoe {
+
+/// Flush policy of the async serving front (see ServingEngineOptions for
+/// the user-facing knobs these are derived from).
+struct AsyncQueueOptions {
+  /// Flush a model's queue once its pending candidate count reaches
+  /// this. A single oversized request still flushes alone (requests are
+  /// never split).
+  int64_t max_batch_candidates = 256;
+
+  /// Flush a model's queue once its oldest pending request has waited
+  /// this long, even if the candidate cap was not reached. This is the
+  /// latency bound a lone request pays for the chance to be coalesced.
+  std::chrono::microseconds max_queue_delay{2000};
+
+  /// Backpressure: when this many requests are already queued (across
+  /// all models, not yet handed to a flush), Submit fails the returned
+  /// future immediately with kResourceExhausted instead of queueing.
+  /// 0 = unbounded.
+  int64_t max_pending_requests = 0;
+};
+
+/// Time-bounded micro-batch queue behind `ServingEngine::Submit`: a
+/// producer/consumer stage that coalesces concurrently submitted
+/// requests (per model) into batches and hands each batch to a flush
+/// callback on a dedicated flusher thread. The queue owns the promise
+/// side of every accepted request; the flush callback must resolve
+/// every `Pending` it is given (the engine scores the batch in one
+/// forward pass and fills each caller's slice). Rejected and abandoned
+/// requests are resolved by the queue itself with a non-OK
+/// `RankResponse::status`, so a returned future ALWAYS becomes ready —
+/// no code path leaks a promise.
+///
+/// Thread-safety: Submit may be called from any number of threads.
+/// Stop/destruction may race with Submit; a Submit that loses the race
+/// resolves with kUnavailable. The flush callback runs on the flusher
+/// thread only, and never under the queue lock, so it may block on
+/// model locks freely.
+class AsyncBatchQueue {
+ public:
+  /// One accepted request in flight: the caller's request, the promise
+  /// its future came from, and when it entered the queue (for the
+  /// queue-delay metric and the time-bound flush).
+  struct Pending {
+    RankRequest request;
+    std::promise<RankResponse> promise;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
+
+  /// Receives one micro-batch — all requests route to `model`, the
+  /// resolved registry name the queue grouped them under — and must
+  /// resolve every promise in it.
+  using FlushFn =
+      std::function<void(const std::string& model, std::vector<Pending> batch)>;
+
+  AsyncBatchQueue(AsyncQueueOptions options, FlushFn flush);
+
+  /// Stops with drain=true: pending requests are still scored.
+  ~AsyncBatchQueue();
+
+  AsyncBatchQueue(const AsyncBatchQueue&) = delete;
+  AsyncBatchQueue& operator=(const AsyncBatchQueue&) = delete;
+
+  /// Enqueues a request routed at `resolved_model` (a concrete registry
+  /// name; the caller resolves the default route). Returns a future that
+  /// resolves when the request's micro-batch has been scored — or
+  /// immediately with a non-OK status when the request is rejected
+  /// (queue full, empty candidate list, queue stopped).
+  std::future<RankResponse> Submit(RankRequest request,
+                                   const std::string& resolved_model);
+
+  /// Stops accepting new requests and joins the flusher. drain=true
+  /// flushes (scores) everything still queued; drain=false resolves
+  /// pending requests with kUnavailable instead. Idempotent; the first
+  /// call's drain mode wins.
+  void Stop(bool drain);
+
+  /// Requests currently queued (accepted, flush not started). Intended
+  /// for tests and load probes; the value is stale by the time the
+  /// caller reads it.
+  int64_t pending_requests() const;
+
+ private:
+  struct ModelQueue {
+    std::deque<Pending> pending;
+    int64_t pending_items = 0;
+  };
+
+  /// Pops up to max_batch_candidates items of whole requests (at least
+  /// one request) from `queue`. Caller holds mu_.
+  std::vector<Pending> PopBatchLocked(ModelQueue* queue);
+
+  void FlusherLoop();
+
+  const AsyncQueueOptions options_;
+  const FlushFn flush_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<std::string, ModelQueue> queues_;
+  int64_t pending_total_ = 0;
+  bool stopping_ = false;
+
+  // Serialises the join so concurrent Stop calls (e.g. an explicit Stop
+  // racing the destructor) cannot both join the flusher.
+  std::mutex join_mu_;
+  std::thread flusher_;
+};
+
+}  // namespace awmoe
+
+#endif  // AWMOE_SERVING_ASYNC_QUEUE_H_

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "data/example.h"
+#include "util/status.h"
 
 namespace awmoe {
 
@@ -23,13 +24,24 @@ struct RankRequest {
 
 /// Scores for one request, aligned with `RankRequest::items`.
 struct RankResponse {
+  /// OK when `scores` is valid. The async `Submit` front resolves
+  /// futures with a non-OK status instead of scores when a request is
+  /// rejected (queue full -> kResourceExhausted, empty candidate list
+  /// -> kInvalidArgument) or abandoned (engine stopped without drain ->
+  /// kUnavailable). The synchronous path never returns non-OK.
+  Status status;
   int64_t session_id = 0;
   /// Resolved model name (never empty).
   std::string model;
   /// Sigmoid probabilities, one per candidate item.
   std::vector<double> scores;
-  /// Wall-clock from micro-batch dispatch to scores ready.
+  /// Wall-clock from request submission to scores ready. On the async
+  /// path this includes `queue_ms`; on the synchronous path it is
+  /// measured from `RankBatch` entry.
   double latency_ms = 0.0;
+  /// Time the request spent in the async micro-batch queue before its
+  /// flush started (0 on the synchronous path).
+  double queue_ms = 0.0;
   /// True when the §III-F shared-gate path served this request.
   bool gate_shared = false;
   /// True when the session's gate came from the engine's gate cache

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
+#include <cmath>
 #include <map>
+#include <numeric>
 #include <utility>
 
 #include "core/aw_moe.h"
@@ -42,6 +45,12 @@ ServingEngine::ServingEngine(ModelRegistry* registry,
   AWMOE_CHECK(registry_ != nullptr) << "ServingEngine: null registry";
   AWMOE_CHECK(options_.max_batch_items > 0)
       << "max_batch_items " << options_.max_batch_items;
+  AWMOE_CHECK(options_.max_batch_candidates >= 0)
+      << "max_batch_candidates " << options_.max_batch_candidates;
+  AWMOE_CHECK(options_.max_queue_delay_ms >= 0.0)
+      << "max_queue_delay_ms " << options_.max_queue_delay_ms;
+  AWMOE_CHECK(options_.max_pending_requests >= 0)
+      << "max_pending_requests " << options_.max_pending_requests;
   for (int t = 1; t < options_.num_threads; ++t) {
     workers_.emplace_back([this] {
       for (;;) {
@@ -64,6 +73,9 @@ ServingEngine::ServingEngine(ModelRegistry* registry,
 }
 
 ServingEngine::~ServingEngine() {
+  // Drain the async front first: its flusher scores pending batches
+  // through the model states, which must still be alive.
+  Stop(/*drain=*/true);
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     stopping_ = true;
@@ -101,7 +113,8 @@ bool ServingEngine::GateSharingActive(const std::string& model) const {
 
 void ServingEngine::ExecuteMicroBatch(const MicroBatch& micro,
                                       const std::vector<RankRequest>& requests,
-                                      const Stopwatch& submit_watch,
+                                      const std::vector<double>* queue_delays_ms,
+                                      const Stopwatch& service_watch,
                                       std::vector<RankResponse>* responses) {
   ModelState* state = micro.state;
   const DatasetMeta& meta = registry_->meta();
@@ -211,24 +224,35 @@ void ServingEngine::ExecuteMicroBatch(const MicroBatch& micro,
   }
   Matrix probs = Sigmoid(logits);
 
-  const double latency_ms = submit_watch.ElapsedMillis();
+  const double service_ms = service_watch.ElapsedMillis();
+  std::vector<RequestSample> samples(n);
   int64_t row = 0;
   for (size_t i = 0; i < n; ++i) {
     const size_t idx = micro.request_indices[i];
     const RankRequest& request = requests[idx];
     RankResponse& response = (*responses)[idx];
+    const double queue_ms =
+        queue_delays_ms == nullptr ? 0.0 : (*queue_delays_ms)[idx];
     response.session_id = request.session_id;
     response.model = state->name;
-    response.latency_ms = latency_ms;
+    response.latency_ms = service_ms + queue_ms;
+    response.queue_ms = queue_ms;
     response.gate_shared = shared;
     response.gate_cache_hit = cache_hit[i];
     response.scores.resize(request.items.size());
     for (size_t j = 0; j < request.items.size(); ++j, ++row) {
       response.scores[j] = probs(row, 0);
     }
-    stats_.RecordRequest(static_cast<int64_t>(request.items.size()),
-                         latency_ms);
+    RequestSample& sample = samples[i];
+    sample.items = static_cast<int64_t>(request.items.size());
+    sample.latency_ms = response.latency_ms;
+    if (queue_delays_ms != nullptr) sample.queue_ms = queue_ms;
+    if (shared) sample.gate_lookup = cache_hit[i] ? 1 : 0;
   }
+  // One lock acquisition for the whole micro-batch: workers and the
+  // async flusher contend on the stats mutex, so the hot path must not
+  // take it per request.
+  stats_.RecordMicroBatch(micro.total_items, samples);
 }
 
 void ServingEngine::RunJobs(std::vector<std::function<void()>> jobs) {
@@ -322,7 +346,8 @@ std::vector<RankResponse> ServingEngine::RankBatch(
   jobs.reserve(micros.size());
   for (const MicroBatch& micro : micros) {
     jobs.push_back([this, &micro, &requests, &submit_watch, &responses] {
-      ExecuteMicroBatch(micro, requests, submit_watch, &responses);
+      ExecuteMicroBatch(micro, requests, /*queue_delays_ms=*/nullptr,
+                        submit_watch, &responses);
     });
   }
   RunJobs(std::move(jobs));
@@ -332,6 +357,87 @@ std::vector<RankResponse> ServingEngine::RankBatch(
 RankResponse ServingEngine::Rank(const RankRequest& request) {
   std::vector<RankResponse> responses = RankBatch({request});
   return std::move(responses[0]);
+}
+
+std::future<RankResponse> ServingEngine::Submit(RankRequest request) {
+  // Resolve the route up front (CHECK-fails on unknown names, matching
+  // the synchronous path) so per-model queues key on concrete names.
+  const std::string resolved = registry_->ResolveName(request.model);
+  AsyncBatchQueue* queue = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(async_mu_);
+    if (async_queue_ == nullptr && !async_stopped_) {
+      AsyncQueueOptions queue_options;
+      queue_options.max_batch_candidates = options_.max_batch_candidates > 0
+                                               ? options_.max_batch_candidates
+                                               : options_.max_batch_items;
+      queue_options.max_queue_delay = std::chrono::microseconds(
+          std::llround(options_.max_queue_delay_ms * 1e3));
+      queue_options.max_pending_requests = options_.max_pending_requests;
+      async_queue_ = std::make_unique<AsyncBatchQueue>(
+          queue_options,
+          [this](const std::string& model,
+                 std::vector<AsyncBatchQueue::Pending> batch) {
+            FlushAsync(model, std::move(batch));
+          });
+    }
+    queue = async_queue_.get();
+  }
+  if (queue == nullptr) {
+    // Stopped before the async front ever started.
+    std::promise<RankResponse> promise;
+    RankResponse response;
+    response.status = Status::Unavailable("Submit: serving engine is stopped");
+    response.session_id = request.session_id;
+    response.model = resolved;
+    promise.set_value(std::move(response));
+    return promise.get_future();
+  }
+  return queue->Submit(std::move(request), resolved);
+}
+
+void ServingEngine::Stop(bool drain) {
+  AsyncBatchQueue* queue = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(async_mu_);
+    async_stopped_ = true;
+    // Stop the queue in place instead of destroying it: a Submit that
+    // grabbed the pointer concurrently must find a live object (it will
+    // be rejected with kUnavailable).
+    queue = async_queue_.get();
+  }
+  if (queue != nullptr) queue->Stop(drain);
+}
+
+void ServingEngine::FlushAsync(const std::string& model,
+                               std::vector<AsyncBatchQueue::Pending> batch) {
+  Stopwatch service_watch;
+  const auto flush_start = std::chrono::steady_clock::now();
+  const size_t n = batch.size();
+  std::vector<RankRequest> requests;
+  requests.reserve(n);
+  std::vector<double> queue_delays_ms(n, 0.0);
+  MicroBatch micro;
+  micro.request_indices.resize(n);
+  std::iota(micro.request_indices.begin(), micro.request_indices.end(),
+            size_t{0});
+  for (size_t i = 0; i < n; ++i) {
+    queue_delays_ms[i] = std::chrono::duration<double, std::milli>(
+                             flush_start - batch[i].enqueued_at)
+                             .count();
+    micro.total_items += static_cast<int64_t>(batch[i].request.items.size());
+    requests.push_back(std::move(batch[i].request));
+  }
+  // The queue grouped the batch under the resolved name Submit pinned
+  // at enqueue time — route by that key, not by re-resolving a possibly
+  // empty (default) request name at flush time.
+  micro.state = StateFor(model);
+  std::vector<RankResponse> responses(n);
+  ExecuteMicroBatch(micro, requests, &queue_delays_ms, service_watch,
+                    &responses);
+  for (size_t i = 0; i < n; ++i) {
+    batch[i].promise.set_value(std::move(responses[i]));
+  }
 }
 
 }  // namespace awmoe

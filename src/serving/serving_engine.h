@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <future>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -13,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "serving/async_queue.h"
 #include "serving/model_registry.h"
 #include "serving/request.h"
 #include "serving/serving_stats.h"
@@ -48,6 +50,25 @@ struct ServingEngineOptions {
   /// sequence grew between requests is re-probed, never served stale.
   /// 0 disables caching (the gate is still shared within a request).
   int64_t gate_cache_capacity = 4096;
+
+  // --- Async front (Submit) knobs. ---
+
+  /// Candidate cap that flushes the async micro-batch queue: once a
+  /// model's queued requests total this many candidates, they are
+  /// coalesced into one forward pass. 0 inherits `max_batch_items`, so
+  /// the async and synchronous paths batch to the same size by default.
+  int64_t max_batch_candidates = 0;
+
+  /// Time bound of the async queue: a queued request is flushed at most
+  /// this long after it was submitted even if the candidate cap was not
+  /// reached. This is the latency a lone request trades for the chance
+  /// to be coalesced with concurrent traffic.
+  double max_queue_delay_ms = 2.0;
+
+  /// Backpressure: when this many requests are already queued (not yet
+  /// flushed), further Submits fail immediately with
+  /// kResourceExhausted instead of queueing. 0 = unbounded.
+  int64_t max_pending_requests = 0;
 };
 
 /// The serving platform of Fig. 6: accepts RankRequests, routes each to
@@ -78,6 +99,32 @@ class ServingEngine {
   /// other micro-batches shows up in the percentiles.
   std::vector<RankResponse> RankBatch(
       const std::vector<RankRequest>& requests);
+
+  /// Non-blocking front: enqueues the request into a per-model,
+  /// time-bounded micro-batch queue and returns immediately. A
+  /// background flusher coalesces queued requests — including requests
+  /// from different sessions submitted by different threads — into one
+  /// forward pass once `max_batch_candidates` accumulate or the oldest
+  /// request has waited `max_queue_delay_ms`, then resolves each
+  /// caller's future with its own slice of the scores. Scores are
+  /// bitwise-identical to the synchronous path. The future ALWAYS
+  /// becomes ready: rejected requests (queue full, empty candidate
+  /// list, stopped engine) resolve immediately with a non-OK
+  /// `RankResponse::status` and no scores.
+  ///
+  /// The candidate `Example`s must stay alive until the future
+  /// resolves; the `RankRequest` itself is moved into the queue.
+  std::future<RankResponse> Submit(RankRequest request);
+
+  /// Stops the async front: no further Submits are accepted. With
+  /// drain=true (the default, also what the destructor does) requests
+  /// still queued are scored and their futures resolve normally; with
+  /// drain=false they resolve immediately with kUnavailable. Blocks
+  /// until the flusher thread has exited; never deadlocks on in-flight
+  /// futures and never leaves a promise unresolved. Idempotent, and a
+  /// no-op when Submit was never called. Synchronous Rank/RankBatch
+  /// remain usable after Stop.
+  void Stop(bool drain = true);
 
   /// True when requests routed at `model` (empty = default) take the
   /// §III-F shared-gate path.
@@ -121,10 +168,22 @@ class ServingEngine {
   };
 
   ModelState* StateFor(const std::string& resolved_name) const;
+
+  /// Scores one micro-batch and fills the matching responses.
+  /// `queue_delays_ms`, when non-null, is indexed like `requests` and
+  /// holds the time each request spent in the async queue; it is added
+  /// to the reported latency and recorded as the queue-delay metric.
   void ExecuteMicroBatch(const MicroBatch& micro,
                          const std::vector<RankRequest>& requests,
-                         const Stopwatch& submit_watch,
+                         const std::vector<double>* queue_delays_ms,
+                         const Stopwatch& service_watch,
                          std::vector<RankResponse>* responses);
+
+  /// Flush callback of the async queue: scores one coalesced batch
+  /// (all routed at resolved name `model`) in one forward pass and
+  /// resolves every promise.
+  void FlushAsync(const std::string& model,
+                  std::vector<AsyncBatchQueue::Pending> batch);
 
   /// Blocks until every job has run; uses the worker threads when
   /// configured, the caller's thread otherwise.
@@ -146,6 +205,14 @@ class ServingEngine {
   std::condition_variable queue_cv_;
   std::vector<std::function<void()>> queue_;
   bool stopping_ = false;
+
+  // Async front: created lazily on the first Submit (engines used only
+  // synchronously never start a flusher thread). The queue object, once
+  // created, lives until engine destruction — Stop() stops it in place,
+  // so a Submit racing Stop finds a live queue that rejects it.
+  std::mutex async_mu_;
+  std::unique_ptr<AsyncBatchQueue> async_queue_;
+  bool async_stopped_ = false;
 };
 
 }  // namespace awmoe

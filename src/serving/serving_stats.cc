@@ -24,6 +24,10 @@ double NearestRank(const std::vector<double>& sorted, double pct) {
 
 void ServingStats::RecordRequest(int64_t items, double latency_ms) {
   std::lock_guard<std::mutex> lock(mu_);
+  RecordRequestLocked(items, latency_ms);
+}
+
+void ServingStats::RecordRequestLocked(int64_t items, double latency_ms) {
   if (!wall_started_) {
     // The clock starts when serving starts, not at construction; this
     // is the first completion, so backdate by this request's latency to
@@ -51,6 +55,54 @@ void ServingStats::RecordRequest(int64_t items, double latency_ms) {
   }
 }
 
+void ServingStats::RecordBatch(int64_t batch_requests, int64_t batch_items) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RecordBatchLocked(batch_requests, batch_items);
+}
+
+void ServingStats::RecordBatchLocked(int64_t batch_requests,
+                                     int64_t batch_items) {
+  ++batches_;
+  batch_requests_ += batch_requests;
+  batch_items_ += batch_items;
+  max_batch_requests_ = std::max(max_batch_requests_, batch_requests);
+}
+
+void ServingStats::RecordQueueDelay(double delay_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RecordQueueDelayLocked(delay_ms);
+}
+
+void ServingStats::RecordQueueDelayLocked(double delay_ms) {
+  ++queued_requests_;
+  queue_total_ms_ += delay_ms;
+  queue_max_ms_ = std::max(queue_max_ms_, delay_ms);
+}
+
+void ServingStats::RecordGateLookup(bool hit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RecordGateLookupLocked(hit);
+}
+
+void ServingStats::RecordGateLookupLocked(bool hit) {
+  if (hit) {
+    ++gate_cache_hits_;
+  } else {
+    ++gate_cache_misses_;
+  }
+}
+
+void ServingStats::RecordMicroBatch(
+    int64_t batch_items, const std::vector<RequestSample>& samples) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RecordBatchLocked(static_cast<int64_t>(samples.size()), batch_items);
+  for (const RequestSample& sample : samples) {
+    RecordRequestLocked(sample.items, sample.latency_ms);
+    if (sample.queue_ms >= 0.0) RecordQueueDelayLocked(sample.queue_ms);
+    if (sample.gate_lookup >= 0) RecordGateLookupLocked(sample.gate_lookup != 0);
+  }
+}
+
 int64_t ServingStats::requests() const {
   std::lock_guard<std::mutex> lock(mu_);
   return requests_;
@@ -64,6 +116,31 @@ int64_t ServingStats::items() const {
 double ServingStats::total_ms() const {
   std::lock_guard<std::mutex> lock(mu_);
   return total_ms_;
+}
+
+int64_t ServingStats::batches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_;
+}
+
+int64_t ServingStats::max_batch_requests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_batch_requests_;
+}
+
+int64_t ServingStats::queued_requests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_requests_;
+}
+
+int64_t ServingStats::gate_cache_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gate_cache_hits_;
+}
+
+int64_t ServingStats::gate_cache_misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gate_cache_misses_;
 }
 
 double ServingStats::MeanSessionLatencyMs() const {
@@ -93,6 +170,22 @@ ServingStatsSnapshot ServingStats::Snapshot() const {
     if (requests_ > 0) {
       snap.mean_ms = total_ms_ / static_cast<double>(requests_);
     }
+    snap.batches = batches_;
+    if (batches_ > 0) {
+      snap.mean_batch_requests =
+          static_cast<double>(batch_requests_) / static_cast<double>(batches_);
+      snap.mean_batch_items =
+          static_cast<double>(batch_items_) / static_cast<double>(batches_);
+    }
+    snap.max_batch_requests = max_batch_requests_;
+    snap.queued_requests = queued_requests_;
+    if (queued_requests_ > 0) {
+      snap.queue_mean_ms =
+          queue_total_ms_ / static_cast<double>(queued_requests_);
+    }
+    snap.queue_max_ms = queue_max_ms_;
+    snap.gate_cache_hits = gate_cache_hits_;
+    snap.gate_cache_misses = gate_cache_misses_;
     sorted = samples_ms_;
     elapsed = wall_started_ ? wall_.ElapsedSeconds() + wall_offset_s_ : 0.0;
   }
@@ -116,6 +209,15 @@ void ServingStats::Reset() {
   requests_ = 0;
   items_ = 0;
   total_ms_ = 0.0;
+  batches_ = 0;
+  batch_requests_ = 0;
+  batch_items_ = 0;
+  max_batch_requests_ = 0;
+  queued_requests_ = 0;
+  queue_total_ms_ = 0.0;
+  queue_max_ms_ = 0.0;
+  gate_cache_hits_ = 0;
+  gate_cache_misses_ = 0;
   wall_started_ = false;
   wall_offset_s_ = 0.0;
 }

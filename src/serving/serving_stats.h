@@ -23,6 +23,33 @@ struct ServingStatsSnapshot {
   /// from the first recorded request (not construction) to the
   /// snapshot, so idle setup time does not dilute the number.
   double qps = 0.0;
+
+  /// Forward passes executed (one per micro-batch). Occupancy —
+  /// `mean_batch_requests` — is the cross-session amortisation factor:
+  /// 1.0 means every request paid its own forward.
+  int64_t batches = 0;
+  double mean_batch_requests = 0.0;
+  int64_t max_batch_requests = 0;
+  double mean_batch_items = 0.0;
+
+  /// Async front only: requests that went through the `Submit` queue,
+  /// and how long they waited there before their flush started.
+  int64_t queued_requests = 0;
+  double queue_mean_ms = 0.0;
+  double queue_max_ms = 0.0;
+
+  /// §III-F gate LRU outcome counts (one lookup per request on the
+  /// shared-gate path; a miss covers both cold and invalidated rows).
+  int64_t gate_cache_hits = 0;
+  int64_t gate_cache_misses = 0;
+};
+
+/// One request's contribution to a micro-batch stats record.
+struct RequestSample {
+  int64_t items = 0;
+  double latency_ms = 0.0;
+  double queue_ms = -1.0;  // < 0: not an async (queued) request.
+  int gate_lookup = -1;    // -1 no lookup, 0 cache miss, 1 cache hit.
 };
 
 /// Latency accounting for the serving engine. Unlike the old aggregate
@@ -42,6 +69,26 @@ class ServingStats {
   /// Records one completed request of `items` candidates.
   void RecordRequest(int64_t items, double latency_ms);
 
+  /// Records one executed micro-batch (one forward pass) that carried
+  /// `batch_requests` requests totalling `batch_items` candidates.
+  void RecordBatch(int64_t batch_requests, int64_t batch_items);
+
+  /// Records the time one async-submitted request spent queued before
+  /// its flush started.
+  void RecordQueueDelay(double delay_ms);
+
+  /// Records one gate-LRU lookup outcome on the shared-gate path.
+  void RecordGateLookup(bool hit);
+
+  /// Records one executed micro-batch and all its requests under a
+  /// SINGLE lock acquisition — what the scoring hot path uses instead
+  /// of one Record* call per request (workers and the async flusher
+  /// all contend on this mutex). Equivalent to RecordBatch +, per
+  /// sample, RecordRequest / RecordQueueDelay (queue_ms >= 0) /
+  /// RecordGateLookup (gate_lookup >= 0).
+  void RecordMicroBatch(int64_t batch_items,
+                        const std::vector<RequestSample>& samples);
+
   int64_t requests() const;
   /// Backward-compatible alias from the RankingService era, where one
   /// request always carried one session.
@@ -57,17 +104,44 @@ class ServingStats {
   /// (0, 100]. Returns 0 when nothing has been recorded.
   double LatencyPercentileMs(double pct) const;
 
+  int64_t batches() const;
+  int64_t max_batch_requests() const;
+  int64_t queued_requests() const;
+  int64_t gate_cache_hits() const;
+  int64_t gate_cache_misses() const;
+
   ServingStatsSnapshot Snapshot() const;
 
   /// Drops all samples and restarts the QPS wall-clock.
   void Reset();
 
  private:
+  // Unlocked cores of the Record* methods; caller holds mu_.
+  void RecordRequestLocked(int64_t items, double latency_ms);
+  void RecordBatchLocked(int64_t batch_requests, int64_t batch_items);
+  void RecordQueueDelayLocked(double delay_ms);
+  void RecordGateLookupLocked(bool hit);
+
+  // One mutex guards every counter AND the latency reservoir: samples
+  // are recorded concurrently by RankBatch worker threads and the async
+  // flusher thread, so the reservoir (vector growth, slot overwrites,
+  // the xorshift state) must never be touched outside mu_. The async
+  // stress test asserts exact counts under contention and the TSan CI
+  // job checks the locking.
   mutable std::mutex mu_;
   std::vector<double> samples_ms_;  // Reservoir, capped at kMaxSamples.
   int64_t requests_ = 0;
   int64_t items_ = 0;
   double total_ms_ = 0.0;
+  int64_t batches_ = 0;
+  int64_t batch_requests_ = 0;  // Sum over batches; occupancy numerator.
+  int64_t batch_items_ = 0;
+  int64_t max_batch_requests_ = 0;
+  int64_t queued_requests_ = 0;
+  double queue_total_ms_ = 0.0;
+  double queue_max_ms_ = 0.0;
+  int64_t gate_cache_hits_ = 0;
+  int64_t gate_cache_misses_ = 0;
   uint64_t reservoir_rng_ = 0x9E3779B97F4A7C15ull;
   bool wall_started_ = false;  // Clock starts at the first request.
   double wall_offset_s_ = 0.0;  // First request's own service time.

@@ -19,6 +19,8 @@ enum class StatusCode : int {
   kUnimplemented = 6,
   kIOError = 7,
   kInternal = 8,
+  kResourceExhausted = 9,
+  kUnavailable = 10,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -63,6 +65,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

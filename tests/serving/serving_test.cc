@@ -420,6 +420,76 @@ TEST_F(ServingTest, GateCacheDisabledStillSharesWithinRequest) {
   }
 }
 
+TEST_F(ServingTest, GateCacheCountersTrackHitsAndMisses) {
+  ModelRegistry registry = MakeRegistry();
+  ServingEngine engine(&registry);
+  auto sessions = GroupBySession(data_->full_test);
+  RankRequest request;
+  request.session_id = sessions[0][0]->session_id;
+  request.items = sessions[0];
+
+  engine.Rank(request);  // Cold: one miss.
+  EXPECT_EQ(engine.stats().gate_cache_hits(), 0);
+  EXPECT_EQ(engine.stats().gate_cache_misses(), 1);
+  engine.Rank(request);  // Repeat: one hit.
+  EXPECT_EQ(engine.stats().gate_cache_hits(), 1);
+  EXPECT_EQ(engine.stats().gate_cache_misses(), 1);
+
+  // Same session id, changed gate context: the invalidation re-probe
+  // counts as a miss, not a hit.
+  std::vector<Example> grown = MakeGrownSession(sessions[0]);
+  RankRequest grown_request;
+  grown_request.session_id = request.session_id;
+  for (const Example& ex : grown) grown_request.items.push_back(&ex);
+  engine.Rank(grown_request);
+  EXPECT_EQ(engine.stats().gate_cache_hits(), 1);
+  EXPECT_EQ(engine.stats().gate_cache_misses(), 2);
+
+  ServingStatsSnapshot snap = engine.Stats();
+  EXPECT_EQ(snap.gate_cache_hits, 1);
+  EXPECT_EQ(snap.gate_cache_misses, 2);
+  engine.ResetStats();
+  EXPECT_EQ(engine.stats().gate_cache_hits(), 0);
+  EXPECT_EQ(engine.stats().gate_cache_misses(), 0);
+}
+
+TEST_F(ServingTest, GateCacheEvictionShowsUpInMissCounters) {
+  ModelRegistry registry = MakeRegistry();
+  ServingEngineOptions options;
+  options.gate_cache_capacity = 2;
+  ServingEngine engine(&registry, options);
+  auto sessions = GroupBySession(data_->full_test);
+  auto rank = [&](size_t s) {
+    RankRequest request;
+    request.session_id = sessions[s][0]->session_id;
+    request.items = sessions[s];
+    return engine.Rank(request);
+  };
+  rank(0);  // miss (cold)
+  rank(1);  // miss (cold)
+  rank(0);  // hit; LRU order {0, 1}
+  rank(2);  // miss (cold), evicts 1
+  rank(1);  // miss (evicted), evicts 0
+  rank(2);  // hit
+  EXPECT_EQ(engine.stats().gate_cache_hits(), 2);
+  EXPECT_EQ(engine.stats().gate_cache_misses(), 4);
+}
+
+TEST_F(ServingTest, GateCacheDisabledCountsEveryLookupAsMiss) {
+  ModelRegistry registry = MakeRegistry();
+  ServingEngineOptions options;
+  options.gate_cache_capacity = 0;
+  ServingEngine engine(&registry, options);
+  auto sessions = GroupBySession(data_->full_test);
+  RankRequest request;
+  request.session_id = sessions[0][0]->session_id;
+  request.items = sessions[0];
+  engine.Rank(request);
+  engine.Rank(request);
+  EXPECT_EQ(engine.stats().gate_cache_hits(), 0);
+  EXPECT_EQ(engine.stats().gate_cache_misses(), 2);
+}
+
 // ---------------------------------------------------------------------
 // Gate-sharing preconditions.
 // ---------------------------------------------------------------------

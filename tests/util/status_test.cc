@@ -31,6 +31,13 @@ TEST(StatusTest, AllFactoryCodesRoundTrip) {
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::ResourceExhausted("q full").ToString(),
+            "ResourceExhausted: q full");
+  EXPECT_EQ(Status::Unavailable("stopped").ToString(),
+            "Unavailable: stopped");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
