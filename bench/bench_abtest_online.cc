@@ -10,7 +10,7 @@
 
 #include "common/experiment_lib.h"
 #include "serving/ab_test.h"
-#include "serving/model_registry.h"
+#include "serving/model_pool.h"
 #include "serving/serving_engine.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -50,7 +50,7 @@ int Run(int argc, char** argv) {
   // Both arms live in one registry behind one engine: identical
   // collation and §III-F gate handling, so outcome differences come only
   // from the models.
-  ModelRegistry registry(data.meta, &standardizer);
+  ModelPool registry(data.meta, &standardizer);
   registry.Register("category-moe", control.model.get());
   registry.Register("aw-moe-cl", treatment.model.get());
   ServingEngine engine(&registry);

@@ -16,7 +16,12 @@
 //       flight: per-request latency including the queue-delay bound a
 //       lone request pays) and open-loop burst mode (many requests in
 //       flight: the time-bounded queue coalesces them into shared
-//       forward passes; batch occupancy is reported as a counter).
+//       forward passes; batch occupancy is reported as a counter);
+//   (f) the replica scaling sweep: a multi-client closed-loop storm on
+//       ONE hot model with replicas = {1, 2, 4} pool lanes (and as many
+//       async flush lanes), reporting throughput, p99, and the
+//       per-replica lane-occupancy counters — so the replica speedup is
+//       measured, not asserted.
 //
 // Smoke mode for CI: pass --benchmark_min_time=0.01 to cap each case at
 // ~10 ms of measurement (scripts/check.sh does this).
@@ -24,11 +29,12 @@
 #include <benchmark/benchmark.h>
 
 #include <future>
+#include <thread>
 #include <vector>
 
 #include "common/experiment_lib.h"
 #include "serving/ab_test.h"
-#include "serving/model_registry.h"
+#include "serving/model_pool.h"
 #include "serving/ranking_service.h"
 #include "serving/serving_engine.h"
 
@@ -53,7 +59,7 @@ struct ServingFixture {
     AwMoeConfig config;
     model = std::make_unique<AwMoeRanker>(data.meta, config, &rng);
     sessions = GroupBySession(data.full_test);
-    registry = std::make_unique<ModelRegistry>(data.meta, &standardizer);
+    registry = std::make_unique<ModelPool>(data.meta, &standardizer);
     registry->Register("aw-moe", model.get());
   }
 
@@ -73,7 +79,7 @@ struct ServingFixture {
   Standardizer standardizer;
   std::unique_ptr<AwMoeRanker> model;
   std::vector<std::vector<const Example*>> sessions;
-  std::unique_ptr<ModelRegistry> registry;
+  std::unique_ptr<ModelPool> registry;
 };
 
 void RankOneByOne(ServingEngine* engine, ServingFixture& fixture,
@@ -214,6 +220,79 @@ void BM_AsyncSubmit_OpenLoopBurst(benchmark::State& state) {
 BENCHMARK(BM_AsyncSubmit_OpenLoopBurst)
     ->Arg(8)
     ->Arg(32)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Replica scaling sweep (the tentpole's acceptance measurement): 4
+/// closed-loop clients hammer ONE hot model through Submit while the
+/// pool serves it with Arg replicas and the async front runs one flush
+/// lane per replica. With 1 replica every micro-batch serialises on a
+/// single lane; with N, up to N micro-batches are in flight on N
+/// distinct weight clones. Counters: items/s (throughput), p99_ms (tail
+/// at that load), lanes_mean/lanes_max (per-replica lane occupancy
+/// sampled at each lease), occupancy (requests per forward).
+void BM_AsyncSubmit_ClosedLoopReplicas(benchmark::State& state) {
+  ServingFixture& fixture = ServingFixture::Get();
+  const int replicas = static_cast<int>(state.range(0));
+  ModelPoolOptions pool_options;
+  pool_options.replicas = replicas;
+  // A private pool per run: replica lanes are a pool property, and the
+  // shared fixture pool must stay single-replica for the other benches.
+  ModelPool pool(fixture.data.meta, &fixture.standardizer, pool_options);
+  pool.Register("aw-moe", fixture.model.get());
+  ServingEngineOptions options = fixture.Options(/*share_gate=*/true, 0);
+  // Per-request micro-batches: a candidate cap of ~one session keeps
+  // concurrent requests in separate flushes, which is the regime where
+  // replica lanes pay — with a big cap the whole storm coalesces into
+  // one batch per cycle and a single lane serves it regardless of N.
+  options.max_batch_candidates = 16;
+  options.max_queue_delay_ms = 0.5;
+  ServingEngine engine(&pool, options);
+  std::vector<RankRequest> requests = MakeSessionRequests(fixture.sessions);
+
+  constexpr size_t kClients = 4;
+  constexpr size_t kPerClient = 8;
+  int64_t items = 0;
+  for (auto _ : state) {
+    // One iteration = a sustained storm: each client runs its own
+    // closed-loop stream of kPerClient requests, so completions stagger
+    // and the queue always holds work for an idle lane (a lock-step
+    // round would coalesce into one batch and hide the lanes).
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    const size_t base = static_cast<size_t>(state.iterations()) * kClients *
+                        kPerClient;
+    for (size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&engine, &requests, base, c] {
+        for (size_t m = 0; m < kPerClient; ++m) {
+          const RankRequest& request =
+              requests[(base + c * kPerClient + m) % requests.size()];
+          RankResponse response = engine.Submit(request).get();
+          benchmark::DoNotOptimize(response.scores);
+        }
+      });
+    }
+    for (size_t c = 0; c < kClients; ++c) {
+      for (size_t m = 0; m < kPerClient; ++m) {
+        items += static_cast<int64_t>(
+            requests[(base + c * kPerClient + m) % requests.size()]
+                .items.size());
+      }
+    }
+    for (std::thread& client : clients) client.join();
+  }
+  state.SetItemsProcessed(items);
+  ServingStatsSnapshot snap = engine.Stats();
+  state.counters["p99_ms"] = snap.p99_ms;
+  state.counters["occupancy"] = snap.mean_batch_requests;
+  state.counters["lanes_mean"] = snap.mean_active_lanes;
+  state.counters["lanes_max"] = static_cast<double>(snap.max_active_lanes);
+  engine.Stop();
+}
+BENCHMARK(BM_AsyncSubmit_ClosedLoopReplicas)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

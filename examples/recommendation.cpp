@@ -11,7 +11,7 @@
 #include "core/trainer.h"
 #include "data/amazon_synthetic.h"
 #include "eval/metrics.h"
-#include "serving/model_registry.h"
+#include "serving/model_pool.h"
 #include "serving/serving_engine.h"
 #include "util/flags.h"
 #include "util/string_util.h"
@@ -72,7 +72,7 @@ int Run(int argc, char** argv) {
   // Candidate scoring is served through the engine: in recommendation
   // mode the gate reads the target item, so the engine automatically
   // keeps §III-F gate sharing off for this model.
-  ModelRegistry registry(data.meta, &standardizer);
+  ModelPool registry(data.meta, &standardizer);
   registry.Register("aw-moe", &model);
   ServingEngine engine(&registry);
   std::printf("Engine gate sharing: %s (recommendation mode)\n",

@@ -13,7 +13,7 @@
 #include "core/aw_moe.h"
 #include "core/trainer.h"
 #include "data/jd_synthetic.h"
-#include "serving/model_registry.h"
+#include "serving/model_pool.h"
 #include "serving/serving_engine.h"
 #include "util/flags.h"
 #include "util/string_util.h"
@@ -67,9 +67,12 @@ int Run(int argc, char** argv) {
   trainer.Train(data.train, data.meta, &standardizer);
 
   // Online serving behind the explicit request/response API: the model
-  // is registered by name, and the engine runs the §III-F gate path
-  // (computed once per session, cached across repeat requests).
-  ModelRegistry registry(data.meta, &standardizer);
+  // is registered by name and expanded into two replica lanes (deep
+  // weight clones), and the engine runs the §III-F gate path (computed
+  // once per session, cached across repeat requests in the snapshot).
+  ModelPoolOptions pool_options;
+  pool_options.replicas = 2;
+  ModelPool registry(data.meta, &standardizer, pool_options);
   registry.Register("aw-moe-cl", &model);
   ServingEngine engine(&registry);
   auto sessions = GroupBySession(data.full_test);
@@ -140,7 +143,6 @@ int Run(int argc, char** argv) {
     });
   }
   for (std::thread& client : clients) client.join();
-  engine.Stop();
 
   ServingStatsSnapshot async_stats = engine.Stats();
   std::printf(
@@ -151,6 +153,26 @@ int Run(int argc, char** argv) {
       async_stats.p99_ms, async_stats.qps, async_stats.mean_batch_requests,
       static_cast<long long>(async_stats.max_batch_requests),
       async_stats.queue_mean_ms);
+
+  // Hot swap: production retrains continuously, so the pool publishes a
+  // new model version while the engine keeps serving — in-flight
+  // requests finish on the snapshot they started with, new requests see
+  // the new version. (The "retrained" model here is a weight clone;
+  // in production it would come from the trainer.)
+  RankRequest probe;
+  probe.session_id = sessions[0][0]->session_id;
+  probe.items = sessions[0];
+  const int64_t v_before = engine.Rank(probe).model_version;
+  const int64_t v_after = registry.UpdateModel("aw-moe-cl", model.Clone());
+  std::printf(
+      "Hot swap: version %lld -> %lld published with zero downtime "
+      "(%lld swap(s), %lld live snapshot(s)); next request served on "
+      "v%lld.\n",
+      static_cast<long long>(v_before), static_cast<long long>(v_after),
+      static_cast<long long>(registry.swap_count()),
+      static_cast<long long>(registry.live_snapshots()),
+      static_cast<long long>(engine.Rank(probe).model_version));
+  engine.Stop();
   return 0;
 }
 

@@ -5,13 +5,20 @@
 #   scripts/check.sh [build_dir]          # full build + ctest + bench smoke
 #   scripts/check.sh --tsan [build_dir]   # ThreadSanitizer build of the
 #                                         # serving concurrency suites
+#   scripts/check.sh --asan [build_dir]   # AddressSanitizer build of the
+#                                         # serving + model suites (snapshot
+#                                         # lifetime / use-after-free)
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 
 TSAN=0
+ASAN=0
 if [ "${1:-}" = "--tsan" ]; then
   TSAN=1
+  shift
+elif [ "${1:-}" = "--asan" ]; then
+  ASAN=1
   shift
 fi
 
@@ -25,12 +32,35 @@ if [ "$TSAN" = 1 ]; then
   cmake --build "$BUILD_DIR" -j "$(nproc)"
 
   # The threaded subsystem lives in src/serving/; its suites (async
-  # queue, worker pool, stats contention) are where TSan has signal.
+  # queue, worker pool, model pool hot swaps, stats contention) are
+  # where TSan has signal.
   echo "== ctest (serving suites under TSan) =="
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir "$BUILD_DIR" --output-on-failure -R "^serving_"
 
   echo "== check.sh --tsan OK =="
+  exit 0
+fi
+
+if [ "$ASAN" = 1 ]; then
+  BUILD_DIR="${1:-$REPO_ROOT/build-asan}"
+  echo "== configure (AddressSanitizer) =="
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DAWMOE_ASAN=ON \
+    -DAWMOE_BUILD_BENCHES=OFF -DAWMOE_BUILD_EXAMPLES=OFF
+
+  echo "== build (tests only) =="
+  cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+  # Snapshot lifetime is the target: a retired ModelPool snapshot freed
+  # while a lease (or a flusher lane) still reads its replicas is a
+  # heap-use-after-free TSan cannot see. The models suite covers clone
+  # storage; the serving suites cover lease/retire under load.
+  echo "== ctest (serving + model suites under ASan) =="
+  ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+    ctest --test-dir "$BUILD_DIR" --output-on-failure \
+    -R "^(serving_|models_)"
+
+  echo "== check.sh --asan OK =="
   exit 0
 fi
 

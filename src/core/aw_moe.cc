@@ -94,4 +94,13 @@ std::vector<Var> AwMoeRanker::Parameters() const {
   return params;
 }
 
+std::unique_ptr<Ranker> AwMoeRanker::Clone() const {
+  // The fresh init is overwritten by CopyParametersInto, so the Rng
+  // seed only has to exist, not match the original's.
+  Rng rng(1);
+  auto clone = std::make_unique<AwMoeRanker>(meta_, config_, &rng);
+  CopyParametersInto(*this, clone.get());
+  return clone;
+}
+
 }  // namespace awmoe

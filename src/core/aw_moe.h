@@ -1,6 +1,7 @@
 #ifndef AWMOE_CORE_AW_MOE_H_
 #define AWMOE_CORE_AW_MOE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -83,6 +84,10 @@ class AwMoeRanker : public Ranker {
 
   std::vector<Var> Parameters() const override;
   std::string name() const override { return config_.name; }
+
+  /// Deep copy (weights into disjoint storage); the serving ModelPool
+  /// uses this to materialise replica lanes from one loaded model.
+  std::unique_ptr<Ranker> Clone() const override;
 
   const AwMoeConfig& config() const { return config_; }
 

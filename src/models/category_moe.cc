@@ -14,6 +14,7 @@ std::vector<int64_t> WithOutput(std::vector<int64_t> dims, int64_t out) {
 CategoryMoeRanker::CategoryMoeRanker(const DatasetMeta& meta,
                                      const ModelDims& dims, Rng* rng)
     : meta_(meta),
+      dims_(dims),
       embeddings_(meta, dims.emb_dim, rng),
       input_network_(meta, dims, &embeddings_, UserPooling::kAttention, rng),
       experts_(input_network_.output_dim(), dims, rng),
@@ -40,6 +41,13 @@ std::vector<Var> CategoryMoeRanker::Parameters() const {
   experts_.CollectParameters(&params);
   gate_mlp_.CollectParameters(&params);
   return params;
+}
+
+std::unique_ptr<Ranker> CategoryMoeRanker::Clone() const {
+  Rng rng(1);
+  auto clone = std::make_unique<CategoryMoeRanker>(meta_, dims_, &rng);
+  CopyParametersInto(*this, clone.get());
+  return clone;
 }
 
 }  // namespace awmoe

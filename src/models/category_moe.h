@@ -1,6 +1,7 @@
 #ifndef AWMOE_MODELS_CATEGORY_MOE_H_
 #define AWMOE_MODELS_CATEGORY_MOE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,12 +28,14 @@ class CategoryMoeRanker : public Ranker {
   Var ForwardLogits(const Batch& batch) override;
   std::vector<Var> Parameters() const override;
   std::string name() const override { return "Category-MoE"; }
+  std::unique_ptr<Ranker> Clone() const override;
 
   /// The softmax gate activations [B, K]; exposed for tests.
   Var GateRepresentation(const Batch& batch) override;
 
  private:
   DatasetMeta meta_;
+  ModelDims dims_;
   EmbeddingSet embeddings_;
   InputNetwork input_network_;
   ExpertBank experts_;

@@ -4,12 +4,23 @@ namespace awmoe {
 
 DnnRanker::DnnRanker(const DatasetMeta& meta, const ModelDims& dims,
                      Rng* rng)
-    : embeddings_(meta, dims.emb_dim, rng),
+    : meta_(meta),
+      dims_(dims),
+      embeddings_(meta, dims.emb_dim, rng),
       input_network_(meta, dims, &embeddings_, UserPooling::kSumPool, rng),
       ffn_(input_network_.output_dim(), dims, rng) {}
 
 Var DnnRanker::ForwardLogits(const Batch& batch) {
   return ffn_.Forward(input_network_.Forward(batch));
+}
+
+std::unique_ptr<Ranker> DnnRanker::Clone() const {
+  // The fresh model's random init is immediately overwritten, so the
+  // throwaway Rng seed is irrelevant to the clone's weights.
+  Rng rng(1);
+  auto clone = std::make_unique<DnnRanker>(meta_, dims_, &rng);
+  CopyParametersInto(*this, clone.get());
+  return clone;
 }
 
 std::vector<Var> DnnRanker::Parameters() const {
@@ -22,12 +33,21 @@ std::vector<Var> DnnRanker::Parameters() const {
 
 DinRanker::DinRanker(const DatasetMeta& meta, const ModelDims& dims,
                      Rng* rng)
-    : embeddings_(meta, dims.emb_dim, rng),
+    : meta_(meta),
+      dims_(dims),
+      embeddings_(meta, dims.emb_dim, rng),
       input_network_(meta, dims, &embeddings_, UserPooling::kAttention, rng),
       ffn_(input_network_.output_dim(), dims, rng) {}
 
 Var DinRanker::ForwardLogits(const Batch& batch) {
   return ffn_.Forward(input_network_.Forward(batch));
+}
+
+std::unique_ptr<Ranker> DinRanker::Clone() const {
+  Rng rng(1);
+  auto clone = std::make_unique<DinRanker>(meta_, dims_, &rng);
+  CopyParametersInto(*this, clone.get());
+  return clone;
 }
 
 std::vector<Var> DinRanker::Parameters() const {

@@ -1,6 +1,7 @@
 #ifndef AWMOE_MODELS_DNN_RANKER_H_
 #define AWMOE_MODELS_DNN_RANKER_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,8 +24,11 @@ class DnnRanker : public Ranker {
   Var ForwardLogits(const Batch& batch) override;
   std::vector<Var> Parameters() const override;
   std::string name() const override { return "DNN"; }
+  std::unique_ptr<Ranker> Clone() const override;
 
  private:
+  DatasetMeta meta_;
+  ModelDims dims_;
   EmbeddingSet embeddings_;
   InputNetwork input_network_;
   ExpertNetwork ffn_;
@@ -39,8 +43,11 @@ class DinRanker : public Ranker {
   Var ForwardLogits(const Batch& batch) override;
   std::vector<Var> Parameters() const override;
   std::string name() const override { return "DIN"; }
+  std::unique_ptr<Ranker> Clone() const override;
 
  private:
+  DatasetMeta meta_;
+  ModelDims dims_;
   EmbeddingSet embeddings_;
   InputNetwork input_network_;
   ExpertNetwork ffn_;

@@ -1,0 +1,25 @@
+#include "models/ranker.h"
+
+#include "util/check.h"
+
+namespace awmoe {
+
+void CopyParametersInto(const Ranker& src, Ranker* dst) {
+  AWMOE_CHECK(dst != nullptr) << "CopyParametersInto: null destination";
+  std::vector<Var> from = src.Parameters();
+  std::vector<Var> to = dst->Parameters();
+  AWMOE_CHECK(from.size() == to.size())
+      << "CopyParametersInto: parameter count mismatch (" << from.size()
+      << " vs " << to.size() << ")";
+  for (size_t i = 0; i < from.size(); ++i) {
+    const Matrix& value = from[i].value();
+    AWMOE_CHECK(value.rows() == to[i].rows() &&
+                value.cols() == to[i].cols())
+        << "CopyParametersInto: shape mismatch at parameter " << i;
+    // Matrix is a value type: assignment copies the buffer, so the two
+    // models share no storage after this.
+    to[i].mutable_value() = value;
+  }
+}
+
+}  // namespace awmoe

@@ -1,6 +1,7 @@
 #ifndef AWMOE_MODELS_RANKER_H_
 #define AWMOE_MODELS_RANKER_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,15 @@ class Ranker {
     return false;
   }
 
+  /// Deep copy: a new model with identical weights in disjoint storage,
+  /// so the copy can run forwards concurrently with (and be retired
+  /// independently of) the original. This is what lets the serving
+  /// ModelPool materialise a replica set from one loaded ranker.
+  /// Implementations must guarantee bitwise-identical InferenceLogits;
+  /// models without clone support return nullptr (the pool then serves
+  /// them single-replica).
+  virtual std::unique_ptr<Ranker> Clone() const { return nullptr; }
+
   /// Total scalar parameter count.
   int64_t NumParameters() const {
     int64_t total = 0;
@@ -66,6 +76,13 @@ class Ranker {
     for (Var& p : Parameters()) p.ZeroGrad();
   }
 };
+
+/// Copies every parameter matrix of `src` into `dst` (the Clone()
+/// work-horse: implementations rebuild an identically-dimensioned model
+/// and then call this). CHECK-fails on parameter count or shape
+/// mismatch. Relies on `Parameters()` returning a construction-order,
+/// deterministic sequence, which every ranker in the repo does.
+void CopyParametersInto(const Ranker& src, Ranker* dst);
 
 }  // namespace awmoe
 

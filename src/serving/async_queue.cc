@@ -28,8 +28,13 @@ AsyncBatchQueue::AsyncBatchQueue(AsyncQueueOptions options, FlushFn flush)
       << "max_batch_candidates " << options_.max_batch_candidates;
   AWMOE_CHECK(options_.max_queue_delay.count() >= 0)
       << "negative max_queue_delay";
+  AWMOE_CHECK(options_.num_flush_lanes >= 1)
+      << "num_flush_lanes " << options_.num_flush_lanes;
   AWMOE_CHECK(flush_ != nullptr) << "AsyncBatchQueue: null flush callback";
-  flusher_ = std::thread([this] { FlusherLoop(); });
+  flushers_.reserve(static_cast<size_t>(options_.num_flush_lanes));
+  for (int lane = 0; lane < options_.num_flush_lanes; ++lane) {
+    flushers_.emplace_back([this] { FlusherLoop(); });
+  }
 }
 
 AsyncBatchQueue::~AsyncBatchQueue() { Stop(/*drain=*/true); }
@@ -175,7 +180,9 @@ void AsyncBatchQueue::Stop(bool drain) {
            pending.request.session_id, model);
   }
   std::lock_guard<std::mutex> join_lock(join_mu_);
-  if (flusher_.joinable()) flusher_.join();
+  for (std::thread& flusher : flushers_) {
+    if (flusher.joinable()) flusher.join();
+  }
 }
 
 int64_t AsyncBatchQueue::pending_requests() const {

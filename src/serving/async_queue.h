@@ -36,24 +36,32 @@ struct AsyncQueueOptions {
   /// future immediately with kResourceExhausted instead of queueing.
   /// 0 = unbounded.
   int64_t max_pending_requests = 0;
+
+  /// Flusher threads (lanes). One lane caps a hot model at one
+  /// in-flight micro-batch; with N lanes, N batches can flush
+  /// concurrently and land on N distinct replica lanes of the model's
+  /// snapshot. Sized to the pool's replica count by the engine.
+  int num_flush_lanes = 1;
 };
 
 /// Time-bounded micro-batch queue behind `ServingEngine::Submit`: a
 /// producer/consumer stage that coalesces concurrently submitted
 /// requests (per model) into batches and hands each batch to a flush
-/// callback on a dedicated flusher thread. The queue owns the promise
-/// side of every accepted request; the flush callback must resolve
-/// every `Pending` it is given (the engine scores the batch in one
-/// forward pass and fills each caller's slice). Rejected and abandoned
-/// requests are resolved by the queue itself with a non-OK
+/// callback on a small pool of flusher threads (lanes). The queue owns
+/// the promise side of every accepted request; the flush callback must
+/// resolve every `Pending` it is given (the engine scores the batch in
+/// one forward pass and fills each caller's slice). Rejected and
+/// abandoned requests are resolved by the queue itself with a non-OK
 /// `RankResponse::status`, so a returned future ALWAYS becomes ready —
 /// no code path leaks a promise.
 ///
 /// Thread-safety: Submit may be called from any number of threads.
 /// Stop/destruction may race with Submit; a Submit that loses the race
-/// resolves with kUnavailable. The flush callback runs on the flusher
-/// thread only, and never under the queue lock, so it may block on
-/// model locks freely.
+/// resolves with kUnavailable. The flush callback runs on flusher
+/// threads only, never under the queue lock, so it may block on replica
+/// locks freely; with `num_flush_lanes > 1` it must itself be
+/// thread-safe, since two lanes can flush (even for the same model)
+/// concurrently.
 class AsyncBatchQueue {
  public:
   /// One accepted request in flight: the caller's request, the promise
@@ -87,10 +95,10 @@ class AsyncBatchQueue {
   std::future<RankResponse> Submit(RankRequest request,
                                    const std::string& resolved_model);
 
-  /// Stops accepting new requests and joins the flusher. drain=true
-  /// flushes (scores) everything still queued; drain=false resolves
-  /// pending requests with kUnavailable instead. Idempotent; the first
-  /// call's drain mode wins.
+  /// Stops accepting new requests and joins every flusher lane.
+  /// drain=true flushes (scores) everything still queued; drain=false
+  /// resolves pending requests with kUnavailable instead. Idempotent;
+  /// the first call's drain mode wins.
   void Stop(bool drain);
 
   /// Requests currently queued (accepted, flush not started). Intended
@@ -120,9 +128,9 @@ class AsyncBatchQueue {
   bool stopping_ = false;
 
   // Serialises the join so concurrent Stop calls (e.g. an explicit Stop
-  // racing the destructor) cannot both join the flusher.
+  // racing the destructor) cannot both join a flusher lane.
   std::mutex join_mu_;
-  std::thread flusher_;
+  std::vector<std::thread> flushers_;
 };
 
 }  // namespace awmoe

@@ -1,0 +1,311 @@
+#include "serving/model_pool.h"
+
+#include <algorithm>
+#include <limits>
+#include <typeinfo>
+
+#include "core/aw_moe.h"
+#include "models/ranker.h"
+#include "util/check.h"
+
+namespace awmoe {
+
+// ---------------------------------------------------------------------
+// SessionGateCache.
+// ---------------------------------------------------------------------
+
+bool SessionGateCache::Lookup(int64_t session_id, uint64_t context_hash,
+                              std::vector<float>* row) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(session_id);
+  if (it == index_.end()) return false;
+  if (it->second->context_hash != context_hash) {
+    // Same session id, different gate inputs (e.g. the behaviour
+    // sequence grew between pagination requests): drop the stale row so
+    // the caller re-probes rather than serves it.
+    lru_.erase(it->second);
+    index_.erase(it);
+    return false;
+  }
+  *row = it->second->row;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+void SessionGateCache::Put(int64_t session_id, uint64_t context_hash,
+                           std::vector<float> row, int64_t capacity) {
+  if (capacity <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(session_id);
+  if (it != index_.end()) {
+    // Keep at most one cached row per session id.
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  Entry entry;
+  entry.session_id = session_id;
+  entry.context_hash = context_hash;
+  entry.row = std::move(row);
+  lru_.push_front(std::move(entry));
+  index_[session_id] = lru_.begin();
+  while (static_cast<int64_t>(lru_.size()) > capacity) {
+    index_.erase(lru_.back().session_id);
+    lru_.pop_back();
+  }
+}
+
+int64_t SessionGateCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(lru_.size());
+}
+
+// ---------------------------------------------------------------------
+// ModelSnapshot.
+// ---------------------------------------------------------------------
+
+ModelSnapshot::ModelSnapshot(
+    std::string name, int64_t version, Ranker* base,
+    std::unique_ptr<Ranker> owned_base, int replicas,
+    const DatasetMeta& meta,
+    std::shared_ptr<std::atomic<int64_t>> live_counter)
+    : name_(std::move(name)),
+      version_(version),
+      live_counter_(std::move(live_counter)) {
+  AWMOE_CHECK(base != nullptr) << "null model for '" << name_ << "'";
+  AWMOE_CHECK(replicas >= 1) << "replicas " << replicas;
+  gate_shareable_ = dynamic_cast<AwMoeRanker*>(base) != nullptr &&
+                    base->SupportsSessionGateReuse(meta);
+
+  auto lane0 = std::make_unique<ReplicaLane>();
+  lane0->model = base;
+  lane0->aw_moe = dynamic_cast<AwMoeRanker*>(base);
+  lane0->owned = std::move(owned_base);
+  lanes_.push_back(std::move(lane0));
+
+  for (int r = 1; r < replicas; ++r) {
+    std::unique_ptr<Ranker> clone = base->Clone();
+    // Not cloneable: serve single-lane. The typeid guard catches a
+    // subclass inheriting its base's Clone(): such a "clone" is a
+    // different model (sliced overrides), and serving it on lanes
+    // 1..N-1 would make scores depend on lane assignment.
+    if (clone == nullptr || typeid(*clone) != typeid(*base)) break;
+    auto lane = std::make_unique<ReplicaLane>();
+    lane->model = clone.get();
+    lane->aw_moe = dynamic_cast<AwMoeRanker*>(clone.get());
+    lane->owned = std::move(clone);
+    lanes_.push_back(std::move(lane));
+  }
+  if (live_counter_ != nullptr) live_counter_->fetch_add(1);
+}
+
+ModelSnapshot::~ModelSnapshot() {
+  if (live_counter_ != nullptr) live_counter_->fetch_sub(1);
+}
+
+int ModelSnapshot::ActiveLanes() const {
+  int active = 0;
+  for (const auto& lane : lanes_) {
+    if (lane->active.load(std::memory_order_relaxed) > 0) ++active;
+  }
+  return active;
+}
+
+// ---------------------------------------------------------------------
+// SnapshotLease.
+// ---------------------------------------------------------------------
+
+SnapshotLease::SnapshotLease(std::shared_ptr<const ModelSnapshot> snapshot,
+                             int replica, int active_lanes)
+    : snapshot_(std::move(snapshot)),
+      replica_(replica),
+      active_lanes_(active_lanes) {}
+
+SnapshotLease::~SnapshotLease() { Release(); }
+
+SnapshotLease::SnapshotLease(SnapshotLease&& other) noexcept
+    : snapshot_(std::move(other.snapshot_)),
+      replica_(other.replica_),
+      active_lanes_(other.active_lanes_) {
+  other.snapshot_ = nullptr;
+}
+
+SnapshotLease& SnapshotLease::operator=(SnapshotLease&& other) noexcept {
+  if (this != &other) {
+    Release();
+    snapshot_ = std::move(other.snapshot_);
+    replica_ = other.replica_;
+    active_lanes_ = other.active_lanes_;
+    other.snapshot_ = nullptr;
+  }
+  return *this;
+}
+
+void SnapshotLease::Release() {
+  if (snapshot_ != nullptr) {
+    snapshot_->lane(replica_).active.fetch_sub(1);
+    snapshot_ = nullptr;
+  }
+}
+
+// ---------------------------------------------------------------------
+// ModelPool.
+// ---------------------------------------------------------------------
+
+ModelPool::ModelPool(const DatasetMeta& meta,
+                     const Standardizer* standardizer,
+                     ModelPoolOptions options)
+    : meta_(meta),
+      standardizer_(standardizer),
+      options_(options),
+      live_snapshots_(std::make_shared<std::atomic<int64_t>>(0)) {
+  AWMOE_CHECK(options_.replicas >= 1)
+      << "ModelPool: replicas " << options_.replicas;
+}
+
+std::shared_ptr<const ModelSnapshot> ModelPool::MakeSnapshot(
+    const std::string& name, int64_t version, Ranker* base,
+    std::unique_ptr<Ranker> owned_base) const {
+  return std::make_shared<const ModelSnapshot>(
+      name, version, base, std::move(owned_base), options_.replicas, meta_,
+      live_snapshots_);
+}
+
+void ModelPool::Insert(const std::string& name, Ranker* base,
+                       std::unique_ptr<Ranker> owned_base) {
+  AWMOE_CHECK(!name.empty()) << "model name must be non-empty";
+  std::shared_ptr<const ModelSnapshot> snapshot =
+      MakeSnapshot(name, /*version=*/1, base, std::move(owned_base));
+  std::lock_guard<std::mutex> lock(mu_);
+  AWMOE_CHECK(entries_.find(name) == entries_.end())
+      << "duplicate model name '" << name << "'";
+  entries_.emplace(name, std::move(snapshot));
+  names_.push_back(name);
+  if (default_name_.empty()) default_name_ = name;
+}
+
+void ModelPool::Register(const std::string& name, Ranker* model) {
+  AWMOE_CHECK(model != nullptr) << "null model for '" << name << "'";
+  Insert(name, model, nullptr);
+}
+
+void ModelPool::RegisterOwned(const std::string& name,
+                              std::unique_ptr<Ranker> model) {
+  AWMOE_CHECK(model != nullptr) << "null model for '" << name << "'";
+  Ranker* base = model.get();
+  Insert(name, base, std::move(model));
+}
+
+int64_t ModelPool::UpdateModel(const std::string& name,
+                               std::unique_ptr<Ranker> model) {
+  AWMOE_CHECK(model != nullptr) << "UpdateModel: null model for '" << name
+                                << "'";
+  // Publishers serialise on publish_mu_ (held across read-version ->
+  // clone -> publish) so concurrent UpdateModels for one name cannot
+  // mint duplicate version numbers; the replica cloning still happens
+  // outside mu_, so publishing never stalls concurrent Acquires.
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  int64_t version = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(name);
+    AWMOE_CHECK(it != entries_.end())
+        << "UpdateModel: unknown model '" << name << "'";
+    version = it->second->version() + 1;
+  }
+  Ranker* base = model.get();
+  std::shared_ptr<const ModelSnapshot> next =
+      MakeSnapshot(name, version, base, std::move(model));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Publish atomically; the displaced shared_ptr release outside the
+    // lock below may run the old snapshot's destructor (if no lease
+    // still pins it) without blocking concurrent Acquires.
+    entries_[name].swap(next);
+  }
+  swap_count_.fetch_add(1);
+  return version;
+}
+
+void ModelPool::SetDefault(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AWMOE_CHECK(entries_.find(name) != entries_.end())
+      << "unknown model '" << name << "'";
+  default_name_ = name;
+}
+
+Ranker* ModelPool::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second->primary();
+}
+
+std::string ModelPool::ResolveName(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (name.empty()) {
+    // Copied under the lock: SetDefault may re-point the default route
+    // concurrently, so a reference would read a string being replaced.
+    AWMOE_CHECK(!default_name_.empty()) << "empty ModelPool";
+    return default_name_;
+  }
+  auto it = entries_.find(name);
+  AWMOE_CHECK(it != entries_.end()) << "unknown model '" << name << "'";
+  return it->first;
+}
+
+std::string ModelPool::default_model() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return default_name_;
+}
+
+std::vector<std::string> ModelPool::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_;
+}
+
+size_t ModelPool::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_.size();
+}
+
+Ranker* ModelPool::Resolve(const std::string& name) const {
+  return CurrentSnapshot(ResolveName(name))->primary();
+}
+
+std::shared_ptr<const ModelSnapshot> ModelPool::CurrentSnapshot(
+    const std::string& resolved_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(resolved_name);
+  AWMOE_CHECK(it != entries_.end())
+      << "unknown model '" << resolved_name << "'";
+  return it->second;
+}
+
+SnapshotLease ModelPool::Acquire(const std::string& resolved_name) const {
+  std::shared_ptr<const ModelSnapshot> snapshot =
+      CurrentSnapshot(resolved_name);
+  const int lanes = snapshot->num_replicas();
+  // Least-loaded lane, round-robin on ties: N concurrent forwards for
+  // one hot model spread across N distinct replicas.
+  int pick = 0;
+  if (lanes > 1) {
+    const int start =
+        static_cast<int>(round_robin_.fetch_add(1) % static_cast<uint64_t>(lanes));
+    int64_t best = std::numeric_limits<int64_t>::max();
+    for (int i = 0; i < lanes; ++i) {
+      const int lane = (start + i) % lanes;
+      const int64_t active =
+          snapshot->lane(lane).active.load(std::memory_order_relaxed);
+      if (active < best) {
+        best = active;
+        pick = lane;
+      }
+    }
+  }
+  ReplicaLane& lane = snapshot->lane(pick);
+  lane.active.fetch_add(1);
+  lane.leases.fetch_add(1);
+  const int active_lanes = snapshot->ActiveLanes();
+  return SnapshotLease(std::move(snapshot), pick, active_lanes);
+}
+
+}  // namespace awmoe

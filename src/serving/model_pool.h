@@ -1,0 +1,276 @@
+#ifndef AWMOE_SERVING_MODEL_POOL_H_
+#define AWMOE_SERVING_MODEL_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "data/example.h"
+
+namespace awmoe {
+
+class AwMoeRanker;
+class Ranker;
+class Standardizer;
+
+/// Per-session gate-row LRU (§III-F across requests). Lives inside a
+/// model snapshot, so a published weight update naturally starts cold —
+/// gate rows computed under old weights can never leak into new-version
+/// scores. Internally locked: lookups and inserts are short critical
+/// sections; the expensive forwards happen under replica-lane locks,
+/// never under this one.
+class SessionGateCache {
+ public:
+  /// On a fresh hit (same session, same context hash) copies the cached
+  /// row into `row`, touches the LRU, and returns true. A stale entry
+  /// (same session, different hash — the behaviour sequence grew) is
+  /// erased so the caller re-probes; returns false.
+  bool Lookup(int64_t session_id, uint64_t context_hash,
+              std::vector<float>* row);
+
+  /// Inserts (or overwrites) the session's row and trims the LRU to
+  /// `capacity` entries. No-op when capacity <= 0.
+  void Put(int64_t session_id, uint64_t context_hash,
+           std::vector<float> row, int64_t capacity);
+
+  int64_t size() const;
+
+ private:
+  struct Entry {
+    int64_t session_id = 0;
+    uint64_t context_hash = 0;
+    std::vector<float> row;
+  };
+
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // Front = most recently used.
+  std::unordered_map<int64_t, std::list<Entry>::iterator> index_;
+};
+
+/// One execution lane of a snapshot: a ranker replica with its own
+/// weight storage (lane 0 borrows the registered model; lanes 1..N-1
+/// are deep clones), its own forward lock, and lease counters. N lanes
+/// mean N forwards for the same model can run concurrently.
+struct ReplicaLane {
+  Ranker* model = nullptr;
+  AwMoeRanker* aw_moe = nullptr;  // Non-null when model is an AwMoeRanker.
+  std::unique_ptr<Ranker> owned;  // Null for a borrowed lane-0 model.
+
+  /// Serialises forwards on this lane (the graph-free inference path
+  /// still shares per-replica model state).
+  std::mutex mu;
+  /// Leases currently held on this lane (lane-occupancy gauge).
+  std::atomic<int64_t> active{0};
+  /// Lifetime lease count.
+  std::atomic<int64_t> leases{0};
+};
+
+/// An immutable, refcounted published version of one model: the replica
+/// lanes plus the per-session gate cache. `shared_ptr<const
+/// ModelSnapshot>` is the retirement mechanism — in-flight requests
+/// hold the snapshot they started on, so `ModelPool::UpdateModel` can
+/// publish a new version while old-version forwards finish untorn; the
+/// old snapshot (and its clones) frees itself when the last lease
+/// releases.
+class ModelSnapshot {
+ public:
+  /// Built by ModelPool. `base` is lane 0 (owned when `owned_base` is
+  /// non-null); lanes beyond the first are materialised via
+  /// `base->Clone()`. A model that cannot clone serves single-lane.
+  ModelSnapshot(std::string name, int64_t version, Ranker* base,
+                std::unique_ptr<Ranker> owned_base, int replicas,
+                const DatasetMeta& meta,
+                std::shared_ptr<std::atomic<int64_t>> live_counter);
+  ~ModelSnapshot();
+
+  ModelSnapshot(const ModelSnapshot&) = delete;
+  ModelSnapshot& operator=(const ModelSnapshot&) = delete;
+
+  const std::string& name() const { return name_; }
+  int64_t version() const { return version_; }
+  int num_replicas() const { return static_cast<int>(lanes_.size()); }
+  /// §III-F eligibility, computed once at publish time.
+  bool gate_shareable() const { return gate_shareable_; }
+
+  /// Lane 0's model — the registered/published instance itself.
+  Ranker* primary() const { return lanes_[0]->model; }
+
+  ReplicaLane& lane(int replica) const { return *lanes_[replica]; }
+
+  /// Lanes currently executing or holding a lease (> 0 active).
+  int ActiveLanes() const;
+
+  SessionGateCache& gate_cache() const { return gate_cache_; }
+
+ private:
+  std::string name_;
+  int64_t version_;
+  bool gate_shareable_ = false;
+  // unique_ptr elements: lanes hold a mutex and atomics, so they must
+  // not move once handed out.
+  std::vector<std::unique_ptr<ReplicaLane>> lanes_;
+  mutable SessionGateCache gate_cache_;
+  std::shared_ptr<std::atomic<int64_t>> live_counter_;
+};
+
+/// RAII grant of (snapshot, replica lane): holding the lease pins the
+/// snapshot (refcount) and counts against the lane's occupancy. The
+/// caller locks `lane().mu` around its forwards; the lease itself does
+/// not hold the lock, so acquiring is cheap and never blocks behind a
+/// running forward.
+class SnapshotLease {
+ public:
+  SnapshotLease() = default;
+  SnapshotLease(std::shared_ptr<const ModelSnapshot> snapshot, int replica,
+                int active_lanes);
+  ~SnapshotLease();
+
+  SnapshotLease(SnapshotLease&& other) noexcept;
+  SnapshotLease& operator=(SnapshotLease&& other) noexcept;
+  SnapshotLease(const SnapshotLease&) = delete;
+  SnapshotLease& operator=(const SnapshotLease&) = delete;
+
+  explicit operator bool() const { return snapshot_ != nullptr; }
+  const ModelSnapshot& snapshot() const { return *snapshot_; }
+  ReplicaLane& lane() const { return snapshot_->lane(replica_); }
+  int replica() const { return replica_; }
+  /// Snapshot lanes active (including this lease) at acquire time — the
+  /// lane-occupancy sample the stats record.
+  int active_lanes_at_acquire() const { return active_lanes_; }
+
+ private:
+  void Release();
+
+  std::shared_ptr<const ModelSnapshot> snapshot_;
+  int replica_ = 0;
+  int active_lanes_ = 0;
+};
+
+struct ModelPoolOptions {
+  /// Execution lanes per published snapshot: one loaded model is
+  /// expanded into `replicas` deep clones so that many forwards for the
+  /// same model run concurrently instead of queueing on one lock.
+  /// Models whose Clone() returns null serve single-lane regardless.
+  int replicas = 1;
+};
+
+/// Named, versioned ranking models behind one shared preprocessing
+/// context (DatasetMeta + fitted Standardizer) — the successor of the
+/// startup-only ModelRegistry. Each name maps to the current
+/// `ModelSnapshot`; `Acquire` hands out snapshot+replica leases for
+/// forwards, and `UpdateModel` atomically publishes a new version while
+/// in-flight leases finish on the old one (grace-period retirement via
+/// refcount — no torn reads, no locks held across forwards).
+///
+/// The pool is also the unit an A/B experiment operates on: control and
+/// treatment are two names in one pool, served by one engine with
+/// identical collation, so score differences come only from the models.
+class ModelPool {
+ public:
+  /// `standardizer` may be null (raw features) and is not owned.
+  ModelPool(const DatasetMeta& meta, const Standardizer* standardizer,
+            ModelPoolOptions options = {});
+
+  ModelPool(const ModelPool&) = delete;
+  ModelPool& operator=(const ModelPool&) = delete;
+
+  /// Registers a non-owned model as version 1 under `name`. The first
+  /// registration becomes the default route. Names must be unique and
+  /// non-empty.
+  void Register(const std::string& name, Ranker* model);
+
+  /// Registers a model the pool takes ownership of.
+  void RegisterOwned(const std::string& name, std::unique_ptr<Ranker> model);
+
+  /// Atomically publishes `model` as the next version of `name` (which
+  /// must already be registered) and returns the new version number.
+  /// Requests already holding a lease finish on the old snapshot; new
+  /// acquires see only the new one. The retired snapshot frees itself
+  /// (clones included) when its last lease releases.
+  int64_t UpdateModel(const std::string& name, std::unique_ptr<Ranker> model);
+
+  /// Re-points the default route (name must be registered).
+  void SetDefault(const std::string& name);
+
+  /// The current primary model under `name`, or nullptr when absent.
+  /// The raw pointer is NOT pinned: for models the pool owns
+  /// (RegisterOwned / UpdateModel), a concurrent UpdateModel retires
+  /// the snapshot and frees it. Startup/test introspection only —
+  /// serving paths must go through Acquire/CurrentSnapshot.
+  Ranker* Find(const std::string& name) const;
+
+  /// Resolves a request route: empty name -> default model. CHECK-fails
+  /// on an unknown non-empty name or an empty pool. Same pinning caveat
+  /// as Find().
+  Ranker* Resolve(const std::string& name) const;
+
+  /// The pool name `Resolve(name)` routes to. Returned by value: the
+  /// default route can be re-pointed at runtime, so a reference into
+  /// pool state could be overwritten mid-read.
+  std::string ResolveName(const std::string& name) const;
+
+  /// The current snapshot published under `resolved_name`.
+  std::shared_ptr<const ModelSnapshot> CurrentSnapshot(
+      const std::string& resolved_name) const;
+
+  /// Pins the current snapshot of `resolved_name` and picks its
+  /// least-loaded replica lane (round-robin on ties).
+  SnapshotLease Acquire(const std::string& resolved_name) const;
+
+  std::string default_model() const;
+
+  /// Registered names in registration order (copied under the lock:
+  /// registration may race a reader on the vector's storage).
+  std::vector<std::string> Names() const;
+
+  size_t size() const;
+
+  const DatasetMeta& meta() const { return meta_; }
+  const Standardizer* standardizer() const { return standardizer_; }
+  int replicas() const { return options_.replicas; }
+
+  /// Versions published via UpdateModel (initial registrations excluded).
+  int64_t swap_count() const { return swap_count_.load(); }
+
+  /// Snapshots currently alive — published ones plus retired ones still
+  /// pinned by leases. The hot-swap tests use this as the leak check:
+  /// once traffic drains it must equal `size()`.
+  int64_t live_snapshots() const { return live_snapshots_->load(); }
+
+ private:
+  std::shared_ptr<const ModelSnapshot> MakeSnapshot(
+      const std::string& name, int64_t version, Ranker* base,
+      std::unique_ptr<Ranker> owned_base) const;
+  void Insert(const std::string& name, Ranker* base,
+              std::unique_ptr<Ranker> owned_base);
+
+  DatasetMeta meta_;
+  const Standardizer* standardizer_;
+  ModelPoolOptions options_;
+
+  mutable std::mutex mu_;  // Guards names_, entries_, default_name_.
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::shared_ptr<const ModelSnapshot>>
+      entries_;
+  std::string default_name_;
+
+  /// Serialises UpdateModel publishers (held across read-version ->
+  /// clone -> publish) so two concurrent publishes for one name cannot
+  /// mint the same version number. Never taken under mu_; Acquire never
+  /// takes it, so publishing does not stall serving.
+  std::mutex publish_mu_;
+
+  std::atomic<int64_t> swap_count_{0};
+  mutable std::atomic<uint64_t> round_robin_{0};
+  std::shared_ptr<std::atomic<int64_t>> live_snapshots_;
+};
+
+}  // namespace awmoe
+
+#endif  // AWMOE_SERVING_MODEL_POOL_H_

@@ -33,6 +33,15 @@ struct RankResponse {
   int64_t session_id = 0;
   /// Resolved model name (never empty).
   std::string model;
+  /// Version of the model snapshot that scored this request (1 = as
+  /// registered; incremented by each `ModelPool::UpdateModel`). All
+  /// scores in one response come from exactly one snapshot: the version
+  /// current when the request's micro-batch acquired its lease — for
+  /// async requests that is flush time, so a Submit racing a hot swap
+  /// may legitimately report the newer version, but never a mix.
+  int64_t model_version = 0;
+  /// Replica lane the forward ran on (0-based; informational).
+  int replica = 0;
   /// Sigmoid probabilities, one per candidate item.
   std::vector<double> scores;
   /// Wall-clock from request submission to scores ready. On the async

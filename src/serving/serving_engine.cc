@@ -6,6 +6,7 @@
 #include <cmath>
 #include <map>
 #include <numeric>
+#include <unordered_map>
 #include <utility>
 
 #include "core/aw_moe.h"
@@ -39,10 +40,9 @@ uint64_t GateContextHash(const Example& ex) {
 
 }  // namespace
 
-ServingEngine::ServingEngine(ModelRegistry* registry,
-                             ServingEngineOptions options)
-    : registry_(registry), options_(options) {
-  AWMOE_CHECK(registry_ != nullptr) << "ServingEngine: null registry";
+ServingEngine::ServingEngine(ModelPool* pool, ServingEngineOptions options)
+    : pool_(pool), options_(options) {
+  AWMOE_CHECK(pool_ != nullptr) << "ServingEngine: null pool";
   AWMOE_CHECK(options_.max_batch_items > 0)
       << "max_batch_items " << options_.max_batch_items;
   AWMOE_CHECK(options_.max_batch_candidates >= 0)
@@ -51,6 +51,8 @@ ServingEngine::ServingEngine(ModelRegistry* registry,
       << "max_queue_delay_ms " << options_.max_queue_delay_ms;
   AWMOE_CHECK(options_.max_pending_requests >= 0)
       << "max_pending_requests " << options_.max_pending_requests;
+  AWMOE_CHECK(options_.async_flush_lanes >= 0)
+      << "async_flush_lanes " << options_.async_flush_lanes;
   for (int t = 1; t < options_.num_threads; ++t) {
     workers_.emplace_back([this] {
       for (;;) {
@@ -73,8 +75,8 @@ ServingEngine::ServingEngine(ModelRegistry* registry,
 }
 
 ServingEngine::~ServingEngine() {
-  // Drain the async front first: its flusher scores pending batches
-  // through the model states, which must still be alive.
+  // Drain the async front first: its flusher lanes score pending
+  // batches through pool snapshots, which must still be reachable.
   Stop(/*drain=*/true);
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
@@ -84,31 +86,19 @@ ServingEngine::~ServingEngine() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-ServingEngine::ModelState* ServingEngine::StateFor(
-    const std::string& resolved_name) const {
-  std::lock_guard<std::mutex> lock(states_mu_);
-  auto it = states_.find(resolved_name);
-  if (it != states_.end()) return it->second.get();
-
-  auto state = std::make_unique<ModelState>();
-  state->name = resolved_name;
-  state->model = registry_->Find(resolved_name);
-  AWMOE_CHECK(state->model != nullptr)
-      << "model '" << resolved_name << "' vanished from registry";
-  state->aw_moe = dynamic_cast<AwMoeRanker*>(state->model);
-  state->gate_shareable =
-      state->aw_moe != nullptr &&
-      state->model->SupportsSessionGateReuse(registry_->meta());
-  ModelState* raw = state.get();
-  states_.emplace(resolved_name, std::move(state));
-  return raw;
+bool ServingEngine::GateSharingActive(const std::string& model) const {
+  // Ask the CURRENT snapshot: eligibility is re-evaluated on every hot
+  // swap, so a published model change (e.g. to a non-AW-MoE ranker)
+  // changes the answer here and the path Rank actually takes together.
+  std::shared_ptr<const ModelSnapshot> snapshot =
+      pool_->CurrentSnapshot(pool_->ResolveName(model));
+  return options_.share_gate && snapshot->gate_shareable();
 }
 
-bool ServingEngine::GateSharingActive(const std::string& model) const {
-  // Route through the cached ModelState so this answer and the path
-  // Rank actually takes come from one eligibility computation.
-  ModelState* state = StateFor(registry_->ResolveName(model));
-  return options_.share_gate && state->gate_shareable;
+ServingStatsSnapshot ServingEngine::Stats() const {
+  ServingStatsSnapshot snap = stats_.Snapshot();
+  snap.model_swaps = pool_->swap_count();
+  return snap;
 }
 
 void ServingEngine::ExecuteMicroBatch(const MicroBatch& micro,
@@ -116,9 +106,15 @@ void ServingEngine::ExecuteMicroBatch(const MicroBatch& micro,
                                       const std::vector<double>* queue_delays_ms,
                                       const Stopwatch& service_watch,
                                       std::vector<RankResponse>* responses) {
-  ModelState* state = micro.state;
-  const DatasetMeta& meta = registry_->meta();
+  const DatasetMeta& meta = pool_->meta();
   const size_t n = micro.request_indices.size();
+
+  // Pin (snapshot, replica lane) for the whole micro-batch: the version
+  // cannot change under us (hot swaps publish a NEW snapshot), and the
+  // lane lock below serialises only forwards sharing this replica.
+  SnapshotLease lease = pool_->Acquire(micro.model);
+  const ModelSnapshot& snapshot = lease.snapshot();
+  ReplicaLane& lane = lease.lane();
 
   std::vector<const Example*> items;
   items.reserve(static_cast<size_t>(micro.total_items));
@@ -126,54 +122,45 @@ void ServingEngine::ExecuteMicroBatch(const MicroBatch& micro,
     const RankRequest& request = requests[idx];
     items.insert(items.end(), request.items.begin(), request.items.end());
   }
-  Batch batch = CollateBatch(items, meta, registry_->standardizer());
+  Batch batch = CollateBatch(items, meta, pool_->standardizer());
 
-  const bool shared = options_.share_gate && state->gate_shareable;
+  const bool shared = options_.share_gate && snapshot.gate_shareable();
   std::vector<bool> cache_hit(n, false);
   Matrix logits;
-  {
-    std::lock_guard<std::mutex> lock(state->mu);
-    if (shared) {
-      // §III-F behind the API: one gate row per session. Rows come from
-      // the per-model LRU when the session was served before, otherwise
-      // from a single fused probe pass (one row per missed session).
-      std::vector<std::vector<float>> session_gates(n);
-      // Probe dedup key is (session id, context hash), not session id
-      // alone: two same-session requests with *different* gate inputs
-      // in one micro-batch must each get their own probe, mirroring
-      // the staleness check the cross-request cache does.
-      std::map<std::pair<int64_t, uint64_t>, size_t> probe_slot;
-      std::vector<const Example*> probes;
-      std::vector<uint64_t> request_hash(n, 0);
-      for (size_t i = 0; i < n; ++i) {
-        const RankRequest& request = requests[micro.request_indices[i]];
-        const uint64_t hash = GateContextHash(*request.items[0]);
-        request_hash[i] = hash;
-        auto it = state->gate_index.find(request.session_id);
-        if (it != state->gate_index.end() &&
-            it->second->context_hash == hash) {
-          session_gates[i] = it->second->row;
-          state->gate_lru.splice(state->gate_lru.begin(), state->gate_lru,
-                                 it->second);
-          cache_hit[i] = true;
-          continue;
-        }
-        if (it != state->gate_index.end()) {
-          // Same session id, different gate inputs (e.g. the behaviour
-          // sequence grew between pagination requests): drop the stale
-          // row and re-probe rather than serve it.
-          state->gate_lru.erase(it->second);
-          state->gate_index.erase(it);
-        }
-        auto [slot, inserted] =
-            probe_slot.try_emplace({request.session_id, hash},
-                                   probes.size());
-        if (inserted) probes.push_back(request.items[0]);
+  if (shared) {
+    // §III-F behind the API: one gate row per session. Rows come from
+    // the snapshot's LRU when the session was served before, otherwise
+    // from a single fused probe pass (one row per missed session).
+    SessionGateCache& cache = snapshot.gate_cache();
+    std::vector<std::vector<float>> session_gates(n);
+    // Probe dedup key is (session id, context hash), not session id
+    // alone: two same-session requests with *different* gate inputs
+    // in one micro-batch must each get their own probe, mirroring
+    // the staleness check the cross-request cache does.
+    std::map<std::pair<int64_t, uint64_t>, size_t> probe_slot;
+    std::vector<const Example*> probes;
+    std::vector<uint64_t> request_hash(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const RankRequest& request = requests[micro.request_indices[i]];
+      const uint64_t hash = GateContextHash(*request.items[0]);
+      request_hash[i] = hash;
+      if (options_.gate_cache_capacity > 0 &&
+          cache.Lookup(request.session_id, hash, &session_gates[i])) {
+        cache_hit[i] = true;
+        continue;
       }
+      auto [slot, inserted] =
+          probe_slot.try_emplace({request.session_id, hash}, probes.size());
+      if (inserted) probes.push_back(request.items[0]);
+    }
+    {
+      // One lane critical section for probe + main forward: both touch
+      // this replica's model state. Other replicas of the same snapshot
+      // run their own micro-batches concurrently.
+      std::lock_guard<std::mutex> lock(lane.mu);
       if (!probes.empty()) {
-        Batch probe_batch =
-            CollateBatch(probes, meta, registry_->standardizer());
-        Matrix fresh = state->aw_moe->InferenceGate(probe_batch);
+        Batch probe_batch = CollateBatch(probes, meta, pool_->standardizer());
+        Matrix fresh = lane.aw_moe->InferenceGate(probe_batch);
         for (size_t i = 0; i < n; ++i) {
           if (cache_hit[i]) continue;
           const RankRequest& request = requests[micro.request_indices[i]];
@@ -184,26 +171,11 @@ void ServingEngine::ExecuteMicroBatch(const MicroBatch& micro,
         }
         if (options_.gate_cache_capacity > 0) {
           for (const auto& [key, row] : probe_slot) {
-            // Keep at most one cached row per session id: drop any
-            // entry a previous key of this batch inserted for it.
-            auto stale = state->gate_index.find(key.first);
-            if (stale != state->gate_index.end()) {
-              state->gate_lru.erase(stale->second);
-              state->gate_index.erase(stale);
-            }
-            ModelState::GateCacheEntry entry;
-            entry.session_id = key.first;
-            entry.context_hash = key.second;
-            entry.row.assign(
+            std::vector<float> gate_row(
                 fresh.row(static_cast<int64_t>(row)),
                 fresh.row(static_cast<int64_t>(row)) + fresh.cols());
-            state->gate_lru.push_front(std::move(entry));
-            state->gate_index[key.first] = state->gate_lru.begin();
-          }
-          while (static_cast<int64_t>(state->gate_lru.size()) >
-                 options_.gate_cache_capacity) {
-            state->gate_index.erase(state->gate_lru.back().session_id);
-            state->gate_lru.pop_back();
+            cache.Put(key.first, key.second, std::move(gate_row),
+                      options_.gate_cache_capacity);
           }
         }
       }
@@ -217,10 +189,11 @@ void ServingEngine::ExecuteMicroBatch(const MicroBatch& micro,
                     gate.row(row));
         }
       }
-      logits = state->aw_moe->InferenceLogitsWithGate(batch, gate);
-    } else {
-      logits = state->model->InferenceLogits(batch);
+      logits = lane.aw_moe->InferenceLogitsWithGate(batch, gate);
     }
+  } else {
+    std::lock_guard<std::mutex> lock(lane.mu);
+    logits = lane.model->InferenceLogits(batch);
   }
   Matrix probs = Sigmoid(logits);
 
@@ -234,7 +207,9 @@ void ServingEngine::ExecuteMicroBatch(const MicroBatch& micro,
     const double queue_ms =
         queue_delays_ms == nullptr ? 0.0 : (*queue_delays_ms)[idx];
     response.session_id = request.session_id;
-    response.model = state->name;
+    response.model = snapshot.name();
+    response.model_version = snapshot.version();
+    response.replica = lease.replica();
     response.latency_ms = service_ms + queue_ms;
     response.queue_ms = queue_ms;
     response.gate_shared = shared;
@@ -250,9 +225,15 @@ void ServingEngine::ExecuteMicroBatch(const MicroBatch& micro,
     if (shared) sample.gate_lookup = cache_hit[i] ? 1 : 0;
   }
   // One lock acquisition for the whole micro-batch: workers and the
-  // async flusher contend on the stats mutex, so the hot path must not
-  // take it per request.
-  stats_.RecordMicroBatch(micro.total_items, samples);
+  // async flusher lanes contend on the stats mutex, so the hot path
+  // must not take it per request.
+  LeaseSample lease_sample;
+  lease_sample.model = snapshot.name();
+  lease_sample.version = snapshot.version();
+  lease_sample.replica = lease.replica();
+  lease_sample.num_replicas = snapshot.num_replicas();
+  lease_sample.active_lanes = lease.active_lanes_at_acquire();
+  stats_.RecordMicroBatch(micro.total_items, samples, &lease_sample);
 }
 
 void ServingEngine::RunJobs(std::vector<std::function<void()>> jobs) {
@@ -315,7 +296,7 @@ std::vector<RankResponse> ServingEngine::RankBatch(
     AWMOE_CHECK(!requests[i].items.empty())
         << "RankBatch: empty candidate list for session "
         << requests[i].session_id;
-    const std::string& name = registry_->ResolveName(requests[i].model);
+    const std::string& name = pool_->ResolveName(requests[i].model);
     auto [it, inserted] = by_model.try_emplace(name);
     if (inserted) model_order.push_back(name);
     it->second.push_back(i);
@@ -324,9 +305,8 @@ std::vector<RankResponse> ServingEngine::RankBatch(
   // Micro-batch: pack whole sessions per model until the item cap.
   std::vector<MicroBatch> micros;
   for (const std::string& name : model_order) {
-    ModelState* state = StateFor(name);
     MicroBatch current;
-    current.state = state;
+    current.model = name;
     for (size_t idx : by_model.at(name)) {
       const int64_t items =
           static_cast<int64_t>(requests[idx].items.size());
@@ -334,7 +314,7 @@ std::vector<RankResponse> ServingEngine::RankBatch(
           current.total_items + items > options_.max_batch_items) {
         micros.push_back(std::move(current));
         current = MicroBatch();
-        current.state = state;
+        current.model = name;
       }
       current.request_indices.push_back(idx);
       current.total_items += items;
@@ -362,7 +342,7 @@ RankResponse ServingEngine::Rank(const RankRequest& request) {
 std::future<RankResponse> ServingEngine::Submit(RankRequest request) {
   // Resolve the route up front (CHECK-fails on unknown names, matching
   // the synchronous path) so per-model queues key on concrete names.
-  const std::string resolved = registry_->ResolveName(request.model);
+  const std::string resolved = pool_->ResolveName(request.model);
   AsyncBatchQueue* queue = nullptr;
   {
     std::lock_guard<std::mutex> lock(async_mu_);
@@ -374,6 +354,12 @@ std::future<RankResponse> ServingEngine::Submit(RankRequest request) {
       queue_options.max_queue_delay = std::chrono::microseconds(
           std::llround(options_.max_queue_delay_ms * 1e3));
       queue_options.max_pending_requests = options_.max_pending_requests;
+      // One flush lane per pool replica by default: a hot model can
+      // keep every one of its replicas busy with its own in-flight
+      // micro-batch instead of capping out at one global flusher.
+      queue_options.num_flush_lanes = options_.async_flush_lanes > 0
+                                          ? options_.async_flush_lanes
+                                          : pool_->replicas();
       async_queue_ = std::make_unique<AsyncBatchQueue>(
           queue_options,
           [this](const std::string& model,
@@ -431,7 +417,7 @@ void ServingEngine::FlushAsync(const std::string& model,
   // The queue grouped the batch under the resolved name Submit pinned
   // at enqueue time — route by that key, not by re-resolving a possibly
   // empty (default) request name at flush time.
-  micro.state = StateFor(model);
+  micro.model = model;
   std::vector<RankResponse> responses(n);
   ExecuteMicroBatch(micro, requests, &queue_delays_ms, service_watch,
                     &responses);

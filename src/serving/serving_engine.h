@@ -5,23 +5,19 @@
 #include <cstdint>
 #include <functional>
 #include <future>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "serving/async_queue.h"
-#include "serving/model_registry.h"
+#include "serving/model_pool.h"
 #include "serving/request.h"
 #include "serving/serving_stats.h"
 
 namespace awmoe {
-
-class AwMoeRanker;
 
 struct ServingEngineOptions {
   /// Micro-batching cap: candidates from multiple sessions are fused
@@ -32,23 +28,26 @@ struct ServingEngineOptions {
 
   /// Lanes micro-batches are dispatched across: n-1 worker threads plus
   /// the calling thread, which work-shares instead of blocking. 0 or 1
-  /// runs everything in the caller's thread. Forwards on one model are
-  /// serialised by a per-model lock (the autograd-free forward still
-  /// shares model state), so threads pay off across *different* models
-  /// — e.g. both arms of an A/B test scoring concurrently.
+  /// runs everything in the caller's thread. A micro-batch runs on one
+  /// replica lane of its model's snapshot, so with a replicated pool
+  /// threads pay off even on a single hot model (N forwards on N
+  /// distinct ranker clones); on a single-replica pool they pay off
+  /// across *different* models, as before.
   int num_threads = 0;
 
   /// Enables the §III-F per-session gate path for models that support
   /// it (gate evaluated once per session, reused for every candidate).
   bool share_gate = true;
 
-  /// Per-model LRU capacity of cached session gate rows; a repeat
+  /// Per-snapshot LRU capacity of cached session gate rows; a repeat
   /// request for a cached session skips the gate network entirely
   /// (generalising §III-F across requests, e.g. result pagination).
   /// Entries are validated against a hash of the gate-relevant context
   /// (behaviour sequence, query, user), so a session whose behaviour
   /// sequence grew between requests is re-probed, never served stale.
-  /// 0 disables caching (the gate is still shared within a request).
+  /// The cache lives in the model snapshot, so a published weight
+  /// update starts cold by construction. 0 disables caching (the gate
+  /// is still shared within a request).
   int64_t gate_cache_capacity = 4096;
 
   // --- Async front (Submit) knobs. ---
@@ -69,21 +68,30 @@ struct ServingEngineOptions {
   /// flushed), further Submits fail immediately with
   /// kResourceExhausted instead of queueing. 0 = unbounded.
   int64_t max_pending_requests = 0;
+
+  /// Flusher threads of the async front. One lane caps a hot model at
+  /// one in-flight micro-batch; with N lanes (and N pool replicas), N
+  /// micro-batches flush concurrently onto N distinct replica lanes.
+  /// 0 = one lane per pool replica.
+  int async_flush_lanes = 0;
 };
 
 /// The serving platform of Fig. 6: accepts RankRequests, routes each to
-/// a named model in the ModelRegistry, fuses candidates from multiple
+/// a named model in the ModelPool, fuses candidates from multiple
 /// sessions into micro-batches, runs the §III-F shared-gate fast path
 /// behind the API (instead of a constructor flag), and records exact
-/// latency percentiles. Scores are bitwise-identical to scoring each
-/// session alone: collation pads to the dataset's fixed sequence length
-/// and every kernel is row-wise, so batch composition cannot leak
-/// between rows.
+/// latency percentiles. Every forward runs under a snapshot+replica
+/// lease: the engine pins the model version it started with (hot swaps
+/// via `ModelPool::UpdateModel` never tear a response) and concurrent
+/// forwards for one model spread across its replica lanes. Scores are
+/// bitwise-identical to scoring each session alone on a single-replica
+/// pool: collation pads to the dataset's fixed sequence length, every
+/// kernel is row-wise, and replicas are exact weight clones, so neither
+/// batch composition nor lane assignment can change a row's result.
 class ServingEngine {
  public:
-  /// `registry` is not owned and must outlive the engine.
-  explicit ServingEngine(ModelRegistry* registry,
-                         ServingEngineOptions options = {});
+  /// `pool` is not owned and must outlive the engine.
+  explicit ServingEngine(ModelPool* pool, ServingEngineOptions options = {});
   ~ServingEngine();
 
   ServingEngine(const ServingEngine&) = delete;
@@ -101,11 +109,11 @@ class ServingEngine {
       const std::vector<RankRequest>& requests);
 
   /// Non-blocking front: enqueues the request into a per-model,
-  /// time-bounded micro-batch queue and returns immediately. A
-  /// background flusher coalesces queued requests — including requests
-  /// from different sessions submitted by different threads — into one
+  /// time-bounded micro-batch queue and returns immediately. Background
+  /// flusher lanes coalesce queued requests — including requests from
+  /// different sessions submitted by different threads — into one
   /// forward pass once `max_batch_candidates` accumulate or the oldest
-  /// request has waited `max_queue_delay_ms`, then resolves each
+  /// request has waited `max_queue_delay_ms`, then resolve each
   /// caller's future with its own slice of the scores. Scores are
   /// bitwise-identical to the synchronous path. The future ALWAYS
   /// becomes ready: rejected requests (queue full, empty candidate
@@ -120,59 +128,37 @@ class ServingEngine {
   /// drain=true (the default, also what the destructor does) requests
   /// still queued are scored and their futures resolve normally; with
   /// drain=false they resolve immediately with kUnavailable. Blocks
-  /// until the flusher thread has exited; never deadlocks on in-flight
+  /// until the flusher lanes have exited; never deadlocks on in-flight
   /// futures and never leaves a promise unresolved. Idempotent, and a
   /// no-op when Submit was never called. Synchronous Rank/RankBatch
   /// remain usable after Stop.
   void Stop(bool drain = true);
 
   /// True when requests routed at `model` (empty = default) take the
-  /// §III-F shared-gate path.
+  /// §III-F shared-gate path under the model's CURRENT snapshot.
   bool GateSharingActive(const std::string& model = std::string()) const;
 
   const ServingStats& stats() const { return stats_; }
-  ServingStatsSnapshot Stats() const { return stats_.Snapshot(); }
+  /// Counter snapshot; `model_swaps` is merged in from the pool.
+  ServingStatsSnapshot Stats() const;
   void ResetStats() { stats_.Reset(); }
 
   const ServingEngineOptions& options() const { return options_; }
-  const ModelRegistry& registry() const { return *registry_; }
+  const ModelPool& pool() const { return *pool_; }
 
  private:
-  /// Per-model serving state: the forward lock and the session-gate LRU.
-  struct ModelState {
-    std::string name;
-    Ranker* model = nullptr;
-    AwMoeRanker* aw_moe = nullptr;  // Non-null when model is an AwMoeRanker.
-    bool gate_shareable = false;    // §III-F path available.
-
-    /// Serialises forwards and guards the gate cache.
-    std::mutex mu;
-    /// One cached session gate: the row plus a hash of the inputs it
-    /// was computed from, so staleness is detectable.
-    struct GateCacheEntry {
-      int64_t session_id = 0;
-      uint64_t context_hash = 0;
-      std::vector<float> row;
-    };
-    /// LRU of session gates (front = most recent).
-    std::list<GateCacheEntry> gate_lru;
-    std::unordered_map<int64_t, std::list<GateCacheEntry>::iterator>
-        gate_index;
-  };
-
   /// One fused forward pass: whole sessions, one model.
   struct MicroBatch {
-    ModelState* state = nullptr;
+    std::string model;  // Resolved pool name.
     std::vector<size_t> request_indices;
     int64_t total_items = 0;
   };
 
-  ModelState* StateFor(const std::string& resolved_name) const;
-
-  /// Scores one micro-batch and fills the matching responses.
-  /// `queue_delays_ms`, when non-null, is indexed like `requests` and
-  /// holds the time each request spent in the async queue; it is added
-  /// to the reported latency and recorded as the queue-delay metric.
+  /// Scores one micro-batch under a snapshot+replica lease and fills
+  /// the matching responses. `queue_delays_ms`, when non-null, is
+  /// indexed like `requests` and holds the time each request spent in
+  /// the async queue; it is added to the reported latency and recorded
+  /// as the queue-delay metric.
   void ExecuteMicroBatch(const MicroBatch& micro,
                          const std::vector<RankRequest>& requests,
                          const std::vector<double>* queue_delays_ms,
@@ -181,7 +167,8 @@ class ServingEngine {
 
   /// Flush callback of the async queue: scores one coalesced batch
   /// (all routed at resolved name `model`) in one forward pass and
-  /// resolves every promise.
+  /// resolves every promise. Runs concurrently on several flusher
+  /// lanes, each landing on its own replica.
   void FlushAsync(const std::string& model,
                   std::vector<AsyncBatchQueue::Pending> batch);
 
@@ -189,15 +176,9 @@ class ServingEngine {
   /// configured, the caller's thread otherwise.
   void RunJobs(std::vector<std::function<void()>> jobs);
 
-  ModelRegistry* registry_;
+  ModelPool* pool_;
   ServingEngineOptions options_;
   ServingStats stats_;
-
-  // Lazily built per-model state (mutable: looked up from const
-  // accessors like GateSharingActive).
-  mutable std::mutex states_mu_;
-  mutable std::unordered_map<std::string, std::unique_ptr<ModelState>>
-      states_;
 
   // Worker pool (created only when num_threads > 1).
   std::vector<std::thread> workers_;
@@ -207,7 +188,7 @@ class ServingEngine {
   bool stopping_ = false;
 
   // Async front: created lazily on the first Submit (engines used only
-  // synchronously never start a flusher thread). The queue object, once
+  // synchronously never start flusher lanes). The queue object, once
   // created, lives until engine destruction — Stop() stops it in place,
   // so a Submit racing Stop finds a live queue that rejects it.
   std::mutex async_mu_;

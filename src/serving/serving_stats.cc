@@ -92,8 +92,47 @@ void ServingStats::RecordGateLookupLocked(bool hit) {
   }
 }
 
+void ServingStats::RecordLease(const LeaseSample& lease) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RecordLeaseLocked(lease);
+}
+
+void ServingStats::RecordLeaseLocked(const LeaseSample& lease) {
+  ++snapshot_leases_;
+  active_lanes_total_ += lease.active_lanes;
+  max_active_lanes_ =
+      std::max(max_active_lanes_, static_cast<int64_t>(lease.active_lanes));
+  auto [it, inserted] =
+      version_lane_leases_.try_emplace({lease.model, lease.version});
+  std::vector<int64_t>& lanes = it->second;
+  if (static_cast<int>(lanes.size()) < lease.num_replicas) {
+    lanes.resize(static_cast<size_t>(lease.num_replicas), 0);
+  }
+  ++lanes[static_cast<size_t>(lease.replica)];
+  if (inserted) {
+    // Keep only the newest kMaxVersionsPerModel versions of this model:
+    // the map key orders one model's entries by ascending version, so
+    // trimming drops from the oldest end. Bounds memory — and Snapshot
+    // copy cost — under continuous hot swaps.
+    auto first = version_lane_leases_.lower_bound({lease.model, 0});
+    int count = 0;
+    for (auto walk = first;
+         walk != version_lane_leases_.end() && walk->first.first == lease.model;
+         ++walk) {
+      ++count;
+    }
+    while (count > kMaxVersionsPerModel &&
+           first != version_lane_leases_.end() &&
+           first->first.first == lease.model) {
+      first = version_lane_leases_.erase(first);
+      --count;
+    }
+  }
+}
+
 void ServingStats::RecordMicroBatch(
-    int64_t batch_items, const std::vector<RequestSample>& samples) {
+    int64_t batch_items, const std::vector<RequestSample>& samples,
+    const LeaseSample* lease) {
   std::lock_guard<std::mutex> lock(mu_);
   RecordBatchLocked(static_cast<int64_t>(samples.size()), batch_items);
   for (const RequestSample& sample : samples) {
@@ -101,6 +140,7 @@ void ServingStats::RecordMicroBatch(
     if (sample.queue_ms >= 0.0) RecordQueueDelayLocked(sample.queue_ms);
     if (sample.gate_lookup >= 0) RecordGateLookupLocked(sample.gate_lookup != 0);
   }
+  if (lease != nullptr) RecordLeaseLocked(*lease);
 }
 
 int64_t ServingStats::requests() const {
@@ -141,6 +181,16 @@ int64_t ServingStats::gate_cache_hits() const {
 int64_t ServingStats::gate_cache_misses() const {
   std::lock_guard<std::mutex> lock(mu_);
   return gate_cache_misses_;
+}
+
+int64_t ServingStats::snapshot_leases() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_leases_;
+}
+
+int64_t ServingStats::max_active_lanes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_active_lanes_;
 }
 
 double ServingStats::MeanSessionLatencyMs() const {
@@ -186,6 +236,20 @@ ServingStatsSnapshot ServingStats::Snapshot() const {
     snap.queue_max_ms = queue_max_ms_;
     snap.gate_cache_hits = gate_cache_hits_;
     snap.gate_cache_misses = gate_cache_misses_;
+    snap.snapshot_leases = snapshot_leases_;
+    if (snapshot_leases_ > 0) {
+      snap.mean_active_lanes = static_cast<double>(active_lanes_total_) /
+                               static_cast<double>(snapshot_leases_);
+    }
+    snap.max_active_lanes = max_active_lanes_;
+    for (const auto& [key, lanes] : version_lane_leases_) {
+      ModelVersionStatsSnapshot version;
+      version.model = key.first;
+      version.version = key.second;
+      version.lane_leases = lanes;
+      for (int64_t count : lanes) version.leases += count;
+      snap.versions.push_back(std::move(version));
+    }
     sorted = samples_ms_;
     elapsed = wall_started_ ? wall_.ElapsedSeconds() + wall_offset_s_ : 0.0;
   }
@@ -218,6 +282,10 @@ void ServingStats::Reset() {
   queue_max_ms_ = 0.0;
   gate_cache_hits_ = 0;
   gate_cache_misses_ = 0;
+  snapshot_leases_ = 0;
+  active_lanes_total_ = 0;
+  max_active_lanes_ = 0;
+  version_lane_leases_.clear();
   wall_started_ = false;
   wall_offset_s_ = 0.0;
 }

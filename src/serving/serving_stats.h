@@ -2,12 +2,24 @@
 #define AWMOE_SERVING_SERVING_STATS_H_
 
 #include <cstdint>
+#include <map>
 #include <mutex>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "util/stopwatch.h"
 
 namespace awmoe {
+
+/// Counters of one published model version, split by replica lane.
+struct ModelVersionStatsSnapshot {
+  std::string model;
+  int64_t version = 0;
+  int64_t leases = 0;
+  /// Leases per replica lane (index = lane). Sums to `leases`.
+  std::vector<int64_t> lane_leases;
+};
 
 /// Point-in-time view of the serving counters (safe to copy around and
 /// print without holding any lock).
@@ -42,6 +54,32 @@ struct ServingStatsSnapshot {
   /// shared-gate path; a miss covers both cold and invalidated rows).
   int64_t gate_cache_hits = 0;
   int64_t gate_cache_misses = 0;
+
+  /// Replica-lane accounting: one lease is acquired per executed
+  /// micro-batch. `mean/max_active_lanes` sample, at each acquire, how
+  /// many of the snapshot's lanes were busy — >1 means forwards for one
+  /// model genuinely overlapped on distinct replicas.
+  int64_t snapshot_leases = 0;
+  double mean_active_lanes = 0.0;
+  int64_t max_active_lanes = 0;
+
+  /// Versions published via `ModelPool::UpdateModel` over the pool's
+  /// lifetime (filled by `ServingEngine::Stats` from the pool; 0 when
+  /// snapshotting a bare ServingStats).
+  int64_t model_swaps = 0;
+
+  /// Per model-version lease counters, ordered by (model, version).
+  std::vector<ModelVersionStatsSnapshot> versions;
+};
+
+/// One executed micro-batch's lease, as recorded into the stats.
+struct LeaseSample {
+  std::string model;
+  int64_t version = 0;
+  int replica = 0;
+  int num_replicas = 1;
+  /// Lanes of the snapshot active at acquire time (including this one).
+  int active_lanes = 1;
 };
 
 /// One request's contribution to a micro-batch stats record.
@@ -64,6 +102,11 @@ class ServingStats {
   /// Samples retained for percentile computation.
   static constexpr int64_t kMaxSamples = 1 << 16;
 
+  /// Per-model cap on retained version entries in the lease breakdown:
+  /// under continuous hot swaps only the newest versions stay, so the
+  /// stats map (copied on every Snapshot) cannot grow without bound.
+  static constexpr int kMaxVersionsPerModel = 8;
+
   ServingStats() = default;
 
   /// Records one completed request of `items` candidates.
@@ -80,14 +123,19 @@ class ServingStats {
   /// Records one gate-LRU lookup outcome on the shared-gate path.
   void RecordGateLookup(bool hit);
 
+  /// Records one snapshot+replica lease (one per executed micro-batch).
+  void RecordLease(const LeaseSample& lease);
+
   /// Records one executed micro-batch and all its requests under a
   /// SINGLE lock acquisition — what the scoring hot path uses instead
   /// of one Record* call per request (workers and the async flusher
   /// all contend on this mutex). Equivalent to RecordBatch +, per
   /// sample, RecordRequest / RecordQueueDelay (queue_ms >= 0) /
-  /// RecordGateLookup (gate_lookup >= 0).
+  /// RecordGateLookup (gate_lookup >= 0), plus RecordLease when `lease`
+  /// is non-null.
   void RecordMicroBatch(int64_t batch_items,
-                        const std::vector<RequestSample>& samples);
+                        const std::vector<RequestSample>& samples,
+                        const LeaseSample* lease = nullptr);
 
   int64_t requests() const;
   /// Backward-compatible alias from the RankingService era, where one
@@ -109,6 +157,8 @@ class ServingStats {
   int64_t queued_requests() const;
   int64_t gate_cache_hits() const;
   int64_t gate_cache_misses() const;
+  int64_t snapshot_leases() const;
+  int64_t max_active_lanes() const;
 
   ServingStatsSnapshot Snapshot() const;
 
@@ -121,6 +171,7 @@ class ServingStats {
   void RecordBatchLocked(int64_t batch_requests, int64_t batch_items);
   void RecordQueueDelayLocked(double delay_ms);
   void RecordGateLookupLocked(bool hit);
+  void RecordLeaseLocked(const LeaseSample& lease);
 
   // One mutex guards every counter AND the latency reservoir: samples
   // are recorded concurrently by RankBatch worker threads and the async
@@ -142,6 +193,14 @@ class ServingStats {
   double queue_max_ms_ = 0.0;
   int64_t gate_cache_hits_ = 0;
   int64_t gate_cache_misses_ = 0;
+  int64_t snapshot_leases_ = 0;
+  int64_t active_lanes_total_ = 0;  // Sum of per-lease samples; mean numerator.
+  int64_t max_active_lanes_ = 0;
+  /// Keyed by (model, version), so one model's versions are contiguous
+  /// and ascending; lane_leases sized on first use per lane. Trimmed to
+  /// the newest kMaxVersionsPerModel versions per model on insert.
+  std::map<std::pair<std::string, int64_t>, std::vector<int64_t>>
+      version_lane_leases_;
   uint64_t reservoir_rng_ = 0x9E3779B97F4A7C15ull;
   bool wall_started_ = false;  // Clock starts at the first request.
   double wall_offset_s_ = 0.0;  // First request's own service time.

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "autograd/ops.h"
+#include "core/aw_moe.h"
 #include "data/batcher.h"
 #include "mat/kernels.h"
 #include "models/attention_unit.h"
@@ -253,6 +257,111 @@ TEST(RankerInterfaceTest, ParameterCountsPositiveAndDistinct) {
   EXPECT_GT(dnn.NumParameters(), 0);
   // MoE has K experts + gate on top of shared structure.
   EXPECT_GT(moe.NumParameters(), dnn.NumParameters());
+}
+
+// ---------------------------------------------------------------------
+// Ranker::Clone: the serving ModelPool materialises replica lanes from
+// one loaded model, so clones must be bitwise-equal in output and fully
+// disjoint in storage.
+// ---------------------------------------------------------------------
+
+/// Clones `original`, then asserts (a) bitwise-identical inference
+/// logits, (b) equal parameter values in (c) disjoint storage, by
+/// perturbing the original's first parameter and checking the clone
+/// neither sees the change nor shifts its logits.
+void CheckCloneIndependence(Ranker* original, const DatasetMeta& meta) {
+  std::unique_ptr<Ranker> clone = original->Clone();
+  ASSERT_NE(clone, nullptr) << original->name() << " must be cloneable";
+  EXPECT_EQ(clone->name(), original->name());
+  EXPECT_EQ(clone->NumParameters(), original->NumParameters());
+
+  Batch batch = MakeBatch(meta, 4, /*min_history=*/1);
+  Matrix want = original->InferenceLogits(batch);
+  Matrix got = clone->InferenceLogits(batch);
+  ASSERT_EQ(got.rows(), want.rows());
+  for (int64_t r = 0; r < want.rows(); ++r) {
+    EXPECT_EQ(got(r, 0), want(r, 0)) << "row " << r;
+  }
+
+  std::vector<Var> orig_params = original->Parameters();
+  std::vector<Var> clone_params = clone->Parameters();
+  ASSERT_EQ(orig_params.size(), clone_params.size());
+  for (size_t i = 0; i < orig_params.size(); ++i) {
+    // Equal values, distinct buffers.
+    EXPECT_NE(orig_params[i].value().data(), clone_params[i].value().data())
+        << "parameter " << i << " shares storage";
+    ASSERT_EQ(orig_params[i].value().size(), clone_params[i].value().size());
+    for (int64_t k = 0; k < orig_params[i].value().size(); ++k) {
+      ASSERT_EQ(orig_params[i].value().data()[k],
+                clone_params[i].value().data()[k])
+          << "parameter " << i << " element " << k;
+    }
+  }
+
+  // Perturb the original: the clone's weights and logits must not move.
+  const float before = clone_params[0].value().data()[0];
+  orig_params[0].mutable_value().data()[0] += 1.0f;
+  EXPECT_EQ(clone_params[0].value().data()[0], before);
+  Matrix after = clone->InferenceLogits(batch);
+  for (int64_t r = 0; r < want.rows(); ++r) {
+    EXPECT_EQ(after(r, 0), want(r, 0)) << "clone drifted at row " << r;
+  }
+  // Undo so shared fixtures are unaffected.
+  orig_params[0].mutable_value().data()[0] -= 1.0f;
+}
+
+TEST(RankerCloneTest, DnnCloneIsBitwiseEqualAndDisjoint) {
+  Rng rng(21);
+  DatasetMeta meta = TestMeta();
+  DnnRanker model(meta, TinyDims(), &rng);
+  CheckCloneIndependence(&model, meta);
+}
+
+TEST(RankerCloneTest, DinCloneIsBitwiseEqualAndDisjoint) {
+  Rng rng(22);
+  DatasetMeta meta = TestMeta();
+  DinRanker model(meta, TinyDims(), &rng);
+  CheckCloneIndependence(&model, meta);
+}
+
+TEST(RankerCloneTest, CategoryMoeCloneIsBitwiseEqualAndDisjoint) {
+  Rng rng(23);
+  DatasetMeta meta = TestMeta();
+  CategoryMoeRanker model(meta, TinyDims(), &rng);
+  CheckCloneIndependence(&model, meta);
+}
+
+TEST(RankerCloneTest, AwMoeCloneIsBitwiseEqualAndDisjoint) {
+  Rng rng(24);
+  DatasetMeta meta = TestMeta();
+  AwMoeConfig config;
+  config.dims = TinyDims();
+  AwMoeRanker model(meta, config, &rng);
+  CheckCloneIndependence(&model, meta);
+}
+
+TEST(RankerCloneTest, AwMoeCloneSharesGateEligibilityAndConfig) {
+  Rng rng(25);
+  DatasetMeta meta = TestMeta();
+  AwMoeConfig config;
+  config.dims = TinyDims();
+  config.name = "AW-MoE & CL";
+  AwMoeRanker model(meta, config, &rng);
+  std::unique_ptr<Ranker> clone = model.Clone();
+  ASSERT_NE(clone, nullptr);
+  EXPECT_EQ(clone->name(), "AW-MoE & CL");
+  EXPECT_TRUE(clone->SupportsSessionGateReuse(meta));
+  auto* aw_clone = dynamic_cast<AwMoeRanker*>(clone.get());
+  ASSERT_NE(aw_clone, nullptr);
+  // The §III-F serving path must agree bitwise across replicas too.
+  Batch batch = MakeBatch(meta, 3, /*min_history=*/1);
+  Matrix gate_a = model.InferenceGate(batch);
+  Matrix gate_b = aw_clone->InferenceGate(batch);
+  for (int64_t r = 0; r < gate_a.rows(); ++r) {
+    for (int64_t c = 0; c < gate_a.cols(); ++c) {
+      EXPECT_EQ(gate_a(r, c), gate_b(r, c));
+    }
+  }
 }
 
 }  // namespace

@@ -16,7 +16,7 @@
 #include "core/aw_moe.h"
 #include "data/batcher.h"
 #include "data/jd_synthetic.h"
-#include "serving/model_registry.h"
+#include "serving/model_pool.h"
 #include "serving/ranking_service.h"
 #include "serving/request.h"
 #include "serving/serving_engine.h"
@@ -68,10 +68,10 @@ class AsyncServingTest : public ::testing::Test {
     data_ = nullptr;
   }
 
-  static ModelRegistry MakeRegistry() {
-    ModelRegistry registry(data_->meta, standardizer_);
-    registry.Register("aw-moe", model_);
-    return registry;
+  static std::unique_ptr<ModelPool> MakeRegistry() {
+    auto pool = std::make_unique<ModelPool>(data_->meta, standardizer_);
+    pool->Register("aw-moe", model_);
+    return pool;
   }
 
   static RankRequest RequestFor(size_t s) {
@@ -111,7 +111,8 @@ TEST_F(AsyncServingTest, ConcurrentSubmitsMatchLegacyServiceBitwise) {
     expected[s] = legacy.RankSession((*sessions_)[s]);
   }
 
-  ModelRegistry registry = MakeRegistry();
+  auto registry_owner = MakeRegistry();
+  ModelPool& registry = *registry_owner;
   ServingEngineOptions options;
   options.max_queue_delay_ms = 1.0;
   ServingEngine engine(&registry, options);
@@ -163,7 +164,8 @@ TEST_F(AsyncServingTest, ConcurrentSubmitsMatchLegacyServiceBitwise) {
 // ---------------------------------------------------------------------
 
 TEST_F(AsyncServingTest, SubmitCoalescesConcurrentRequestsIntoOneBatch) {
-  ModelRegistry registry = MakeRegistry();
+  auto registry_owner = MakeRegistry();
+  ModelPool& registry = *registry_owner;
   ServingEngineOptions options;
   // The delay bound is far away, so the only flush trigger is the
   // candidate cap — sized to exactly both sessions, making the
@@ -196,7 +198,8 @@ TEST_F(AsyncServingTest, SubmitCoalescesConcurrentRequestsIntoOneBatch) {
 
   // And the coalesced scores are bitwise what a synchronous engine
   // computes for each session alone.
-  ModelRegistry reference_registry = MakeRegistry();
+  auto reference_registry_owner = MakeRegistry();
+  ModelPool& reference_registry = *reference_registry_owner;
   ServingEngine reference(&reference_registry);
   for (const auto& [response, index] :
        {std::pair{&response_a, size_t{0}}, std::pair{&response_b, size_t{1}}}) {
@@ -214,7 +217,8 @@ TEST_F(AsyncServingTest, SubmitCoalescesConcurrentRequestsIntoOneBatch) {
 // ---------------------------------------------------------------------
 
 TEST_F(AsyncServingTest, LoneSubmitFlushesOnTimeout) {
-  ModelRegistry registry = MakeRegistry();
+  auto registry_owner = MakeRegistry();
+  ModelPool& registry = *registry_owner;
   ServingEngineOptions options;
   options.max_queue_delay_ms = 5.0;
   options.max_batch_candidates = 1 << 30;  // Cap can never trigger.
@@ -230,7 +234,8 @@ TEST_F(AsyncServingTest, LoneSubmitFlushesOnTimeout) {
   EXPECT_EQ(engine.stats().queued_requests(), 1);
   EXPECT_GT(engine.Stats().queue_mean_ms, 0.0);
 
-  ModelRegistry reference_registry = MakeRegistry();
+  auto reference_registry_owner = MakeRegistry();
+  ModelPool& reference_registry = *reference_registry_owner;
   ServingEngine reference(&reference_registry);
   RankResponse want = reference.Rank(RequestFor(0));
   ASSERT_EQ(response.scores.size(), want.scores.size());
@@ -244,7 +249,8 @@ TEST_F(AsyncServingTest, LoneSubmitFlushesOnTimeout) {
 // ---------------------------------------------------------------------
 
 TEST_F(AsyncServingTest, QueueFullBackpressureFailsFast) {
-  ModelRegistry registry = MakeRegistry();
+  auto registry_owner = MakeRegistry();
+  ModelPool& registry = *registry_owner;
   ServingEngineOptions options;
   options.max_queue_delay_ms = 10000.0;     // Neither bound can trigger,
   options.max_batch_candidates = 1 << 30;   // so the first request stays
@@ -266,7 +272,8 @@ TEST_F(AsyncServingTest, QueueFullBackpressureFailsFast) {
   engine.Stop(/*drain=*/true);
   RankResponse queued_response = queued.get();
   ASSERT_TRUE(queued_response.status.ok()) << queued_response.status;
-  ModelRegistry reference_registry = MakeRegistry();
+  auto reference_registry_owner = MakeRegistry();
+  ModelPool& reference_registry = *reference_registry_owner;
   ServingEngine reference(&reference_registry);
   RankResponse want = reference.Rank(RequestFor(0));
   ASSERT_EQ(queued_response.scores.size(), want.scores.size());
@@ -276,7 +283,8 @@ TEST_F(AsyncServingTest, QueueFullBackpressureFailsFast) {
 }
 
 TEST_F(AsyncServingTest, EmptyCandidateListFailsInvalidArgument) {
-  ModelRegistry registry = MakeRegistry();
+  auto registry_owner = MakeRegistry();
+  ModelPool& registry = *registry_owner;
   ServingEngine engine(&registry);
   RankRequest empty;
   empty.session_id = 1234;
@@ -291,7 +299,8 @@ TEST_F(AsyncServingTest, EmptyCandidateListFailsInvalidArgument) {
 // ---------------------------------------------------------------------
 
 TEST_F(AsyncServingTest, StopWithDrainScoresPendingFutures) {
-  ModelRegistry registry = MakeRegistry();
+  auto registry_owner = MakeRegistry();
+  ModelPool& registry = *registry_owner;
   ServingEngineOptions options;
   options.max_queue_delay_ms = 10000.0;
   options.max_batch_candidates = 1 << 30;
@@ -304,7 +313,8 @@ TEST_F(AsyncServingTest, StopWithDrainScoresPendingFutures) {
   }
   engine.Stop(/*drain=*/true);
 
-  ModelRegistry reference_registry = MakeRegistry();
+  auto reference_registry_owner = MakeRegistry();
+  ModelPool& reference_registry = *reference_registry_owner;
   ServingEngine reference(&reference_registry);
   for (size_t s = 0; s < kPending; ++s) {
     RankResponse response = futures[s].get();
@@ -327,7 +337,8 @@ TEST_F(AsyncServingTest, StopWithDrainScoresPendingFutures) {
 }
 
 TEST_F(AsyncServingTest, StopWithoutDrainFailsPendingWithDistinctStatus) {
-  ModelRegistry registry = MakeRegistry();
+  auto registry_owner = MakeRegistry();
+  ModelPool& registry = *registry_owner;
   ServingEngineOptions options;
   options.max_queue_delay_ms = 10000.0;
   options.max_batch_candidates = 1 << 30;
@@ -351,7 +362,8 @@ TEST_F(AsyncServingTest, StopWithoutDrainFailsPendingWithDistinctStatus) {
 TEST_F(AsyncServingTest, DestructorDrainsPendingFutures) {
   std::vector<std::future<RankResponse>> futures;
   {
-    ModelRegistry registry = MakeRegistry();
+    auto registry_owner = MakeRegistry();
+  ModelPool& registry = *registry_owner;
     ServingEngineOptions options;
     options.max_queue_delay_ms = 10000.0;
     options.max_batch_candidates = 1 << 30;
@@ -370,7 +382,8 @@ TEST_F(AsyncServingTest, DestructorDrainsPendingFutures) {
 }
 
 TEST_F(AsyncServingTest, StopNeverCalledSubmitNeverCalledIsSafe) {
-  ModelRegistry registry = MakeRegistry();
+  auto registry_owner = MakeRegistry();
+  ModelPool& registry = *registry_owner;
   {
     ServingEngine engine(&registry);
     // No Submit: the destructor must not spin up or wait on anything.
@@ -424,7 +437,8 @@ TEST(ServingStatsConcurrencyTest, CountsAndReservoirExactUnderContention) {
 }
 
 TEST_F(AsyncServingTest, EngineStatsExactAcrossSubmittingThreads) {
-  ModelRegistry registry = MakeRegistry();
+  auto registry_owner = MakeRegistry();
+  ModelPool& registry = *registry_owner;
   ServingEngineOptions options;
   options.max_queue_delay_ms = 0.5;
   ServingEngine engine(&registry, options);

@@ -9,7 +9,7 @@
 #include "data/jd_synthetic.h"
 #include "models/dnn_ranker.h"
 #include "serving/ab_test.h"
-#include "serving/model_registry.h"
+#include "serving/model_pool.h"
 #include "serving/ranking_service.h"
 #include "serving/request.h"
 #include "serving/serving_engine.h"
@@ -62,11 +62,13 @@ class ServingTest : public ::testing::Test {
     second_model_ = nullptr;
   }
 
-  /// Fresh single-model registry over the shared fixture data.
-  static ModelRegistry MakeRegistry() {
-    ModelRegistry registry(data_->meta, standardizer_);
-    registry.Register("aw-moe", model_);
-    return registry;
+  /// Fresh single-model pool over the shared fixture data (unique_ptr:
+  /// the pool holds per-lane mutexes, so it is neither copyable nor
+  /// movable).
+  static std::unique_ptr<ModelPool> MakeRegistry() {
+    auto pool = std::make_unique<ModelPool>(data_->meta, standardizer_);
+    pool->Register("aw-moe", model_);
+    return pool;
   }
 
   /// Copies a session with one extra behaviour appended to every item —
@@ -170,7 +172,8 @@ TEST_F(ServingTest, GroupBySessionInterleavedPreservesWithinSessionOrder) {
 TEST_F(ServingTest, EngineMatchesLegacyServiceBitwisePerItemGate) {
   RankingService legacy(model_, data_->meta, standardizer_,
                         /*share_gate=*/false);
-  ModelRegistry registry = MakeRegistry();
+  auto registry_owner = MakeRegistry();
+  ModelPool& registry = *registry_owner;
   ServingEngineOptions options;
   options.share_gate = false;
   ServingEngine engine(&registry, options);
@@ -194,7 +197,8 @@ TEST_F(ServingTest, EngineMatchesLegacyServiceBitwiseSharedGate) {
   RankingService legacy(model_, data_->meta, standardizer_,
                         /*share_gate=*/true);
   ASSERT_TRUE(legacy.gate_sharing_active());
-  ModelRegistry registry = MakeRegistry();
+  auto registry_owner = MakeRegistry();
+  ModelPool& registry = *registry_owner;
   ServingEngine engine(&registry);
   ASSERT_TRUE(engine.GateSharingActive());
 
@@ -216,7 +220,8 @@ TEST_F(ServingTest, EngineMatchesLegacyServiceBitwiseSharedGate) {
 // §III-F is exact, not approximate: sharing the gate must not change a
 // single bit of any score.
 TEST_F(ServingTest, SharedGateBitwiseIdenticalToPerItemGate) {
-  ModelRegistry registry = MakeRegistry();
+  auto registry_owner = MakeRegistry();
+  ModelPool& registry = *registry_owner;
   ServingEngineOptions per_item_options;
   per_item_options.share_gate = false;
   ServingEngine per_item(&registry, per_item_options);
@@ -242,7 +247,8 @@ TEST_F(ServingTest, SharedGateBitwiseIdenticalToPerItemGate) {
 // ---------------------------------------------------------------------
 
 TEST_F(ServingTest, MicroBatchingDoesNotChangeScores) {
-  ModelRegistry registry = MakeRegistry();
+  auto registry_owner = MakeRegistry();
+  ModelPool& registry = *registry_owner;
   auto requests = MakeSessionRequests(GroupBySession(data_->full_test));
 
   ServingEngineOptions one_by_one;
@@ -267,7 +273,7 @@ TEST_F(ServingTest, MicroBatchingDoesNotChangeScores) {
 }
 
 TEST_F(ServingTest, WorkerPoolDoesNotChangeScores) {
-  ModelRegistry registry(data_->meta, standardizer_);
+  ModelPool registry(data_->meta, standardizer_);
   registry.Register("a", model_);
   registry.Register("b", second_model_);
 
@@ -306,7 +312,8 @@ TEST_F(ServingTest, WorkerPoolDoesNotChangeScores) {
 // ---------------------------------------------------------------------
 
 TEST_F(ServingTest, GateCacheHitsOnRepeatSessionWithIdenticalScores) {
-  ModelRegistry registry = MakeRegistry();
+  auto registry_owner = MakeRegistry();
+  ModelPool& registry = *registry_owner;
   ServingEngine engine(&registry);
   auto sessions = GroupBySession(data_->full_test);
   RankRequest request;
@@ -325,7 +332,8 @@ TEST_F(ServingTest, GateCacheHitsOnRepeatSessionWithIdenticalScores) {
 }
 
 TEST_F(ServingTest, GateCacheInvalidatesOnChangedSessionContext) {
-  ModelRegistry registry = MakeRegistry();
+  auto registry_owner = MakeRegistry();
+  ModelPool& registry = *registry_owner;
   ServingEngine engine(&registry);
   auto sessions = GroupBySession(data_->full_test);
   RankRequest request;
@@ -344,7 +352,8 @@ TEST_F(ServingTest, GateCacheInvalidatesOnChangedSessionContext) {
   EXPECT_FALSE(stale_check.gate_cache_hit);
 
   // The fresh gate must match an engine that never saw the old context.
-  ModelRegistry clean_registry = MakeRegistry();
+  auto clean_registry_owner = MakeRegistry();
+  ModelPool& clean_registry = *clean_registry_owner;
   ServingEngine clean_engine(&clean_registry);
   RankResponse expected = clean_engine.Rank(grown_request);
   ASSERT_EQ(stale_check.scores.size(), expected.scores.size());
@@ -357,7 +366,8 @@ TEST_F(ServingTest, SameSessionDifferentContextInOneBatchGetOwnGates) {
   // Two requests with the same session id but different gate inputs
   // inside ONE RankBatch must each be probed — the first request's
   // gate must not leak to the second.
-  ModelRegistry registry = MakeRegistry();
+  auto registry_owner = MakeRegistry();
+  ModelPool& registry = *registry_owner;
   ServingEngine engine(&registry);
   auto sessions = GroupBySession(data_->full_test);
 
@@ -371,7 +381,8 @@ TEST_F(ServingTest, SameSessionDifferentContextInOneBatchGetOwnGates) {
 
   auto responses = engine.RankBatch({original, changed});
 
-  ModelRegistry clean_registry = MakeRegistry();
+  auto clean_registry_owner = MakeRegistry();
+  ModelPool& clean_registry = *clean_registry_owner;
   ServingEngine clean_engine(&clean_registry);
   RankResponse expected_changed = clean_engine.Rank(changed);
   ASSERT_EQ(responses[1].scores.size(), expected_changed.scores.size());
@@ -382,7 +393,8 @@ TEST_F(ServingTest, SameSessionDifferentContextInOneBatchGetOwnGates) {
 }
 
 TEST_F(ServingTest, GateCacheEvictsLeastRecentlyUsed) {
-  ModelRegistry registry = MakeRegistry();
+  auto registry_owner = MakeRegistry();
+  ModelPool& registry = *registry_owner;
   ServingEngineOptions options;
   options.gate_cache_capacity = 2;
   ServingEngine engine(&registry, options);
@@ -402,7 +414,8 @@ TEST_F(ServingTest, GateCacheEvictsLeastRecentlyUsed) {
 }
 
 TEST_F(ServingTest, GateCacheDisabledStillSharesWithinRequest) {
-  ModelRegistry registry = MakeRegistry();
+  auto registry_owner = MakeRegistry();
+  ModelPool& registry = *registry_owner;
   ServingEngineOptions options;
   options.gate_cache_capacity = 0;
   ServingEngine engine(&registry, options);
@@ -421,7 +434,8 @@ TEST_F(ServingTest, GateCacheDisabledStillSharesWithinRequest) {
 }
 
 TEST_F(ServingTest, GateCacheCountersTrackHitsAndMisses) {
-  ModelRegistry registry = MakeRegistry();
+  auto registry_owner = MakeRegistry();
+  ModelPool& registry = *registry_owner;
   ServingEngine engine(&registry);
   auto sessions = GroupBySession(data_->full_test);
   RankRequest request;
@@ -454,7 +468,8 @@ TEST_F(ServingTest, GateCacheCountersTrackHitsAndMisses) {
 }
 
 TEST_F(ServingTest, GateCacheEvictionShowsUpInMissCounters) {
-  ModelRegistry registry = MakeRegistry();
+  auto registry_owner = MakeRegistry();
+  ModelPool& registry = *registry_owner;
   ServingEngineOptions options;
   options.gate_cache_capacity = 2;
   ServingEngine engine(&registry, options);
@@ -476,7 +491,8 @@ TEST_F(ServingTest, GateCacheEvictionShowsUpInMissCounters) {
 }
 
 TEST_F(ServingTest, GateCacheDisabledCountsEveryLookupAsMiss) {
-  ModelRegistry registry = MakeRegistry();
+  auto registry_owner = MakeRegistry();
+  ModelPool& registry = *registry_owner;
   ServingEngineOptions options;
   options.gate_cache_capacity = 0;
   ServingEngine engine(&registry, options);
@@ -499,7 +515,7 @@ TEST_F(ServingTest, GateSharingDisabledInRecommendationMode) {
   rec_meta.recommendation_mode = true;
   Rng rng(5);
   AwMoeRanker rec_model(rec_meta, SmallAwMoeConfig(), &rng);
-  ModelRegistry registry(rec_meta, standardizer_);
+  ModelPool registry(rec_meta, standardizer_);
   registry.Register("aw-moe", &rec_model);
   ServingEngine engine(&registry);
   EXPECT_FALSE(engine.GateSharingActive())
@@ -517,7 +533,7 @@ TEST_F(ServingTest, GateSharingRequiresAwMoe) {
   Rng rng(9);
   ModelDims dims = SmallAwMoeConfig().dims;
   DnnRanker dnn(data_->meta, dims, &rng);
-  ModelRegistry registry(data_->meta, standardizer_);
+  ModelPool registry(data_->meta, standardizer_);
   registry.Register("dnn", &dnn);
   ServingEngine engine(&registry);
   EXPECT_FALSE(engine.GateSharingActive());
@@ -539,7 +555,7 @@ TEST_F(ServingTest, GateSharingRequiresAwMoe) {
 // ---------------------------------------------------------------------
 
 TEST_F(ServingTest, RegistryRoutesNamedAndDefaultModels) {
-  ModelRegistry registry(data_->meta, standardizer_);
+  ModelPool registry(data_->meta, standardizer_);
   registry.Register("control", model_);
   registry.Register("treatment", second_model_);
   EXPECT_EQ(registry.size(), 2u);
@@ -561,16 +577,16 @@ TEST_F(ServingTest, RegistryRoutesNamedAndDefaultModels) {
 }
 
 TEST_F(ServingTest, TwoModelsInOneEngineScoreIndependently) {
-  ModelRegistry registry(data_->meta, standardizer_);
+  ModelPool registry(data_->meta, standardizer_);
   registry.Register("control", model_);
   registry.Register("treatment", second_model_);
   ServingEngine engine(&registry);
 
   // Per-model reference engines.
-  ModelRegistry control_only(data_->meta, standardizer_);
+  ModelPool control_only(data_->meta, standardizer_);
   control_only.Register("control", model_);
   ServingEngine control_engine(&control_only);
-  ModelRegistry treatment_only(data_->meta, standardizer_);
+  ModelPool treatment_only(data_->meta, standardizer_);
   treatment_only.Register("treatment", second_model_);
   ServingEngine treatment_engine(&treatment_only);
 
@@ -628,7 +644,8 @@ TEST(ServingStatsTest, PercentilesAreExactOverSamples) {
 }
 
 TEST_F(ServingTest, EngineStatsAccumulatePerRequest) {
-  ModelRegistry registry = MakeRegistry();
+  auto registry_owner = MakeRegistry();
+  ModelPool& registry = *registry_owner;
   ServingEngine engine(&registry);
   auto sessions = GroupBySession(data_->full_test);
   auto requests = MakeSessionRequests(
@@ -649,7 +666,7 @@ TEST_F(ServingTest, EngineStatsAccumulatePerRequest) {
 // ---------------------------------------------------------------------
 
 TEST_F(ServingTest, AbTestIsPairedAndDeterministic) {
-  ModelRegistry registry(data_->meta, standardizer_);
+  ModelPool registry(data_->meta, standardizer_);
   registry.Register("control", model_);
   registry.Register("treatment", second_model_);
   ServingEngine engine(&registry);
