@@ -13,7 +13,9 @@
 #include "core/aw_moe.h"
 #include "core/trainer.h"
 #include "data/jd_synthetic.h"
+#include "serving/ab_test.h"
 #include "serving/model_pool.h"
+#include "serving/rollout.h"
 #include "serving/serving_engine.h"
 #include "util/flags.h"
 #include "util/string_util.h"
@@ -172,6 +174,49 @@ int Run(int argc, char** argv) {
       static_cast<long long>(registry.swap_count()),
       static_cast<long long>(registry.live_snapshots()),
       static_cast<long long>(engine.Rank(probe).model_version));
+
+  // Staged rollout: instead of the all-or-nothing cutover above, the
+  // next "retrained" model is ramped onto live traffic — the router
+  // assigns a sticky sessions slice per stage, the controller checks
+  // per-version p99/error health windows after every replay round, and
+  // the candidate is auto-promoted (or auto-rolled-back the moment it
+  // regresses) with both versions live and leasable throughout.
+  RolloutOptions rollout_options;
+  rollout_options.ramp_permille = {50, 250, 1000};  // 5% -> 25% -> 100%
+  rollout_options.min_stage_requests = 20;
+  RolloutController rollout(&registry, engine.router(), &engine.stats(),
+                            "aw-moe-cl", rollout_options);
+  const int64_t staged = rollout.Begin(model.Clone());
+  std::printf(
+      "\nStaged rollout: candidate v%lld staged next to stable v%lld "
+      "(%lld live snapshots), ramping at %d permille.\n",
+      static_cast<long long>(staged),
+      static_cast<long long>(rollout.stable_version()),
+      static_cast<long long>(registry.live_snapshots()),
+      rollout.split_permille());
+  RolloutReplayResult replay =
+      ReplayRollout(&engine, &rollout, sessions, /*max_rounds=*/64);
+  TablePrinter ramp_table("Health-gated ramp (replayed live traffic)");
+  ramp_table.SetHeader({"Round", "Split", "Stable req", "Cand req",
+                        "Stable p99", "Cand p99", "Decision"});
+  for (const RolloutRoundRecord& round : replay.rounds) {
+    ramp_table.AddRow(
+        {std::to_string(round.round),
+         StrFormat("%d", round.split_permille),
+         std::to_string(round.stable_requests),
+         std::to_string(round.candidate_requests),
+         FormatDouble(round.stable_p99_ms, 3),
+         FormatDouble(round.candidate_p99_ms, 3), round.decision});
+  }
+  ramp_table.Print();
+  std::printf(
+      "Rollout %s: stable now v%lld, %lld live snapshot(s), %lld/%lld "
+      "requests served by the candidate during the ramp.\n",
+      std::string(RolloutStateToString(replay.final_state)).c_str(),
+      static_cast<long long>(replay.final_stable_version),
+      static_cast<long long>(registry.live_snapshots()),
+      static_cast<long long>(replay.total_candidate_requests),
+      static_cast<long long>(replay.total_requests));
   engine.Stop();
   return 0;
 }

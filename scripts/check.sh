@@ -1,24 +1,58 @@
 #!/usr/bin/env bash
-# Tier-1 verify plus a serving smoke run.
+# Tier-1 verify plus a serving smoke run. The four CI jobs are exactly
+# the four invocations below.
 #
 # Usage:
-#   scripts/check.sh [build_dir]          # full build + ctest + bench smoke
-#   scripts/check.sh --tsan [build_dir]   # ThreadSanitizer build of the
-#                                         # serving concurrency suites
-#   scripts/check.sh --asan [build_dir]   # AddressSanitizer build of the
-#                                         # serving + model suites (snapshot
-#                                         # lifetime / use-after-free)
+#   scripts/check.sh [build_dir]           # full build + ctest + bench smoke
+#                                          # (bench JSON into build_dir/bench_smoke/)
+#   scripts/check.sh --tsan [build_dir]    # ThreadSanitizer build of the
+#                                          # serving concurrency suites
+#   scripts/check.sh --asan [build_dir]    # AddressSanitizer build of the
+#                                          # serving + model suites (snapshot
+#                                          # lifetime / use-after-free)
+#   scripts/check.sh --werror [build_dir]  # warnings-hardened build of the
+#                                          # core library (-Wall -Wextra -Werror)
+#
+# When ccache is installed it is wired through automatically
+# (CMAKE_CXX_COMPILER_LAUNCHER), so repeat builds — and the CI jobs,
+# which cache ~/.ccache — skip unchanged translation units.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 
+# ccache wiring: opt out with AWMOE_NO_CCACHE=1 (e.g. to benchmark a
+# cold compiler).
+CMAKE_LAUNCHER_ARGS=()
+if [ -z "${AWMOE_NO_CCACHE:-}" ] && command -v ccache >/dev/null 2>&1; then
+  CMAKE_LAUNCHER_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+  echo "== ccache enabled ($(ccache --version | head -n1)) =="
+fi
+
+# Newer google-benchmark requires a unit suffix on --benchmark_min_time
+# ("0.01s") and errors on the bare-number form; older releases reject
+# the suffix. Probe the binary once (an empty filter runs no cases) and
+# remember which form it speaks.
+bench_min_time_flag() {
+  local bin="$1"
+  if "$bin" --benchmark_min_time=0.01s --benchmark_filter='^$' \
+      >/dev/null 2>&1; then
+    echo "--benchmark_min_time=0.01s"
+  else
+    echo "--benchmark_min_time=0.01"
+  fi
+}
+
 TSAN=0
 ASAN=0
+WERROR=0
 if [ "${1:-}" = "--tsan" ]; then
   TSAN=1
   shift
 elif [ "${1:-}" = "--asan" ]; then
   ASAN=1
+  shift
+elif [ "${1:-}" = "--werror" ]; then
+  WERROR=1
   shift
 fi
 
@@ -26,14 +60,15 @@ if [ "$TSAN" = 1 ]; then
   BUILD_DIR="${1:-$REPO_ROOT/build-tsan}"
   echo "== configure (ThreadSanitizer) =="
   cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DAWMOE_TSAN=ON \
-    -DAWMOE_BUILD_BENCHES=OFF -DAWMOE_BUILD_EXAMPLES=OFF
+    -DAWMOE_BUILD_BENCHES=OFF -DAWMOE_BUILD_EXAMPLES=OFF \
+    "${CMAKE_LAUNCHER_ARGS[@]}"
 
   echo "== build (tests only) =="
   cmake --build "$BUILD_DIR" -j "$(nproc)"
 
   # The threaded subsystem lives in src/serving/; its suites (async
-  # queue, worker pool, model pool hot swaps, stats contention) are
-  # where TSan has signal.
+  # queue, worker pool, model pool hot swaps, rollout ramps/storms,
+  # stats contention) are where TSan has signal.
   echo "== ctest (serving suites under TSan) =="
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir "$BUILD_DIR" --output-on-failure -R "^serving_"
@@ -46,15 +81,17 @@ if [ "$ASAN" = 1 ]; then
   BUILD_DIR="${1:-$REPO_ROOT/build-asan}"
   echo "== configure (AddressSanitizer) =="
   cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DAWMOE_ASAN=ON \
-    -DAWMOE_BUILD_BENCHES=OFF -DAWMOE_BUILD_EXAMPLES=OFF
+    -DAWMOE_BUILD_BENCHES=OFF -DAWMOE_BUILD_EXAMPLES=OFF \
+    "${CMAKE_LAUNCHER_ARGS[@]}"
 
   echo "== build (tests only) =="
   cmake --build "$BUILD_DIR" -j "$(nproc)"
 
-  # Snapshot lifetime is the target: a retired ModelPool snapshot freed
-  # while a lease (or a flusher lane) still reads its replicas is a
-  # heap-use-after-free TSan cannot see. The models suite covers clone
-  # storage; the serving suites cover lease/retire under load.
+  # Snapshot lifetime is the target: a retired ModelPool snapshot (or a
+  # rollout candidate dropped while leased) freed while a lease still
+  # reads its replicas is a heap-use-after-free TSan cannot see. The
+  # models suite covers clone storage; the serving suites cover
+  # lease/retire under load.
   echo "== ctest (serving + model suites under ASan) =="
   ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
     ctest --test-dir "$BUILD_DIR" --output-on-failure \
@@ -64,10 +101,27 @@ if [ "$ASAN" = 1 ]; then
   exit 0
 fi
 
+if [ "$WERROR" = 1 ]; then
+  BUILD_DIR="${1:-$REPO_ROOT/build-werror}"
+  echo "== configure (warnings as errors) =="
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DAWMOE_WERROR=ON \
+    -DAWMOE_BUILD_BENCHES=OFF -DAWMOE_BUILD_EXAMPLES=OFF \
+    -DAWMOE_BUILD_TESTS=OFF "${CMAKE_LAUNCHER_ARGS[@]}"
+
+  # Only the core library builds here: -Wall -Wextra -Werror over all
+  # of src/ (the serving stack included). Any new warning fails this
+  # job instead of scrolling by in the functional one.
+  echo "== build (library, -Werror) =="
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target awmoe_lib
+
+  echo "== check.sh --werror OK =="
+  exit 0
+fi
+
 BUILD_DIR="${1:-$REPO_ROOT/build}"
 
 echo "== configure =="
-cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" "${CMAKE_LAUNCHER_ARGS[@]}"
 
 echo "== build =="
 cmake --build "$BUILD_DIR" -j "$(nproc)"
@@ -75,11 +129,34 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 echo "== ctest =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
-echo "== serving gate-sharing bench (smoke) =="
-if [ -x "$BUILD_DIR/bench_serving_gate_sharing" ]; then
-  "$BUILD_DIR/bench_serving_gate_sharing" --benchmark_min_time=0.01
+# Bench smoke set: a ~10ms-per-case pass over the serving benches, with
+# machine-readable output kept in $BUILD_DIR/bench_smoke/ (the CI check
+# job uploads the directory as the bench-smoke artifact, so latency and
+# occupancy counters are diffable across PRs).
+SMOKE_DIR="$BUILD_DIR/bench_smoke"
+mkdir -p "$SMOKE_DIR"
+
+for bench in bench_serving_gate_sharing bench_serving_rollout; do
+  if [ -x "$BUILD_DIR/$bench" ]; then
+    echo "== $bench (smoke) =="
+    MIN_TIME_FLAG="$(bench_min_time_flag "$BUILD_DIR/$bench")"
+    "$BUILD_DIR/$bench" "$MIN_TIME_FLAG" \
+      --benchmark_out="$SMOKE_DIR/$bench.json" \
+      --benchmark_out_format=json
+  else
+    echo "$bench not built (google-benchmark missing); skipped"
+  fi
+done
+
+# bench_serving_longtail is a table bench (no google-benchmark), so its
+# smoke artifact is the printed table; tiny training keeps it to
+# seconds.
+if [ -x "$BUILD_DIR/bench_serving_longtail" ]; then
+  echo "== bench_serving_longtail (smoke) =="
+  "$BUILD_DIR/bench_serving_longtail" --train_sessions=300 --epochs=1 \
+    | tee "$SMOKE_DIR/bench_serving_longtail.txt"
 else
-  echo "bench_serving_gate_sharing not built (google-benchmark missing); skipped"
+  echo "bench_serving_longtail not built; skipped"
 fi
 
-echo "== check.sh OK =="
+echo "== check.sh OK (bench smoke artifacts in $SMOKE_DIR) =="

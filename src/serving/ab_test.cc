@@ -104,4 +104,52 @@ AbTestResult RunAbTest(ServingEngine* engine,
   return result;
 }
 
+RolloutReplayResult ReplayRollout(
+    ServingEngine* engine, RolloutController* controller,
+    const std::vector<std::vector<const Example*>>& sessions,
+    int max_rounds) {
+  RolloutReplayResult result;
+  result.candidate_version = controller->candidate_version();
+  const std::string& model = controller->model();
+  std::vector<RankRequest> requests = MakeSessionRequests(sessions, model);
+
+  for (int round = 0; round < max_rounds; ++round) {
+    if (controller->state() != RolloutState::kRamping) break;
+    RolloutRoundRecord record;
+    record.round = round;
+    record.stage = controller->stage();
+    record.split_permille = controller->split_permille();
+
+    // Serve one round through the router: each session lands on the arm
+    // its sticky bucket assigns under the current split.
+    std::vector<RankResponse> responses = engine->RankBatch(requests);
+    for (const RankResponse& response : responses) {
+      if (response.arm == RolloutArm::kCandidate) {
+        ++record.candidate_requests;
+      } else {
+        ++record.stable_requests;
+      }
+    }
+    result.total_requests += static_cast<int64_t>(responses.size());
+    result.total_candidate_requests += record.candidate_requests;
+
+    // Tick the health gate, then record what it saw and decided. The
+    // stable version is read BEFORE the tick: after a promote it would
+    // already alias the candidate.
+    const int64_t stable_version = controller->stable_version();
+    const RolloutState state = controller->Advance();
+    const ServingStats& stats = engine->stats();
+    record.candidate_p99_ms =
+        stats.VersionHealth(model, result.candidate_version).p99_ms;
+    record.stable_p99_ms = stats.VersionHealth(model, stable_version).p99_ms;
+    record.state_after = state;
+    record.decision = controller->last_decision();
+    result.rounds.push_back(std::move(record));
+  }
+
+  result.final_state = controller->state();
+  result.final_stable_version = controller->stable_version();
+  return result;
+}
+
 }  // namespace awmoe

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "serving/request.h"
+#include "serving/rollout.h"
 
 namespace awmoe {
 
@@ -44,6 +45,51 @@ AbTestResult RunAbTest(ServingEngine* engine,
                        const std::string& treatment_model,
                        const std::vector<std::vector<const Example*>>& sessions,
                        uint64_t seed);
+
+/// One replay round of a staged rollout: what the router did with the
+/// traffic and what the controller decided afterwards.
+struct RolloutRoundRecord {
+  int round = 0;
+  /// Ramp stage index and split when the round was SERVED (before the
+  /// controller tick).
+  int stage = -1;
+  int split_permille = 0;
+  /// Requests of this round by the arm that actually served them.
+  int64_t stable_requests = 0;
+  int64_t candidate_requests = 0;
+  /// Per-version health AFTER the round (cumulative windows).
+  double stable_p99_ms = 0.0;
+  double candidate_p99_ms = 0.0;
+  /// Controller state and verdict after this round's Advance() tick.
+  RolloutState state_after = RolloutState::kIdle;
+  std::string decision;
+};
+
+/// Outcome of an online-rollout replay (§IV-E style: the candidate is
+/// ramped on live traffic instead of flag-flipped).
+struct RolloutReplayResult {
+  std::vector<RolloutRoundRecord> rounds;
+  RolloutState final_state = RolloutState::kIdle;
+  int64_t candidate_version = 0;
+  /// Stable version once the replay ended (== candidate_version after a
+  /// promote, the original stable after a rollback).
+  int64_t final_stable_version = 0;
+  int64_t total_requests = 0;
+  int64_t total_candidate_requests = 0;
+};
+
+/// Replays `sessions` through the engine in rounds — routing through
+/// the engine's TrafficRouter, so the ramp shifts real replayed traffic
+/// — and ticks `controller->Advance()` after every round until the
+/// rollout promotes, rolls back, or `max_rounds` elapses. The
+/// controller must be wired to this engine's router/stats and must
+/// already be ramping (call Begin() first). Per-round arm counts and
+/// per-version p99s are recorded so the ramp is auditable after the
+/// fact.
+RolloutReplayResult ReplayRollout(
+    ServingEngine* engine, RolloutController* controller,
+    const std::vector<std::vector<const Example*>>& sessions,
+    int max_rounds = 64);
 
 }  // namespace awmoe
 

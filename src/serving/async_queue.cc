@@ -41,33 +41,40 @@ AsyncBatchQueue::~AsyncBatchQueue() { Stop(/*drain=*/true); }
 
 std::future<RankResponse> AsyncBatchQueue::Submit(
     RankRequest request, const std::string& resolved_model) {
+  return Submit(std::move(request), resolved_model, resolved_model);
+}
+
+std::future<RankResponse> AsyncBatchQueue::Submit(
+    RankRequest request, const std::string& resolved_model,
+    const std::string& route_key, Status* sync_reject) {
   std::promise<RankResponse> promise;
   std::future<RankResponse> future = promise.get_future();
+  if (sync_reject != nullptr) *sync_reject = Status::OK();
+  auto reject = [&](Status status) {
+    if (sync_reject != nullptr) *sync_reject = status;
+    Reject(std::move(promise), std::move(status), request.session_id,
+           resolved_model);
+  };
   if (request.items.empty()) {
-    Reject(std::move(promise),
-           Status::InvalidArgument("Submit: empty candidate list for session " +
-                                   std::to_string(request.session_id)),
-           request.session_id, resolved_model);
+    reject(Status::InvalidArgument("Submit: empty candidate list for session " +
+                                   std::to_string(request.session_id)));
     return future;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
-      Reject(std::move(promise),
-             Status::Unavailable("Submit: serving engine is stopped"),
-             request.session_id, resolved_model);
+      reject(Status::Unavailable("Submit: serving engine is stopped"));
       return future;
     }
     if (options_.max_pending_requests > 0 &&
         pending_total_ >= options_.max_pending_requests) {
-      Reject(std::move(promise),
-             Status::ResourceExhausted(
-                 "Submit: async queue full (" +
-                 std::to_string(pending_total_) + " pending requests)"),
-             request.session_id, resolved_model);
+      reject(Status::ResourceExhausted(
+          "Submit: async queue full (" + std::to_string(pending_total_) +
+          " pending requests)"));
       return future;
     }
-    ModelQueue& queue = queues_[resolved_model];
+    ModelQueue& queue = queues_[route_key];
+    if (queue.model.empty()) queue.model = resolved_model;
     queue.pending_items += static_cast<int64_t>(request.items.size());
     ++pending_total_;
     Pending pending;
@@ -131,10 +138,10 @@ void AsyncBatchQueue::FlusherLoop() {
       earliest_deadline = std::min(earliest_deadline, deadline);
     }
     if (ready != nullptr) {
-      const std::string model = *ready_name;
+      const std::string route_key = *ready_name;
       std::vector<Pending> batch = PopBatchLocked(ready);
       lock.unlock();
-      flush_(model, std::move(batch));  // Resolves every promise.
+      flush_(route_key, std::move(batch));  // Resolves every promise.
       lock.lock();
       continue;
     }
@@ -148,9 +155,10 @@ void AsyncBatchQueue::FlusherLoop() {
 }
 
 void AsyncBatchQueue::Stop(bool drain) {
-  // Paired with the resolved model name (the queue key), so the
-  // failure response keeps the "model is never empty" contract even
-  // for default-routed requests.
+  // Paired with the queue's resolved model name (NOT the route key,
+  // which may carry a rollout-arm prefix), so the failure response
+  // keeps the "model is never empty" contract even for default-routed
+  // requests.
   std::vector<std::pair<std::string, Pending>> abandoned;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -160,9 +168,9 @@ void AsyncBatchQueue::Stop(bool drain) {
         // Fail pending requests instead of scoring them; batches the
         // flusher already popped are in flight and still resolve with
         // scores.
-        for (auto& [name, queue] : queues_) {
+        for (auto& [key, queue] : queues_) {
           for (Pending& pending : queue.pending) {
-            abandoned.emplace_back(name, std::move(pending));
+            abandoned.emplace_back(queue.model, std::move(pending));
           }
           queue.pending.clear();
           queue.pending_items = 0;

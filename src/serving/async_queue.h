@@ -73,11 +73,13 @@ class AsyncBatchQueue {
     std::chrono::steady_clock::time_point enqueued_at;
   };
 
-  /// Receives one micro-batch — all requests route to `model`, the
-  /// resolved registry name the queue grouped them under — and must
-  /// resolve every promise in it.
-  using FlushFn =
-      std::function<void(const std::string& model, std::vector<Pending> batch)>;
+  /// Receives one micro-batch — all requests share `route_key`, the
+  /// opaque grouping key the caller submitted them under (for the
+  /// engine: one resolved model name + one rollout arm, see
+  /// EncodeRouteKey in serving/rollout.h) — and must resolve every
+  /// promise in it.
+  using FlushFn = std::function<void(const std::string& route_key,
+                                     std::vector<Pending> batch)>;
 
   AsyncBatchQueue(AsyncQueueOptions options, FlushFn flush);
 
@@ -88,10 +90,22 @@ class AsyncBatchQueue {
   AsyncBatchQueue& operator=(const AsyncBatchQueue&) = delete;
 
   /// Enqueues a request routed at `resolved_model` (a concrete registry
-  /// name; the caller resolves the default route). Returns a future that
-  /// resolves when the request's micro-batch has been scored — or
-  /// immediately with a non-OK status when the request is rejected
-  /// (queue full, empty candidate list, queue stopped).
+  /// name; the caller resolves the default route) under `route_key`:
+  /// requests sharing a key coalesce into one flush. The key defaults
+  /// to the model name; the engine passes a (model, rollout arm) key so
+  /// the two arms of a staged rollout never share a forward pass.
+  /// Failure responses always report `resolved_model`, never the key.
+  /// Returns a future that resolves when the request's micro-batch has
+  /// been scored — or immediately with a non-OK status when the request
+  /// is rejected (queue full, empty candidate list, queue stopped).
+  /// When `sync_reject` is non-null it receives that immediate-reject
+  /// status (OK when the request was accepted), so the caller can
+  /// attribute the reject — e.g. to a rollout arm's health window —
+  /// without consuming the future.
+  std::future<RankResponse> Submit(RankRequest request,
+                                   const std::string& resolved_model,
+                                   const std::string& route_key,
+                                   Status* sync_reject = nullptr);
   std::future<RankResponse> Submit(RankRequest request,
                                    const std::string& resolved_model);
 
@@ -108,6 +122,9 @@ class AsyncBatchQueue {
 
  private:
   struct ModelQueue {
+    /// Display name for failure responses (the resolved model of the
+    /// first request submitted under this key; keys map 1:1 to models).
+    std::string model;
     std::deque<Pending> pending;
     int64_t pending_items = 0;
   };

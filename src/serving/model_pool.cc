@@ -115,17 +115,19 @@ int ModelSnapshot::ActiveLanes() const {
 // ---------------------------------------------------------------------
 
 SnapshotLease::SnapshotLease(std::shared_ptr<const ModelSnapshot> snapshot,
-                             int replica, int active_lanes)
+                             int replica, int active_lanes, RolloutArm arm)
     : snapshot_(std::move(snapshot)),
       replica_(replica),
-      active_lanes_(active_lanes) {}
+      active_lanes_(active_lanes),
+      arm_(arm) {}
 
 SnapshotLease::~SnapshotLease() { Release(); }
 
 SnapshotLease::SnapshotLease(SnapshotLease&& other) noexcept
     : snapshot_(std::move(other.snapshot_)),
       replica_(other.replica_),
-      active_lanes_(other.active_lanes_) {
+      active_lanes_(other.active_lanes_),
+      arm_(other.arm_) {
   other.snapshot_ = nullptr;
 }
 
@@ -135,6 +137,7 @@ SnapshotLease& SnapshotLease::operator=(SnapshotLease&& other) noexcept {
     snapshot_ = std::move(other.snapshot_);
     replica_ = other.replica_;
     active_lanes_ = other.active_lanes_;
+    arm_ = other.arm_;
     other.snapshot_ = nullptr;
   }
   return *this;
@@ -178,7 +181,10 @@ void ModelPool::Insert(const std::string& name, Ranker* base,
   std::lock_guard<std::mutex> lock(mu_);
   AWMOE_CHECK(entries_.find(name) == entries_.end())
       << "duplicate model name '" << name << "'";
-  entries_.emplace(name, std::move(snapshot));
+  RouteEntry entry;
+  entry.stable = std::move(snapshot);
+  entry.newest_version = 1;
+  entries_.emplace(name, std::move(entry));
   names_.push_back(name);
   if (default_name_.empty()) default_name_ = name;
 }
@@ -210,7 +216,12 @@ int64_t ModelPool::UpdateModel(const std::string& name,
     auto it = entries_.find(name);
     AWMOE_CHECK(it != entries_.end())
         << "UpdateModel: unknown model '" << name << "'";
-    version = it->second->version() + 1;
+    AWMOE_CHECK(it->second.candidate == nullptr)
+        << "UpdateModel: '" << name
+        << "' has a staged rollout candidate (v"
+        << it->second.candidate->version()
+        << "); promote or drop it before an atomic cutover";
+    version = it->second.newest_version + 1;
   }
   Ranker* base = model.get();
   std::shared_ptr<const ModelSnapshot> next =
@@ -220,10 +231,98 @@ int64_t ModelPool::UpdateModel(const std::string& name,
     // Publish atomically; the displaced shared_ptr release outside the
     // lock below may run the old snapshot's destructor (if no lease
     // still pins it) without blocking concurrent Acquires.
-    entries_[name].swap(next);
+    RouteEntry& entry = entries_[name];
+    entry.stable.swap(next);
+    entry.newest_version = version;
   }
   swap_count_.fetch_add(1);
   return version;
+}
+
+int64_t ModelPool::StageCandidate(const std::string& name,
+                                  std::unique_ptr<Ranker> model) {
+  AWMOE_CHECK(model != nullptr) << "StageCandidate: null model for '" << name
+                                << "'";
+  // Same publisher serialisation as UpdateModel: version minting and the
+  // expensive replica cloning happen under publish_mu_ only, so staging
+  // a candidate never stalls concurrent Acquires.
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  int64_t version = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(name);
+    AWMOE_CHECK(it != entries_.end())
+        << "StageCandidate: unknown model '" << name << "'";
+    version = it->second.newest_version + 1;
+  }
+  Ranker* base = model.get();
+  std::shared_ptr<const ModelSnapshot> next =
+      MakeSnapshot(name, version, base, std::move(model));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RouteEntry& entry = entries_[name];
+    // A displaced previous candidate releases outside the lock.
+    entry.candidate.swap(next);
+    entry.newest_version = version;
+  }
+  return version;
+}
+
+int64_t ModelPool::PromoteCandidate(const std::string& name) {
+  std::shared_ptr<const ModelSnapshot> retired;
+  int64_t version = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(name);
+    AWMOE_CHECK(it != entries_.end())
+        << "PromoteCandidate: unknown model '" << name << "'";
+    RouteEntry& entry = it->second;
+    AWMOE_CHECK(entry.candidate != nullptr)
+        << "PromoteCandidate: no candidate staged for '" << name << "'";
+    version = entry.candidate->version();
+    retired = std::move(entry.stable);
+    entry.stable = std::move(entry.candidate);
+    entry.candidate = nullptr;
+  }
+  // The old stable releases here, outside mu_; in-flight leases still
+  // pin it until they drain.
+  swap_count_.fetch_add(1);
+  return version;
+}
+
+bool ModelPool::DropCandidate(const std::string& name) {
+  std::shared_ptr<const ModelSnapshot> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(name);
+    AWMOE_CHECK(it != entries_.end())
+        << "DropCandidate: unknown model '" << name << "'";
+    dropped = std::move(it->second.candidate);
+    it->second.candidate = nullptr;
+  }
+  // Candidate leases already granted finish on the dropped snapshot; it
+  // frees itself (replica clones and gate cache included) when the last
+  // one releases.
+  return dropped != nullptr;
+}
+
+std::shared_ptr<const ModelSnapshot> ModelPool::CandidateSnapshot(
+    const std::string& resolved_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(resolved_name);
+  AWMOE_CHECK(it != entries_.end())
+      << "unknown model '" << resolved_name << "'";
+  return it->second.candidate;
+}
+
+int64_t ModelPool::CandidateVersion(const std::string& resolved_name) const {
+  std::shared_ptr<const ModelSnapshot> candidate =
+      CandidateSnapshot(resolved_name);
+  return candidate == nullptr ? 0 : candidate->version();
+}
+
+bool ModelPool::HasCandidate(const std::string& resolved_name) const {
+  return CandidateSnapshot(resolved_name) != nullptr;
 }
 
 void ModelPool::SetDefault(const std::string& name) {
@@ -236,7 +335,7 @@ void ModelPool::SetDefault(const std::string& name) {
 Ranker* ModelPool::Find(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(name);
-  return it == entries_.end() ? nullptr : it->second->primary();
+  return it == entries_.end() ? nullptr : it->second.stable->primary();
 }
 
 std::string ModelPool::ResolveName(const std::string& name) const {
@@ -277,12 +376,31 @@ std::shared_ptr<const ModelSnapshot> ModelPool::CurrentSnapshot(
   auto it = entries_.find(resolved_name);
   AWMOE_CHECK(it != entries_.end())
       << "unknown model '" << resolved_name << "'";
-  return it->second;
+  return it->second.stable;
 }
 
 SnapshotLease ModelPool::Acquire(const std::string& resolved_name) const {
-  std::shared_ptr<const ModelSnapshot> snapshot =
-      CurrentSnapshot(resolved_name);
+  return Acquire(resolved_name, RolloutArm::kStable);
+}
+
+SnapshotLease ModelPool::Acquire(const std::string& resolved_name,
+                                 RolloutArm arm) const {
+  std::shared_ptr<const ModelSnapshot> snapshot;
+  RolloutArm granted = RolloutArm::kStable;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(resolved_name);
+    AWMOE_CHECK(it != entries_.end())
+        << "unknown model '" << resolved_name << "'";
+    if (arm == RolloutArm::kCandidate && it->second.candidate != nullptr) {
+      snapshot = it->second.candidate;
+      granted = RolloutArm::kCandidate;
+    } else {
+      // Candidate requested but none staged (e.g. the rollout rolled
+      // back between routing and acquiring): serve stable.
+      snapshot = it->second.stable;
+    }
+  }
   const int lanes = snapshot->num_replicas();
   // Least-loaded lane, round-robin on ties: N concurrent forwards for
   // one hot model spread across N distinct replicas.
@@ -305,7 +423,7 @@ SnapshotLease ModelPool::Acquire(const std::string& resolved_name) const {
   lane.active.fetch_add(1);
   lane.leases.fetch_add(1);
   const int active_lanes = snapshot->ActiveLanes();
-  return SnapshotLease(std::move(snapshot), pick, active_lanes);
+  return SnapshotLease(std::move(snapshot), pick, active_lanes, granted);
 }
 
 }  // namespace awmoe

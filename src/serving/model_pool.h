@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "data/example.h"
+#include "serving/request.h"
 
 namespace awmoe {
 
@@ -128,7 +129,7 @@ class SnapshotLease {
  public:
   SnapshotLease() = default;
   SnapshotLease(std::shared_ptr<const ModelSnapshot> snapshot, int replica,
-                int active_lanes);
+                int active_lanes, RolloutArm arm = RolloutArm::kStable);
   ~SnapshotLease();
 
   SnapshotLease(SnapshotLease&& other) noexcept;
@@ -140,6 +141,10 @@ class SnapshotLease {
   const ModelSnapshot& snapshot() const { return *snapshot_; }
   ReplicaLane& lane() const { return snapshot_->lane(replica_); }
   int replica() const { return replica_; }
+  /// Arm this lease was actually granted on: kStable when an acquire
+  /// routed at the candidate fell back because none was staged (or the
+  /// rollout was rolled back between routing and acquiring).
+  RolloutArm arm() const { return arm_; }
   /// Snapshot lanes active (including this lease) at acquire time — the
   /// lane-occupancy sample the stats record.
   int active_lanes_at_acquire() const { return active_lanes_; }
@@ -150,6 +155,7 @@ class SnapshotLease {
   std::shared_ptr<const ModelSnapshot> snapshot_;
   int replica_ = 0;
   int active_lanes_ = 0;
+  RolloutArm arm_ = RolloutArm::kStable;
 };
 
 struct ModelPoolOptions {
@@ -171,6 +177,12 @@ struct ModelPoolOptions {
 /// The pool is also the unit an A/B experiment operates on: control and
 /// treatment are two names in one pool, served by one engine with
 /// identical collation, so score differences come only from the models.
+///
+/// For staged rollouts each name can additionally pin a CANDIDATE
+/// snapshot next to the stable one (`StageCandidate`): both versions
+/// stay live and leasable at once so a `TrafficRouter` can ramp real
+/// traffic between them, then `PromoteCandidate` or `DropCandidate`
+/// ends the rollout (serving/rollout.h orchestrates the ramp).
 class ModelPool {
  public:
   /// `standardizer` may be null (raw features) and is not owned.
@@ -192,8 +204,44 @@ class ModelPool {
   /// must already be registered) and returns the new version number.
   /// Requests already holding a lease finish on the old snapshot; new
   /// acquires see only the new one. The retired snapshot frees itself
-  /// (clones included) when its last lease releases.
+  /// (clones included) when its last lease releases. This is the
+  /// ALL-OR-NOTHING cutover; CHECK-fails while a candidate is staged —
+  /// promote or drop the rollout first (mixing the two publish paths
+  /// would fork the version history).
   int64_t UpdateModel(const std::string& name, std::unique_ptr<Ranker> model);
+
+  // --- Staged rollout: a second live pinned version per model. ---
+
+  /// Publishes `model` as the CANDIDATE version of `name` without
+  /// touching the stable route: both snapshots stay live and leasable,
+  /// so a TrafficRouter can ramp real traffic between them (see
+  /// serving/rollout.h). Returns the candidate's version number (minted
+  /// after the newest version ever published under this name). Staging
+  /// over an existing candidate replaces it; the displaced candidate
+  /// retires when its last lease releases.
+  int64_t StageCandidate(const std::string& name,
+                         std::unique_ptr<Ranker> model);
+
+  /// Completes a rollout: the candidate becomes the stable route and the
+  /// old stable snapshot retires when its last lease drains. Counts as a
+  /// publish (`swap_count` increments). CHECK-fails when no candidate is
+  /// staged. Returns the promoted version number.
+  int64_t PromoteCandidate(const std::string& name);
+
+  /// Aborts a rollout: the candidate is unpublished and retires when the
+  /// last in-flight lease on it releases; the stable route is untouched.
+  /// New acquires routed at the candidate fall back to stable. No-op
+  /// (returns false) when no candidate is staged.
+  bool DropCandidate(const std::string& name);
+
+  /// The staged candidate snapshot under `resolved_name`, or nullptr.
+  std::shared_ptr<const ModelSnapshot> CandidateSnapshot(
+      const std::string& resolved_name) const;
+
+  /// The staged candidate's version, or 0 when none is staged.
+  int64_t CandidateVersion(const std::string& resolved_name) const;
+
+  bool HasCandidate(const std::string& resolved_name) const;
 
   /// Re-points the default route (name must be registered).
   void SetDefault(const std::string& name);
@@ -215,13 +263,21 @@ class ModelPool {
   /// pool state could be overwritten mid-read.
   std::string ResolveName(const std::string& name) const;
 
-  /// The current snapshot published under `resolved_name`.
+  /// The current STABLE snapshot published under `resolved_name`.
   std::shared_ptr<const ModelSnapshot> CurrentSnapshot(
       const std::string& resolved_name) const;
 
-  /// Pins the current snapshot of `resolved_name` and picks its
+  /// Pins the current stable snapshot of `resolved_name` and picks its
   /// least-loaded replica lane (round-robin on ties).
   SnapshotLease Acquire(const std::string& resolved_name) const;
+
+  /// Arm-aware acquire: kStable pins the stable snapshot; kCandidate
+  /// pins the staged candidate, falling back to stable when none is
+  /// staged (rollback drains in-flight candidate leases, then every new
+  /// acquire lands here). `SnapshotLease::arm()` reports which arm was
+  /// actually granted.
+  SnapshotLease Acquire(const std::string& resolved_name,
+                        RolloutArm arm) const;
 
   std::string default_model() const;
 
@@ -235,15 +291,29 @@ class ModelPool {
   const Standardizer* standardizer() const { return standardizer_; }
   int replicas() const { return options_.replicas; }
 
-  /// Versions published via UpdateModel (initial registrations excluded).
+  /// Stable-route publications: UpdateModel cutovers plus promoted
+  /// candidates (initial registrations and stagings excluded).
   int64_t swap_count() const { return swap_count_.load(); }
 
-  /// Snapshots currently alive — published ones plus retired ones still
-  /// pinned by leases. The hot-swap tests use this as the leak check:
-  /// once traffic drains it must equal `size()`.
+  /// Snapshots currently alive — published ones (stable AND staged
+  /// candidates) plus retired ones still pinned by leases. The hot-swap
+  /// and rollout tests use this as the leak check: once traffic drains
+  /// it must equal `size()` plus the number of staged candidates.
   int64_t live_snapshots() const { return live_snapshots_->load(); }
 
  private:
+  /// One route: the stable snapshot every request is served by unless a
+  /// rollout is ramping, plus the optional staged candidate.
+  struct RouteEntry {
+    std::shared_ptr<const ModelSnapshot> stable;
+    std::shared_ptr<const ModelSnapshot> candidate;  // Null outside rollouts.
+    /// High-water mark of version numbers minted under this name —
+    /// monotone even when a staged candidate is dropped, so a later
+    /// publish can never reuse a rolled-back version number (stats
+    /// health windows key on (model, version)).
+    int64_t newest_version = 1;
+  };
+
   std::shared_ptr<const ModelSnapshot> MakeSnapshot(
       const std::string& name, int64_t version, Ranker* base,
       std::unique_ptr<Ranker> owned_base) const;
@@ -256,8 +326,7 @@ class ModelPool {
 
   mutable std::mutex mu_;  // Guards names_, entries_, default_name_.
   std::vector<std::string> names_;
-  std::unordered_map<std::string, std::shared_ptr<const ModelSnapshot>>
-      entries_;
+  std::unordered_map<std::string, RouteEntry> entries_;
   std::string default_name_;
 
   /// Serialises UpdateModel publishers (held across read-version ->

@@ -10,6 +10,19 @@
 
 namespace awmoe {
 
+/// Which published snapshot of a model a request is served by during a
+/// staged rollout: the stable (current production) version or the
+/// candidate version being ramped. Outside a rollout only the stable
+/// arm exists.
+enum class RolloutArm { kStable = 0, kCandidate = 1 };
+
+/// Per-request arm selection. The default routes through the engine's
+/// `TrafficRouter` (deterministic sticky session-hash bucketing — see
+/// serving/rollout.h); the force values pin the arm for diagnostics and
+/// shadow reads. Forcing the candidate arm when no candidate is staged
+/// serves the stable snapshot.
+enum class ArmPolicy { kRouter = 0, kForceStable = 1, kForceCandidate = 2 };
+
 /// One ranking request (Fig. 6 flow: query -> retrieve -> rank): the
 /// candidate items retrieved for a single session, all sharing the same
 /// user context and query. Items are not owned and must outlive the call.
@@ -19,6 +32,8 @@ struct RankRequest {
   /// engine's default model. This is the A/B-test hook: the same engine
   /// instance serves every registered arm.
   std::string model;
+  /// Staged-rollout arm selection (see ArmPolicy above).
+  ArmPolicy arm_policy = ArmPolicy::kRouter;
   std::vector<const Example*> items;
 };
 
@@ -40,6 +55,12 @@ struct RankResponse {
   /// async requests that is flush time, so a Submit racing a hot swap
   /// may legitimately report the newer version, but never a mix.
   int64_t model_version = 0;
+  /// Rollout arm that actually served this request: kCandidate only
+  /// when a candidate snapshot was staged AND (the router or a force
+  /// policy) sent the session there. A request routed at a candidate
+  /// that was dropped (rolled back) before its lease was acquired
+  /// reports kStable — the arm it was really served by.
+  RolloutArm arm = RolloutArm::kStable;
   /// Replica lane the forward ran on (0-based; informational).
   int replica = 0;
   /// Sigmoid probabilities, one per candidate item.

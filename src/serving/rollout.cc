@@ -1,0 +1,286 @@
+#include "serving/rollout.h"
+
+#include <algorithm>
+
+#include "models/ranker.h"
+#include "serving/model_pool.h"
+#include "serving/serving_stats.h"
+#include "util/check.h"
+#include "util/hash.h"
+#include "util/string_util.h"
+
+namespace awmoe {
+
+namespace {
+
+/// Sentinel prefix of candidate-arm route keys. Pool names are
+/// user-visible strings; a control byte cannot collide with one.
+constexpr char kCandidateKeyPrefix = '\x01';
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// TrafficRouter.
+// ---------------------------------------------------------------------
+
+int TrafficRouter::Bucket(const std::string& model, int64_t session_id) {
+  // FNV-1a over the model name seeds the session mix: two models ramping
+  // at once bucket the same session independently.
+  const uint64_t seed = Fnv1a64(model);
+  return static_cast<int>(Mix64(seed ^ static_cast<uint64_t>(session_id)) %
+                          static_cast<uint64_t>(kBuckets));
+}
+
+void TrafficRouter::SetSplit(const std::string& model, int permille) {
+  AWMOE_CHECK(permille >= 0 && permille <= kBuckets)
+      << "TrafficRouter: split " << permille << " permille for '" << model
+      << "'";
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = splits_.try_emplace(model, permille);
+  if (inserted) {
+    active_routes_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    it->second = permille;
+  }
+}
+
+void TrafficRouter::ClearSplit(const std::string& model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (splits_.erase(model) > 0) {
+    active_routes_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+int TrafficRouter::split_permille(const std::string& model) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = splits_.find(model);
+  return it == splits_.end() ? 0 : it->second;
+}
+
+RolloutArm TrafficRouter::Route(const std::string& model,
+                                int64_t session_id) const {
+  // Fast path: with no rollout ramping anywhere, routing is one relaxed
+  // load — the single-version serving path stays effectively free.
+  if (active_routes_.load(std::memory_order_relaxed) == 0) {
+    return RolloutArm::kStable;
+  }
+  int permille = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = splits_.find(model);
+    if (it == splits_.end()) return RolloutArm::kStable;
+    permille = it->second;
+  }
+  return Bucket(model, session_id) < permille ? RolloutArm::kCandidate
+                                              : RolloutArm::kStable;
+}
+
+// ---------------------------------------------------------------------
+// Route keys.
+// ---------------------------------------------------------------------
+
+std::string EncodeRouteKey(const std::string& model, RolloutArm arm) {
+  if (arm == RolloutArm::kStable) return model;
+  std::string key;
+  key.reserve(model.size() + 1);
+  key.push_back(kCandidateKeyPrefix);
+  key.append(model);
+  return key;
+}
+
+std::pair<std::string, RolloutArm> DecodeRouteKey(const std::string& key) {
+  if (!key.empty() && key[0] == kCandidateKeyPrefix) {
+    return {key.substr(1), RolloutArm::kCandidate};
+  }
+  return {key, RolloutArm::kStable};
+}
+
+// ---------------------------------------------------------------------
+// RolloutController.
+// ---------------------------------------------------------------------
+
+std::string_view RolloutStateToString(RolloutState state) {
+  switch (state) {
+    case RolloutState::kIdle:
+      return "idle";
+    case RolloutState::kRamping:
+      return "ramping";
+    case RolloutState::kPromoted:
+      return "promoted";
+    case RolloutState::kRolledBack:
+      return "rolled-back";
+  }
+  return "unknown";
+}
+
+RolloutController::RolloutController(ModelPool* pool, TrafficRouter* router,
+                                     const ServingStats* stats,
+                                     std::string model, RolloutOptions options)
+    : pool_(pool),
+      router_(router),
+      stats_(stats),
+      model_(std::move(model)),
+      options_(std::move(options)) {
+  AWMOE_CHECK(pool_ != nullptr) << "RolloutController: null pool";
+  AWMOE_CHECK(router_ != nullptr) << "RolloutController: null router";
+  AWMOE_CHECK(stats_ != nullptr) << "RolloutController: null stats";
+  AWMOE_CHECK(!options_.ramp_permille.empty())
+      << "RolloutController: empty ramp schedule";
+  int previous = 0;
+  for (int permille : options_.ramp_permille) {
+    AWMOE_CHECK(permille > previous && permille <= TrafficRouter::kBuckets)
+        << "RolloutController: ramp must be strictly increasing permille in "
+           "(0, 1000], got "
+        << permille << " after " << previous;
+    previous = permille;
+  }
+  AWMOE_CHECK(options_.min_stage_requests > 0)
+      << "RolloutController: min_stage_requests "
+      << options_.min_stage_requests;
+  AWMOE_CHECK(options_.max_p99_ratio > 0.0)
+      << "RolloutController: max_p99_ratio " << options_.max_p99_ratio;
+  AWMOE_CHECK(options_.max_error_rate >= 0.0 && options_.max_error_rate <= 1.0)
+      << "RolloutController: max_error_rate " << options_.max_error_rate;
+}
+
+int64_t RolloutController::Begin(std::unique_ptr<Ranker> candidate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AWMOE_CHECK(state_ != RolloutState::kRamping)
+      << "RolloutController: rollout already ramping for '" << model_ << "'";
+  candidate_version_ = pool_->StageCandidate(model_, std::move(candidate));
+  stage_ = 0;
+  const VersionHealthSnapshot entry =
+      stats_->VersionHealth(model_, candidate_version_);
+  stage_entry_requests_ = entry.requests;
+  stage_entry_errors_ = entry.errors;
+  state_ = RolloutState::kRamping;
+  last_decision_ = StrFormat("staged v%lld at %d permille",
+                             static_cast<long long>(candidate_version_),
+                             options_.ramp_permille[0]);
+  // The router opens LAST: the first routed request must find the
+  // candidate already acquirable.
+  router_->SetSplit(model_, options_.ramp_permille[0]);
+  return candidate_version_;
+}
+
+void RolloutController::RollbackLocked(const std::string& reason) {
+  // Router first: new sessions stop routing at the candidate before it
+  // is unpublished, so the fallback path only covers the short window
+  // between a Route() and its Acquire().
+  router_->ClearSplit(model_);
+  pool_->DropCandidate(model_);
+  state_ = RolloutState::kRolledBack;
+  stage_ = -1;
+  last_decision_ = reason;
+}
+
+RolloutState RolloutController::Rollback(const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ != RolloutState::kRamping) return state_;
+  RollbackLocked("rolled back: " + reason);
+  return state_;
+}
+
+RolloutState RolloutController::Advance() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ != RolloutState::kRamping) return state_;
+
+  const int64_t stable_version = pool_->CurrentSnapshot(model_)->version();
+  const VersionHealthSnapshot candidate =
+      stats_->VersionHealth(model_, candidate_version_);
+  const VersionHealthSnapshot stable =
+      stats_->VersionHealth(model_, stable_version);
+
+  // Evidence gate: hold the stage until enough candidate traffic
+  // completed within it.
+  const int64_t since_stage = candidate.requests - stage_entry_requests_;
+  if (since_stage < options_.min_stage_requests) {
+    last_decision_ = StrFormat(
+        "holding stage %d (%d permille): %lld/%lld candidate requests",
+        stage_, options_.ramp_permille[stage_],
+        static_cast<long long>(since_stage),
+        static_cast<long long>(options_.min_stage_requests));
+    return state_;
+  }
+
+  // Health gates: error/reject rate WITHIN this stage (a late-ramp
+  // failure burst must not be diluted by earlier healthy stages), then
+  // tail latency vs stable.
+  const int64_t stage_errors = candidate.errors - stage_entry_errors_;
+  const double stage_error_rate =
+      static_cast<double>(stage_errors) / static_cast<double>(since_stage);
+  if (stage_error_rate > options_.max_error_rate) {
+    RollbackLocked(StrFormat(
+        "rolled back at stage %d: candidate v%lld error rate %.4f > %.4f "
+        "(%lld/%lld failed this stage)",
+        stage_, static_cast<long long>(candidate_version_), stage_error_rate,
+        options_.max_error_rate, static_cast<long long>(stage_errors),
+        static_cast<long long>(since_stage)));
+    return state_;
+  }
+  // The p99 gate only fires once the stable arm has its own window —
+  // with no stable evidence there is no baseline to regress against.
+  const double p99_budget =
+      stable.p99_ms * options_.max_p99_ratio + options_.p99_slack_ms;
+  if (stable.window > 0 && candidate.p99_ms > p99_budget) {
+    RollbackLocked(StrFormat(
+        "rolled back at stage %d: candidate v%lld p99 %.3f ms > budget "
+        "%.3f ms (stable v%lld p99 %.3f ms)",
+        stage_, static_cast<long long>(candidate_version_), candidate.p99_ms,
+        p99_budget, static_cast<long long>(stable_version), stable.p99_ms));
+    return state_;
+  }
+
+  // Gate passed. Last stage -> promote; otherwise open the next stage.
+  if (stage_ + 1 >= static_cast<int>(options_.ramp_permille.size())) {
+    const int64_t promoted = pool_->PromoteCandidate(model_);
+    router_->ClearSplit(model_);
+    state_ = RolloutState::kPromoted;
+    stage_ = -1;
+    last_decision_ = StrFormat(
+        "promoted v%lld (candidate p99 %.3f ms vs stable %.3f ms over %lld "
+        "requests)",
+        static_cast<long long>(promoted), candidate.p99_ms, stable.p99_ms,
+        static_cast<long long>(candidate.requests));
+    return state_;
+  }
+  ++stage_;
+  stage_entry_requests_ = candidate.requests;
+  stage_entry_errors_ = candidate.errors;
+  router_->SetSplit(model_, options_.ramp_permille[stage_]);
+  last_decision_ = StrFormat(
+      "advanced to stage %d (%d permille): candidate p99 %.3f ms within "
+      "budget %.3f ms",
+      stage_, options_.ramp_permille[stage_], candidate.p99_ms, p99_budget);
+  return state_;
+}
+
+RolloutState RolloutController::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+int RolloutController::stage() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stage_;
+}
+
+int RolloutController::split_permille() const {
+  return router_->split_permille(model_);
+}
+
+int64_t RolloutController::candidate_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return candidate_version_;
+}
+
+int64_t RolloutController::stable_version() const {
+  return pool_->CurrentSnapshot(model_)->version();
+}
+
+std::string RolloutController::last_decision() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_decision_;
+}
+
+}  // namespace awmoe

@@ -1,0 +1,212 @@
+#ifndef AWMOE_SERVING_ROLLOUT_H_
+#define AWMOE_SERVING_ROLLOUT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "serving/request.h"
+
+namespace awmoe {
+
+class ModelPool;
+class Ranker;
+class ServingStats;
+
+/// Deterministic sticky traffic splitter for staged rollouts. Every
+/// session owns a fixed BUCKET in [0, 1000), computed by hashing
+/// (model name, session id); a model with a configured split of `p`
+/// permille routes sessions with bucket < p to the candidate arm and
+/// the rest to stable. Consequences the rollout machinery depends on:
+///
+///  - STICKY: at a fixed split, repeat requests for a session always
+///    land on the same arm — snapshot gate caches and the contrastive
+///    session semantics stay coherent per arm.
+///  - MONOTONE: raising the split only MOVES sessions stable ->
+///    candidate, never back; a session granted the candidate keeps it
+///    for the whole ramp (until promote folds the arms together or a
+///    rollback sends everyone to stable).
+///  - INDEPENDENT per model: the bucket mixes the model name, so two
+///    concurrent rollouts on different models do not ramp the same
+///    users in lockstep.
+///
+/// Route() is on the per-request hot path; with no split configured
+/// anywhere it is a single relaxed atomic load, and with one it is a
+/// short mutex-guarded map probe (cheap next to a forward pass — the
+/// bench_serving_rollout overhead gate keeps it honest).
+class TrafficRouter {
+ public:
+  /// Number of buckets sessions hash into; splits are expressed in
+  /// permille (candidate share per 1000 sessions).
+  static constexpr int kBuckets = 1000;
+
+  /// Sets `model`'s candidate share in permille (0..1000). 0 keeps the
+  /// route configured (every session stable) — distinct from ClearSplit,
+  /// which removes the route entirely.
+  void SetSplit(const std::string& model, int permille);
+
+  /// Removes `model`'s route: all traffic stable, and when no model has
+  /// a route the fast path is restored. No-op when not configured.
+  void ClearSplit(const std::string& model);
+
+  /// The configured split, or 0 when `model` has no route.
+  int split_permille(const std::string& model) const;
+
+  /// The arm `session_id` gets under `model`'s current split.
+  RolloutArm Route(const std::string& model, int64_t session_id) const;
+
+  /// The session's bucket in [0, kBuckets) under `model` — exposed so
+  /// tests and replay harnesses can predict routing exactly.
+  static int Bucket(const std::string& model, int64_t session_id);
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, int> splits_;
+  /// Models with a configured route; 0 short-circuits Route().
+  std::atomic<int64_t> active_routes_{0};
+};
+
+/// Encodes (model, arm) into the single string key the serving paths
+/// group micro-batches by: the stable arm's key IS the model name
+/// (zero-cost compatibility with every pre-rollout caller), the
+/// candidate arm's key is the name behind a one-byte sentinel prefix.
+std::string EncodeRouteKey(const std::string& model, RolloutArm arm);
+
+/// Inverse of EncodeRouteKey.
+std::pair<std::string, RolloutArm> DecodeRouteKey(const std::string& key);
+
+/// Where a staged rollout stands.
+enum class RolloutState {
+  kIdle = 0,        // No candidate staged.
+  kRamping = 1,     // Candidate live, walking the ramp schedule.
+  kPromoted = 2,    // Candidate became stable; rollout done.
+  kRolledBack = 3,  // Candidate dropped (health gate or operator).
+};
+
+std::string_view RolloutStateToString(RolloutState state);
+
+/// Health gates and ramp schedule of a staged rollout.
+struct RolloutOptions {
+  /// Candidate traffic share walked stage by stage, in permille of
+  /// sessions (default 1% -> 5% -> 25% -> 100%). Must be non-empty and
+  /// strictly increasing; the last stage is evaluated like any other
+  /// and a pass there promotes.
+  std::vector<int> ramp_permille = {10, 50, 250, 1000};
+
+  /// Candidate requests that must complete WITHIN the current stage
+  /// before the health gate is evaluated — Advance() holds the stage
+  /// until then, so a ramp can never promote on no evidence.
+  int64_t min_stage_requests = 50;
+
+  /// Health gate: candidate p99 must stay within
+  ///   stable_p99 * max_p99_ratio + p99_slack_ms.
+  /// The multiplicative term scales with model cost; the absolute slack
+  /// keeps microsecond-scale latencies from flapping the gate.
+  double max_p99_ratio = 1.5;
+  double p99_slack_ms = 1.0;
+
+  /// Health gate: the candidate's error/reject rate WITHIN the current
+  /// stage (failed requests over requests since the stage opened, from
+  /// the per-version health window) must not exceed this. Per-stage,
+  /// not lifetime: a late-ramp failure burst must trip the gate even
+  /// after thousands of healthy early-stage requests.
+  double max_error_rate = 0.01;
+};
+
+/// Orchestrates one zero-downtime staged rollout of a model: stages the
+/// candidate in the pool, opens the TrafficRouter at the first ramp
+/// stage, and on every Advance() evaluates per-version health windows
+/// (ServingStats) to either walk the next stage, PROMOTE at the end of
+/// the ramp, or ROLL BACK the moment the candidate looks unhealthy.
+/// Rollback is instant for new traffic (the router clears, the pool
+/// drops the candidate) and graceful for in-flight traffic (candidate
+/// leases finish on the dropped snapshot, which retires when they
+/// drain).
+///
+/// The controller is deliberately tick-driven — the owner calls
+/// Advance() on its own cadence (a timer, a replay loop, a test) — so
+/// ramps are deterministic and testable instead of hiding a background
+/// thread. All methods are thread-safe; Advance() and Rollback() may
+/// race, first terminal transition wins.
+class RolloutController {
+ public:
+  /// `pool`, `router`, and `stats` are not owned and must outlive the
+  /// controller. `model` is a resolved pool name. Typical wiring:
+  ///   RolloutController rollout(&pool, engine.router(), &engine.stats(),
+  ///                             "aw-moe-cl", options);
+  RolloutController(ModelPool* pool, TrafficRouter* router,
+                    const ServingStats* stats, std::string model,
+                    RolloutOptions options = {});
+
+  RolloutController(const RolloutController&) = delete;
+  RolloutController& operator=(const RolloutController&) = delete;
+
+  /// Stages `candidate` as the next version and opens the router at the
+  /// first ramp stage. Returns the candidate's version number.
+  /// CHECK-fails when a ramp is already in progress; callable again
+  /// after a promote or rollback (the next rollout).
+  int64_t Begin(std::unique_ptr<Ranker> candidate);
+
+  /// One health-gate tick. While ramping:
+  ///  - holds the stage until `min_stage_requests` candidate requests
+  ///    completed within it,
+  ///  - rolls back immediately when the error-rate or p99 gate trips,
+  ///  - otherwise advances to the next ramp stage, or — when the last
+  ///    stage just passed — promotes the candidate to stable.
+  /// Returns the state after the tick; a no-op outside kRamping.
+  RolloutState Advance();
+
+  /// Operator-forced rollback (also what the health gate calls): clears
+  /// the router, drops the candidate, records `reason`. No-op unless
+  /// ramping.
+  RolloutState Rollback(const std::string& reason);
+
+  RolloutState state() const;
+  /// Current ramp stage index (into options().ramp_permille); -1 when
+  /// not ramping.
+  int stage() const;
+  /// The router split this controller last configured (0 when idle or
+  /// finished).
+  int split_permille() const;
+  int64_t candidate_version() const;
+  int64_t stable_version() const;
+  /// Human-readable verdict of the last Advance()/Rollback() — what the
+  /// gate saw and what it decided (surfaced by the replay mode, the
+  /// example, and the bench).
+  std::string last_decision() const;
+
+  const std::string& model() const { return model_; }
+  const RolloutOptions& options() const { return options_; }
+
+ private:
+  /// Terminal rollback under mu_.
+  void RollbackLocked(const std::string& reason);
+
+  ModelPool* pool_;
+  TrafficRouter* router_;
+  const ServingStats* stats_;
+  const std::string model_;
+  const RolloutOptions options_;
+
+  mutable std::mutex mu_;
+  RolloutState state_ = RolloutState::kIdle;
+  int stage_ = -1;
+  int64_t candidate_version_ = 0;
+  /// Candidate request/error counts (from its health window) when the
+  /// current stage was entered: the evidence gate needs
+  /// min_stage_requests on top, and the error gate judges only what
+  /// happened within the stage.
+  int64_t stage_entry_requests_ = 0;
+  int64_t stage_entry_errors_ = 0;
+  std::string last_decision_;
+};
+
+}  // namespace awmoe
+
+#endif  // AWMOE_SERVING_ROLLOUT_H_

@@ -14,6 +14,7 @@
 #include "mat/kernels.h"
 #include "models/ranker.h"
 #include "util/check.h"
+#include "util/hash.h"
 
 namespace awmoe {
 
@@ -22,11 +23,8 @@ namespace {
 /// FNV-1a over the features the search-mode gate reads (behaviour
 /// sequence + query + user): the validity stamp of a cached gate row.
 uint64_t GateContextHash(const Example& ex) {
-  uint64_t h = 0xcbf29ce484222325ull;
-  auto mix = [&h](uint64_t v) {
-    h ^= v;
-    h *= 0x100000001b3ull;
-  };
+  uint64_t h = kFnv1a64Offset;
+  auto mix = [&h](uint64_t v) { h = Fnv1a64Mix(h, v); };
   mix(static_cast<uint64_t>(ex.user_id));
   mix(static_cast<uint64_t>(ex.query_id));
   mix(static_cast<uint64_t>(ex.query_cat));
@@ -101,6 +99,19 @@ ServingStatsSnapshot ServingEngine::Stats() const {
   return snap;
 }
 
+RolloutArm ServingEngine::RouteArm(const std::string& resolved,
+                                   const RankRequest& request) const {
+  switch (request.arm_policy) {
+    case ArmPolicy::kForceStable:
+      return RolloutArm::kStable;
+    case ArmPolicy::kForceCandidate:
+      return RolloutArm::kCandidate;
+    case ArmPolicy::kRouter:
+      break;
+  }
+  return router_.Route(resolved, request.session_id);
+}
+
 void ServingEngine::ExecuteMicroBatch(const MicroBatch& micro,
                                       const std::vector<RankRequest>& requests,
                                       const std::vector<double>* queue_delays_ms,
@@ -111,8 +122,11 @@ void ServingEngine::ExecuteMicroBatch(const MicroBatch& micro,
 
   // Pin (snapshot, replica lane) for the whole micro-batch: the version
   // cannot change under us (hot swaps publish a NEW snapshot), and the
-  // lane lock below serialises only forwards sharing this replica.
-  SnapshotLease lease = pool_->Acquire(micro.model);
+  // lane lock below serialises only forwards sharing this replica. The
+  // arm picks between the stable and staged-candidate snapshots; a
+  // candidate dropped since routing falls back to stable (lease.arm()
+  // reports what was actually granted).
+  SnapshotLease lease = pool_->Acquire(micro.model, micro.arm);
   const ModelSnapshot& snapshot = lease.snapshot();
   ReplicaLane& lane = lease.lane();
 
@@ -209,6 +223,7 @@ void ServingEngine::ExecuteMicroBatch(const MicroBatch& micro,
     response.session_id = request.session_id;
     response.model = snapshot.name();
     response.model_version = snapshot.version();
+    response.arm = lease.arm();
     response.replica = lease.replica();
     response.latency_ms = service_ms + queue_ms;
     response.queue_ms = queue_ms;
@@ -288,26 +303,31 @@ std::vector<RankResponse> ServingEngine::RankBatch(
   if (requests.empty()) return responses;
   Stopwatch submit_watch;
 
-  // Route: group request indices by resolved model, keeping first-seen
-  // model order and request order within a model.
-  std::vector<std::string> model_order;
-  std::unordered_map<std::string, std::vector<size_t>> by_model;
+  // Route: group request indices by (resolved model, rollout arm) —
+  // encoded as one route key — keeping first-seen route order and
+  // request order within a route. Splitting by arm keeps the invariant
+  // that one micro-batch runs on exactly one snapshot.
+  std::vector<std::string> route_order;
+  std::unordered_map<std::string, std::vector<size_t>> by_route;
   for (size_t i = 0; i < requests.size(); ++i) {
     AWMOE_CHECK(!requests[i].items.empty())
         << "RankBatch: empty candidate list for session "
         << requests[i].session_id;
-    const std::string& name = pool_->ResolveName(requests[i].model);
-    auto [it, inserted] = by_model.try_emplace(name);
-    if (inserted) model_order.push_back(name);
+    const std::string name = pool_->ResolveName(requests[i].model);
+    const std::string key = EncodeRouteKey(name, RouteArm(name, requests[i]));
+    auto [it, inserted] = by_route.try_emplace(key);
+    if (inserted) route_order.push_back(key);
     it->second.push_back(i);
   }
 
-  // Micro-batch: pack whole sessions per model until the item cap.
+  // Micro-batch: pack whole sessions per route until the item cap.
   std::vector<MicroBatch> micros;
-  for (const std::string& name : model_order) {
+  for (const std::string& key : route_order) {
+    auto [name, arm] = DecodeRouteKey(key);
     MicroBatch current;
     current.model = name;
-    for (size_t idx : by_model.at(name)) {
+    current.arm = arm;
+    for (size_t idx : by_route.at(key)) {
       const int64_t items =
           static_cast<int64_t>(requests[idx].items.size());
       if (!current.request_indices.empty() &&
@@ -315,6 +335,7 @@ std::vector<RankResponse> ServingEngine::RankBatch(
         micros.push_back(std::move(current));
         current = MicroBatch();
         current.model = name;
+        current.arm = arm;
       }
       current.request_indices.push_back(idx);
       current.total_items += items;
@@ -341,8 +362,14 @@ RankResponse ServingEngine::Rank(const RankRequest& request) {
 
 std::future<RankResponse> ServingEngine::Submit(RankRequest request) {
   // Resolve the route up front (CHECK-fails on unknown names, matching
-  // the synchronous path) so per-model queues key on concrete names.
+  // the synchronous path) so per-route queues key on concrete names.
+  // The rollout arm is pinned here too — submit time, not flush time —
+  // so a ramp step between enqueue and flush cannot move a session
+  // mid-flight; a candidate rolled back in that window falls back to
+  // stable at lease time.
   const std::string resolved = pool_->ResolveName(request.model);
+  const RolloutArm arm = RouteArm(resolved, request);
+  const std::string route_key = EncodeRouteKey(resolved, arm);
   AsyncBatchQueue* queue = nullptr;
   {
     std::lock_guard<std::mutex> lock(async_mu_);
@@ -362,9 +389,9 @@ std::future<RankResponse> ServingEngine::Submit(RankRequest request) {
                                           : pool_->replicas();
       async_queue_ = std::make_unique<AsyncBatchQueue>(
           queue_options,
-          [this](const std::string& model,
+          [this](const std::string& key,
                  std::vector<AsyncBatchQueue::Pending> batch) {
-            FlushAsync(model, std::move(batch));
+            FlushAsync(key, std::move(batch));
           });
     }
     queue = async_queue_.get();
@@ -379,7 +406,23 @@ std::future<RankResponse> ServingEngine::Submit(RankRequest request) {
     promise.set_value(std::move(response));
     return promise.get_future();
   }
-  return queue->Submit(std::move(request), resolved);
+  Status sync_reject;
+  std::future<RankResponse> future =
+      queue->Submit(std::move(request), resolved, route_key, &sync_reject);
+  // Serving-side rejects (backpressure, stopped) are failures of the
+  // arm the request was routed to — feed them to that version's health
+  // window so the rollout error-rate gate sees real overload, not just
+  // hand-recorded test samples. Client errors (empty candidate list)
+  // are not the model's fault and stay unattributed.
+  if (sync_reject.code() == StatusCode::kResourceExhausted ||
+      sync_reject.code() == StatusCode::kUnavailable) {
+    int64_t version = arm == RolloutArm::kCandidate
+                          ? pool_->CandidateVersion(resolved)
+                          : 0;
+    if (version == 0) version = pool_->CurrentSnapshot(resolved)->version();
+    stats_.RecordVersionSample(resolved, version, 0.0, /*ok=*/false);
+  }
+  return future;
 }
 
 void ServingEngine::Stop(bool drain) {
@@ -395,7 +438,7 @@ void ServingEngine::Stop(bool drain) {
   if (queue != nullptr) queue->Stop(drain);
 }
 
-void ServingEngine::FlushAsync(const std::string& model,
+void ServingEngine::FlushAsync(const std::string& route_key,
                                std::vector<AsyncBatchQueue::Pending> batch) {
   Stopwatch service_watch;
   const auto flush_start = std::chrono::steady_clock::now();
@@ -414,10 +457,13 @@ void ServingEngine::FlushAsync(const std::string& model,
     micro.total_items += static_cast<int64_t>(batch[i].request.items.size());
     requests.push_back(std::move(batch[i].request));
   }
-  // The queue grouped the batch under the resolved name Submit pinned
-  // at enqueue time — route by that key, not by re-resolving a possibly
-  // empty (default) request name at flush time.
-  micro.model = model;
+  // The queue grouped the batch under the (resolved name, rollout arm)
+  // key Submit pinned at enqueue time — route by that key, not by
+  // re-resolving a possibly empty (default) request name or re-running
+  // the router at flush time.
+  auto [model, arm] = DecodeRouteKey(route_key);
+  micro.model = std::move(model);
+  micro.arm = arm;
   std::vector<RankResponse> responses(n);
   ExecuteMicroBatch(micro, requests, &queue_delays_ms, service_watch,
                     &responses);

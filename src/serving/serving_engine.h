@@ -15,6 +15,7 @@
 #include "serving/async_queue.h"
 #include "serving/model_pool.h"
 #include "serving/request.h"
+#include "serving/rollout.h"
 #include "serving/serving_stats.h"
 
 namespace awmoe {
@@ -135,8 +136,18 @@ class ServingEngine {
   void Stop(bool drain = true);
 
   /// True when requests routed at `model` (empty = default) take the
-  /// §III-F shared-gate path under the model's CURRENT snapshot.
+  /// §III-F shared-gate path under the model's CURRENT stable snapshot.
   bool GateSharingActive(const std::string& model = std::string()) const;
+
+  /// The engine's staged-rollout traffic splitter. Both serving paths
+  /// (RankBatch and Submit) consult it per request: sessions bucketed
+  /// onto the candidate arm are scored by the pool's staged candidate
+  /// snapshot, everyone else by stable. With no split configured (the
+  /// default) every request serves stable at the cost of one relaxed
+  /// atomic load. Ramps are orchestrated by a RolloutController wired
+  /// to this router (see serving/rollout.h).
+  TrafficRouter* router() { return &router_; }
+  const TrafficRouter& router() const { return router_; }
 
   const ServingStats& stats() const { return stats_; }
   /// Counter snapshot; `model_swaps` is merged in from the pool.
@@ -147,12 +158,20 @@ class ServingEngine {
   const ModelPool& pool() const { return *pool_; }
 
  private:
-  /// One fused forward pass: whole sessions, one model.
+  /// One fused forward pass: whole sessions, one model, one rollout arm.
   struct MicroBatch {
     std::string model;  // Resolved pool name.
+    /// Arm the router assigned: every request in a micro-batch shares
+    /// it, so the whole forward runs on one snapshot.
+    RolloutArm arm = RolloutArm::kStable;
     std::vector<size_t> request_indices;
     int64_t total_items = 0;
   };
+
+  /// The arm a request is served by: its ArmPolicy override, or the
+  /// router's sticky session bucket.
+  RolloutArm RouteArm(const std::string& resolved,
+                      const RankRequest& request) const;
 
   /// Scores one micro-batch under a snapshot+replica lease and fills
   /// the matching responses. `queue_delays_ms`, when non-null, is
@@ -166,10 +185,11 @@ class ServingEngine {
                          std::vector<RankResponse>* responses);
 
   /// Flush callback of the async queue: scores one coalesced batch
-  /// (all routed at resolved name `model`) in one forward pass and
-  /// resolves every promise. Runs concurrently on several flusher
-  /// lanes, each landing on its own replica.
-  void FlushAsync(const std::string& model,
+  /// (all grouped under `route_key` = one resolved model + one rollout
+  /// arm) in one forward pass and resolves every promise. Runs
+  /// concurrently on several flusher lanes, each landing on its own
+  /// replica.
+  void FlushAsync(const std::string& route_key,
                   std::vector<AsyncBatchQueue::Pending> batch);
 
   /// Blocks until every job has run; uses the worker threads when
@@ -179,6 +199,7 @@ class ServingEngine {
   ModelPool* pool_;
   ServingEngineOptions options_;
   ServingStats stats_;
+  TrafficRouter router_;
 
   // Worker pool (created only when num_threads > 1).
   std::vector<std::thread> workers_;

@@ -20,6 +20,31 @@ double NearestRank(const std::vector<double>& sorted, double pct) {
   return sorted[rank - 1];
 }
 
+/// Shared retention policy of the per-(model, version) maps (lease
+/// breakdown and health windows): after `inserted` was added, drop
+/// `model`'s oldest entries beyond `max_versions`. The map key orders
+/// one model's entries by ascending version, so trimming drops from the
+/// oldest end. Returns true when the just-inserted entry itself was the
+/// oldest and got dropped — the caller must not touch it then.
+template <typename Map>
+bool TrimModelVersions(Map* map, const std::string& model,
+                       typename Map::iterator inserted, int max_versions) {
+  bool erased_inserted = false;
+  auto first = map->lower_bound({model, 0});
+  int count = 0;
+  for (auto walk = first; walk != map->end() && walk->first.first == model;
+       ++walk) {
+    ++count;
+  }
+  while (count > max_versions && first != map->end() &&
+         first->first.first == model) {
+    if (first == inserted) erased_inserted = true;
+    first = map->erase(first);
+    --count;
+  }
+  return erased_inserted;
+}
+
 }  // namespace
 
 void ServingStats::RecordRequest(int64_t items, double latency_ms) {
@@ -104,30 +129,88 @@ void ServingStats::RecordLeaseLocked(const LeaseSample& lease) {
       std::max(max_active_lanes_, static_cast<int64_t>(lease.active_lanes));
   auto [it, inserted] =
       version_lane_leases_.try_emplace({lease.model, lease.version});
+  if (inserted &&
+      TrimModelVersions(&version_lane_leases_, lease.model, it,
+                        kMaxVersionsPerModel)) {
+    // A lease on a version older than every retained one: refuse to
+    // resurrect its entry (mirrors the health-window policy).
+    return;
+  }
   std::vector<int64_t>& lanes = it->second;
   if (static_cast<int>(lanes.size()) < lease.num_replicas) {
     lanes.resize(static_cast<size_t>(lease.num_replicas), 0);
   }
   ++lanes[static_cast<size_t>(lease.replica)];
-  if (inserted) {
-    // Keep only the newest kMaxVersionsPerModel versions of this model:
-    // the map key orders one model's entries by ascending version, so
-    // trimming drops from the oldest end. Bounds memory — and Snapshot
-    // copy cost — under continuous hot swaps.
-    auto first = version_lane_leases_.lower_bound({lease.model, 0});
-    int count = 0;
-    for (auto walk = first;
-         walk != version_lane_leases_.end() && walk->first.first == lease.model;
-         ++walk) {
-      ++count;
-    }
-    while (count > kMaxVersionsPerModel &&
-           first != version_lane_leases_.end() &&
-           first->first.first == lease.model) {
-      first = version_lane_leases_.erase(first);
-      --count;
-    }
+}
+
+void ServingStats::RecordVersionSample(const std::string& model,
+                                       int64_t version, double latency_ms,
+                                       bool ok) {
+  std::lock_guard<std::mutex> lock(mu_);
+  HealthWindow* window = HealthWindowLocked(model, version);
+  if (window != nullptr) AppendHealthSampleLocked(window, latency_ms, ok);
+}
+
+ServingStats::HealthWindow* ServingStats::HealthWindowLocked(
+    const std::string& model, int64_t version) {
+  auto [it, inserted] = version_health_.try_emplace({model, version});
+  if (inserted &&
+      TrimModelVersions(&version_health_, model, it, kMaxVersionsPerModel)) {
+    // The trim dropped the entry just inserted (a version older than
+    // every retained one): the sample belongs to a window we refuse to
+    // resurrect — report that instead of handing out a freed node.
+    return nullptr;
   }
+  return &it->second;
+}
+
+void ServingStats::AppendHealthSampleLocked(HealthWindow* window,
+                                            double latency_ms, bool ok) {
+  ++window->requests;
+  if (!ok) {
+    ++window->errors;
+  } else if (static_cast<int64_t>(window->ring.size()) < kHealthWindow) {
+    window->ring.push_back(latency_ms);
+  } else {
+    // Sliding window, not a reservoir: the rollout gate wants the
+    // version's CURRENT tail, so the oldest sample is the one evicted.
+    window->ring[window->next] = latency_ms;
+    window->next = (window->next + 1) % static_cast<size_t>(kHealthWindow);
+  }
+}
+
+VersionHealthSnapshot ServingStats::HealthSnapshotOf(const std::string& model,
+                                                     int64_t version,
+                                                     HealthWindow window) {
+  VersionHealthSnapshot snap;
+  snap.model = model;
+  snap.version = version;
+  snap.requests = window.requests;
+  snap.errors = window.errors;
+  if (window.requests > 0) {
+    snap.error_rate = static_cast<double>(window.errors) /
+                      static_cast<double>(window.requests);
+  }
+  snap.window = static_cast<int64_t>(window.ring.size());
+  if (!window.ring.empty()) {
+    std::sort(window.ring.begin(), window.ring.end());
+    snap.p50_ms = NearestRank(window.ring, 50.0);
+    snap.p99_ms = NearestRank(window.ring, 99.0);
+  }
+  return snap;
+}
+
+VersionHealthSnapshot ServingStats::VersionHealth(const std::string& model,
+                                                  int64_t version) const {
+  HealthWindow copy;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = version_health_.find({model, version});
+    if (it != version_health_.end()) copy = it->second;
+  }
+  // Sort outside the lock (same pattern as LatencyPercentileMs): the
+  // rollout gate polls this while workers record into the same mutex.
+  return HealthSnapshotOf(model, version, std::move(copy));
 }
 
 void ServingStats::RecordMicroBatch(
@@ -135,10 +218,18 @@ void ServingStats::RecordMicroBatch(
     const LeaseSample* lease) {
   std::lock_guard<std::mutex> lock(mu_);
   RecordBatchLocked(static_cast<int64_t>(samples.size()), batch_items);
+  // One map probe for the whole micro-batch: every sample lands in the
+  // same (model, version) health window as the shared lease.
+  HealthWindow* health =
+      lease == nullptr ? nullptr
+                       : HealthWindowLocked(lease->model, lease->version);
   for (const RequestSample& sample : samples) {
     RecordRequestLocked(sample.items, sample.latency_ms);
     if (sample.queue_ms >= 0.0) RecordQueueDelayLocked(sample.queue_ms);
     if (sample.gate_lookup >= 0) RecordGateLookupLocked(sample.gate_lookup != 0);
+    if (health != nullptr) {
+      AppendHealthSampleLocked(health, sample.latency_ms, /*ok=*/true);
+    }
   }
   if (lease != nullptr) RecordLeaseLocked(*lease);
 }
@@ -211,6 +302,7 @@ double ServingStats::LatencyPercentileMs(double pct) const {
 ServingStatsSnapshot ServingStats::Snapshot() const {
   ServingStatsSnapshot snap;
   std::vector<double> sorted;
+  std::map<std::pair<std::string, int64_t>, HealthWindow> health;
   double elapsed = 0.0;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -250,11 +342,17 @@ ServingStatsSnapshot ServingStats::Snapshot() const {
       for (int64_t count : lanes) version.leases += count;
       snap.versions.push_back(std::move(version));
     }
+    health = version_health_;
     sorted = samples_ms_;
     elapsed = wall_started_ ? wall_.ElapsedSeconds() + wall_offset_s_ : 0.0;
   }
   // Sort once outside the lock so concurrent RecordRequest callers are
-  // not blocked behind an O(n log n) pass.
+  // not blocked behind an O(n log n) pass; same for the per-version
+  // health windows, whose percentile sorts run on the copies.
+  for (auto& [key, window] : health) {
+    snap.version_health.push_back(
+        HealthSnapshotOf(key.first, key.second, std::move(window)));
+  }
   std::sort(sorted.begin(), sorted.end());
   if (!sorted.empty()) {
     snap.p50_ms = NearestRank(sorted, 50.0);
@@ -286,6 +384,7 @@ void ServingStats::Reset() {
   active_lanes_total_ = 0;
   max_active_lanes_ = 0;
   version_lane_leases_.clear();
+  version_health_.clear();
   wall_started_ = false;
   wall_offset_s_ = 0.0;
 }

@@ -21,6 +21,26 @@ struct ModelVersionStatsSnapshot {
   std::vector<int64_t> lane_leases;
 };
 
+/// Point-in-time health of one model version — what a staged rollout's
+/// gate (serving/rollout.h) compares between the stable and candidate
+/// arms. Percentiles come from a SLIDING window of the newest
+/// `ServingStats::kHealthWindow` latency samples for that version, so
+/// they track how the version serves NOW (an early warm-up spike ages
+/// out instead of poisoning the whole ramp); `requests`/`errors` are
+/// lifetime-exact for the version.
+struct VersionHealthSnapshot {
+  std::string model;
+  int64_t version = 0;
+  int64_t requests = 0;
+  int64_t errors = 0;
+  /// errors / requests (0 when nothing recorded).
+  double error_rate = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  /// Latency samples currently in the window (<= kHealthWindow).
+  int64_t window = 0;
+};
+
 /// Point-in-time view of the serving counters (safe to copy around and
 /// print without holding any lock).
 struct ServingStatsSnapshot {
@@ -70,6 +90,10 @@ struct ServingStatsSnapshot {
 
   /// Per model-version lease counters, ordered by (model, version).
   std::vector<ModelVersionStatsSnapshot> versions;
+
+  /// Per model-version health windows (see VersionHealthSnapshot),
+  /// ordered by (model, version).
+  std::vector<VersionHealthSnapshot> version_health;
 };
 
 /// One executed micro-batch's lease, as recorded into the stats.
@@ -107,6 +131,11 @@ class ServingStats {
   /// stats map (copied on every Snapshot) cannot grow without bound.
   static constexpr int kMaxVersionsPerModel = 8;
 
+  /// Sliding-window size of the per-version health percentiles (the
+  /// rollout gate's p99 is computed over the newest kHealthWindow
+  /// samples of each version).
+  static constexpr int64_t kHealthWindow = 2048;
+
   ServingStats() = default;
 
   /// Records one completed request of `items` candidates.
@@ -126,13 +155,31 @@ class ServingStats {
   /// Records one snapshot+replica lease (one per executed micro-batch).
   void RecordLease(const LeaseSample& lease);
 
+  /// Records one request outcome into `(model, version)`'s health
+  /// window: `ok` requests contribute their latency to the sliding
+  /// percentile window, failed ones count toward the error rate the
+  /// rollout gate checks. The engine feeds this per scored request (via
+  /// RecordMicroBatch) and per serving-side async reject (backpressure
+  /// / stopped, attributed to the routed arm's version by Submit); it
+  /// is public so error paths outside the engine can attribute
+  /// failures to a version directly.
+  void RecordVersionSample(const std::string& model, int64_t version,
+                           double latency_ms, bool ok);
+
+  /// The health window of `(model, version)`; zeros when that version
+  /// has recorded nothing (or was trimmed as one of the oldest).
+  VersionHealthSnapshot VersionHealth(const std::string& model,
+                                      int64_t version) const;
+
   /// Records one executed micro-batch and all its requests under a
   /// SINGLE lock acquisition — what the scoring hot path uses instead
   /// of one Record* call per request (workers and the async flusher
   /// all contend on this mutex). Equivalent to RecordBatch +, per
   /// sample, RecordRequest / RecordQueueDelay (queue_ms >= 0) /
   /// RecordGateLookup (gate_lookup >= 0), plus RecordLease when `lease`
-  /// is non-null.
+  /// is non-null — in which case each sample's latency also lands in
+  /// the lease's (model, version) health window (ok=true; the engine's
+  /// scored path cannot fail).
   void RecordMicroBatch(int64_t batch_items,
                         const std::vector<RequestSample>& samples,
                         const LeaseSample* lease = nullptr);
@@ -166,12 +213,35 @@ class ServingStats {
   void Reset();
 
  private:
+  /// Per-version health accumulator: a circular buffer of the newest
+  /// kHealthWindow ok-latencies plus lifetime request/error counts.
+  struct HealthWindow {
+    std::vector<double> ring;  // Capacity kHealthWindow, overwritten FIFO.
+    size_t next = 0;           // Ring write cursor.
+    int64_t requests = 0;
+    int64_t errors = 0;
+  };
+
   // Unlocked cores of the Record* methods; caller holds mu_.
   void RecordRequestLocked(int64_t items, double latency_ms);
   void RecordBatchLocked(int64_t batch_requests, int64_t batch_items);
   void RecordQueueDelayLocked(double delay_ms);
   void RecordGateLookupLocked(bool hit);
   void RecordLeaseLocked(const LeaseSample& lease);
+  /// Finds-or-creates (model, version)'s window, running the per-model
+  /// trim on insert. Returns nullptr when the version is too old to
+  /// track (a fresh insert below every retained version is itself what
+  /// the trim would drop — e.g. a straggler lease on a long-retired
+  /// snapshot); the pointer stays valid for the rest of the locked
+  /// section otherwise (map nodes are stable).
+  HealthWindow* HealthWindowLocked(const std::string& model, int64_t version);
+  static void AppendHealthSampleLocked(HealthWindow* window,
+                                       double latency_ms, bool ok);
+  /// Builds the percentile view from a COPIED window — called outside
+  /// mu_ so the O(N log N) sort never blocks the recording hot path.
+  static VersionHealthSnapshot HealthSnapshotOf(const std::string& model,
+                                                int64_t version,
+                                                HealthWindow window);
 
   // One mutex guards every counter AND the latency reservoir: samples
   // are recorded concurrently by RankBatch worker threads and the async
@@ -201,6 +271,9 @@ class ServingStats {
   /// the newest kMaxVersionsPerModel versions per model on insert.
   std::map<std::pair<std::string, int64_t>, std::vector<int64_t>>
       version_lane_leases_;
+  /// Health windows, keyed and trimmed exactly like version_lane_leases_
+  /// (newest kMaxVersionsPerModel versions per model survive).
+  std::map<std::pair<std::string, int64_t>, HealthWindow> version_health_;
   uint64_t reservoir_rng_ = 0x9E3779B97F4A7C15ull;
   bool wall_started_ = false;  // Clock starts at the first request.
   double wall_offset_s_ = 0.0;  // First request's own service time.

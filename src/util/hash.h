@@ -1,0 +1,44 @@
+#ifndef AWMOE_UTIL_HASH_H_
+#define AWMOE_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace awmoe {
+
+/// FNV-1a 64-bit offset basis / prime — the one place these constants
+/// live (gate-context hashing and rollout bucketing both build on
+/// them).
+inline constexpr uint64_t kFnv1a64Offset = 0xcbf29ce484222325ull;
+inline constexpr uint64_t kFnv1a64Prime = 0x100000001b3ull;
+
+/// One FNV-1a absorption step over a 64-bit word. Callers hashing
+/// heterogeneous records fold each field through this, starting from
+/// kFnv1a64Offset.
+inline uint64_t Fnv1a64Mix(uint64_t h, uint64_t v) {
+  h ^= v;
+  h *= kFnv1a64Prime;
+  return h;
+}
+
+/// FNV-1a over a byte string.
+inline uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t h = kFnv1a64Offset;
+  for (char c : bytes) {
+    h = Fnv1a64Mix(h, static_cast<uint64_t>(static_cast<unsigned char>(c)));
+  }
+  return h;
+}
+
+/// splitmix64 finaliser: a full-avalanche bijective mix, so consecutive
+/// inputs (e.g. sequential session ids) land in unrelated outputs.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace awmoe
+
+#endif  // AWMOE_UTIL_HASH_H_
