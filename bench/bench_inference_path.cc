@@ -1,0 +1,211 @@
+// Hot-path inference API comparison: the legacy Var-graph
+// InferenceLogits vs the workspace-based ScoreInto, per ranker, swept
+// over micro-batch sizes. Reported per case:
+//   - p50_us / p99_us: manual per-iteration latency percentiles
+//     (steady_clock around ONLY the model call);
+//   - allocs_per_op: heap allocations per forward, measured by a global
+//     operator-new interposer scoped to the model call — the ScoreInto
+//     rows must read 0 after warm-up, the legacy rows show the per-op
+//     graph/Matrix allocation load ScoreInto removes;
+//   - items_per_second: scored candidates per second.
+// scripts/check.sh runs this in smoke mode and keeps the JSON in the CI
+// bench-smoke artifact, so the ScoreInto-vs-legacy delta is recorded on
+// every run.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "common/experiment_lib.h"
+#include "models/category_moe.h"
+#include "models/dnn_ranker.h"
+#include "serving/request.h"
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Operator-new interposer: counts every allocation in the binary; each
+// benchmark iteration reads the counter around the model call only.
+// ---------------------------------------------------------------------
+
+std::atomic<int64_t> g_alloc_count{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace awmoe;
+
+struct InferenceFixture {
+  InferenceFixture() {
+    JdConfig jd;
+    jd.train_sessions = 50;
+    jd.test_sessions = 200;
+    jd.longtail1_sessions = 5;
+    jd.longtail2_sessions = 5;
+    jd.seed = 7;
+    data = JdSyntheticGenerator(jd).Generate();
+    standardizer.Fit(data.full_test);
+    {
+      Rng rng(21);
+      dnn = std::make_unique<DnnRanker>(data.meta, ModelDims::Default(),
+                                        &rng);
+    }
+    {
+      Rng rng(22);
+      din = std::make_unique<DinRanker>(data.meta, ModelDims::Default(),
+                                        &rng);
+    }
+    {
+      Rng rng(23);
+      cat_moe = std::make_unique<CategoryMoeRanker>(
+          data.meta, ModelDims::Default(), &rng);
+    }
+    {
+      Rng rng(24);
+      AwMoeConfig config;
+      aw_moe = std::make_unique<AwMoeRanker>(data.meta, config, &rng);
+    }
+  }
+
+  static InferenceFixture& Get() {
+    static InferenceFixture* fixture = new InferenceFixture();
+    return *fixture;
+  }
+
+  /// A collated micro-batch of the first `size` test impressions.
+  Batch MakeBatch(int64_t size) {
+    std::vector<const Example*> items;
+    items.reserve(static_cast<size_t>(size));
+    for (int64_t i = 0; i < size; ++i) {
+      items.push_back(
+          &data.full_test[static_cast<size_t>(i) % data.full_test.size()]);
+    }
+    return CollateBatch(items, data.meta, &standardizer);
+  }
+
+  JdDataset data;
+  Standardizer standardizer;
+  std::unique_ptr<DnnRanker> dnn;
+  std::unique_ptr<DinRanker> din;
+  std::unique_ptr<CategoryMoeRanker> cat_moe;
+  std::unique_ptr<AwMoeRanker> aw_moe;
+};
+
+enum class Path { kLegacy, kScoreInto, kScoreIntoWithGate };
+
+void RunInference(benchmark::State& state, Ranker* model, Path path) {
+  InferenceFixture& fixture = InferenceFixture::Get();
+  const int64_t batch_size = state.range(0);
+  const Batch batch = fixture.MakeBatch(batch_size);
+  auto workspace = model->CreateInferenceWorkspace(batch_size);
+  std::vector<float> out(static_cast<size_t>(batch_size));
+
+  const int64_t width = model->SessionGateWidth();
+  std::vector<float> gate_rows;
+  SessionGate gate{nullptr, 0, 0};
+  if (path == Path::kScoreIntoWithGate) {
+    gate_rows.resize(static_cast<size_t>(batch_size * width));
+    model->GateInto(batch, workspace.get(), gate_rows);
+    gate = SessionGate{gate_rows.data(), batch_size, width};
+  }
+  // Warm-up: materialise workspace slabs outside measurement.
+  if (path == Path::kLegacy) {
+    benchmark::DoNotOptimize(model->InferenceLogits(batch));
+  } else {
+    model->ScoreInto(batch, gate.data != nullptr ? &gate : nullptr,
+                     workspace.get(), out);
+  }
+
+  std::vector<double> iteration_us;
+  iteration_us.reserve(1 << 14);
+  int64_t allocs = 0;
+  for (auto _ : state) {
+    const int64_t alloc_before =
+        g_alloc_count.load(std::memory_order_relaxed);
+    const auto start = std::chrono::steady_clock::now();
+    switch (path) {
+      case Path::kLegacy: {
+        Matrix logits = model->InferenceLogits(batch);
+        benchmark::DoNotOptimize(logits);
+        break;
+      }
+      case Path::kScoreInto:
+        model->ScoreInto(batch, nullptr, workspace.get(), out);
+        benchmark::DoNotOptimize(out.data());
+        break;
+      case Path::kScoreIntoWithGate:
+        model->ScoreInto(batch, &gate, workspace.get(), out);
+        benchmark::DoNotOptimize(out.data());
+        break;
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    allocs += g_alloc_count.load(std::memory_order_relaxed) - alloc_before;
+    iteration_us.push_back(
+        std::chrono::duration<double, std::micro>(stop - start).count());
+  }
+
+  std::sort(iteration_us.begin(), iteration_us.end());
+  auto percentile = [&](double p) {
+    if (iteration_us.empty()) return 0.0;
+    const size_t idx = static_cast<size_t>(
+        p / 100.0 * static_cast<double>(iteration_us.size() - 1) + 0.5);
+    return iteration_us[std::min(idx, iteration_us.size() - 1)];
+  };
+  state.counters["p50_us"] = percentile(50.0);
+  state.counters["p99_us"] = percentile(99.0);
+  state.counters["allocs_per_op"] =
+      state.iterations() > 0
+          ? static_cast<double>(allocs) /
+                static_cast<double>(state.iterations())
+          : 0.0;
+  state.SetItemsProcessed(state.iterations() * batch_size);
+}
+
+#define AWMOE_INFERENCE_BENCH(name, member, path)                  \
+  void name(benchmark::State& state) {                             \
+    RunInference(state, InferenceFixture::Get().member.get(), path); \
+  }                                                                \
+  BENCHMARK(name)->Arg(8)->Arg(64)->Arg(256)->Unit(               \
+      benchmark::kMicrosecond)
+
+AWMOE_INFERENCE_BENCH(BM_Legacy_DNN, dnn, Path::kLegacy);
+AWMOE_INFERENCE_BENCH(BM_ScoreInto_DNN, dnn, Path::kScoreInto);
+AWMOE_INFERENCE_BENCH(BM_Legacy_DIN, din, Path::kLegacy);
+AWMOE_INFERENCE_BENCH(BM_ScoreInto_DIN, din, Path::kScoreInto);
+AWMOE_INFERENCE_BENCH(BM_Legacy_CategoryMoE, cat_moe, Path::kLegacy);
+AWMOE_INFERENCE_BENCH(BM_ScoreInto_CategoryMoE, cat_moe, Path::kScoreInto);
+AWMOE_INFERENCE_BENCH(BM_Legacy_AWMoE, aw_moe, Path::kLegacy);
+AWMOE_INFERENCE_BENCH(BM_ScoreInto_AWMoE, aw_moe, Path::kScoreInto);
+// §III-F serving shape: expert path only, gate supplied from cache.
+AWMOE_INFERENCE_BENCH(BM_ScoreIntoSharedGate_AWMoE, aw_moe,
+                      Path::kScoreIntoWithGate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

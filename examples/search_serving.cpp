@@ -187,13 +187,22 @@ int Run(int argc, char** argv) {
   RolloutController rollout(&registry, engine.router(), &engine.stats(),
                             "aw-moe-cl", rollout_options);
   const int64_t staged = rollout.Begin(model.Clone());
+  // Gate-cache warm-up: the freshly staged candidate snapshot starts
+  // gate-cold by construction (its LRU lives in the snapshot). Scoring
+  // one gate row per known session into its cache BEFORE the router
+  // sends it traffic means the candidate's very first ramp slice is
+  // served from cached gates instead of paying cold probe forwards.
+  const int64_t warmed = registry.WarmSessionGates(
+      "aw-moe-cl", RolloutArm::kCandidate, sessions,
+      engine.options().gate_cache_capacity);
   std::printf(
       "\nStaged rollout: candidate v%lld staged next to stable v%lld "
-      "(%lld live snapshots), ramping at %d permille.\n",
+      "(%lld live snapshots), gate cache pre-warmed with %lld sessions, "
+      "ramping at %d permille.\n",
       static_cast<long long>(staged),
       static_cast<long long>(rollout.stable_version()),
       static_cast<long long>(registry.live_snapshots()),
-      rollout.split_permille());
+      static_cast<long long>(warmed), rollout.split_permille());
   RolloutReplayResult replay =
       ReplayRollout(&engine, &rollout, sessions, /*max_rounds=*/64);
   TablePrinter ramp_table("Health-gated ramp (replayed live traffic)");

@@ -136,7 +136,8 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 SMOKE_DIR="$BUILD_DIR/bench_smoke"
 mkdir -p "$SMOKE_DIR"
 
-for bench in bench_serving_gate_sharing bench_serving_rollout; do
+for bench in bench_inference_path bench_serving_gate_sharing \
+             bench_serving_rollout; do
   if [ -x "$BUILD_DIR/$bench" ]; then
     echo "== $bench (smoke) =="
     MIN_TIME_FLAG="$(bench_min_time_flag "$BUILD_DIR/$bench")"

@@ -85,6 +85,43 @@ Matrix AwMoeRanker::InferenceLogitsWithGate(const Batch& batch,
   return ForwardLogitsWithGate(batch, Var(gate)).value();
 }
 
+void AwMoeRanker::ScoreInto(const Batch& batch, const SessionGate* gate,
+                            InferenceWorkspace* workspace,
+                            std::span<float> out) {
+  CheckScoreIntoArgs(batch, workspace, out.size());
+  InferenceArena* arena = workspace->arena();
+  arena->Reset();
+  const int64_t k = config_.dims.num_experts;
+  // Algorithm 1 in kernel form, same op order as InferenceLogits:
+  // input network -> expert scores -> gate -> row-wise weighted sum.
+  MatView v_imp = arena->Alloc(batch.size, input_network_.output_dim());
+  input_network_.InferInto(batch, arena, v_imp);
+  MatView scores = arena->Alloc(batch.size, k);
+  experts_.InferAllInto(v_imp, arena, scores);
+  ConstMatView gate_view;
+  if (gate != nullptr) {
+    gate_view = ResolveSessionGate(*gate, batch.size, k);
+  } else {
+    MatView g = arena->Alloc(batch.size, k);
+    gate_network_.InferInto(batch, arena, g);
+    gate_view = g;
+  }
+  DotRowsInto(scores, gate_view, MatView{out.data(), batch.size, 1, 1});
+}
+
+void AwMoeRanker::GateInto(const Batch& batch, InferenceWorkspace* workspace,
+                           std::span<float> out) {
+  CheckScoreIntoArgs(batch, workspace, out.size());
+  const int64_t k = config_.dims.num_experts;
+  AWMOE_CHECK(static_cast<int64_t>(out.size()) >= batch.size * k)
+      << "GateInto: out span " << out.size() << " for " << batch.size
+      << "x" << k;
+  InferenceArena* arena = workspace->arena();
+  arena->Reset();
+  gate_network_.InferInto(batch, arena,
+                          MatView{out.data(), batch.size, k, k});
+}
+
 std::vector<Var> AwMoeRanker::Parameters() const {
   std::vector<Var> params;
   embeddings_.CollectParameters(&params);

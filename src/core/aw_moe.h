@@ -71,6 +71,24 @@ class AwMoeRanker : public Ranker {
   /// typically replicated from cached per-session gates), graph-free.
   Matrix InferenceLogitsWithGate(const Batch& batch, const Matrix& gate);
 
+  // --- Workspace-based hot path (see models/ranker.h). ---
+
+  /// Allocation-free inference: expert path + gate network, or expert
+  /// path under a precomputed SessionGate (§III-F). Bitwise-identical
+  /// to InferenceLogits / InferenceLogitsWithGate respectively.
+  void ScoreInto(const Batch& batch, const SessionGate* gate,
+                 InferenceWorkspace* workspace,
+                 std::span<float> out) override;
+
+  /// Graph- and allocation-free gate rows [B, K]; bitwise-identical to
+  /// InferenceGate.
+  void GateInto(const Batch& batch, InferenceWorkspace* workspace,
+                std::span<float> out) override;
+
+  int64_t SessionGateWidth() const override {
+    return config_.dims.num_experts;
+  }
+
   /// The §III-F precondition: in search mode the gate reads only the
   /// behaviour sequence and query, both constant within a session. In
   /// recommendation mode the gate reads the target item, so reuse is off.

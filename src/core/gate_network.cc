@@ -123,6 +123,140 @@ Var GateNetwork::Forward(const Batch& batch) const {
   return g;
 }
 
+void GateUnit::InferInto(const ConstMatView& h_b, const ConstMatView& h_ref,
+                         InferenceArena* arena, MatView out) const {
+  AWMOE_CHECK(h_b.cols == hidden_dim_ && h_ref.cols == hidden_dim_)
+      << "GateUnit::InferInto: dims " << h_b.cols << "/" << h_ref.cols
+      << " vs " << hidden_dim_;
+  const size_t mark = arena->Mark();
+  MatView joined = arena->Alloc(h_b.rows, 3 * hidden_dim_);
+  ConcatInteractionInto(h_b, h_ref, joined);
+  mlp_.InferInto(joined, arena, out);
+  arena->Rewind(mark);
+}
+
+void GateNetwork::ReferenceInto(const Batch& batch, InferenceArena* arena,
+                                MatView out) const {
+  const size_t mark = arena->Mark();
+  if (meta_.recommendation_mode) {
+    // No query exists: the target item drives expert activation (§IV-A2).
+    const int64_t item_in = embeddings_->item_dim() + Example::kItemAttrs;
+    MatView joined = arena->Alloc(batch.size, item_in);
+    embeddings_->ItemWithAttrsInto(batch.target_items.data(),
+                                   batch.target_cats.data(),
+                                   batch.target_brands.data(), batch.size,
+                                   /*id_stride=*/1,
+                                   MatrixView(batch.target_attrs), joined);
+    ref_tower_.InferInto(joined, arena, out);
+  } else {
+    MatView q = arena->Alloc(batch.size, embeddings_->emb_dim());
+    embeddings_->QueryInto(batch.query_ids.data(), batch.size, q);
+    ref_tower_.InferInto(q, arena, out);
+  }
+  arena->Rewind(mark);
+}
+
+void GateNetwork::BehaviorHiddenInto(const Batch& batch, int64_t j,
+                                     InferenceArena* arena,
+                                     MatView out) const {
+  const size_t mark = arena->Mark();
+  const int64_t item_in = embeddings_->item_dim() + Example::kItemAttrs;
+  MatView joined = arena->Alloc(batch.size, item_in);
+  embeddings_->ItemWithAttrsInto(
+      batch.behavior_items.data() + j, batch.behavior_cats.data() + j,
+      batch.behavior_brands.data() + j, batch.size,
+      /*id_stride=*/batch.seq_len,
+      MatrixColsView(batch.behavior_attrs, j * Example::kItemAttrs,
+                     Example::kItemAttrs),
+      joined);
+  item_tower_.InferInto(joined, arena, out);
+  arena->Rewind(mark);
+}
+
+void GateNetwork::InferInto(const Batch& batch, InferenceArena* arena,
+                            MatView out) const {
+  const int64_t b = batch.size;
+  const int64_t k = dims_.num_experts;
+  const int64_t h = dims_.hidden_dim();
+  AWMOE_CHECK(out.rows == b && out.cols == k)
+      << "GateNetwork::InferInto: out " << out.rows << "x" << out.cols;
+  AWMOE_CHECK(batch.seq_len > 0)
+      << "GateNetwork::InferInto: empty sequence layout";
+  const size_t outer_mark = arena->Mark();
+  MatView h_ref = arena->Alloc(b, h);
+  ReferenceInto(batch, arena, h_ref);
+
+  // `out` accumulates g exactly like Forward: position 0 assigns, later
+  // positions add a materialised contribution buffer.
+  if (config_.mode == GateMode::kFull ||
+      config_.mode == GateMode::kBaseGateUnit) {
+    // Per-item gate units (Eq. 7), optionally attention-weighted (Eq. 8).
+    for (int64_t j = 0; j < batch.seq_len; ++j) {
+      const size_t mark = arena->Mark();
+      MatView h_bj = arena->Alloc(b, h);
+      BehaviorHiddenInto(batch, j, arena, h_bj);
+      MatView a_j = arena->Alloc(b, k);
+      gate_unit_.InferInto(h_bj, h_ref, arena, a_j);
+      const ConstMatView mask_j = MatrixColsView(batch.behavior_mask, j, 1);
+      ConstMatView weights;
+      if (config_.mode == GateMode::kFull) {
+        MatView w_j = arena->Alloc(b, 1);
+        activation_unit_.InferInto(h_bj, h_ref, arena, w_j);
+        MatView masked = arena->Alloc(b, 1);
+        MulInto(w_j, mask_j, masked);
+        weights = masked;
+      } else {
+        weights = mask_j;
+      }
+      if (j == 0) {
+        MulColBroadcastInto(a_j, weights, out);
+      } else {
+        MatView contribution = arena->Alloc(b, k);
+        MulColBroadcastInto(a_j, weights, contribution);
+        AddInPlace(out, contribution);
+      }
+      arena->Rewind(mark);
+    }
+  } else {
+    // Pooled modes: pool behaviour hiddens first, then one gate unit.
+    MatView pooled = arena->Alloc(b, h);
+    for (int64_t j = 0; j < batch.seq_len; ++j) {
+      const size_t mark = arena->Mark();
+      MatView h_bj = arena->Alloc(b, h);
+      BehaviorHiddenInto(batch, j, arena, h_bj);
+      const ConstMatView mask_j = MatrixColsView(batch.behavior_mask, j, 1);
+      ConstMatView weights;
+      if (config_.mode == GateMode::kBaseActivationUnit) {
+        MatView w_j = arena->Alloc(b, 1);
+        activation_unit_.InferInto(h_bj, h_ref, arena, w_j);
+        MatView masked = arena->Alloc(b, 1);
+        MulInto(w_j, mask_j, masked);
+        weights = masked;
+      } else {  // kBaseSumPool.
+        weights = mask_j;
+      }
+      if (j == 0) {
+        MulColBroadcastInto(h_bj, weights, pooled);
+      } else {
+        MatView contribution = arena->Alloc(b, h);
+        MulColBroadcastInto(h_bj, weights, contribution);
+        AddInPlace(pooled, contribution);
+      }
+      arena->Rewind(mark);
+    }
+    gate_unit_.InferInto(pooled, h_ref, arena, out);
+  }
+
+  AddBiasInPlace(out, gate_bias_.value());
+  if (config_.softmax) SoftmaxRowsInPlace(out);
+  if (config_.top_k > 0 && config_.top_k < k) {
+    // Sparsely-gated MoE (§V): hard top-k selection, same tie-breaking
+    // as the training path's TopKMaskRows.
+    TopKMulInPlace(out, config_.top_k, arena);
+  }
+  arena->Rewind(outer_mark);
+}
+
 void GateNetwork::CollectParameters(std::vector<Var>* params) const {
   item_tower_.CollectParameters(params);
   ref_tower_.CollectParameters(params);

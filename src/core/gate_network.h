@@ -25,6 +25,10 @@ class GateUnit : public Module {
   /// h_b, h_ref: [B, hidden_dim] -> activation vectors a_j [B, K].
   Var Forward(const Var& h_b, const Var& h_ref) const;
 
+  /// Graph-free Forward into a caller [B, K] view.
+  void InferInto(const ConstMatView& h_b, const ConstMatView& h_ref,
+                 InferenceArena* arena, MatView out) const;
+
   void CollectParameters(std::vector<Var>* params) const override;
 
  private:
@@ -69,6 +73,13 @@ class GateNetwork : public Module {
   /// representation used by the contrastive loss and Fig. 7.
   Var Forward(const Batch& batch) const;
 
+  /// Graph-free Forward into a caller [B, K] view (bitwise-identical
+  /// to Forward, zero allocation once the arena is warm) — the gate
+  /// half of the ScoreInto serving path, also used alone by GateInto
+  /// when the engine probes per-session gate rows.
+  void InferInto(const Batch& batch, InferenceArena* arena,
+                 MatView out) const;
+
   void CollectParameters(std::vector<Var>* params) const override;
 
   const GateConfig& config() const { return config_; }
@@ -76,6 +87,14 @@ class GateNetwork : public Module {
  private:
   /// h^G of the reference (query, or target item in recommendation mode).
   Var Reference(const Batch& batch) const;
+
+  /// Graph-free Reference into `out` [B, hidden_dim].
+  void ReferenceInto(const Batch& batch, InferenceArena* arena,
+                     MatView out) const;
+
+  /// Graph-free item tower over sequence position j: `out` [B, hidden].
+  void BehaviorHiddenInto(const Batch& batch, int64_t j,
+                          InferenceArena* arena, MatView out) const;
 
   DatasetMeta meta_;
   ModelDims dims_;

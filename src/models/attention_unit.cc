@@ -25,6 +25,19 @@ Var AttentionUnit::Forward(const Var& h_user, const Var& h_ref) const {
   return mlp_.Forward(joined);
 }
 
+void AttentionUnit::InferInto(const ConstMatView& h_user,
+                              const ConstMatView& h_ref,
+                              InferenceArena* arena, MatView out) const {
+  AWMOE_CHECK(h_user.cols == hidden_dim_ && h_ref.cols == hidden_dim_)
+      << "AttentionUnit::InferInto: dims " << h_user.cols << "/"
+      << h_ref.cols << " vs " << hidden_dim_;
+  const size_t mark = arena->Mark();
+  MatView joined = arena->Alloc(h_user.rows, 3 * hidden_dim_);
+  ConcatInteractionInto(h_user, h_ref, joined);
+  mlp_.InferInto(joined, arena, out);
+  arena->Rewind(mark);
+}
+
 void AttentionUnit::CollectParameters(std::vector<Var>* params) const {
   mlp_.CollectParameters(params);
 }

@@ -25,6 +25,11 @@ class AttentionUnit : public Module {
   /// h_user, h_ref: [B, hidden_dim] -> attention scores [B, 1].
   Var Forward(const Var& h_user, const Var& h_ref) const;
 
+  /// Graph-free Forward into a caller buffer [B, 1] (bitwise-identical
+  /// to Forward, zero allocation from a warmed arena).
+  void InferInto(const ConstMatView& h_user, const ConstMatView& h_ref,
+                 InferenceArena* arena, MatView out) const;
+
   void CollectParameters(std::vector<Var>* params) const override;
 
  private:

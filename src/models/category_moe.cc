@@ -43,6 +43,58 @@ std::vector<Var> CategoryMoeRanker::Parameters() const {
   return params;
 }
 
+void CategoryMoeRanker::GateRowsInto(const Batch& batch,
+                                     InferenceArena* arena, MatView g) const {
+  const size_t mark = arena->Mark();
+  // Query category in search mode; target category when there is no query.
+  const std::vector<int64_t>& cats =
+      meta_.recommendation_mode ? batch.target_cats : batch.query_cats;
+  MatView cat_emb = arena->Alloc(batch.size, dims_.emb_dim);
+  embeddings_.CategoryInto(cats.data(), batch.size, cat_emb);
+  gate_mlp_.InferInto(cat_emb, arena, g);
+  SoftmaxRowsInPlace(g);
+  arena->Rewind(mark);
+}
+
+void CategoryMoeRanker::ScoreInto(const Batch& batch, const SessionGate* gate,
+                                  InferenceWorkspace* workspace,
+                                  std::span<float> out) {
+  CheckScoreIntoArgs(batch, workspace, out.size());
+  InferenceArena* arena = workspace->arena();
+  arena->Reset();
+  const int64_t k = dims_.num_experts;
+  // Same op order as ForwardLogits: experts on the impression vector,
+  // then the gate, then the row-wise weighted sum.
+  MatView v_imp = arena->Alloc(batch.size, input_network_.output_dim());
+  input_network_.InferInto(batch, arena, v_imp);
+  MatView scores = arena->Alloc(batch.size, k);
+  experts_.InferAllInto(v_imp, arena, scores);
+  ConstMatView gate_view;
+  if (gate != nullptr) {
+    gate_view = ResolveSessionGate(*gate, batch.size, k);
+  } else {
+    MatView g = arena->Alloc(batch.size, k);
+    GateRowsInto(batch, arena, g);
+    gate_view = g;
+  }
+  DotRowsInto(scores, gate_view, MatView{out.data(), batch.size, 1, 1});
+}
+
+void CategoryMoeRanker::GateInto(const Batch& batch,
+                                 InferenceWorkspace* workspace,
+                                 std::span<float> out) {
+  CheckScoreIntoArgs(batch, workspace, out.size());
+  AWMOE_CHECK(static_cast<int64_t>(out.size()) >=
+              batch.size * dims_.num_experts)
+      << "GateInto: out span " << out.size() << " for " << batch.size
+      << "x" << dims_.num_experts;
+  InferenceArena* arena = workspace->arena();
+  arena->Reset();
+  GateRowsInto(batch, arena,
+               MatView{out.data(), batch.size, dims_.num_experts,
+                       dims_.num_experts});
+}
+
 std::unique_ptr<Ranker> CategoryMoeRanker::Clone() const {
   Rng rng(1);
   auto clone = std::make_unique<CategoryMoeRanker>(meta_, dims_, &rng);

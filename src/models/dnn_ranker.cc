@@ -2,6 +2,22 @@
 
 namespace awmoe {
 
+namespace {
+
+/// Shared DNN/DIN kernel path: input network -> single FFN, every
+/// intermediate in the workspace arena, logits straight into `out`.
+void FfnScoreInto(const InputNetwork& input_network,
+                  const ExpertNetwork& ffn, const Batch& batch,
+                  InferenceWorkspace* workspace, std::span<float> out) {
+  InferenceArena* arena = workspace->arena();
+  arena->Reset();
+  MatView v_imp = arena->Alloc(batch.size, input_network.output_dim());
+  input_network.InferInto(batch, arena, v_imp);
+  ffn.InferInto(v_imp, arena, MatView{out.data(), batch.size, 1, 1});
+}
+
+}  // namespace
+
 DnnRanker::DnnRanker(const DatasetMeta& meta, const ModelDims& dims,
                      Rng* rng)
     : meta_(meta),
@@ -21,6 +37,14 @@ std::unique_ptr<Ranker> DnnRanker::Clone() const {
   auto clone = std::make_unique<DnnRanker>(meta_, dims_, &rng);
   CopyParametersInto(*this, clone.get());
   return clone;
+}
+
+void DnnRanker::ScoreInto(const Batch& batch, const SessionGate* gate,
+                          InferenceWorkspace* workspace,
+                          std::span<float> out) {
+  AWMOE_CHECK(gate == nullptr) << "DNN has no session gate";
+  CheckScoreIntoArgs(batch, workspace, out.size());
+  FfnScoreInto(input_network_, ffn_, batch, workspace, out);
 }
 
 std::vector<Var> DnnRanker::Parameters() const {
@@ -48,6 +72,14 @@ std::unique_ptr<Ranker> DinRanker::Clone() const {
   auto clone = std::make_unique<DinRanker>(meta_, dims_, &rng);
   CopyParametersInto(*this, clone.get());
   return clone;
+}
+
+void DinRanker::ScoreInto(const Batch& batch, const SessionGate* gate,
+                          InferenceWorkspace* workspace,
+                          std::span<float> out) {
+  AWMOE_CHECK(gate == nullptr) << "DIN has no session gate";
+  CheckScoreIntoArgs(batch, workspace, out.size());
+  FfnScoreInto(input_network_, ffn_, batch, workspace, out);
 }
 
 std::vector<Var> DinRanker::Parameters() const {

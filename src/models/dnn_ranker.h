@@ -26,6 +26,11 @@ class DnnRanker : public Ranker {
   std::string name() const override { return "DNN"; }
   std::unique_ptr<Ranker> Clone() const override;
 
+  /// Allocation-free inference path (no gate: `gate` must be null).
+  void ScoreInto(const Batch& batch, const SessionGate* gate,
+                 InferenceWorkspace* workspace,
+                 std::span<float> out) override;
+
  private:
   DatasetMeta meta_;
   ModelDims dims_;
@@ -44,6 +49,11 @@ class DinRanker : public Ranker {
   std::vector<Var> Parameters() const override;
   std::string name() const override { return "DIN"; }
   std::unique_ptr<Ranker> Clone() const override;
+
+  /// Allocation-free inference path (no gate: `gate` must be null).
+  void ScoreInto(const Batch& batch, const SessionGate* gate,
+                 InferenceWorkspace* workspace,
+                 std::span<float> out) override;
 
  private:
   DatasetMeta meta_;

@@ -34,6 +34,51 @@ Var EmbeddingSet::Category(const std::vector<int64_t>& cat_ids) const {
   return cat_.Forward(cat_ids);
 }
 
+void EmbeddingSet::ItemTripleInto(const int64_t* items, const int64_t* cats,
+                                  const int64_t* brands, int64_t count,
+                                  int64_t id_stride, MatView out) const {
+  AWMOE_CHECK(out.cols == item_dim())
+      << "ItemTripleInto: out width " << out.cols << " vs " << item_dim();
+  item_.GatherInto(items, count, id_stride, out.ColBlock(0, emb_dim_));
+  cat_.GatherInto(cats, count, id_stride, out.ColBlock(emb_dim_, emb_dim_));
+  brand_.GatherInto(brands, count, id_stride,
+                    out.ColBlock(2 * emb_dim_, emb_dim_));
+}
+
+void EmbeddingSet::ItemWithAttrsInto(const int64_t* items,
+                                     const int64_t* cats,
+                                     const int64_t* brands, int64_t count,
+                                     int64_t id_stride,
+                                     const ConstMatView& attrs,
+                                     MatView out) const {
+  AWMOE_CHECK(out.cols == item_dim() + attrs.cols)
+      << "ItemWithAttrsInto: out width " << out.cols << " vs "
+      << item_dim() + attrs.cols;
+  ItemTripleInto(items, cats, brands, count, id_stride,
+                 out.ColBlock(0, item_dim()));
+  CopyInto(attrs, out.ColBlock(item_dim(), attrs.cols));
+}
+
+void EmbeddingSet::QueryInto(const int64_t* query_ids, int64_t count,
+                             MatView out) const {
+  query_.GatherInto(query_ids, count, /*id_stride=*/1, out);
+}
+
+void EmbeddingSet::ShopInto(const int64_t* shop_ids, int64_t count,
+                            MatView out) const {
+  shop_.GatherInto(shop_ids, count, /*id_stride=*/1, out);
+}
+
+void EmbeddingSet::AgeInto(const int64_t* age_segments, int64_t count,
+                           MatView out) const {
+  age_.GatherInto(age_segments, count, /*id_stride=*/1, out);
+}
+
+void EmbeddingSet::CategoryInto(const int64_t* cat_ids, int64_t count,
+                                MatView out) const {
+  cat_.GatherInto(cat_ids, count, /*id_stride=*/1, out);
+}
+
 void EmbeddingSet::CollectParameters(std::vector<Var>* params) const {
   item_.CollectParameters(params);
   cat_.CollectParameters(params);

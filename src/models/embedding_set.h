@@ -37,6 +37,29 @@ class EmbeddingSet : public Module {
   /// Category embedding alone (Category-MoE gate input): [n, emb_dim].
   Var Category(const std::vector<int64_t>& cat_ids) const;
 
+  // --- Graph-free lookups into caller buffers (ScoreInto path). The
+  // id stride addresses one sequence position of a Batch's row-major
+  // [size * seq_len] layout directly (stride 1 for per-row id lists).
+
+  /// concat(item, cat, brand) rows into `out` [count, item_dim()].
+  void ItemTripleInto(const int64_t* items, const int64_t* cats,
+                      const int64_t* brands, int64_t count,
+                      int64_t id_stride, MatView out) const;
+
+  /// Item-tower input layout: [ItemTriple | attrs] into `out`
+  /// [count, item_dim() + attrs.cols]. One definition of the packing
+  /// shared by every tower that consumes items with side-info (target
+  /// and behaviour positions of the input and gate networks).
+  void ItemWithAttrsInto(const int64_t* items, const int64_t* cats,
+                         const int64_t* brands, int64_t count,
+                         int64_t id_stride, const ConstMatView& attrs,
+                         MatView out) const;
+
+  void QueryInto(const int64_t* query_ids, int64_t count, MatView out) const;
+  void ShopInto(const int64_t* shop_ids, int64_t count, MatView out) const;
+  void AgeInto(const int64_t* age_segments, int64_t count, MatView out) const;
+  void CategoryInto(const int64_t* cat_ids, int64_t count, MatView out) const;
+
   void CollectParameters(std::vector<Var>* params) const override;
 
   int64_t emb_dim() const { return emb_dim_; }

@@ -19,6 +19,11 @@ Var ExpertNetwork::Forward(const Var& v_imp) const {
   return mlp_.Forward(v_imp);
 }
 
+void ExpertNetwork::InferInto(const ConstMatView& v_imp,
+                              InferenceArena* arena, MatView out) const {
+  mlp_.InferInto(v_imp, arena, out);
+}
+
 void ExpertNetwork::CollectParameters(std::vector<Var>* params) const {
   mlp_.CollectParameters(params);
 }
@@ -38,6 +43,17 @@ Var ExpertBank::ForwardAll(const Var& v_imp) const {
     scores.push_back(expert.Forward(v_imp));
   }
   return ag::ConcatCols(scores);
+}
+
+void ExpertBank::InferAllInto(const ConstMatView& v_imp,
+                              InferenceArena* arena, MatView out) const {
+  AWMOE_CHECK(out.rows == v_imp.rows &&
+              out.cols == static_cast<int64_t>(experts_.size()))
+      << "InferAllInto: out " << out.rows << "x" << out.cols;
+  for (size_t k = 0; k < experts_.size(); ++k) {
+    experts_[k].InferInto(v_imp, arena,
+                          out.ColBlock(static_cast<int64_t>(k), 1));
+  }
 }
 
 void ExpertBank::CollectParameters(std::vector<Var>* params) const {

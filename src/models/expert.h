@@ -21,6 +21,11 @@ class ExpertNetwork : public Module {
   /// v_imp [B, input_dim] -> s_k [B, 1].
   Var Forward(const Var& v_imp) const;
 
+  /// Graph-free Forward into a caller [B, 1] view (a column of the
+  /// expert-score matrix on the ScoreInto path).
+  void InferInto(const ConstMatView& v_imp, InferenceArena* arena,
+                 MatView out) const;
+
   void CollectParameters(std::vector<Var>* params) const override;
 
  private:
@@ -34,6 +39,11 @@ class ExpertBank : public Module {
   ExpertBank(int64_t input_dim, const ModelDims& dims, Rng* rng);
 
   Var ForwardAll(const Var& v_imp) const;
+
+  /// Graph-free ForwardAll: expert k writes column k of `out` [B, K]
+  /// (bitwise-identical to the ConcatCols of per-expert Forwards).
+  void InferAllInto(const ConstMatView& v_imp, InferenceArena* arena,
+                    MatView out) const;
 
   int64_t num_experts() const {
     return static_cast<int64_t>(experts_.size());

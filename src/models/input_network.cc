@@ -66,6 +66,96 @@ Var InputNetwork::Forward(const Batch& batch) const {
   return ag::ConcatCols({v_user, h_target, h_query, h_other});
 }
 
+void InputNetwork::InferInto(const Batch& batch, InferenceArena* arena,
+                             MatView out) const {
+  const int64_t b = batch.size;
+  const int64_t h = dims_.hidden_dim();
+  AWMOE_CHECK(out.rows == b && out.cols == output_dim())
+      << "InputNetwork::InferInto: out " << out.rows << "x" << out.cols;
+  AWMOE_CHECK(batch.seq_len > 0)
+      << "InputNetwork::InferInto: empty sequence layout";
+  const int64_t item_in = embeddings_->item_dim() + Example::kItemAttrs;
+
+  // v_imp slices, in the ConcatCols order of Forward:
+  //   v_user | h_target | [h_query |] h_other
+  MatView v_user = out.ColBlock(0, h);
+  MatView h_target = out.ColBlock(h, h);
+  MatView h_other = out.ColBlock(meta_.recommendation_mode ? 2 * h : 3 * h, h);
+
+  // h_t: target-item tower (Eq. 2).
+  {
+    const size_t mark = arena->Mark();
+    MatView joined = arena->Alloc(b, item_in);
+    embeddings_->ItemWithAttrsInto(batch.target_items.data(),
+                                   batch.target_cats.data(),
+                                   batch.target_brands.data(), b,
+                                   /*id_stride=*/1,
+                                   MatrixView(batch.target_attrs), joined);
+    item_tower_.InferInto(joined, arena, h_target);
+    arena->Rewind(mark);
+  }
+
+  // v_u: behaviour pooling (Eq. 3), padded positions masked out. The
+  // first position writes v_user, later ones accumulate via a
+  // contribution buffer — the exact Add(v_user, contribution) shape of
+  // the graph path, so no fused multiply-add can change a bit.
+  for (int64_t j = 0; j < batch.seq_len; ++j) {
+    const size_t mark = arena->Mark();
+    MatView joined = arena->Alloc(b, item_in);
+    embeddings_->ItemWithAttrsInto(
+        batch.behavior_items.data() + j, batch.behavior_cats.data() + j,
+        batch.behavior_brands.data() + j, b,
+        /*id_stride=*/batch.seq_len,
+        MatrixColsView(batch.behavior_attrs, j * Example::kItemAttrs,
+                       Example::kItemAttrs),
+        joined);
+    MatView h_bj = arena->Alloc(b, h);
+    item_tower_.InferInto(joined, arena, h_bj);
+
+    const ConstMatView mask_j = MatrixColsView(batch.behavior_mask, j, 1);
+    ConstMatView weights;  // [B, 1] per-row factor of this position.
+    if (pooling_ == UserPooling::kAttention) {
+      MatView w_j = arena->Alloc(b, 1);
+      activation_unit_.InferInto(h_bj, h_target, arena, w_j);
+      MatView masked = arena->Alloc(b, 1);
+      MulInto(w_j, mask_j, masked);
+      weights = masked;
+    } else {
+      weights = mask_j;
+    }
+    if (j == 0) {
+      MulColBroadcastInto(h_bj, weights, v_user);
+    } else {
+      MatView contribution = arena->Alloc(b, h);
+      MulColBroadcastInto(h_bj, weights, contribution);
+      AddInPlace(v_user, contribution);
+    }
+    arena->Rewind(mark);
+  }
+
+  // h_o: profile + cross/numeric features.
+  {
+    const size_t mark = arena->Mark();
+    const int64_t e = embeddings_->emb_dim();
+    MatView joined = arena->Alloc(b, 2 * e + meta_.numeric_dim);
+    embeddings_->AgeInto(batch.age_segments.data(), b, joined.ColBlock(0, e));
+    embeddings_->ShopInto(batch.target_shops.data(), b,
+                          joined.ColBlock(e, e));
+    CopyInto(MatrixView(batch.numeric),
+             joined.ColBlock(2 * e, meta_.numeric_dim));
+    other_tower_.InferInto(joined, arena, h_other);
+    arena->Rewind(mark);
+  }
+
+  if (!meta_.recommendation_mode) {
+    const size_t mark = arena->Mark();
+    MatView q = arena->Alloc(b, embeddings_->emb_dim());
+    embeddings_->QueryInto(batch.query_ids.data(), b, q);
+    query_tower_.InferInto(q, arena, out.ColBlock(2 * h, h));
+    arena->Rewind(mark);
+  }
+}
+
 void InputNetwork::CollectParameters(std::vector<Var>* params) const {
   item_tower_.CollectParameters(params);
   if (!meta_.recommendation_mode) query_tower_.CollectParameters(params);

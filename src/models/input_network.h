@@ -35,6 +35,14 @@ class InputNetwork : public Module {
   /// Impression representation [B, output_dim()].
   Var Forward(const Batch& batch) const;
 
+  /// Graph-free Forward into a caller [B, output_dim()] view
+  /// (bitwise-identical to Forward, zero allocation once the arena is
+  /// warm): each tower writes its slice of v_imp directly, and the
+  /// behaviour loop reads sequence positions straight out of the
+  /// Batch's padded layout instead of materialising column vectors.
+  void InferInto(const Batch& batch, InferenceArena* arena,
+                 MatView out) const;
+
   /// Width of the impression vector v_imp.
   int64_t output_dim() const;
 

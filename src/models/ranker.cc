@@ -1,8 +1,64 @@
 #include "models/ranker.h"
 
+#include <algorithm>
+
+#include "nn/inference.h"
 #include "util/check.h"
 
 namespace awmoe {
+
+std::unique_ptr<InferenceWorkspace> Ranker::CreateInferenceWorkspace(
+    int64_t max_batch_candidates) const {
+  return std::make_unique<InferenceWorkspace>(max_batch_candidates);
+}
+
+void Ranker::ScoreInto(const Batch& batch, const SessionGate* gate,
+                       InferenceWorkspace* workspace, std::span<float> out) {
+  // Base fallback for rankers without a dedicated kernel path: correct
+  // (and graph-free via NoGradGuard) but not allocation-free. The four
+  // shipped rankers all override this.
+  AWMOE_CHECK(gate == nullptr)
+      << name() << " has no session gate; ScoreInto got one";
+  CheckScoreIntoArgs(batch, workspace, out.size());
+  Matrix logits = InferenceLogits(batch);
+  for (int64_t i = 0; i < batch.size; ++i) {
+    out[static_cast<size_t>(i)] = logits(i, 0);
+  }
+}
+
+void Ranker::GateInto(const Batch& batch, InferenceWorkspace* workspace,
+                      std::span<float> out) {
+  (void)batch;
+  (void)workspace;
+  (void)out;
+  AWMOE_CHECK(false) << name()
+                     << " has no session gate (SessionGateWidth() == 0)";
+}
+
+void CheckScoreIntoArgs(const Batch& batch,
+                        const InferenceWorkspace* workspace,
+                        size_t out_size) {
+  AWMOE_CHECK(workspace != nullptr) << "ScoreInto: null workspace";
+  AWMOE_CHECK(batch.size <= workspace->max_candidates())
+      << "ScoreInto: batch " << batch.size << " exceeds workspace capacity "
+      << workspace->max_candidates();
+  AWMOE_CHECK(static_cast<int64_t>(out_size) >= batch.size)
+      << "ScoreInto: out span " << out_size << " < batch " << batch.size;
+}
+
+ConstMatView ResolveSessionGate(const SessionGate& gate, int64_t batch_size,
+                                int64_t width) {
+  AWMOE_CHECK(gate.data != nullptr) << "SessionGate: null data";
+  AWMOE_CHECK(gate.width == width)
+      << "SessionGate: width " << gate.width << " vs model " << width;
+  AWMOE_CHECK(gate.rows == batch_size || gate.rows == 1)
+      << "SessionGate: rows " << gate.rows << " vs batch " << batch_size;
+  // A single row broadcasts via stride 0 — every candidate reads the
+  // same gate, matching the GatherRows row-0 replication of the legacy
+  // ForwardLogitsWithGate path.
+  const int64_t stride = gate.rows == 1 ? 0 : width;
+  return ConstMatView(gate.data, batch_size, width, stride);
+}
 
 void CopyParametersInto(const Ranker& src, Ranker* dst) {
   AWMOE_CHECK(dst != nullptr) << "CopyParametersInto: null destination";

@@ -2,13 +2,27 @@
 #define AWMOE_MODELS_RANKER_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "autograd/variable.h"
 #include "data/example.h"
+#include "nn/inference.h"
 
 namespace awmoe {
+
+/// Read-only view of precomputed per-session gate activations handed to
+/// ScoreInto (§III-F behind the API): `data` is row-major
+/// [rows, width]. `rows` is either the batch size (one row per
+/// candidate, typically replicated from cached per-session rows by the
+/// serving engine) or 1, in which case the single row is broadcast to
+/// every candidate. Only models with SessionGateWidth() > 0 accept one.
+struct SessionGate {
+  const float* data = nullptr;
+  int64_t rows = 0;
+  int64_t width = 0;
+};
 
 /// Common interface of every ranking model in the repo. Implementations
 /// return *logits*; apply a sigmoid for the predicted CTR/CVR (Eq. 1 trains
@@ -35,16 +49,60 @@ class Ranker {
     return Var();
   }
 
-  /// Batched inference entry point: ranking logits [B, 1] with autograd
-  /// recording disabled (no graph is built). The batch may micro-batch
-  /// candidates from several sessions; implementations must keep per-row
-  /// results independent of batch composition (row-wise kernels, fixed
-  /// sequence padding), which is what lets the serving engine fuse
-  /// sessions without changing scores.
+  /// Compatibility shim of the legacy inference surface: ranking logits
+  /// [B, 1] with autograd recording disabled. Still walks the Var op
+  /// graph machinery (one heap-allocated node and value matrix per op),
+  /// so the serving hot path uses ScoreInto below instead;
+  /// InferenceLogits remains the reference the ScoreInto regression
+  /// tests compare against bitwise. The batch may micro-batch
+  /// candidates from several sessions; implementations must keep
+  /// per-row results independent of batch composition (row-wise
+  /// kernels, fixed sequence padding), which is what lets the serving
+  /// engine fuse sessions without changing scores.
   virtual Matrix InferenceLogits(const Batch& batch) {
     NoGradGuard guard;
     return ForwardLogits(batch).value();
   }
+
+  // --- The workspace-based inference API (the serving hot path). ---
+
+  /// Preallocates everything one execution lane needs to score
+  /// micro-batches of up to `max_batch_candidates` rows: activation
+  /// arena, padded staging buffers, gate scratch. The workspace is
+  /// opaque to callers and NOT thread-safe — each ModelPool replica
+  /// lane owns its own, serialised by the lane lock.
+  virtual std::unique_ptr<InferenceWorkspace> CreateInferenceWorkspace(
+      int64_t max_batch_candidates) const;
+
+  /// Scores a micro-batch into `out` (ranking logits, one per batch
+  /// row) with zero steady-state heap allocation: no autograd graph, no
+  /// Matrix temporaries — every intermediate lives in the workspace,
+  /// which only ever grows. Results are bitwise-identical to
+  /// InferenceLogits (regression-tested per ranker).
+  ///
+  /// `gate`, when non-null, supplies precomputed gate activations
+  /// (§III-F: the engine replicates cached per-session rows across each
+  /// session's candidates) and the model skips its gate network; only
+  /// models with SessionGateWidth() > 0 accept one — everyone else
+  /// CHECK-fails, the serving engine never passes a gate to them.
+  /// `out.size()` must be >= batch.size and `batch.size` must not
+  /// exceed the workspace's max_batch_candidates.
+  virtual void ScoreInto(const Batch& batch, const SessionGate* gate,
+                         InferenceWorkspace* workspace, std::span<float> out);
+
+  /// Width of one session-gate row (the number of experts the gate
+  /// weighs), or 0 when the model has no reusable gate. Non-zero width
+  /// + SupportsSessionGateReuse(meta) is the serving engine's
+  /// eligibility test for the shared-gate path — no downcasts.
+  virtual int64_t SessionGateWidth() const { return 0; }
+
+  /// Writes the gate activations of every batch row into `out`
+  /// (row-major [batch.size, SessionGateWidth()]), graph- and
+  /// allocation-free. The engine probes one row per session and caches
+  /// it; rows for a session-constant gate are identical across the
+  /// session's candidates. CHECK-fails when SessionGateWidth() == 0.
+  virtual void GateInto(const Batch& batch, InferenceWorkspace* workspace,
+                        std::span<float> out);
 
   /// True when the model's gate depends only on session-constant inputs
   /// (user behaviour sequence + query) under `meta`, so one gate
@@ -76,6 +134,20 @@ class Ranker {
     for (Var& p : Parameters()) p.ZeroGrad();
   }
 };
+
+/// CHECK-validates the shared ScoreInto preconditions: non-null
+/// workspace sized for the batch, and an output span with at least one
+/// slot per batch row.
+void CheckScoreIntoArgs(const Batch& batch,
+                        const InferenceWorkspace* workspace,
+                        size_t out_size);
+
+/// Validates a SessionGate against the batch and the model's gate width
+/// and returns it as a [batch_size, width] read view (a 1-row gate
+/// broadcasts via stride 0). Shared by every gate-reusing ranker's
+/// ScoreInto.
+ConstMatView ResolveSessionGate(const SessionGate& gate, int64_t batch_size,
+                                int64_t width);
 
 /// Copies every parameter matrix of `src` into `dst` (the Clone()
 /// work-horse: implementations rebuild an identically-dimensioned model

@@ -1,0 +1,207 @@
+#ifndef AWMOE_NN_INFERENCE_H_
+#define AWMOE_NN_INFERENCE_H_
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mat/matrix.h"
+
+namespace awmoe {
+
+// The allocation-free inference substrate behind Ranker::ScoreInto.
+//
+// The training path builds an autograd graph: every op heap-allocates a
+// node, a value matrix and (lazily) a gradient. The serving hot path
+// needs none of that — shapes are fixed per model and bounded by the
+// micro-batch cap, so every intermediate can live in a reusable arena
+// owned by an InferenceWorkspace, and every kernel can write into a
+// caller-provided buffer.
+//
+// BITWISE CONTRACT: each *Into / *InPlace kernel below performs exactly
+// the per-element arithmetic, in exactly the accumulation order, of its
+// mat/kernels.cc counterpart (which the autograd ops forward to). The
+// module-level InferInto methods materialise one buffer per op of the
+// original Var expression instead of fusing, so ScoreInto reproduces
+// InferenceLogits bit for bit — regression-tested in
+// tests/models/inference_path_test.cc.
+
+/// Non-owning, mutable view of a row-major [rows, cols] block whose rows
+/// are `stride` floats apart (stride >= cols; a column block of a wider
+/// buffer keeps the parent's stride).
+struct MatView {
+  float* data = nullptr;
+  int64_t rows = 0;
+  int64_t cols = 0;
+  int64_t stride = 0;
+
+  float* row(int64_t r) const { return data + r * stride; }
+
+  /// Columns [begin, begin + width) as a sub-view (same rows).
+  MatView ColBlock(int64_t begin, int64_t width) const {
+    AWMOE_DCHECK(begin >= 0 && width >= 0 && begin + width <= cols)
+        << "ColBlock [" << begin << "," << begin + width << ") of " << cols;
+    return MatView{data + begin, rows, width, stride};
+  }
+};
+
+/// Read-only view; converts implicitly from MatView and wraps const
+/// Matrix storage (batch features, cached gate rows) without copying.
+/// A broadcast row is expressed as stride == 0.
+struct ConstMatView {
+  const float* data = nullptr;
+  int64_t rows = 0;
+  int64_t cols = 0;
+  int64_t stride = 0;
+
+  ConstMatView() = default;
+  ConstMatView(const float* data, int64_t rows, int64_t cols, int64_t stride)
+      : data(data), rows(rows), cols(cols), stride(stride) {}
+  ConstMatView(const MatView& v)  // NOLINT(google-explicit-constructor)
+      : data(v.data), rows(v.rows), cols(v.cols), stride(v.stride) {}
+
+  const float* row(int64_t r) const { return data + r * stride; }
+};
+
+/// Whole-matrix read view.
+inline ConstMatView MatrixView(const Matrix& m) {
+  return ConstMatView(m.data(), m.rows(), m.cols(), m.cols());
+}
+
+/// Columns [begin, begin + width) of a matrix as a read view.
+inline ConstMatView MatrixColsView(const Matrix& m, int64_t begin,
+                                   int64_t width) {
+  AWMOE_DCHECK(begin >= 0 && width >= 0 && begin + width <= m.cols())
+      << "MatrixColsView [" << begin << "," << begin + width << ") of "
+      << m.cols();
+  return ConstMatView(m.data() + begin, m.rows(), width, m.cols());
+}
+
+/// Bump allocator over persistent float slabs. Alloc() hands out the
+/// next slab (grown in place when too small — std::vector never shrinks
+/// its capacity, so a warmed arena allocates nothing); Reset() rewinds
+/// to the first slab for the next forward. Mark()/Rewind() scope the
+/// per-sequence-position temporaries of a behaviour loop so ten
+/// positions reuse one iteration's buffers instead of ten.
+class InferenceArena {
+ public:
+  MatView Alloc(int64_t rows, int64_t cols);
+  void Reset() { next_ = 0; }
+  size_t Mark() const { return next_; }
+  void Rewind(size_t mark) {
+    AWMOE_DCHECK(mark <= next_) << "Rewind past cursor";
+    next_ = mark;
+  }
+  /// Slabs currently materialised (test introspection).
+  size_t num_slabs() const { return slabs_.size(); }
+
+ private:
+  std::vector<std::vector<float>> slabs_;
+  size_t next_ = 0;
+};
+
+/// Preallocated per-lane state of the ScoreInto path: the activation
+/// arena plus persistent staging buffers the serving engine uses for
+/// gate rows (replicated per candidate) and gate-probe outputs. Created
+/// by Ranker::CreateInferenceWorkspace, owned by whoever owns the lane
+/// (each ModelPool replica lane holds its own, so lanes stay lock-free
+/// against each other and cache-warm across micro-batches). Buffers
+/// only ever grow: after one warm-up pass at a given batch size the
+/// steady state performs zero heap allocations.
+class InferenceWorkspace {
+ public:
+  enum StagingSlot { kGateRows = 0, kGateProbe = 1, kNumSlots = 2 };
+
+  explicit InferenceWorkspace(int64_t max_candidates)
+      : max_candidates_(max_candidates) {
+    AWMOE_CHECK(max_candidates > 0)
+        << "InferenceWorkspace: max_candidates " << max_candidates;
+  }
+
+  int64_t max_candidates() const { return max_candidates_; }
+  InferenceArena* arena() { return &arena_; }
+
+  /// Persistent staging buffer for `slot`, grown to at least `n` floats.
+  std::span<float> Staging(StagingSlot slot, int64_t n) {
+    std::vector<float>& buffer = staging_[slot];
+    if (static_cast<int64_t>(buffer.size()) < n) {
+      buffer.resize(static_cast<size_t>(n));
+    }
+    return std::span<float>(buffer.data(), static_cast<size_t>(n));
+  }
+
+ private:
+  int64_t max_candidates_;
+  InferenceArena arena_;
+  std::vector<float> staging_[kNumSlots];
+};
+
+// ---------------------------------------------------------------------
+// Kernels. Each mirrors the arithmetic of its mat/kernels.cc namesake.
+// ---------------------------------------------------------------------
+
+/// out = src (element copy).
+void CopyInto(const ConstMatView& src, MatView out);
+
+/// out = a[m,k] * w[k,n]. Zeroes `out`, then accumulates in the ikj
+/// order of kernels.cc MatMul (including its skip of zero a elements).
+void MatMulInto(const ConstMatView& a, const Matrix& w, MatView out);
+
+/// a[m,n] += bias[1,n] broadcast over rows (AddRowBroadcast, in place).
+void AddBiasInPlace(MatView a, const Matrix& bias);
+
+/// a = max(a, 0) elementwise.
+void ReluInPlace(MatView a);
+
+/// out = a * b elementwise (same shape).
+void MulInto(const ConstMatView& a, const ConstMatView& b, MatView out);
+
+/// out[B, 3d] = [a | b | a*b] — the "product path" input layout shared
+/// by the activation unit (Fig. 4a) and the gate unit (Fig. 4c). One
+/// definition so the layout cannot drift between the two.
+void ConcatInteractionInto(const ConstMatView& a, const ConstMatView& b,
+                           MatView out);
+
+/// a += b elementwise (same shape).
+void AddInPlace(MatView a, const ConstMatView& b);
+
+/// out[r][c] = a[r][c] * w[r][0] (MulColBroadcast).
+void MulColBroadcastInto(const ConstMatView& a, const ConstMatView& w,
+                         MatView out);
+
+/// out[r][0] = dot(a.row(r), b.row(r)) (DotRows).
+void DotRowsInto(const ConstMatView& a, const ConstMatView& b, MatView out);
+
+/// Row-wise softmax in place (max-subtracted, same order as
+/// SoftmaxRows).
+void SoftmaxRowsInPlace(MatView a);
+
+/// Multiplies each row by its top-k mask: entries among the k largest
+/// (ties broken by lower column index, matching TopKMaskRows) are
+/// multiplied by 1, the rest by 0 — a multiply, not an assignment, so
+/// signed zeros match MulMask(g, TopKMaskRows(g, k)) bitwise. Uses one
+/// arena scratch row for the per-row decisions.
+void TopKMulInPlace(MatView a, int64_t k, InferenceArena* arena);
+
+/// out.row(i) = table.row(ids[i * id_stride]); the stride lets callers
+/// gather one sequence position directly from the Batch's row-major
+/// [size * seq_len] id layout without building an index vector.
+void GatherRowsInto(const Matrix& table, const int64_t* ids, int64_t count,
+                    int64_t id_stride, MatView out);
+
+/// The Sigmoid kernel's per-element form (sign-split for stability),
+/// exposed so the serving engine converts ScoreInto logits to
+/// probabilities with arithmetic identical to Sigmoid(Matrix).
+inline float StableSigmoid(float x) {
+  if (x >= 0.0f) {
+    float z = std::exp(-x);
+    return 1.0f / (1.0f + z);
+  }
+  float z = std::exp(x);
+  return z / (1.0f + z);
+}
+
+}  // namespace awmoe
+
+#endif  // AWMOE_NN_INFERENCE_H_

@@ -14,6 +14,16 @@ Var Linear::Forward(const Var& x) const {
   return ag::AddBias(ag::MatMul(x, weight_), bias_);
 }
 
+void Linear::InferInto(const ConstMatView& x, MatView out) const {
+  AWMOE_CHECK(x.cols == weight_.rows())
+      << "Linear::InferInto: input dim " << x.cols << " != "
+      << weight_.rows();
+  // Same op order as Forward: MatMul, then the bias row broadcast (in
+  // place — per element identical to AddBias's fresh buffer).
+  MatMulInto(x, weight_.value(), out);
+  AddBiasInPlace(out, bias_.value());
+}
+
 void Linear::CollectParameters(std::vector<Var>* params) const {
   params->push_back(weight_);
   params->push_back(bias_);

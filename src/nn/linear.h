@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "autograd/ops.h"
+#include "nn/inference.h"
 #include "nn/module.h"
 #include "util/rng.h"
 
@@ -17,6 +18,10 @@ class Linear : public Module {
 
   /// x: [batch, in] -> [batch, out].
   Var Forward(const Var& x) const;
+
+  /// Graph-free Forward into a caller buffer (bitwise-identical values,
+  /// zero allocation): out = x W + b.
+  void InferInto(const ConstMatView& x, MatView out) const;
 
   void CollectParameters(std::vector<Var>* params) const override;
 

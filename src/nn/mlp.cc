@@ -25,6 +25,22 @@ Var Mlp::Forward(const Var& x) const {
   return h;
 }
 
+void Mlp::InferInto(const ConstMatView& x, InferenceArena* arena,
+                    MatView out) const {
+  AWMOE_CHECK(out.rows == x.rows && out.cols == output_dim())
+      << "Mlp::InferInto: out " << out.rows << "x" << out.cols;
+  const size_t mark = arena->Mark();
+  ConstMatView h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    const bool is_last = (i + 1 == layers_.size());
+    MatView y = is_last ? out : arena->Alloc(x.rows, layers_[i].out_dim());
+    layers_[i].InferInto(h, y);
+    if (!is_last || relu_output_) ReluInPlace(y);
+    h = y;
+  }
+  arena->Rewind(mark);
+}
+
 void Mlp::CollectParameters(std::vector<Var>* params) const {
   for (const Linear& layer : layers_) layer.CollectParameters(params);
 }

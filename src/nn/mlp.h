@@ -23,6 +23,12 @@ class Mlp : public Module {
   /// x: [batch, input_dim] -> [batch, layer_dims.back()].
   Var Forward(const Var& x) const;
 
+  /// Graph-free Forward writing the final layer into `out`
+  /// (bitwise-identical to Forward); hidden activations come from the
+  /// arena and are released before returning.
+  void InferInto(const ConstMatView& x, InferenceArena* arena,
+                 MatView out) const;
+
   void CollectParameters(std::vector<Var>* params) const override;
 
   int64_t input_dim() const { return input_dim_; }

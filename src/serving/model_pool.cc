@@ -1,14 +1,31 @@
 #include "serving/model_pool.h"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 #include <typeinfo>
 
-#include "core/aw_moe.h"
+#include "data/batcher.h"
 #include "models/ranker.h"
+#include "nn/inference.h"
 #include "util/check.h"
+#include "util/hash.h"
 
 namespace awmoe {
+
+uint64_t GateContextHash(const Example& ex) {
+  uint64_t h = kFnv1a64Offset;
+  auto mix = [&h](uint64_t v) { h = Fnv1a64Mix(h, v); };
+  mix(static_cast<uint64_t>(ex.user_id));
+  mix(static_cast<uint64_t>(ex.query_id));
+  mix(static_cast<uint64_t>(ex.query_cat));
+  mix(static_cast<uint64_t>(ex.behavior_items.size()));
+  for (int64_t v : ex.behavior_items) mix(static_cast<uint64_t>(v));
+  for (int64_t v : ex.behavior_cats) mix(static_cast<uint64_t>(v));
+  for (int64_t v : ex.behavior_brands) mix(static_cast<uint64_t>(v));
+  for (float f : ex.behavior_attrs) mix(std::bit_cast<uint32_t>(f));
+  return h;
+}
 
 // ---------------------------------------------------------------------
 // SessionGateCache.
@@ -60,6 +77,17 @@ int64_t SessionGateCache::size() const {
 }
 
 // ---------------------------------------------------------------------
+// ReplicaLane.
+// ---------------------------------------------------------------------
+
+InferenceWorkspace* ReplicaLane::EnsureWorkspace(int64_t min_candidates) {
+  if (workspace == nullptr || workspace->max_candidates() < min_candidates) {
+    workspace = model->CreateInferenceWorkspace(min_candidates);
+  }
+  return workspace.get();
+}
+
+// ---------------------------------------------------------------------
 // ModelSnapshot.
 // ---------------------------------------------------------------------
 
@@ -73,12 +101,15 @@ ModelSnapshot::ModelSnapshot(
       live_counter_(std::move(live_counter)) {
   AWMOE_CHECK(base != nullptr) << "null model for '" << name_ << "'";
   AWMOE_CHECK(replicas >= 1) << "replicas " << replicas;
-  gate_shareable_ = dynamic_cast<AwMoeRanker*>(base) != nullptr &&
-                    base->SupportsSessionGateReuse(meta);
+  // Eligibility comes from the Ranker API alone (no downcast): any
+  // model declaring a session-constant gate of non-zero width serves
+  // the shared-gate path through GateInto / ScoreInto's gate argument.
+  gate_width_ = base->SessionGateWidth();
+  gate_shareable_ = base->SupportsSessionGateReuse(meta) && gate_width_ > 0;
+  if (!gate_shareable_) gate_width_ = 0;
 
   auto lane0 = std::make_unique<ReplicaLane>();
   lane0->model = base;
-  lane0->aw_moe = dynamic_cast<AwMoeRanker*>(base);
   lane0->owned = std::move(owned_base);
   lanes_.push_back(std::move(lane0));
 
@@ -91,7 +122,6 @@ ModelSnapshot::ModelSnapshot(
     if (clone == nullptr || typeid(*clone) != typeid(*base)) break;
     auto lane = std::make_unique<ReplicaLane>();
     lane->model = clone.get();
-    lane->aw_moe = dynamic_cast<AwMoeRanker*>(clone.get());
     lane->owned = std::move(clone);
     lanes_.push_back(std::move(lane));
   }
@@ -304,6 +334,62 @@ bool ModelPool::DropCandidate(const std::string& name) {
   // frees itself (replica clones and gate cache included) when the last
   // one releases.
   return dropped != nullptr;
+}
+
+int64_t ModelPool::WarmSessionGates(
+    const std::string& name, RolloutArm arm,
+    const std::vector<std::vector<const Example*>>& sessions,
+    int64_t gate_cache_capacity) {
+  if (gate_cache_capacity <= 0) return 0;
+  const std::string resolved = ResolveName(name);
+  std::shared_ptr<const ModelSnapshot> snapshot =
+      arm == RolloutArm::kCandidate ? CandidateSnapshot(resolved)
+                                    : CurrentSnapshot(resolved);
+  if (snapshot == nullptr || !snapshot->gate_shareable()) return 0;
+  const int64_t width = snapshot->gate_width();
+
+  // Score through lane 0's workspace. Warm-up typically runs before the
+  // snapshot takes traffic, but racing live forwards is safe AND
+  // bounded: the lane lock is taken per chunk, not across the whole
+  // warm-up, so a concurrent micro-batch leased onto lane 0 waits for
+  // at most one warm forward instead of the full session log.
+  ReplicaLane& lane = snapshot->lane(0);
+  constexpr int64_t kWarmChunk = 256;
+
+  int64_t warmed = 0;
+  std::vector<const Example*> probes;
+  std::vector<int64_t> probe_sessions;
+  auto flush = [&] {
+    if (probes.empty()) return;
+    Batch batch = CollateBatch(probes, meta_, standardizer_);
+    std::lock_guard<std::mutex> lock(lane.mu);
+    InferenceWorkspace* workspace = lane.EnsureWorkspace(kWarmChunk);
+    std::span<float> rows = workspace->Staging(
+        InferenceWorkspace::kGateProbe, batch.size * width);
+    lane.model->GateInto(batch, workspace, rows);
+    // Cache inserts stay under the lane lock: `rows` aliases workspace
+    // staging, which the next forward on this lane may overwrite.
+    for (int64_t i = 0; i < batch.size; ++i) {
+      const float* row = rows.data() + i * width;
+      snapshot->gate_cache().Put(
+          probe_sessions[static_cast<size_t>(i)],
+          GateContextHash(*probes[static_cast<size_t>(i)]),
+          std::vector<float>(row, row + width), gate_cache_capacity);
+      ++warmed;
+    }
+    probes.clear();
+    probe_sessions.clear();
+  };
+  for (const std::vector<const Example*>& session : sessions) {
+    if (session.empty()) continue;
+    // One probe per session, from its first item — the engine's own
+    // probe convention, so lookups validate against the same context.
+    probes.push_back(session[0]);
+    probe_sessions.push_back(session[0]->session_id);
+    if (static_cast<int64_t>(probes.size()) >= kWarmChunk) flush();
+  }
+  flush();
+  return warmed;
 }
 
 std::shared_ptr<const ModelSnapshot> ModelPool::CandidateSnapshot(

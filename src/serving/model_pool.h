@@ -16,9 +16,15 @@
 
 namespace awmoe {
 
-class AwMoeRanker;
+class InferenceWorkspace;
 class Ranker;
 class Standardizer;
+
+/// FNV-1a over the features a session-constant gate may read (behaviour
+/// sequence + query + user): the validity stamp of a cached gate row.
+/// Shared by the serving engine's lookups and the pool's gate warm-up,
+/// which MUST agree or warmed rows would never hit.
+uint64_t GateContextHash(const Example& ex);
 
 /// Per-session gate-row LRU (§III-F across requests). Lives inside a
 /// model snapshot, so a published weight update naturally starts cold —
@@ -60,11 +66,21 @@ class SessionGateCache {
 /// mean N forwards for the same model can run concurrently.
 struct ReplicaLane {
   Ranker* model = nullptr;
-  AwMoeRanker* aw_moe = nullptr;  // Non-null when model is an AwMoeRanker.
   std::unique_ptr<Ranker> owned;  // Null for a borrowed lane-0 model.
 
+  /// The lane's preallocated ScoreInto state (arena + staging buffers),
+  /// created lazily by EnsureWorkspace and kept for the lane's
+  /// lifetime: each lane scores with its own buffers, so lanes stay
+  /// lock-free against each other and cache-warm across micro-batches.
+  /// Guarded by `mu`, like every forward on this lane.
+  std::unique_ptr<InferenceWorkspace> workspace;
+
+  /// Returns the lane workspace, (re)creating it when absent or sized
+  /// below `min_candidates`. Caller must hold `mu`.
+  InferenceWorkspace* EnsureWorkspace(int64_t min_candidates);
+
   /// Serialises forwards on this lane (the graph-free inference path
-  /// still shares per-replica model state).
+  /// still shares per-replica model state and the lane workspace).
   std::mutex mu;
   /// Leases currently held on this lane (lane-occupancy gauge).
   std::atomic<int64_t> active{0};
@@ -96,8 +112,13 @@ class ModelSnapshot {
   const std::string& name() const { return name_; }
   int64_t version() const { return version_; }
   int num_replicas() const { return static_cast<int>(lanes_.size()); }
-  /// §III-F eligibility, computed once at publish time.
+  /// §III-F eligibility, computed once at publish time from the model's
+  /// own declaration (SupportsSessionGateReuse + a non-zero gate width)
+  /// — any ranker with a session-constant gate qualifies, no downcast.
   bool gate_shareable() const { return gate_shareable_; }
+  /// Width of one cached gate row (SessionGateWidth() of the model; 0
+  /// when not gate-shareable).
+  int64_t gate_width() const { return gate_width_; }
 
   /// Lane 0's model — the registered/published instance itself.
   Ranker* primary() const { return lanes_[0]->model; }
@@ -113,6 +134,7 @@ class ModelSnapshot {
   std::string name_;
   int64_t version_;
   bool gate_shareable_ = false;
+  int64_t gate_width_ = 0;
   // unique_ptr elements: lanes hold a mutex and atomics, so they must
   // not move once handed out.
   std::vector<std::unique_ptr<ReplicaLane>> lanes_;
@@ -233,6 +255,23 @@ class ModelPool {
   /// New acquires routed at the candidate fall back to stable. No-op
   /// (returns false) when no candidate is staged.
   bool DropCandidate(const std::string& name);
+
+  /// Gate-cache warm-up: pre-populates the gate LRU of `name`'s
+  /// snapshot on `arm` (kCandidate warms a staged rollout candidate
+  /// BEFORE it takes traffic, so its first ramp slice starts gate-warm
+  /// instead of paying cold probes; kStable warms e.g. a freshly
+  /// registered model from logged sessions). One gate row is computed
+  /// per session — from its first item, exactly as the engine probes —
+  /// and stored under the same GateContextHash, so the engine's
+  /// lookups hit. Rows are scored through lane 0's workspace in
+  /// micro-batches. Returns the number of sessions cached: 0 when the
+  /// snapshot is missing (no candidate staged), the model has no
+  /// shareable gate, or `gate_cache_capacity` <= 0 (pass the serving
+  /// engine's configured capacity so eviction order matches serving).
+  int64_t WarmSessionGates(
+      const std::string& name, RolloutArm arm,
+      const std::vector<std::vector<const Example*>>& sessions,
+      int64_t gate_cache_capacity);
 
   /// The staged candidate snapshot under `resolved_name`, or nullptr.
   std::shared_ptr<const ModelSnapshot> CandidateSnapshot(

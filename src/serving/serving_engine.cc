@@ -1,7 +1,6 @@
 #include "serving/serving_engine.h"
 
 #include <algorithm>
-#include <bit>
 #include <chrono>
 #include <cmath>
 #include <map>
@@ -9,34 +8,12 @@
 #include <unordered_map>
 #include <utility>
 
-#include "core/aw_moe.h"
 #include "data/batcher.h"
-#include "mat/kernels.h"
 #include "models/ranker.h"
+#include "nn/inference.h"
 #include "util/check.h"
-#include "util/hash.h"
 
 namespace awmoe {
-
-namespace {
-
-/// FNV-1a over the features the search-mode gate reads (behaviour
-/// sequence + query + user): the validity stamp of a cached gate row.
-uint64_t GateContextHash(const Example& ex) {
-  uint64_t h = kFnv1a64Offset;
-  auto mix = [&h](uint64_t v) { h = Fnv1a64Mix(h, v); };
-  mix(static_cast<uint64_t>(ex.user_id));
-  mix(static_cast<uint64_t>(ex.query_id));
-  mix(static_cast<uint64_t>(ex.query_cat));
-  mix(static_cast<uint64_t>(ex.behavior_items.size()));
-  for (int64_t v : ex.behavior_items) mix(static_cast<uint64_t>(v));
-  for (int64_t v : ex.behavior_cats) mix(static_cast<uint64_t>(v));
-  for (int64_t v : ex.behavior_brands) mix(static_cast<uint64_t>(v));
-  for (float f : ex.behavior_attrs) mix(std::bit_cast<uint32_t>(f));
-  return h;
-}
-
-}  // namespace
 
 ServingEngine::ServingEngine(ModelPool* pool, ServingEngineOptions options)
     : pool_(pool), options_(options) {
@@ -140,12 +117,22 @@ void ServingEngine::ExecuteMicroBatch(const MicroBatch& micro,
 
   const bool shared = options_.share_gate && snapshot.gate_shareable();
   std::vector<bool> cache_hit(n, false);
-  Matrix logits;
+  // Logits land here straight from ScoreInto — the whole model forward
+  // is allocation-free against the lane's workspace; only this engine-
+  // side collation layer still allocates (batch, response buffers).
+  std::vector<float> logits(static_cast<size_t>(batch.size));
+  const std::span<float> logits_span(logits);
+  // Workspaces are sized to the engine's batching caps once, so a lane
+  // serves every later micro-batch (sync or async) without regrowing.
+  const int64_t workspace_candidates =
+      std::max({options_.max_batch_items, options_.max_batch_candidates,
+                batch.size});
   if (shared) {
     // §III-F behind the API: one gate row per session. Rows come from
     // the snapshot's LRU when the session was served before, otherwise
     // from a single fused probe pass (one row per missed session).
     SessionGateCache& cache = snapshot.gate_cache();
+    const int64_t width = snapshot.gate_width();
     std::vector<std::vector<float>> session_gates(n);
     // Probe dedup key is (session id, context hash), not session id
     // alone: two same-session requests with *different* gate inputs
@@ -169,47 +156,55 @@ void ServingEngine::ExecuteMicroBatch(const MicroBatch& micro,
     }
     {
       // One lane critical section for probe + main forward: both touch
-      // this replica's model state. Other replicas of the same snapshot
-      // run their own micro-batches concurrently.
+      // this replica's model state and workspace. Other replicas of the
+      // same snapshot run their own micro-batches concurrently.
       std::lock_guard<std::mutex> lock(lane.mu);
+      InferenceWorkspace* workspace =
+          lane.EnsureWorkspace(workspace_candidates);
       if (!probes.empty()) {
         Batch probe_batch = CollateBatch(probes, meta, pool_->standardizer());
-        Matrix fresh = lane.aw_moe->InferenceGate(probe_batch);
+        std::span<float> fresh = workspace->Staging(
+            InferenceWorkspace::kGateProbe, probe_batch.size * width);
+        lane.model->GateInto(probe_batch, workspace, fresh);
         for (size_t i = 0; i < n; ++i) {
           if (cache_hit[i]) continue;
           const RankRequest& request = requests[micro.request_indices[i]];
-          const int64_t row = static_cast<int64_t>(
-              probe_slot.at({request.session_id, request_hash[i]}));
-          session_gates[i].assign(fresh.row(row),
-                                  fresh.row(row) + fresh.cols());
+          const size_t row =
+              probe_slot.at({request.session_id, request_hash[i]});
+          const float* src = fresh.data() + row * width;
+          session_gates[i].assign(src, src + width);
         }
         if (options_.gate_cache_capacity > 0) {
           for (const auto& [key, row] : probe_slot) {
-            std::vector<float> gate_row(
-                fresh.row(static_cast<int64_t>(row)),
-                fresh.row(static_cast<int64_t>(row)) + fresh.cols());
-            cache.Put(key.first, key.second, std::move(gate_row),
+            const float* src = fresh.data() + row * width;
+            cache.Put(key.first, key.second,
+                      std::vector<float>(src, src + width),
                       options_.gate_cache_capacity);
           }
         }
       }
-      const int64_t k = static_cast<int64_t>(session_gates[0].size());
-      Matrix gate(batch.size, k);
-      int64_t row = 0;
+      // Replicate each session's gate row across its candidates into
+      // the workspace's persistent staging buffer, then run the expert
+      // path with the gate supplied — the generic ScoreInto contract
+      // any SupportsSessionGateReuse model serves.
+      std::span<float> gate_rows = workspace->Staging(
+          InferenceWorkspace::kGateRows, batch.size * width);
+      float* dst = gate_rows.data();
       for (size_t i = 0; i < n; ++i) {
         const RankRequest& request = requests[micro.request_indices[i]];
-        for (size_t j = 0; j < request.items.size(); ++j, ++row) {
-          std::copy(session_gates[i].begin(), session_gates[i].end(),
-                    gate.row(row));
+        for (size_t j = 0; j < request.items.size(); ++j, dst += width) {
+          std::copy(session_gates[i].begin(), session_gates[i].end(), dst);
         }
       }
-      logits = lane.aw_moe->InferenceLogitsWithGate(batch, gate);
+      SessionGate gate{gate_rows.data(), batch.size, width};
+      lane.model->ScoreInto(batch, &gate, workspace, logits_span);
     }
   } else {
     std::lock_guard<std::mutex> lock(lane.mu);
-    logits = lane.model->InferenceLogits(batch);
+    InferenceWorkspace* workspace =
+        lane.EnsureWorkspace(workspace_candidates);
+    lane.model->ScoreInto(batch, nullptr, workspace, logits_span);
   }
-  Matrix probs = Sigmoid(logits);
 
   const double service_ms = service_watch.ElapsedMillis();
   std::vector<RequestSample> samples(n);
@@ -231,7 +226,10 @@ void ServingEngine::ExecuteMicroBatch(const MicroBatch& micro,
     response.gate_cache_hit = cache_hit[i];
     response.scores.resize(request.items.size());
     for (size_t j = 0; j < request.items.size(); ++j, ++row) {
-      response.scores[j] = probs(row, 0);
+      // Same sign-split sigmoid as the Sigmoid(Matrix) kernel the
+      // engine used to call, element for element.
+      response.scores[j] =
+          StableSigmoid(logits[static_cast<size_t>(row)]);
     }
     RequestSample& sample = samples[i];
     sample.items = static_cast<int64_t>(request.items.size());

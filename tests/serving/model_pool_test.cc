@@ -130,6 +130,32 @@ TEST_F(ModelPoolTest, RegisterPublishesVersionOneWithReplicaLanes) {
   EXPECT_NE(snapshot->lane(1).model, snapshot->lane(2).model);
 }
 
+TEST_F(ModelPoolTest, SnapshotExposesGateWidthAndWarmsSessionGates) {
+  ModelPool pool(data_->meta, standardizer_);
+  pool.Register("aw-moe", model_a_);
+  auto snapshot = pool.CurrentSnapshot("aw-moe");
+  EXPECT_TRUE(snapshot->gate_shareable());
+  EXPECT_EQ(snapshot->gate_width(), SmallAwMoeConfig().dims.num_experts);
+  EXPECT_EQ(snapshot->gate_cache().size(), 0);
+
+  // Warm-up fills the snapshot's LRU with one row per session (empty
+  // resolved name routes to the default model, like serving requests).
+  const int64_t warmed =
+      pool.WarmSessionGates("", RolloutArm::kStable, *sessions_, 4096);
+  EXPECT_EQ(warmed, static_cast<int64_t>(sessions_->size()));
+  EXPECT_EQ(snapshot->gate_cache().size(), warmed);
+
+  // Capacity bounds eviction exactly like serving-time inserts; 0
+  // disables warming outright.
+  ModelPool bounded(data_->meta, standardizer_);
+  bounded.Register("aw-moe", model_a_);
+  bounded.WarmSessionGates("aw-moe", RolloutArm::kStable, *sessions_, 2);
+  EXPECT_EQ(bounded.CurrentSnapshot("aw-moe")->gate_cache().size(), 2);
+  EXPECT_EQ(
+      bounded.WarmSessionGates("aw-moe", RolloutArm::kStable, *sessions_, 0),
+      0);
+}
+
 TEST_F(ModelPoolTest, AcquireSpreadsLeasesAcrossLanes) {
   ModelPoolOptions options;
   options.replicas = 2;

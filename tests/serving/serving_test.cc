@@ -7,6 +7,7 @@
 #include "core/aw_moe.h"
 #include "data/batcher.h"
 #include "data/jd_synthetic.h"
+#include "models/category_moe.h"
 #include "models/dnn_ranker.h"
 #include "serving/ab_test.h"
 #include "serving/model_pool.h"
@@ -529,7 +530,7 @@ TEST_F(ServingTest, GateSharingDisabledInRecommendationMode) {
   EXPECT_EQ(response.scores.size(), sessions[0].size());
 }
 
-TEST_F(ServingTest, GateSharingRequiresAwMoe) {
+TEST_F(ServingTest, GateSharingRequiresShareableGate) {
   Rng rng(9);
   ModelDims dims = SmallAwMoeConfig().dims;
   DnnRanker dnn(data_->meta, dims, &rng);
@@ -548,6 +549,117 @@ TEST_F(ServingTest, GateSharingRequiresAwMoe) {
     EXPECT_GE(s, 0.0);
     EXPECT_LE(s, 1.0);
   }
+}
+
+// Gate sharing is model-agnostic since the ScoreInto redesign: any
+// ranker declaring SupportsSessionGateReuse + a gate width serves the
+// §III-F path — Category-MoE's query-category gate qualifies in search
+// mode, with scores bitwise-unchanged and repeat requests hitting the
+// snapshot's gate cache. (The old engine hard-downcast to AwMoeRanker
+// and could not do this.)
+TEST_F(ServingTest, CategoryMoeServesSharedGateThroughGenericApi) {
+  Rng rng(23);
+  CategoryMoeRanker cat_moe(data_->meta, SmallAwMoeConfig().dims, &rng);
+  ModelPool registry(data_->meta, standardizer_);
+  registry.Register("cat-moe", &cat_moe);
+
+  ServingEngine shared(&registry);
+  ASSERT_TRUE(shared.GateSharingActive());
+  ServingEngineOptions per_item_options;
+  per_item_options.share_gate = false;
+  ServingEngine per_item(&registry, per_item_options);
+
+  auto requests = MakeSessionRequests(GroupBySession(data_->full_test));
+  auto a = per_item.RankBatch(requests);
+  auto b = shared.RankBatch(requests);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t s = 0; s < a.size(); ++s) {
+    EXPECT_FALSE(a[s].gate_shared);
+    EXPECT_TRUE(b[s].gate_shared);
+    ASSERT_EQ(a[s].scores.size(), b[s].scores.size());
+    for (size_t i = 0; i < a[s].scores.size(); ++i) {
+      EXPECT_EQ(a[s].scores[i], b[s].scores[i])
+          << "session " << a[s].session_id << " item " << i;
+    }
+  }
+  // Repeat request: the cached row serves without re-running the gate.
+  EXPECT_TRUE(shared.Rank(requests[0]).gate_cache_hit);
+}
+
+// ---------------------------------------------------------------------
+// Gate-cache warm-up (ModelPool::WarmSessionGates).
+// ---------------------------------------------------------------------
+
+TEST_F(ServingTest, WarmSessionGatesMakesFirstRequestAHit) {
+  auto registry_owner = MakeRegistry();
+  ModelPool& registry = *registry_owner;
+  ServingEngine engine(&registry);
+  auto sessions = GroupBySession(data_->full_test);
+
+  const int64_t warmed =
+      registry.WarmSessionGates("aw-moe", RolloutArm::kStable, sessions,
+                                engine.options().gate_cache_capacity);
+  EXPECT_EQ(warmed, static_cast<int64_t>(sessions.size()));
+
+  RankRequest request;
+  request.session_id = sessions[0][0]->session_id;
+  request.items = sessions[0];
+  RankResponse warm = engine.Rank(request);
+  EXPECT_TRUE(warm.gate_shared);
+  EXPECT_TRUE(warm.gate_cache_hit)
+      << "a warmed session's FIRST request must skip the gate probe";
+
+  // Warmed rows come from the same GateInto path a cold probe takes, so
+  // scores must equal a never-warmed engine's bitwise.
+  auto cold_owner = MakeRegistry();
+  ServingEngine cold_engine(&*cold_owner);
+  RankResponse cold = cold_engine.Rank(request);
+  ASSERT_EQ(warm.scores.size(), cold.scores.size());
+  for (size_t i = 0; i < cold.scores.size(); ++i) {
+    EXPECT_EQ(warm.scores[i], cold.scores[i]) << "item " << i;
+  }
+}
+
+TEST_F(ServingTest, WarmSessionGatesOnStagedCandidateOnly) {
+  auto registry_owner = MakeRegistry();
+  ModelPool& registry = *registry_owner;
+  ServingEngine engine(&registry);
+  auto sessions = GroupBySession(data_->full_test);
+
+  // Nothing staged yet: warming the candidate arm is a no-op.
+  EXPECT_EQ(registry.WarmSessionGates("aw-moe", RolloutArm::kCandidate,
+                                      sessions, 4096),
+            0);
+
+  registry.StageCandidate("aw-moe", model_->Clone());
+  const int64_t warmed = registry.WarmSessionGates(
+      "aw-moe", RolloutArm::kCandidate, sessions, 4096);
+  EXPECT_EQ(warmed, static_cast<int64_t>(sessions.size()));
+
+  // The candidate snapshot starts gate-warm BEFORE taking traffic...
+  RankRequest request;
+  request.session_id = sessions[0][0]->session_id;
+  request.items = sessions[0];
+  request.arm_policy = ArmPolicy::kForceCandidate;
+  RankResponse candidate = engine.Rank(request);
+  EXPECT_EQ(candidate.arm, RolloutArm::kCandidate);
+  EXPECT_TRUE(candidate.gate_cache_hit);
+
+  // ...while the stable snapshot's cache was not touched.
+  request.arm_policy = ArmPolicy::kForceStable;
+  EXPECT_FALSE(engine.Rank(request).gate_cache_hit);
+  registry.DropCandidate("aw-moe");
+}
+
+TEST_F(ServingTest, WarmSessionGatesWithoutShareableGateReturnsZero) {
+  Rng rng(9);
+  DnnRanker dnn(data_->meta, SmallAwMoeConfig().dims, &rng);
+  ModelPool registry(data_->meta, standardizer_);
+  registry.Register("dnn", &dnn);
+  auto sessions = GroupBySession(data_->full_test);
+  EXPECT_EQ(
+      registry.WarmSessionGates("dnn", RolloutArm::kStable, sessions, 4096),
+      0);
 }
 
 // ---------------------------------------------------------------------
