@@ -9,9 +9,12 @@
 //   longtail1 users with very few behaviours (cold history),
 //   longtail2 elderly users (the paper's second long-tail cut).
 // Each segment is served twice: synchronous request-at-a-time Rank()
-// (honest per-session latency) and the async Submit() front under a
-// small closed-loop client fleet (coalescing + replica lanes), so the
-// p95/p99 gap between segments is visible in both serving modes.
+// (honest per-session latency, exact replay) and the async Submit()
+// front under a small closed-loop client fleet whose traffic is drawn
+// from the shared Zipf popularity model (bench/common/load_model.h) —
+// hot sessions repeat, exercising the cross-request gate cache, while
+// the tail still shows up — so the p95/p99 gap between segments is
+// visible in both serving modes.
 
 #include <cstdio>
 #include <future>
@@ -19,6 +22,7 @@
 #include <vector>
 
 #include "common/experiment_lib.h"
+#include "common/load_model.h"
 #include "serving/model_pool.h"
 #include "serving/serving_engine.h"
 #include "util/string_util.h"
@@ -59,20 +63,28 @@ SegmentResult ServeSync(ServingEngine* engine, const std::string& segment,
   return result;
 }
 
-/// Closed-loop async replay: `kClients` threads each stream their share
-/// of the segment through Submit(), so the queue coalesces concurrent
-/// sessions and replica lanes overlap flushes.
+/// Closed-loop async replay: `kClients` threads stream a FIXED-SEED
+/// Zipf-weighted draw of the segment's sessions through Submit(), so
+/// the queue coalesces concurrent sessions, replica lanes overlap
+/// flushes, and repeat draws of hot sessions hit the gate cache. Draw
+/// count equals the segment's session count, so request volume matches
+/// the sync replay exactly.
 SegmentResult ServeAsync(ServingEngine* engine, const std::string& segment,
-                         const std::vector<Example>& split) {
+                         const std::vector<Example>& split, uint64_t seed) {
   engine->ResetStats();
   auto sessions = GroupBySession(split);
   auto requests = MakeSessionRequests(sessions);
   constexpr size_t kClients = 4;
+  constexpr double kZipfExponent = 1.1;  // Head-heavy, tail still present.
+  ZipfSampler zipf(static_cast<int64_t>(requests.size()), kZipfExponent,
+                   seed);
+  std::vector<size_t> draws(requests.size());
+  for (size_t& draw : draws) draw = static_cast<size_t>(zipf.Next());
   std::vector<std::thread> clients;
   for (size_t c = 0; c < kClients; ++c) {
-    clients.emplace_back([c, engine, &requests] {
-      for (size_t s = c; s < requests.size(); s += kClients) {
-        engine->Submit(requests[s]).get();
+    clients.emplace_back([c, engine, &requests, &draws] {
+      for (size_t s = c; s < draws.size(); s += kClients) {
+        engine->Submit(requests[draws[s]]).get();
       }
     });
   }
@@ -142,21 +154,28 @@ int Run(int argc, char** argv) {
     }
     std::printf("[longtail-serving] replaying %s...\n", segment.name);
     results.push_back(ServeSync(&engine, segment.name, *segment.split));
-    results.push_back(ServeAsync(&engine, segment.name, *segment.split));
+    results.push_back(ServeAsync(&engine, segment.name, *segment.split,
+                                 static_cast<uint64_t>(flags.seed)));
   }
   engine.Stop();
 
   TablePrinter table("Long-tail serving latency by segment (AW-MoE & CL)");
   table.SetHeader({"Segment", "Mode", "Sessions", "Items/req", "p50 ms",
-                   "p95 ms", "p99 ms", "QPS", "Occupancy"});
+                   "p95 ms", "p99 ms", "QPS", "Occupancy", "GateHit%"});
   for (const SegmentResult& r : results) {
+    const int64_t lookups = r.stats.gate_cache_hits + r.stats.gate_cache_misses;
+    const double hit_rate =
+        lookups == 0 ? 0.0
+                     : 100.0 * static_cast<double>(r.stats.gate_cache_hits) /
+                           static_cast<double>(lookups);
     table.AddRow({r.segment, r.mode, std::to_string(r.sessions),
                   FormatDouble(r.mean_items, 1),
                   FormatDouble(r.stats.p50_ms, 3),
                   FormatDouble(r.stats.p95_ms, 3),
                   FormatDouble(r.stats.p99_ms, 3),
                   FormatDouble(r.stats.qps, 0),
-                  FormatDouble(r.stats.mean_batch_requests, 2)});
+                  FormatDouble(r.stats.mean_batch_requests, 2),
+                  FormatDouble(hit_rate, 1)});
   }
   table.Print();
 

@@ -1,0 +1,90 @@
+#include "common/load_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace awmoe {
+namespace bench {
+
+ZipfSampler::ZipfSampler(int64_t n, double exponent, uint64_t seed)
+    : exponent_(exponent), rng_(seed) {
+  AWMOE_CHECK(n > 0) << "Zipf over " << n << " ranks";
+  AWMOE_CHECK(exponent >= 0.0) << "Zipf exponent " << exponent;
+  cdf_.resize(static_cast<size_t>(n));
+  double total = 0.0;
+  for (int64_t k = 0; k < n; ++k) {
+    total += std::pow(static_cast<double>(k + 1), -exponent);
+    cdf_[static_cast<size_t>(k)] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // Guard against accumulated rounding.
+}
+
+int64_t ZipfSampler::Next() {
+  const double u = rng_.Uniform();
+  // First rank whose CDF covers u; Uniform() < 1 and cdf_.back() == 1,
+  // so the search never falls off the end.
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::MassOfTop(int64_t k) const {
+  if (k <= 0) return 0.0;
+  if (k >= n()) return 1.0;
+  return cdf_[static_cast<size_t>(k - 1)];
+}
+
+double ArrivalRateAt(const ArrivalTraceConfig& config, double t) {
+  constexpr double kTwoPi = 6.283185307179586;
+  double rate =
+      config.base_rate_qps *
+      (1.0 + config.diurnal_amplitude *
+                 std::sin(kTwoPi * t / config.diurnal_period_s));
+  if (config.burst_multiplier > 1.0 && config.burst_interval_s > 0.0) {
+    // Bursts fire at t = interval, 2*interval, ... (t=0 stays clean so
+    // every trace has an unbursted baseline prefix).
+    const double phase = std::fmod(t, config.burst_interval_s);
+    if (t >= config.burst_interval_s && phase < config.burst_duration_s) {
+      rate *= config.burst_multiplier;
+    }
+  }
+  return std::max(rate, 0.0);
+}
+
+std::vector<double> GenerateArrivals(const ArrivalTraceConfig& config) {
+  AWMOE_CHECK(config.duration_s > 0.0) << "duration " << config.duration_s;
+  AWMOE_CHECK(config.diurnal_period_s > 0.0)
+      << "diurnal period " << config.diurnal_period_s;
+  AWMOE_CHECK(config.diurnal_amplitude >= 0.0 &&
+              config.diurnal_amplitude < 1.0)
+      << "diurnal amplitude " << config.diurnal_amplitude;
+  std::vector<double> arrivals;
+  // Lewis-Shedler thinning: draw a homogeneous Poisson stream at the
+  // trace's peak rate, keep each point with probability rate(t)/peak.
+  const double peak = config.base_rate_qps * (1.0 + config.diurnal_amplitude) *
+                      std::max(1.0, config.burst_multiplier);
+  if (peak <= 0.0) return arrivals;
+  Rng rng(config.seed);
+  double t = 0.0;
+  for (;;) {
+    t += rng.Exponential(peak);
+    if (t >= config.duration_s) break;
+    if (rng.Uniform() * peak <= ArrivalRateAt(config, t)) {
+      arrivals.push_back(t);
+    }
+  }
+  return arrivals;  // Ascending by construction.
+}
+
+int64_t SyntheticSessionId(int64_t rank) {
+  AWMOE_CHECK(rank >= 0) << "rank " << rank;
+  // Full-avalanche mix, then drop the sign bit: rank k always maps to
+  // the same id, and consecutive ranks land on unrelated ring points.
+  return static_cast<int64_t>(Mix64(static_cast<uint64_t>(rank)) >> 1);
+}
+
+}  // namespace bench
+}  // namespace awmoe

@@ -1,0 +1,87 @@
+#ifndef AWMOE_BENCH_COMMON_LOAD_MODEL_H_
+#define AWMOE_BENCH_COMMON_LOAD_MODEL_H_
+
+// Synthetic traffic models shared by the serving benches: Zipf session
+// popularity (a few hot sessions dominate, a long tail of one-off
+// users — the regime both the §III-F gate cache and the fleet's
+// consistent-hash placement care about) and open-loop arrival traces
+// with diurnal rate swings plus load bursts. Everything is explicitly
+// seeded and deterministic: the same config replays the same million
+// users and the same arrival timeline, so bench runs and the fleet
+// load harness (bench_fleet_load) are comparable across commits.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace awmoe {
+namespace bench {
+
+/// Zipf(s) sampler over ranks [0, n): P(rank k) proportional to
+/// 1/(k+1)^s. Built once (O(n) CDF), sampled by binary search
+/// (O(log n)); n scales to millions of users at 8 bytes each.
+/// Deterministic for a fixed (n, exponent, seed).
+class ZipfSampler {
+ public:
+  ZipfSampler(int64_t n, double exponent, uint64_t seed);
+
+  /// Next popularity rank; 0 is the hottest.
+  int64_t Next();
+
+  /// Probability mass of the top `k` ranks — e.g. MassOfTop(n/100)
+  /// says how concentrated the head is.
+  double MassOfTop(int64_t k) const;
+
+  int64_t n() const { return static_cast<int64_t>(cdf_.size()); }
+  double exponent() const { return exponent_; }
+
+ private:
+  double exponent_;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k); back() == 1.
+  Rng rng_;
+};
+
+/// Open-loop arrival-trace shape: a sinusoidal diurnal swing around
+/// `base_rate_qps` with periodic multiplicative bursts layered on top
+/// (flash-sale style). Rates are instantaneous QPS.
+struct ArrivalTraceConfig {
+  double duration_s = 10.0;
+  double base_rate_qps = 1000.0;
+
+  /// Peak-to-mean swing of the diurnal sine in [0, 1): rate(t) swings
+  /// between base*(1-a) and base*(1+a). 0 = flat.
+  double diurnal_amplitude = 0.3;
+  /// One full diurnal cycle, compressed to bench scale.
+  double diurnal_period_s = 10.0;
+
+  /// Rate multiplier during a burst (1 = no bursts).
+  double burst_multiplier = 1.0;
+  double burst_duration_s = 0.5;
+  /// Burst start-to-start spacing; bursts repeat at t = interval,
+  /// 2*interval, ... (never at t=0, so short traces have a clean
+  /// baseline prefix). Ignored when <= 0 or multiplier <= 1.
+  double burst_interval_s = 3.0;
+
+  uint64_t seed = 1;
+};
+
+/// Instantaneous arrival rate (QPS) of the trace at time `t` seconds —
+/// the deterministic intensity the thinning sampler draws against.
+double ArrivalRateAt(const ArrivalTraceConfig& config, double t);
+
+/// Arrival timestamps (seconds, ascending, in [0, duration_s)) of one
+/// non-homogeneous Poisson draw of the trace, via Lewis-Shedler
+/// thinning against the peak rate. Deterministic for a fixed config.
+std::vector<double> GenerateArrivals(const ArrivalTraceConfig& config);
+
+/// Stable synthetic session id of a popularity rank: a full-avalanche
+/// mix of the rank, so neighbouring ranks (the Zipf head) scatter
+/// across the fleet's hash ring instead of clustering, while every
+/// draw of rank k maps to the SAME user across the whole bench.
+int64_t SyntheticSessionId(int64_t rank);
+
+}  // namespace bench
+}  // namespace awmoe
+
+#endif  // AWMOE_BENCH_COMMON_LOAD_MODEL_H_

@@ -160,4 +160,16 @@ else
   echo "bench_serving_longtail not built; skipped"
 fi
 
+# bench_fleet_load smoke: 2 shards, 10k Zipf users, short closed-loop +
+# overload sweep. Its own JSON (admission + fleet-scaling gates) lands
+# next to the google-benchmark artifacts.
+if [ -x "$BUILD_DIR/bench_fleet_load" ]; then
+  echo "== bench_fleet_load (smoke) =="
+  "$BUILD_DIR/bench_fleet_load" --smoke --shards=2 --users=10000 \
+    --json="$SMOKE_DIR/fleet_load.json" \
+    | tee "$SMOKE_DIR/bench_fleet_load.txt"
+else
+  echo "bench_fleet_load not built; skipped"
+fi
+
 echo "== check.sh OK (bench smoke artifacts in $SMOKE_DIR) =="

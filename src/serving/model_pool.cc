@@ -204,16 +204,19 @@ std::shared_ptr<const ModelSnapshot> ModelPool::MakeSnapshot(
 }
 
 void ModelPool::Insert(const std::string& name, Ranker* base,
-                       std::unique_ptr<Ranker> owned_base) {
+                       std::unique_ptr<Ranker> owned_base,
+                       int64_t first_version) {
   AWMOE_CHECK(!name.empty()) << "model name must be non-empty";
+  AWMOE_CHECK(first_version >= 1)
+      << "first_version " << first_version << " for '" << name << "'";
   std::shared_ptr<const ModelSnapshot> snapshot =
-      MakeSnapshot(name, /*version=*/1, base, std::move(owned_base));
+      MakeSnapshot(name, first_version, base, std::move(owned_base));
   std::lock_guard<std::mutex> lock(mu_);
   AWMOE_CHECK(entries_.find(name) == entries_.end())
       << "duplicate model name '" << name << "'";
   RouteEntry entry;
   entry.stable = std::move(snapshot);
-  entry.newest_version = 1;
+  entry.newest_version = first_version;
   entries_.emplace(name, std::move(entry));
   names_.push_back(name);
   if (default_name_.empty()) default_name_ = name;
@@ -225,10 +228,11 @@ void ModelPool::Register(const std::string& name, Ranker* model) {
 }
 
 void ModelPool::RegisterOwned(const std::string& name,
-                              std::unique_ptr<Ranker> model) {
+                              std::unique_ptr<Ranker> model,
+                              int64_t first_version) {
   AWMOE_CHECK(model != nullptr) << "null model for '" << name << "'";
   Ranker* base = model.get();
-  Insert(name, base, std::move(model));
+  Insert(name, base, std::move(model), first_version);
 }
 
 int64_t ModelPool::UpdateModel(const std::string& name,

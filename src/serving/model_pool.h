@@ -219,8 +219,14 @@ class ModelPool {
   /// non-empty.
   void Register(const std::string& name, Ranker* model);
 
-  /// Registers a model the pool takes ownership of.
-  void RegisterOwned(const std::string& name, std::unique_ptr<Ranker> model);
+  /// Registers a model the pool takes ownership of. `first_version`
+  /// (default 1) is the version number it is published as: the sharded
+  /// fleet (serving/shard.h) passes the fleet's current version when a
+  /// shard is added mid-life, so every shard mints the same version
+  /// numbers for the same publish history (stats and rollout health
+  /// windows key on (model, version)).
+  void RegisterOwned(const std::string& name, std::unique_ptr<Ranker> model,
+                     int64_t first_version = 1);
 
   /// Atomically publishes `model` as the next version of `name` (which
   /// must already be registered) and returns the new version number.
@@ -357,7 +363,7 @@ class ModelPool {
       const std::string& name, int64_t version, Ranker* base,
       std::unique_ptr<Ranker> owned_base) const;
   void Insert(const std::string& name, Ranker* base,
-              std::unique_ptr<Ranker> owned_base);
+              std::unique_ptr<Ranker> owned_base, int64_t first_version = 1);
 
   DatasetMeta meta_;
   const Standardizer* standardizer_;

@@ -34,6 +34,13 @@ struct RankRequest {
   std::string model;
   /// Staged-rollout arm selection (see ArmPolicy above).
   ArmPolicy arm_policy = ArmPolicy::kRouter;
+  /// Latency budget in milliseconds, measured from submission. 0 = no
+  /// deadline. A single engine ignores it; the sharded fleet's
+  /// admission controller (serving/shard.h) SHEDS the request with
+  /// kResourceExhausted when the target shard's estimated queue delay
+  /// would already blow this budget — failing in microseconds instead
+  /// of serving a response the caller has stopped waiting for.
+  double deadline_ms = 0.0;
   std::vector<const Example*> items;
 };
 

@@ -436,6 +436,11 @@ void ServingEngine::Stop(bool drain) {
   if (queue != nullptr) queue->Stop(drain);
 }
 
+int64_t ServingEngine::pending_async_requests() const {
+  std::lock_guard<std::mutex> lock(async_mu_);
+  return async_queue_ == nullptr ? 0 : async_queue_->pending_requests();
+}
+
 void ServingEngine::FlushAsync(const std::string& route_key,
                                std::vector<AsyncBatchQueue::Pending> batch) {
   Stopwatch service_watch;

@@ -154,6 +154,13 @@ class ServingEngine {
   ServingStatsSnapshot Stats() const;
   void ResetStats() { stats_.Reset(); }
 
+  /// Requests sitting in the async Submit queue right now (0 when the
+  /// async front was never started). This is the live load signal the
+  /// fleet's admission controller (serving/shard.h) polls per decision:
+  /// pending x mean service time / flush lanes estimates the queue
+  /// delay a new Submit would inherit.
+  int64_t pending_async_requests() const;
+
   const ServingEngineOptions& options() const { return options_; }
   const ModelPool& pool() const { return *pool_; }
 
@@ -212,7 +219,7 @@ class ServingEngine {
   // synchronously never start flusher lanes). The queue object, once
   // created, lives until engine destruction — Stop() stops it in place,
   // so a Submit racing Stop finds a live queue that rejects it.
-  std::mutex async_mu_;
+  mutable std::mutex async_mu_;
   std::unique_ptr<AsyncBatchQueue> async_queue_;
   bool async_stopped_ = false;
 };

@@ -264,6 +264,11 @@ int64_t ServingStats::queued_requests() const {
   return queued_requests_;
 }
 
+double ServingStats::queue_total_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_total_ms_;
+}
+
 int64_t ServingStats::gate_cache_hits() const {
   std::lock_guard<std::mutex> lock(mu_);
   return gate_cache_hits_;
@@ -320,12 +325,15 @@ ServingStatsSnapshot ServingStats::Snapshot() const {
           static_cast<double>(batch_items_) / static_cast<double>(batches_);
     }
     snap.max_batch_requests = max_batch_requests_;
+    snap.batch_requests_total = batch_requests_;
+    snap.batch_items_total = batch_items_;
     snap.queued_requests = queued_requests_;
     if (queued_requests_ > 0) {
       snap.queue_mean_ms =
           queue_total_ms_ / static_cast<double>(queued_requests_);
     }
     snap.queue_max_ms = queue_max_ms_;
+    snap.queue_total_ms = queue_total_ms_;
     snap.gate_cache_hits = gate_cache_hits_;
     snap.gate_cache_misses = gate_cache_misses_;
     snap.snapshot_leases = snapshot_leases_;
@@ -334,6 +342,7 @@ ServingStatsSnapshot ServingStats::Snapshot() const {
                                static_cast<double>(snapshot_leases_);
     }
     snap.max_active_lanes = max_active_lanes_;
+    snap.active_lanes_total = active_lanes_total_;
     for (const auto& [key, lanes] : version_lane_leases_) {
       ModelVersionStatsSnapshot version;
       version.model = key.first;
@@ -345,6 +354,7 @@ ServingStatsSnapshot ServingStats::Snapshot() const {
     health = version_health_;
     sorted = samples_ms_;
     elapsed = wall_started_ ? wall_.ElapsedSeconds() + wall_offset_s_ : 0.0;
+    elapsed = std::max(elapsed, merged_wall_s_);
   }
   // Sort once outside the lock so concurrent RecordRequest callers are
   // not blocked behind an O(n log n) pass; same for the per-version
@@ -359,10 +369,57 @@ ServingStatsSnapshot ServingStats::Snapshot() const {
     snap.p95_ms = NearestRank(sorted, 95.0);
     snap.p99_ms = NearestRank(sorted, 99.0);
   }
+  snap.wall_seconds = elapsed;
   if (elapsed > 0.0) {
     snap.qps = static_cast<double>(snap.requests) / elapsed;
   }
+  snap.samples_ms = std::move(sorted);
   return snap;
+}
+
+void ServingStats::MergeFrom(const ServingStatsSnapshot& other) {
+  std::lock_guard<std::mutex> lock(mu_);
+  requests_ += other.requests;
+  items_ += other.items;
+  total_ms_ += other.total_ms;
+  batches_ += other.batches;
+  batch_requests_ += other.batch_requests_total;
+  batch_items_ += other.batch_items_total;
+  max_batch_requests_ = std::max(max_batch_requests_, other.max_batch_requests);
+  queued_requests_ += other.queued_requests;
+  queue_total_ms_ += other.queue_total_ms;
+  queue_max_ms_ = std::max(queue_max_ms_, other.queue_max_ms);
+  gate_cache_hits_ += other.gate_cache_hits;
+  gate_cache_misses_ += other.gate_cache_misses;
+  snapshot_leases_ += other.snapshot_leases;
+  active_lanes_total_ += other.active_lanes_total;
+  max_active_lanes_ = std::max(max_active_lanes_, other.max_active_lanes);
+  // Pool the reservoirs. The concatenation may exceed kMaxSamples in an
+  // aggregation sink — that is intentional (it IS the exact union);
+  // RecordRequest's reservoir math only ever overwrites slots below
+  // kMaxSamples, so an oversized vector stays safe if the sink later
+  // records directly.
+  samples_ms_.insert(samples_ms_.end(), other.samples_ms.begin(),
+                     other.samples_ms.end());
+  for (const ModelVersionStatsSnapshot& version : other.versions) {
+    auto [it, inserted] =
+        version_lane_leases_.try_emplace({version.model, version.version});
+    if (inserted &&
+        TrimModelVersions(&version_lane_leases_, version.model, it,
+                          kMaxVersionsPerModel)) {
+      continue;  // Older than every retained version of that model.
+    }
+    std::vector<int64_t>& lanes = it->second;
+    if (lanes.size() < version.lane_leases.size()) {
+      lanes.resize(version.lane_leases.size(), 0);
+    }
+    for (size_t lane = 0; lane < version.lane_leases.size(); ++lane) {
+      lanes[lane] += version.lane_leases[lane];
+    }
+  }
+  // Health windows are deliberately NOT merged (sliding windows have no
+  // exact union); see the header comment.
+  merged_wall_s_ = std::max(merged_wall_s_, other.wall_seconds);
 }
 
 void ServingStats::Reset() {
@@ -387,6 +444,7 @@ void ServingStats::Reset() {
   version_health_.clear();
   wall_started_ = false;
   wall_offset_s_ = 0.0;
+  merged_wall_s_ = 0.0;
 }
 
 }  // namespace awmoe

@@ -94,6 +94,26 @@ struct ServingStatsSnapshot {
   /// Per model-version health windows (see VersionHealthSnapshot),
   /// ordered by (model, version).
   std::vector<VersionHealthSnapshot> version_health;
+
+  /// The retained latency reservoir, ascending-sorted — what the
+  /// percentiles above were computed from. Carried so snapshots can be
+  /// POOLED: `ServingStats::MergeFrom` concatenates the reservoirs of
+  /// per-shard snapshots, which is the exact sample union (and thus
+  /// yields exact merged percentiles) as long as every source stayed
+  /// under kMaxSamples requests.
+  std::vector<double> samples_ms;
+
+  /// Raw sums behind the means above, carried so a merge can re-derive
+  /// the pooled means instead of averaging averages.
+  int64_t batch_requests_total = 0;
+  int64_t batch_items_total = 0;
+  double queue_total_ms = 0.0;
+  int64_t active_lanes_total = 0;
+
+  /// Observed wall-clock window (seconds) behind `qps`; 0 before the
+  /// first request. Merging takes the max across sources (concurrent
+  /// shards share the wall), not the sum.
+  double wall_seconds = 0.0;
 };
 
 /// One executed micro-batch's lease, as recorded into the stats.
@@ -202,12 +222,32 @@ class ServingStats {
   int64_t batches() const;
   int64_t max_batch_requests() const;
   int64_t queued_requests() const;
+  /// Total async queue delay (ms) across queued requests. Together with
+  /// requests()/total_ms() this gives a cheap sliding SERVICE-time
+  /// estimate — (total - queue) / requests over a counter delta —
+  /// without paying for a full Snapshot (which copies the reservoir);
+  /// the fleet admission controller refreshes its per-shard estimate
+  /// from exactly these three counters.
+  double queue_total_ms() const;
   int64_t gate_cache_hits() const;
   int64_t gate_cache_misses() const;
   int64_t snapshot_leases() const;
   int64_t max_active_lanes() const;
 
   ServingStatsSnapshot Snapshot() const;
+
+  /// Folds another engine's snapshot into this stats object — the
+  /// fleet-aggregation path (serving/shard.h): a fresh ServingStats is
+  /// used as a sink, each shard's Snapshot() is merged in, and the
+  /// sink's own Snapshot() then reports fleet-wide counters and EXACT
+  /// pooled percentiles (the snapshot carries its latency reservoir;
+  /// concatenation is the sample union while every source stayed under
+  /// kMaxSamples). Counters and per-version lease breakdowns sum;
+  /// max-fields take the max; the QPS wall-clock window takes the max
+  /// of the sources (concurrent shards share the wall). Per-version
+  /// HEALTH windows are not merged — a sliding window has no exact
+  /// merge, and rollout health is gated per shard anyway.
+  void MergeFrom(const ServingStatsSnapshot& other);
 
   /// Drops all samples and restarts the QPS wall-clock.
   void Reset();
@@ -278,6 +318,10 @@ class ServingStats {
   bool wall_started_ = false;  // Clock starts at the first request.
   double wall_offset_s_ = 0.0;  // First request's own service time.
   Stopwatch wall_;
+  /// Largest wall window merged in via MergeFrom; the snapshot's QPS
+  /// window is max(own wall, merged wall) so an idle aggregation sink
+  /// reports the sources' observed window instead of 0.
+  double merged_wall_s_ = 0.0;
 };
 
 }  // namespace awmoe

@@ -1,0 +1,143 @@
+// Deterministic traffic models behind the serving benches
+// (bench/common/load_model.h): Zipf popularity, non-homogeneous
+// arrival traces, and stable synthetic session ids. These generators
+// feed bench_serving_longtail and bench_fleet_load; fixed-seed
+// determinism is what makes those runs comparable across commits.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/load_model.h"
+
+namespace awmoe {
+namespace bench {
+namespace {
+
+TEST(ZipfSamplerTest, SameSeedSameDraws) {
+  ZipfSampler a(1000, 1.1, 42);
+  ZipfSampler b(1000, 1.1, 42);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.Next(), b.Next()) << "draw " << i;
+  }
+}
+
+TEST(ZipfSamplerTest, DifferentSeedsDiffer) {
+  ZipfSampler a(1000, 1.1, 42);
+  ZipfSampler b(1000, 1.1, 43);
+  int differing = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(ZipfSamplerTest, DrawsStayInRangeAndHeadIsHot) {
+  const int64_t n = 1000;
+  ZipfSampler zipf(n, 1.1, 7);
+  int64_t head_draws = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t rank = zipf.Next();
+    ASSERT_GE(rank, 0);
+    ASSERT_LT(rank, n);
+    if (rank < n / 100) ++head_draws;
+  }
+  // s = 1.1 concentrates well over a third of the mass on the top 1%.
+  const double head_mass = zipf.MassOfTop(n / 100);
+  EXPECT_GT(head_mass, 0.35);
+  EXPECT_NEAR(static_cast<double>(head_draws) / 5000.0, head_mass, 0.05);
+}
+
+TEST(ZipfSamplerTest, MassOfTopIsAMonotoneCdf) {
+  ZipfSampler zipf(100, 1.0, 1);
+  EXPECT_DOUBLE_EQ(zipf.MassOfTop(0), 0.0);
+  EXPECT_DOUBLE_EQ(zipf.MassOfTop(100), 1.0);
+  EXPECT_DOUBLE_EQ(zipf.MassOfTop(1000), 1.0);  // Clamped past n.
+  double prev = 0.0;
+  for (int64_t k = 1; k <= 100; ++k) {
+    const double mass = zipf.MassOfTop(k);
+    EXPECT_GE(mass, prev);
+    prev = mass;
+  }
+  // Exponent 0 degenerates to uniform.
+  ZipfSampler uniform(100, 0.0, 1);
+  EXPECT_NEAR(uniform.MassOfTop(50), 0.5, 1e-12);
+}
+
+ArrivalTraceConfig SmallTrace() {
+  ArrivalTraceConfig config;
+  config.duration_s = 2.0;
+  config.base_rate_qps = 500.0;
+  config.diurnal_amplitude = 0.3;
+  config.diurnal_period_s = 2.0;
+  config.burst_multiplier = 3.0;
+  config.burst_duration_s = 0.1;
+  config.burst_interval_s = 0.5;
+  config.seed = 99;
+  return config;
+}
+
+TEST(ArrivalTraceTest, DeterministicSortedAndInRange) {
+  const ArrivalTraceConfig config = SmallTrace();
+  const std::vector<double> a = GenerateArrivals(config);
+  const std::vector<double> b = GenerateArrivals(config);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+  EXPECT_GE(a.front(), 0.0);
+  EXPECT_LT(a.back(), config.duration_s);
+  // Roughly the configured volume (Poisson noise + bursts allow slack).
+  const double expected = config.base_rate_qps * config.duration_s;
+  EXPECT_GT(static_cast<double>(a.size()), 0.5 * expected);
+  EXPECT_LT(static_cast<double>(a.size()), 3.0 * expected);
+}
+
+TEST(ArrivalTraceTest, RateShapeHasCleanBaselineAndBursts) {
+  const ArrivalTraceConfig config = SmallTrace();
+  // t = 0: no burst (they start at t = interval), sine at phase 0.
+  EXPECT_DOUBLE_EQ(ArrivalRateAt(config, 0.0), config.base_rate_qps);
+  // Inside the first burst window the multiplier applies.
+  const double bursting = ArrivalRateAt(config, config.burst_interval_s);
+  EXPECT_GT(bursting,
+            2.0 * ArrivalRateAt(config, config.burst_interval_s - 0.05));
+  // Flat config: constant rate everywhere.
+  ArrivalTraceConfig flat = SmallTrace();
+  flat.diurnal_amplitude = 0.0;
+  flat.burst_multiplier = 1.0;
+  for (double t = 0.0; t < flat.duration_s; t += 0.37) {
+    EXPECT_DOUBLE_EQ(ArrivalRateAt(flat, t), flat.base_rate_qps);
+  }
+}
+
+TEST(ArrivalTraceTest, SeedChangesTimestampsNotShape) {
+  ArrivalTraceConfig config = SmallTrace();
+  const std::vector<double> a = GenerateArrivals(config);
+  config.seed = 100;
+  const std::vector<double> b = GenerateArrivals(config);
+  EXPECT_NE(a, b);
+  // Same intensity function -> comparable volume.
+  EXPECT_NEAR(static_cast<double>(a.size()),
+              static_cast<double>(b.size()),
+              0.35 * static_cast<double>(a.size()));
+}
+
+TEST(SyntheticSessionIdTest, StableNonNegativeAndScattered) {
+  std::set<int64_t> seen;
+  for (int64_t rank = 0; rank < 10000; ++rank) {
+    const int64_t id = SyntheticSessionId(rank);
+    EXPECT_GE(id, 0);
+    EXPECT_EQ(id, SyntheticSessionId(rank));  // Stable across calls.
+    seen.insert(id);
+  }
+  // A full-avalanche mix should not collide over a small range.
+  EXPECT_EQ(seen.size(), 10000u);
+  // Neighbouring ranks land far apart (no clustering of the Zipf head).
+  EXPECT_GT(std::abs(SyntheticSessionId(0) - SyntheticSessionId(1)),
+            int64_t{1} << 32);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace awmoe

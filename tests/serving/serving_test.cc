@@ -755,6 +755,103 @@ TEST(ServingStatsTest, PercentilesAreExactOverSamples) {
   EXPECT_DOUBLE_EQ(stats.LatencyPercentileMs(99.0), 0.0);
 }
 
+TEST(ServingStatsTest, MergeFromEqualsRecordingTheUnion) {
+  // Two disjoint shards...
+  ServingStats a;
+  ServingStats b;
+  for (int ms = 1; ms <= 50; ++ms) {
+    a.RecordRequest(/*items=*/2, static_cast<double>(ms));
+  }
+  for (int ms = 51; ms <= 100; ++ms) {
+    b.RecordRequest(/*items=*/3, static_cast<double>(ms));
+  }
+  // ...and one stats object that saw every request directly.
+  ServingStats direct;
+  for (int ms = 1; ms <= 50; ++ms) {
+    direct.RecordRequest(2, static_cast<double>(ms));
+  }
+  for (int ms = 51; ms <= 100; ++ms) {
+    direct.RecordRequest(3, static_cast<double>(ms));
+  }
+
+  ServingStats merged;
+  merged.MergeFrom(a.Snapshot());
+  merged.MergeFrom(b.Snapshot());
+  const ServingStatsSnapshot got = merged.Snapshot();
+  const ServingStatsSnapshot want = direct.Snapshot();
+
+  // Pooled-reservoir merging is EXACT while every source stays under
+  // the reservoir cap: same counts, same mean, same percentiles as
+  // recording the union into one object.
+  EXPECT_EQ(got.requests, want.requests);
+  EXPECT_EQ(got.items, want.items);
+  EXPECT_DOUBLE_EQ(got.total_ms, want.total_ms);
+  EXPECT_DOUBLE_EQ(got.mean_ms, want.mean_ms);
+  EXPECT_DOUBLE_EQ(got.p50_ms, want.p50_ms);
+  EXPECT_DOUBLE_EQ(got.p95_ms, want.p95_ms);
+  EXPECT_DOUBLE_EQ(got.p99_ms, want.p99_ms);
+  EXPECT_EQ(got.samples_ms.size(), 100u);
+}
+
+TEST(ServingStatsTest, MergeFromPoolsCountersNotAverages) {
+  ServingStats a;
+  a.RecordRequest(1, 1.0);
+  a.RecordBatch(/*batch_requests=*/4, /*batch_items=*/40);
+  a.RecordQueueDelay(2.0);
+  a.RecordGateLookup(/*hit=*/true);
+  ServingStats b;
+  b.RecordRequest(1, 3.0);
+  b.RecordBatch(/*batch_requests=*/1, /*batch_items=*/5);
+  b.RecordBatch(/*batch_requests=*/1, /*batch_items=*/5);
+  b.RecordQueueDelay(6.0);
+  b.RecordGateLookup(/*hit=*/false);
+
+  ServingStats merged;
+  merged.MergeFrom(a.Snapshot());
+  merged.MergeFrom(b.Snapshot());
+  const ServingStatsSnapshot got = merged.Snapshot();
+  EXPECT_EQ(got.batches, 3);
+  // Pooled occupancy: (4+1+1)/3 — NOT the average of per-shard means
+  // ((4.0 + 1.0) / 2 = 2.5).
+  EXPECT_DOUBLE_EQ(got.mean_batch_requests, 2.0);
+  EXPECT_EQ(got.max_batch_requests, 4);
+  EXPECT_EQ(got.queued_requests, 2);
+  EXPECT_DOUBLE_EQ(got.queue_mean_ms, 4.0);
+  EXPECT_DOUBLE_EQ(got.queue_max_ms, 6.0);
+  EXPECT_EQ(got.gate_cache_hits, 1);
+  EXPECT_EQ(got.gate_cache_misses, 1);
+  EXPECT_DOUBLE_EQ(got.queue_total_ms, 8.0);
+
+  // Reset clears merged state too.
+  merged.Reset();
+  EXPECT_EQ(merged.Snapshot().requests, 0);
+  EXPECT_EQ(merged.Snapshot().batches, 0);
+}
+
+TEST(ServingStatsTest, MergeFromTakesMaxWallClockForQps) {
+  ServingStats a;
+  ServingStats b;
+  for (int i = 0; i < 10; ++i) {
+    a.RecordRequest(1, 1.0);
+    b.RecordRequest(1, 1.0);
+  }
+  const ServingStatsSnapshot sa = a.Snapshot();
+  const ServingStatsSnapshot sb = b.Snapshot();
+  ServingStats merged;
+  merged.MergeFrom(sa);
+  merged.MergeFrom(sb);
+  const ServingStatsSnapshot got = merged.Snapshot();
+  // Concurrent shards share the wall: 20 requests over max(wall_a,
+  // wall_b) seconds, not over their sum.
+  EXPECT_EQ(got.requests, 20);
+  EXPECT_GE(got.wall_seconds, std::max(sa.wall_seconds, sb.wall_seconds));
+  if (got.wall_seconds > 0.0) {
+    EXPECT_NEAR(got.qps,
+                20.0 / got.wall_seconds,
+                1e-6 * got.qps + 1e-9);
+  }
+}
+
 TEST_F(ServingTest, EngineStatsAccumulatePerRequest) {
   auto registry_owner = MakeRegistry();
   ModelPool& registry = *registry_owner;
