@@ -8,6 +8,12 @@
 //     rows must read 0 after warm-up, the legacy rows show the per-op
 //     graph/Matrix allocation load ScoreInto removes;
 //   - items_per_second: scored candidates per second.
+// Kernel-tier columns (PR 7): every ScoreInto case runs in a
+// _Reference and a _Fast variant (label = dispatch-table name), and the
+// raw BM_MatMulInto benches report a `gflops` rate counter per tier, so
+// the smoke JSON records the fast tier's speedup honestly alongside the
+// ISA context (`avx2_fma_available`, worker core count) on the machine
+// that produced it.
 // scripts/check.sh runs this in smoke mode and keeps the JSON in the CI
 // bench-smoke artifact, so the ScoreInto-vs-legacy delta is recorded on
 // every run.
@@ -20,11 +26,15 @@
 #include <cstdlib>
 #include <memory>
 #include <new>
+#include <optional>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "common/experiment_lib.h"
 #include "models/category_moe.h"
 #include "models/dnn_ranker.h"
+#include "nn/inference.h"
 #include "serving/request.h"
 
 namespace {
@@ -119,7 +129,18 @@ struct InferenceFixture {
 
 enum class Path { kLegacy, kScoreInto, kScoreIntoWithGate };
 
-void RunInference(benchmark::State& state, Ranker* model, Path path) {
+void RunInference(benchmark::State& state, Ranker* model, Path path,
+                  std::optional<KernelTier> tier = std::nullopt) {
+  std::optional<ScopedKernelTier> pin;
+  if (tier.has_value()) {
+    if (*tier == KernelTier::kFast && !FastKernelTierAvailable()) {
+      state.SkipWithError("fast kernel tier unavailable on this CPU/build");
+      return;
+    }
+    pin.emplace(*tier);
+  }
+  state.SetLabel(
+      KernelTierName(tier.has_value() ? *tier : ActiveKernelTier()));
   InferenceFixture& fixture = InferenceFixture::Get();
   const int64_t batch_size = state.range(0);
   const Batch batch = fixture.MakeBatch(batch_size);
@@ -206,6 +227,89 @@ AWMOE_INFERENCE_BENCH(BM_ScoreInto_AWMoE, aw_moe, Path::kScoreInto);
 AWMOE_INFERENCE_BENCH(BM_ScoreIntoSharedGate_AWMoE, aw_moe,
                       Path::kScoreIntoWithGate);
 
+// Tier comparison: the same ScoreInto cases pinned to each kernel tier
+// (same fixture, same batches) — the per-tier rows of the smoke JSON.
+#define AWMOE_TIER_BENCH(name, member, tier)                           \
+  void name(benchmark::State& state) {                                 \
+    RunInference(state, InferenceFixture::Get().member.get(),          \
+                 Path::kScoreInto, tier);                              \
+  }                                                                    \
+  BENCHMARK(name)->Arg(8)->Arg(64)->Arg(256)->Unit(                    \
+      benchmark::kMicrosecond)
+
+AWMOE_TIER_BENCH(BM_ScoreInto_DNN_Reference, dnn, KernelTier::kReference);
+AWMOE_TIER_BENCH(BM_ScoreInto_DNN_Fast, dnn, KernelTier::kFast);
+AWMOE_TIER_BENCH(BM_ScoreInto_DIN_Reference, din, KernelTier::kReference);
+AWMOE_TIER_BENCH(BM_ScoreInto_DIN_Fast, din, KernelTier::kFast);
+AWMOE_TIER_BENCH(BM_ScoreInto_CategoryMoE_Reference, cat_moe,
+                 KernelTier::kReference);
+AWMOE_TIER_BENCH(BM_ScoreInto_CategoryMoE_Fast, cat_moe,
+                 KernelTier::kFast);
+AWMOE_TIER_BENCH(BM_ScoreInto_AWMoE_Reference, aw_moe,
+                 KernelTier::kReference);
+AWMOE_TIER_BENCH(BM_ScoreInto_AWMoE_Fast, aw_moe, KernelTier::kFast);
+
+// ---------------------------------------------------------------------
+// Raw MatMulInto per tier: the MatMulInto-dominated cases whose
+// `gflops` counter the smoke JSON keeps as the tier-speedup record
+// (single thread; row parallelism stays at its default of 0 here).
+// ---------------------------------------------------------------------
+
+void RunMatMul(benchmark::State& state, KernelTier tier) {
+  if (tier == KernelTier::kFast && !FastKernelTierAvailable()) {
+    state.SkipWithError("fast kernel tier unavailable on this CPU/build");
+    return;
+  }
+  ScopedKernelTier pin(tier);
+  const int64_t m = state.range(0), k = 128, n = 128;
+  Rng rng(17);
+  std::vector<float> a(static_cast<size_t>(m * k));
+  for (float& v : a) v = static_cast<float>(rng.Normal());
+  Matrix w(k, n);
+  for (int64_t i = 0; i < w.size(); ++i) {
+    w.data()[i] = static_cast<float>(rng.Normal());
+  }
+  std::vector<float> out(static_cast<size_t>(m * n));
+  const ConstMatView a_view(a.data(), m, k, k);
+  const MatView out_view{out.data(), m, n, n};
+  for (auto _ : state) {
+    MatMulInto(a_view, w, out_view);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(KernelTierName(tier));
+  state.counters["gflops"] =
+      benchmark::Counter(MatMulFlops(m, k, n) * 1e-9,
+                         benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_MatMulInto_Reference(benchmark::State& state) {
+  RunMatMul(state, KernelTier::kReference);
+}
+void BM_MatMulInto_Fast(benchmark::State& state) {
+  RunMatMul(state, KernelTier::kFast);
+}
+BENCHMARK(BM_MatMulInto_Reference)
+    ->Arg(8)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MatMulInto_Fast)
+    ->Arg(8)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main so the smoke JSON carries the ISA/core context the tier
+// numbers were measured under.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext(
+      "avx2_fma_available",
+      awmoe::FastKernelTierAvailable() ? "true" : "false");
+  benchmark::AddCustomContext(
+      "active_kernel_tier",
+      awmoe::KernelTierName(awmoe::ActiveKernelTier()));
+  benchmark::AddCustomContext(
+      "hardware_threads",
+      std::to_string(std::thread::hardware_concurrency()));
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

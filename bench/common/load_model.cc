@@ -19,15 +19,21 @@ ZipfSampler::ZipfSampler(int64_t n, double exponent, uint64_t seed)
     total += std::pow(static_cast<double>(k + 1), -exponent);
     cdf_[static_cast<size_t>(k)] = total;
   }
-  for (double& c : cdf_) c /= total;
+  // Renormalise so the distribution sums to exactly 1. Division by the
+  // shared positive total keeps the prefix sums monotone, but rounding
+  // can push an interior entry a ULP above 1.0 — clamp so forcing
+  // back() to 1.0 below cannot create a non-monotone tail.
+  for (double& c : cdf_) c = std::min(c / total, 1.0);
   cdf_.back() = 1.0;  // Guard against accumulated rounding.
 }
 
 int64_t ZipfSampler::Next() {
   const double u = rng_.Uniform();
   // First rank whose CDF covers u; Uniform() < 1 and cdf_.back() == 1,
-  // so the search never falls off the end.
+  // so the search should never fall off the end — but an OOB rank
+  // corrupts whatever keys off it, so clamp defensively anyway.
   auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n() - 1;
   return static_cast<int64_t>(it - cdf_.begin());
 }
 

@@ -69,9 +69,12 @@ if [ "$TSAN" = 1 ]; then
   # The threaded subsystem lives in src/serving/; its suites (async
   # queue, worker pool, model pool hot swaps, rollout ramps/storms,
   # stats contention) are where TSan has signal.
-  echo "== ctest (serving suites under TSan) =="
+  # models_kernel_tier rides along: its row-parallel matmul tests are
+  # the only place the kernel worker pool runs under TSan.
+  echo "== ctest (serving + kernel-tier suites under TSan) =="
   TSAN_OPTIONS="halt_on_error=1" \
-    ctest --test-dir "$BUILD_DIR" --output-on-failure -R "^serving_"
+    ctest --test-dir "$BUILD_DIR" --output-on-failure \
+    -R "^(serving_|models_kernel_tier)"
 
   echo "== check.sh --tsan OK =="
   exit 0

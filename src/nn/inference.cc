@@ -1,6 +1,16 @@
 #include "nn/inference.h"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "nn/kernels_fast.h"
 
 namespace awmoe {
 
@@ -15,17 +25,342 @@ void CheckSameShapeView(const ConstMatView& a, const ConstMatView& b,
 
 }  // namespace
 
+// ---------------------------------------------------------------------
+// Aligned storage.
+// ---------------------------------------------------------------------
+
+void AlignedBuffer::Reserve(size_t floats, bool preserve) {
+  if (floats <= capacity_) return;
+  // Geometric growth, like std::vector, so a warmup that creeps up in
+  // batch size does not reallocate per step.
+  const size_t new_capacity = std::max(floats, capacity_ * 2);
+  float* fresh = static_cast<float*>(::operator new(
+      new_capacity * sizeof(float), std::align_val_t(kAlignment)));
+  if (preserve && data_ != nullptr) {
+    std::memcpy(fresh, data_, capacity_ * sizeof(float));
+  }
+  Release();
+  data_ = fresh;
+  capacity_ = new_capacity;
+}
+
+void AlignedBuffer::Release() {
+  if (data_ != nullptr) {
+    ::operator delete(data_, std::align_val_t(kAlignment));
+  }
+  data_ = nullptr;
+  capacity_ = 0;
+}
+
 MatView InferenceArena::Alloc(int64_t rows, int64_t cols) {
   AWMOE_CHECK(rows >= 0 && cols >= 0)
       << "InferenceArena::Alloc " << rows << "x" << cols;
-  const size_t needed = static_cast<size_t>(rows * cols);
+  // Row stride padded to the slab alignment so every row — not just the
+  // slab base — is 64-byte aligned. Padding lanes are never touched by
+  // kernels (they iterate c < cols).
+  const int64_t stride = (cols + kAlignFloats - 1) / kAlignFloats *
+                         kAlignFloats;
+  const size_t needed = static_cast<size_t>(rows * stride);
   if (next_ == slabs_.size()) slabs_.emplace_back();
-  std::vector<float>& slab = slabs_[next_++];
-  // resize never shrinks capacity, so a warmed slab serves any batch up
-  // to the largest it has seen without touching the heap.
-  if (slab.size() < needed) slab.resize(needed);
-  return MatView{slab.data(), rows, cols, cols};
+  AlignedBuffer& slab = slabs_[next_++];
+  // Reserve never shrinks capacity, so a warmed slab serves any batch
+  // up to the largest it has seen without touching the heap.
+  if (slab.capacity() < needed) slab.Reserve(needed);
+  AWMOE_DCHECK(reinterpret_cast<uintptr_t>(slab.data()) %
+                   AlignedBuffer::kAlignment ==
+               0)
+      << "arena slab base lost its alignment";
+  return MatView{slab.data(), rows, cols, stride};
 }
+
+std::span<float> InferenceWorkspace::Staging(StagingSlot slot, int64_t n) {
+  AWMOE_CHECK(n >= 0) << "Staging size " << n;
+  AlignedBuffer& buffer = staging_[slot];
+  if (buffer.capacity() < static_cast<size_t>(n)) {
+    buffer.Reserve(static_cast<size_t>(n), /*preserve=*/true);
+  }
+  return std::span<float>(buffer.data(), static_cast<size_t>(n));
+}
+
+// ---------------------------------------------------------------------
+// Reference-tier kernels: bitwise mirrors of mat/kernels.cc.
+// ---------------------------------------------------------------------
+
+namespace {
+
+void MatMulReference(const ConstMatView& a, const Matrix& w, MatView out) {
+  const int64_t m = a.rows, k = a.cols, n = w.cols();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* crow = out.row(i);
+    std::fill(crow, crow + n, 0.0f);
+    for (int64_t p = 0; p < k; ++p) {
+      const float aip = arow[p];
+      if (aip == 0.0f) continue;
+      const float* brow = w.row(p);
+      for (int64_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+    }
+  }
+}
+
+void AddBiasReference(MatView a, const Matrix& bias) {
+  const float* pb = bias.data();
+  for (int64_t r = 0; r < a.rows; ++r) {
+    float* arow = a.row(r);
+    for (int64_t c = 0; c < a.cols; ++c) arow[c] = arow[c] + pb[c];
+  }
+}
+
+void ReluReference(MatView a) {
+  for (int64_t r = 0; r < a.rows; ++r) {
+    float* arow = a.row(r);
+    for (int64_t c = 0; c < a.cols; ++c) {
+      arow[c] = arow[c] > 0.0f ? arow[c] : 0.0f;
+    }
+  }
+}
+
+void SigmoidSpanReference(const float* x, float* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = StableSigmoid(x[i]);
+}
+
+constexpr KernelDispatchTable kReferenceTable = {
+    /*name=*/"reference-scalar",
+    /*bitwise_reference=*/true,
+    /*matmul=*/MatMulReference,
+    /*add_bias=*/AddBiasReference,
+    /*relu=*/ReluReference,
+    /*sigmoid_span=*/SigmoidSpanReference,
+};
+
+// ---------------------------------------------------------------------
+// Tier resolution and dispatch state.
+// ---------------------------------------------------------------------
+
+bool CpuSupportsAvx2Fma() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+/// Active tier; -1 = not resolved yet. Benign first-use race: every
+/// resolver computes the same value.
+std::atomic<int> g_active_tier{-1};
+
+/// Row-parallelism thread budget; -1 = not resolved from the
+/// environment yet, 0/1 = off.
+std::atomic<int> g_row_threads{-1};
+
+constexpr int kMaxRowThreads = 64;
+/// Minimum rows a parallel chunk must carry for the split to pay.
+constexpr int64_t kMinRowsPerChunk = 16;
+
+}  // namespace
+
+bool FastKernelTierAvailable() {
+  return FastKernelTableOrNull() != nullptr && CpuSupportsAvx2Fma();
+}
+
+KernelTier ResolveKernelTier(const char* force_scalar, bool fast_available) {
+  const bool forced = force_scalar != nullptr && force_scalar[0] != '\0' &&
+                      !(force_scalar[0] == '0' && force_scalar[1] == '\0');
+  if (forced || !fast_available) return KernelTier::kReference;
+  return KernelTier::kFast;
+}
+
+KernelTier ActiveKernelTier() {
+  int tier = g_active_tier.load(std::memory_order_acquire);
+  if (tier < 0) {
+    tier = static_cast<int>(ResolveKernelTier(
+        std::getenv("AWMOE_FORCE_SCALAR"), FastKernelTierAvailable()));
+    g_active_tier.store(tier, std::memory_order_release);
+  }
+  return static_cast<KernelTier>(tier);
+}
+
+void SetKernelTier(KernelTier tier) {
+  if (tier == KernelTier::kFast) {
+    AWMOE_CHECK(FastKernelTierAvailable())
+        << "fast kernel tier not available on this build/CPU";
+  }
+  g_active_tier.store(static_cast<int>(tier), std::memory_order_release);
+}
+
+const char* KernelTierName(KernelTier tier) {
+  return GetKernelTable(tier).name;
+}
+
+const KernelDispatchTable& GetKernelTable(KernelTier tier) {
+  if (tier == KernelTier::kFast) {
+    const KernelDispatchTable* fast = FastKernelTableOrNull();
+    AWMOE_CHECK(fast != nullptr) << "fast kernel tier not compiled in";
+    return *fast;
+  }
+  return kReferenceTable;
+}
+
+const KernelDispatchTable& ActiveKernels() {
+  return GetKernelTable(ActiveKernelTier());
+}
+
+// ---------------------------------------------------------------------
+// Optional intra-batch row parallelism.
+//
+// A persistent worker pool (created on first enable, deliberately
+// leaked so shutdown never races static destruction) splits a matmul's
+// row range into contiguous chunks claimed off one atomic counter.
+// Rows are arithmetic-independent and position-invariant in both
+// tiers, so the parallel product is bitwise identical to the serial
+// one at the same tier. One matmul runs at a time (run_mu_): this is
+// an opt-in throughput lever for large batches, not a fleet-wide
+// scheduler — serving lanes already parallelise across requests.
+// ---------------------------------------------------------------------
+
+namespace {
+
+class RowParallelPool {
+ public:
+  static RowParallelPool& Instance() {
+    static RowParallelPool* pool = new RowParallelPool();
+    return *pool;
+  }
+
+  /// Grows the pool to `workers` threads (never shrinks; the caller
+  /// thread works too, so `threads` parallelism needs threads-1
+  /// workers).
+  void EnsureWorkers(int workers) {
+    std::lock_guard<std::mutex> run_lock(run_mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    while (static_cast<int>(threads_.size()) < workers) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  /// Runs fn(ctx, chunk) for chunk in [0, chunks); blocks until all
+  /// chunks finish. The calling thread participates.
+  void Run(int chunks, void (*fn)(void*, int), void* ctx) {
+    std::lock_guard<std::mutex> run_lock(run_mu_);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      fn_ = fn;
+      ctx_ = ctx;
+      chunks_ = chunks;
+      done_ = 0;
+      next_chunk_.store(0, std::memory_order_relaxed);
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    for (;;) {
+      const int chunk = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= chunks) break;
+      fn(ctx, chunk);
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] {
+      return done_ == static_cast<int>(threads_.size());
+    });
+  }
+
+  int workers() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int>(threads_.size());
+  }
+
+ private:
+  RowParallelPool() = default;
+
+  void WorkerLoop() {
+    uint64_t seen = 0;
+    for (;;) {
+      void (*fn)(void*, int) = nullptr;
+      void* ctx = nullptr;
+      int chunks = 0;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [&] { return generation_ != seen; });
+        seen = generation_;
+        fn = fn_;
+        ctx = ctx_;
+        chunks = chunks_;
+      }
+      for (;;) {
+        const int chunk =
+            next_chunk_.fetch_add(1, std::memory_order_relaxed);
+        if (chunk >= chunks) break;
+        fn(ctx, chunk);
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++done_;
+      }
+      done_cv_.notify_all();
+    }
+  }
+
+  /// Serialises Run() calls (and pool growth) against each other.
+  std::mutex run_mu_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> threads_;
+  uint64_t generation_ = 0;
+  int chunks_ = 0;
+  int done_ = 0;
+  void (*fn_)(void*, int) = nullptr;
+  void* ctx_ = nullptr;
+  std::atomic<int> next_chunk_{0};
+};
+
+struct ParallelMatMulTask {
+  const KernelDispatchTable* table;
+  const ConstMatView* a;
+  const Matrix* w;
+  const MatView* out;
+  int64_t chunk_rows;
+};
+
+void RunMatMulChunk(void* raw, int chunk) {
+  const ParallelMatMulTask& task = *static_cast<ParallelMatMulTask*>(raw);
+  const int64_t begin = static_cast<int64_t>(chunk) * task.chunk_rows;
+  const int64_t end = std::min(task.out->rows, begin + task.chunk_rows);
+  if (begin >= end) return;
+  const ConstMatView a_slice(task.a->data + begin * task.a->stride,
+                             end - begin, task.a->cols, task.a->stride);
+  const MatView out_slice{task.out->data + begin * task.out->stride,
+                          end - begin, task.out->cols, task.out->stride};
+  task.table->matmul(a_slice, *task.w, out_slice);
+}
+
+}  // namespace
+
+void SetKernelRowParallelism(int threads) {
+  AWMOE_CHECK(threads >= 0 && threads <= kMaxRowThreads)
+      << "kernel row parallelism " << threads;
+  if (threads > 1) RowParallelPool::Instance().EnsureWorkers(threads - 1);
+  g_row_threads.store(threads, std::memory_order_release);
+}
+
+int KernelRowParallelism() {
+  int threads = g_row_threads.load(std::memory_order_acquire);
+  if (threads < 0) {
+    threads = 0;
+    if (const char* env = std::getenv("AWMOE_KERNEL_THREADS")) {
+      threads = std::atoi(env);
+      threads = std::clamp(threads, 0, kMaxRowThreads);
+    }
+    if (threads > 1) RowParallelPool::Instance().EnsureWorkers(threads - 1);
+    g_row_threads.store(threads, std::memory_order_release);
+  }
+  return threads;
+}
+
+// ---------------------------------------------------------------------
+// Public kernels. Dispatching kernels validate shapes here, then jump
+// through the active tier table; the rest stay scalar reference code
+// shared by both tiers.
+// ---------------------------------------------------------------------
 
 void CopyInto(const ConstMatView& src, MatView out) {
   CheckSameShapeView(src, out, "CopyInto");
@@ -41,38 +376,36 @@ void MatMulInto(const ConstMatView& a, const Matrix& w, MatView out) {
       << w.ShapeString();
   AWMOE_CHECK(out.rows == a.rows && out.cols == w.cols())
       << "MatMulInto: out " << out.rows << "x" << out.cols;
-  const int64_t m = a.rows, k = a.cols, n = w.cols();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a.row(i);
-    float* crow = out.row(i);
-    std::fill(crow, crow + n, 0.0f);
-    for (int64_t p = 0; p < k; ++p) {
-      const float aip = arow[p];
-      if (aip == 0.0f) continue;
-      const float* brow = w.row(p);
-      for (int64_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+  const KernelDispatchTable& table = ActiveKernels();
+  const int threads = KernelRowParallelism();
+  if (threads > 1 && out.rows >= 2 * kMinRowsPerChunk &&
+      a.stride != 0) {
+    const int chunks = static_cast<int>(std::min<int64_t>(
+        threads, out.rows / kMinRowsPerChunk));
+    if (chunks > 1) {
+      const int64_t chunk_rows = (out.rows + chunks - 1) / chunks;
+      ParallelMatMulTask task{&table, &a, &w, &out, chunk_rows};
+      RowParallelPool::Instance().Run(chunks, RunMatMulChunk, &task);
+      return;
     }
   }
+  table.matmul(a, w, out);
 }
 
 void AddBiasInPlace(MatView a, const Matrix& bias) {
   AWMOE_CHECK(bias.rows() == 1 && bias.cols() == a.cols)
       << "AddBiasInPlace: " << a.rows << "x" << a.cols << " + "
       << bias.ShapeString();
-  const float* pb = bias.data();
-  for (int64_t r = 0; r < a.rows; ++r) {
-    float* arow = a.row(r);
-    for (int64_t c = 0; c < a.cols; ++c) arow[c] = arow[c] + pb[c];
-  }
+  ActiveKernels().add_bias(a, bias);
 }
 
-void ReluInPlace(MatView a) {
-  for (int64_t r = 0; r < a.rows; ++r) {
-    float* arow = a.row(r);
-    for (int64_t c = 0; c < a.cols; ++c) {
-      arow[c] = arow[c] > 0.0f ? arow[c] : 0.0f;
-    }
-  }
+void ReluInPlace(MatView a) { ActiveKernels().relu(a); }
+
+void SigmoidSpanInto(std::span<const float> x, std::span<float> out) {
+  AWMOE_CHECK(x.size() == out.size())
+      << "SigmoidSpanInto: " << x.size() << " vs " << out.size();
+  ActiveKernels().sigmoid_span(x.data(), out.data(),
+                               static_cast<int64_t>(x.size()));
 }
 
 void MulInto(const ConstMatView& a, const ConstMatView& b, MatView out) {

@@ -19,13 +19,32 @@ namespace awmoe {
 // owned by an InferenceWorkspace, and every kernel can write into a
 // caller-provided buffer.
 //
-// BITWISE CONTRACT: each *Into / *InPlace kernel below performs exactly
-// the per-element arithmetic, in exactly the accumulation order, of its
-// mat/kernels.cc counterpart (which the autograd ops forward to). The
-// module-level InferInto methods materialise one buffer per op of the
-// original Var expression instead of fusing, so ScoreInto reproduces
-// InferenceLogits bit for bit — regression-tested in
-// tests/models/inference_path_test.cc.
+// KERNEL TIERS: the hot kernels (MatMulInto, ReluInPlace,
+// AddBiasInPlace, SigmoidSpanInto) dispatch through a process-global
+// KernelDispatchTable with two tiers.
+//
+//  - kReference — BITWISE CONTRACT: performs exactly the per-element
+//    arithmetic, in exactly the accumulation order, of its
+//    mat/kernels.cc counterpart (which the autograd ops forward to).
+//    The module-level InferInto methods materialise one buffer per op
+//    of the original Var expression instead of fusing, so ScoreInto
+//    reproduces InferenceLogits bit for bit — regression-tested in
+//    tests/models/inference_path_test.cc.
+//  - kFast — EPSILON CONTRACT: AVX2/FMA cache-tiled kernels
+//    (src/nn/kernels_fast.cc). FMA contraction and register-blocked
+//    accumulation reassociate the float sums, so results agree with
+//    the reference tier only to an epsilon/ULP bound
+//    (tests/models/kernel_tier_test.cc). Per-row / per-element
+//    arithmetic is still independent of micro-batch composition (the
+//    tail lanes run the SAME vector arithmetic through a masked
+//    staging buffer), so a given row scores bitwise-identically no
+//    matter how the serving engine fuses sessions — the invariant the
+//    shard/rollout bitwise storm tests rely on.
+//
+// The tier is resolved once per process: AWMOE_FORCE_SCALAR (any value
+// but "" or "0") pins the reference tier; otherwise the fast tier is
+// used when the binary carries it and CPUID reports AVX2+FMA. Tests
+// pin tiers explicitly with ScopedKernelTier.
 
 /// Non-owning, mutable view of a row-major [rows, cols] block whose rows
 /// are `stride` floats apart (stride >= cols; a column block of a wider
@@ -78,14 +97,74 @@ inline ConstMatView MatrixColsView(const Matrix& m, int64_t begin,
   return ConstMatView(m.data() + begin, m.rows(), width, m.cols());
 }
 
+/// A 64-byte-aligned float buffer that only ever grows (no content
+/// preservation across grows — it backs scratch slabs). Alignment is an
+/// invariant the fast kernel tier depends on: every slab base (and,
+/// with padded strides, every row) is legal for aligned AVX2/AVX-512
+/// loads and stores.
+class AlignedBuffer {
+ public:
+  static constexpr size_t kAlignment = 64;  // One cache line.
+  static_assert(kAlignment % sizeof(float) == 0 &&
+                    kAlignment >= alignof(float),
+                "slab alignment must cover float lanes");
+
+  AlignedBuffer() = default;
+  ~AlignedBuffer() { Release(); }
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(other.data_), capacity_(other.capacity_) {
+    other.data_ = nullptr;
+    other.capacity_ = 0;
+  }
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      Release();
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      other.data_ = nullptr;
+      other.capacity_ = 0;
+    }
+    return *this;
+  }
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  /// Grows capacity to at least `floats` (geometric, so repeated
+  /// one-larger warmups do not thrash). Discards previous contents
+  /// unless `preserve` is set, in which case the old floats are copied
+  /// into the new buffer.
+  void Reserve(size_t floats, bool preserve = false);
+
+  float* data() const { return data_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  void Release();
+
+  float* data_ = nullptr;
+  size_t capacity_ = 0;  // In floats.
+};
+
 /// Bump allocator over persistent float slabs. Alloc() hands out the
-/// next slab (grown in place when too small — std::vector never shrinks
-/// its capacity, so a warmed arena allocates nothing); Reset() rewinds
-/// to the first slab for the next forward. Mark()/Rewind() scope the
-/// per-sequence-position temporaries of a behaviour loop so ten
-/// positions reuse one iteration's buffers instead of ten.
+/// next slab (grown in place when too small, so a warmed arena
+/// allocates nothing); Reset() rewinds to the first slab for the next
+/// forward. Mark()/Rewind() scope the per-sequence-position
+/// temporaries of a behaviour loop so ten positions reuse one
+/// iteration's buffers instead of ten — a mark taken before a slab
+/// spill stays a plain slab index, so rewinding past later-materialised
+/// slabs is safe and the slabs (and their grown capacities) are kept
+/// for reuse.
+///
+/// ALIGNMENT INVARIANT: every slab base is 64-byte aligned and every
+/// returned view's row stride is padded to a 64-byte multiple
+/// (kAlignFloats), so view.row(r) is 64-byte aligned for all r. The
+/// padding lanes are never read or written by kernels (all kernels
+/// iterate c < cols), so the bitwise contract is unaffected.
 class InferenceArena {
  public:
+  static constexpr int64_t kAlignFloats =
+      static_cast<int64_t>(AlignedBuffer::kAlignment / sizeof(float));
+
   MatView Alloc(int64_t rows, int64_t cols);
   void Reset() { next_ = 0; }
   size_t Mark() const { return next_; }
@@ -97,7 +176,7 @@ class InferenceArena {
   size_t num_slabs() const { return slabs_.size(); }
 
  private:
-  std::vector<std::vector<float>> slabs_;
+  std::vector<AlignedBuffer> slabs_;
   size_t next_ = 0;
 };
 
@@ -122,23 +201,111 @@ class InferenceWorkspace {
   int64_t max_candidates() const { return max_candidates_; }
   InferenceArena* arena() { return &arena_; }
 
-  /// Persistent staging buffer for `slot`, grown to at least `n` floats.
-  std::span<float> Staging(StagingSlot slot, int64_t n) {
-    std::vector<float>& buffer = staging_[slot];
-    if (static_cast<int64_t>(buffer.size()) < n) {
-      buffer.resize(static_cast<size_t>(n));
-    }
-    return std::span<float>(buffer.data(), static_cast<size_t>(n));
-  }
+  /// Persistent staging buffer for `slot`, grown to at least `n`
+  /// floats. 64-byte aligned (AlignedBuffer), like the arena slabs, so
+  /// staged gate rows are as legal for the fast kernel tier as any
+  /// arena view. Growth preserves existing contents (matching the
+  /// std::vector::resize semantics this buffer replaced).
+  std::span<float> Staging(StagingSlot slot, int64_t n);
 
  private:
   int64_t max_candidates_;
   InferenceArena arena_;
-  std::vector<float> staging_[kNumSlots];
+  AlignedBuffer staging_[kNumSlots];
 };
 
 // ---------------------------------------------------------------------
-// Kernels. Each mirrors the arithmetic of its mat/kernels.cc namesake.
+// Kernel tiers (see the file comment for the exact-vs-epsilon
+// contract).
+// ---------------------------------------------------------------------
+
+enum class KernelTier {
+  kReference = 0,  // Scalar, bitwise-identical to mat/kernels.cc.
+  kFast = 1,       // AVX2/FMA cache-tiled; epsilon-bounded.
+};
+
+/// Function-pointer table of one tier's hot kernels (H2Pack-style: the
+/// variants and their metadata live in one place, callers dispatch
+/// through ActiveKernels()). Shape checks stay in the public wrappers,
+/// so implementations assume validated views.
+struct KernelDispatchTable {
+  const char* name = "";     // "reference-scalar" / "avx2-fma".
+  bool bitwise_reference = false;
+
+  /// out = a[m,k] * w[k,n] (out fully overwritten).
+  void (*matmul)(const ConstMatView& a, const Matrix& w, MatView out) =
+      nullptr;
+  /// a[m,n] += bias[1,n] broadcast over rows.
+  void (*add_bias)(MatView a, const Matrix& bias) = nullptr;
+  /// a = max(a, 0) elementwise.
+  void (*relu)(MatView a) = nullptr;
+  /// out[i] = sigmoid(x[i]) over a contiguous span (x and out may
+  /// alias exactly).
+  void (*sigmoid_span)(const float* x, float* out, int64_t n) = nullptr;
+};
+
+/// True when the fast tier is both compiled in (kernels_fast.cc built
+/// with AVX2/FMA) and runnable on this CPU (CPUID reports avx2+fma).
+bool FastKernelTierAvailable();
+
+/// The active tier. Resolved once on first kernel use:
+/// AWMOE_FORCE_SCALAR in the environment pins kReference, otherwise
+/// kFast when available.
+KernelTier ActiveKernelTier();
+
+/// Overrides the active tier process-wide. CHECK-fails when asked for
+/// kFast on a machine/build without it. Intended for tests and
+/// benches; not synchronised against in-flight forwards, so call it
+/// only while no other thread is scoring.
+void SetKernelTier(KernelTier tier);
+
+const char* KernelTierName(KernelTier tier);
+
+/// The dispatch table of `tier` (CHECK-fails for an unavailable tier)
+/// / of the active tier.
+const KernelDispatchTable& GetKernelTable(KernelTier tier);
+const KernelDispatchTable& ActiveKernels();
+
+/// Pure tier-resolution rule, exposed for unit tests: `force_scalar`
+/// is the raw AWMOE_FORCE_SCALAR value (nullptr = unset; "" and "0"
+/// mean unset).
+KernelTier ResolveKernelTier(const char* force_scalar, bool fast_available);
+
+/// RAII tier pin for tests/benches: sets `tier` for its scope and
+/// restores the previous one.
+class ScopedKernelTier {
+ public:
+  explicit ScopedKernelTier(KernelTier tier) : previous_(ActiveKernelTier()) {
+    SetKernelTier(tier);
+  }
+  ~ScopedKernelTier() { SetKernelTier(previous_); }
+  ScopedKernelTier(const ScopedKernelTier&) = delete;
+  ScopedKernelTier& operator=(const ScopedKernelTier&) = delete;
+
+ private:
+  KernelTier previous_;
+};
+
+/// Optional intra-batch row parallelism for MatMulInto: when `threads`
+/// > 1, matmuls with enough rows split their row range over a
+/// persistent worker pool. Because every row's arithmetic is
+/// independent and position-invariant in BOTH tiers, the parallel
+/// result is bitwise identical to the serial one at the same tier.
+/// Default 0 (off); AWMOE_KERNEL_THREADS seeds it at tier resolution.
+/// Like SetKernelTier, not synchronised against in-flight forwards.
+void SetKernelRowParallelism(int threads);
+int KernelRowParallelism();
+
+/// FLOP count of one MatMul (for GFLOPS reporting in benches).
+constexpr double MatMulFlops(int64_t m, int64_t k, int64_t n) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(k) *
+         static_cast<double>(n);
+}
+
+// ---------------------------------------------------------------------
+// Kernels. In the reference tier each mirrors the arithmetic of its
+// mat/kernels.cc namesake; MatMulInto / AddBiasInPlace / ReluInPlace /
+// SigmoidSpanInto dispatch through the active tier table.
 // ---------------------------------------------------------------------
 
 /// out = src (element copy).
@@ -189,6 +356,14 @@ void TopKMulInPlace(MatView a, int64_t k, InferenceArena* arena);
 /// [size * seq_len] id layout without building an index vector.
 void GatherRowsInto(const Matrix& table, const int64_t* ids, int64_t count,
                     int64_t id_stride, MatView out);
+
+/// out[i] = sigmoid(x[i]) over contiguous spans (in-place allowed when
+/// out.data() == x.data()). Dispatches through the active tier: the
+/// reference tier applies StableSigmoid per element (bitwise equal to
+/// Sigmoid(Matrix)); the fast tier runs a vectorised exp polynomial
+/// whose per-element result is independent of the element's position
+/// in the span.
+void SigmoidSpanInto(std::span<const float> x, std::span<float> out);
 
 /// The Sigmoid kernel's per-element form (sign-split for stability),
 /// exposed so the serving engine converts ScoreInto logits to

@@ -206,6 +206,11 @@ void ServingEngine::ExecuteMicroBatch(const MicroBatch& micro,
     lane.model->ScoreInto(batch, nullptr, workspace, logits_span);
   }
 
+  // One vectorised pass over the whole micro-batch's logits (in place;
+  // per-element arithmetic matches the tier's sigmoid, so on the
+  // reference tier this is still StableSigmoid element for element).
+  SigmoidSpanInto(logits_span, logits_span);
+
   const double service_ms = service_watch.ElapsedMillis();
   std::vector<RequestSample> samples(n);
   int64_t row = 0;
@@ -226,10 +231,7 @@ void ServingEngine::ExecuteMicroBatch(const MicroBatch& micro,
     response.gate_cache_hit = cache_hit[i];
     response.scores.resize(request.items.size());
     for (size_t j = 0; j < request.items.size(); ++j, ++row) {
-      // Same sign-split sigmoid as the Sigmoid(Matrix) kernel the
-      // engine used to call, element for element.
-      response.scores[j] =
-          StableSigmoid(logits[static_cast<size_t>(row)]);
+      response.scores[j] = logits[static_cast<size_t>(row)];
     }
     RequestSample& sample = samples[i];
     sample.items = static_cast<int64_t>(request.items.size());

@@ -102,6 +102,36 @@ std::vector<int> ShardRouter::shard_ids() const {
 
 // ------------------------------------------------------- AdmissionController
 
+double MeanServiceEstimator::Update(int64_t requests, double service_ms) {
+  const int64_t delta_requests = requests - last_requests_;
+  if (delta_requests < 0 || service_ms < last_service_ms_) {
+    // The counters moved backwards: the engine's stats were reset under
+    // us. Resync the baseline so the NEXT window measures fresh deltas;
+    // without this the old (higher) baseline could never be caught up
+    // to and the estimate would stay frozen forever.
+    last_requests_ = requests;
+    last_service_ms_ = service_ms;
+    return mean_ms_;
+  }
+  if (delta_requests == 0) {
+    // Idle window: no completions to measure. Dividing would yield
+    // NaN (0/0) or garbage; keep the last good estimate instead.
+    return mean_ms_;
+  }
+  mean_ms_ = std::max(
+      (service_ms - last_service_ms_) / static_cast<double>(delta_requests),
+      0.0);
+  last_requests_ = requests;
+  last_service_ms_ = service_ms;
+  return mean_ms_;
+}
+
+void MeanServiceEstimator::Reset() {
+  last_requests_ = 0;
+  last_service_ms_ = 0.0;
+  mean_ms_ = 0.0;
+}
+
 double EstimateQueueDelayMs(const ShardLoad& load) {
   const int lanes = std::max(1, load.flush_lanes);
   return static_cast<double>(load.pending_requests) * load.mean_service_ms /
@@ -234,13 +264,13 @@ struct ShardedServingFleet::FleetShard {
   std::unique_ptr<ServingEngine> engine;
   AdmissionController admission;
 
-  /// Sliding service-time estimate (CurrentLoad): refreshed from three
-  /// engine counters every load_refresh_every admission decisions.
+  /// Sliding service-time estimate (CurrentLoad): refreshed from the
+  /// engine counters every load_refresh_every admission decisions. The
+  /// estimator handles the idle-window / reset-counter edge cases
+  /// (see MeanServiceEstimator in shard.h).
   std::mutex load_mu;
   int decisions_until_refresh = 0;
-  int64_t last_requests = 0;
-  double last_service_ms = 0.0;
-  double mean_service_ms = 0.0;
+  MeanServiceEstimator service_estimate;
 };
 
 namespace {
@@ -500,20 +530,13 @@ ShardLoad ShardedServingFleet::CurrentLoad(FleetShard* shard) const {
   if (--shard->decisions_until_refresh <= 0) {
     shard->decisions_until_refresh = options_.admission.load_refresh_every;
     const ServingStats& stats = shard->engine->stats();
-    const int64_t requests = stats.requests();
     // Service time = sojourn minus queue wait: what one flush lane
     // spends per request, which is what sets the queue's drain rate.
-    const double service_ms = stats.total_ms() - stats.queue_total_ms();
-    const int64_t delta_requests = requests - shard->last_requests;
-    if (delta_requests > 0) {
-      shard->mean_service_ms = (service_ms - shard->last_service_ms) /
-                               static_cast<double>(delta_requests);
-      shard->mean_service_ms = std::max(shard->mean_service_ms, 0.0);
-      shard->last_requests = requests;
-      shard->last_service_ms = service_ms;
-    }
+    // Idle windows and reset counters are the estimator's problem.
+    shard->service_estimate.Update(
+        stats.requests(), stats.total_ms() - stats.queue_total_ms());
   }
-  load.mean_service_ms = shard->mean_service_ms;
+  load.mean_service_ms = shard->service_estimate.estimate();
   return load;
 }
 
@@ -562,6 +585,10 @@ FleetStats ShardedServingFleet::Stats() const {
     snap.shed = shard->admission.shed();
     snap.degraded = shard->admission.degraded();
     snap.pending_requests = shard->engine->pending_async_requests();
+    {
+      std::lock_guard<std::mutex> lock(shard->load_mu);
+      snap.mean_service_ms = shard->service_estimate.estimate();
+    }
     snap.engine = shard->engine->Stats();
     fleet.admitted += snap.admitted;
     fleet.shed += snap.shed;
@@ -595,9 +622,7 @@ void ShardedServingFleet::ResetStats() {
     shard->admission.Reset();
     std::lock_guard<std::mutex> lock(shard->load_mu);
     shard->decisions_until_refresh = 0;
-    shard->last_requests = 0;
-    shard->last_service_ms = 0.0;
-    shard->mean_service_ms = 0.0;
+    shard->service_estimate.Reset();
   }
 }
 

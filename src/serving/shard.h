@@ -118,6 +118,35 @@ struct AdmissionOptions {
   int load_refresh_every = 32;
 };
 
+/// Sliding mean-service-time estimator over a pair of monotone engine
+/// counters (completed requests, accumulated service ms). Extracted
+/// from the fleet's refresh path so its edge cases are unit-testable:
+///
+///  - zero-delta window (idle shard): keeps the previous estimate
+///    instead of dividing by zero (NaN) or decaying to a stale 0;
+///  - backwards counters (the engine's stats were reset underneath the
+///    estimator): resyncs the baseline and keeps the last good
+///    estimate, instead of freezing forever on a baseline the counters
+///    can never catch up to;
+///  - negative service delta at positive request delta (reservoir
+///    resets, float noise): clamps the estimate at 0.
+///
+/// Not thread-safe; the caller serialises Update (the fleet holds the
+/// shard's load_mu).
+class MeanServiceEstimator {
+ public:
+  /// Folds one counter reading into the estimate and returns it.
+  double Update(int64_t requests, double service_ms);
+  /// Current estimate (ms/request); 0 until the first non-empty window.
+  double estimate() const { return mean_ms_; }
+  void Reset();
+
+ private:
+  int64_t last_requests_ = 0;
+  double last_service_ms_ = 0.0;
+  double mean_ms_ = 0.0;
+};
+
 /// Point-in-time load of one shard, as the admission controller sees it.
 struct ShardLoad {
   /// Requests sitting in the shard engine's async queue.
@@ -188,6 +217,10 @@ struct ShardStatsSnapshot {
   int64_t degraded = 0;
   /// Async queue depth at snapshot time.
   int64_t pending_requests = 0;
+  /// The shard's sliding mean-service estimate (ms/request) as the
+  /// admission controller currently sees it; 0 until the first
+  /// non-empty refresh window.
+  double mean_service_ms = 0.0;
   /// The shard engine's full snapshot (per-shard p50/p95/p99, QPS,
   /// version health, ...).
   ServingStatsSnapshot engine;

@@ -66,6 +66,41 @@ TEST(ZipfSamplerTest, MassOfTopIsAMonotoneCdf) {
   EXPECT_NEAR(uniform.MassOfTop(50), 0.5, 1e-12);
 }
 
+TEST(ZipfSamplerTest, EdgeCasesStayInBounds) {
+  // Negative / zero k clamp to 0 mass, k at or past n clamps to 1.
+  ZipfSampler zipf(10, 1.1, 3);
+  EXPECT_DOUBLE_EQ(zipf.MassOfTop(-5), 0.0);
+  EXPECT_DOUBLE_EQ(zipf.MassOfTop(0), 0.0);
+  EXPECT_DOUBLE_EQ(zipf.MassOfTop(10), 1.0);
+  EXPECT_DOUBLE_EQ(zipf.MassOfTop(15), 1.0);
+
+  // n = 1: the only rank absorbs all mass and every draw.
+  ZipfSampler single(1, 1.1, 4);
+  EXPECT_DOUBLE_EQ(single.MassOfTop(1), 1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(single.Next(), 0);
+
+  // Extreme exponents stress the renormalisation: the CDF must end at
+  // exactly 1.0 and every draw must stay a valid rank (the tail-draw
+  // OOB regression this guards against came from accumulated FP drift
+  // pushing cdf_.back() below the largest uniform draw).
+  for (const double exponent : {0.0, 0.5, 3.0, 8.0}) {
+    ZipfSampler stress(257, exponent, 11);
+    EXPECT_DOUBLE_EQ(stress.MassOfTop(257), 1.0);
+    double prev = 0.0;
+    for (int64_t k = 1; k <= 257; ++k) {
+      const double mass = stress.MassOfTop(k);
+      EXPECT_GE(mass, prev) << "exponent " << exponent << " k " << k;
+      EXPECT_LE(mass, 1.0) << "exponent " << exponent << " k " << k;
+      prev = mass;
+    }
+    for (int i = 0; i < 2000; ++i) {
+      const int64_t rank = stress.Next();
+      ASSERT_GE(rank, 0) << "exponent " << exponent;
+      ASSERT_LT(rank, 257) << "exponent " << exponent;
+    }
+  }
+}
+
 ArrivalTraceConfig SmallTrace() {
   ArrivalTraceConfig config;
   config.duration_s = 2.0;

@@ -25,6 +25,15 @@
 namespace awmoe {
 namespace {
 
+// This whole suite compares ScoreInto against the autograd-backed
+// InferenceLogits BITWISE, so it must run on the reference kernel tier
+// regardless of what the host CPU offers. The fast tier's
+// epsilon-bounded agreement is covered by kernel_tier_test.cc.
+const bool kPinnedReferenceTier = [] {
+  SetKernelTier(KernelTier::kReference);
+  return true;
+}();
+
 DatasetMeta TestMeta(bool recommendation) {
   DatasetMeta meta;
   meta.num_items = 60;

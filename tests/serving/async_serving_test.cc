@@ -25,6 +25,14 @@
 namespace awmoe {
 namespace {
 
+// The async suite cross-checks engine scores against the synchronous
+// legacy RankingService bitwise, so it pins the reference kernel tier
+// (fast-tier agreement is epsilon-bounded; see kernel_tier_test.cc).
+const bool kPinnedReferenceTier = [] {
+  SetKernelTier(KernelTier::kReference);
+  return true;
+}();
+
 AwMoeConfig SmallAwMoeConfig() {
   AwMoeConfig config;
   config.dims.emb_dim = 4;

@@ -19,6 +19,14 @@
 namespace awmoe {
 namespace {
 
+// These tests compare engine scores against the legacy Var-graph
+// RankingService bitwise, which only holds on the reference kernel
+// tier (the fast tier is epsilon-bounded; see kernel_tier_test.cc).
+const bool kPinnedReferenceTier = [] {
+  SetKernelTier(KernelTier::kReference);
+  return true;
+}();
+
 AwMoeConfig SmallAwMoeConfig() {
   AwMoeConfig config;
   config.dims.emb_dim = 4;

@@ -134,6 +134,59 @@ ShardLoad MakeLoad(int64_t pending, double mean_service_ms, int lanes = 1) {
   return load;
 }
 
+TEST(MeanServiceEstimatorTest, MeasuresPerRequestDeltas) {
+  MeanServiceEstimator est;
+  EXPECT_DOUBLE_EQ(est.estimate(), 0.0);
+  // First window: 10 requests, 20 ms => 2 ms/request.
+  EXPECT_DOUBLE_EQ(est.Update(10, 20.0), 2.0);
+  // Next window only measures the delta: 5 more requests, 25 more ms.
+  EXPECT_DOUBLE_EQ(est.Update(15, 45.0), 5.0);
+  EXPECT_DOUBLE_EQ(est.estimate(), 5.0);
+}
+
+TEST(MeanServiceEstimatorTest, IdleWindowKeepsEstimate) {
+  MeanServiceEstimator est;
+  est.Update(10, 20.0);
+  // Zero completed requests in the refresh window (idle shard): the
+  // naive delta division would be 0/0 = NaN. Keep the last estimate.
+  const double kept = est.Update(10, 20.0);
+  EXPECT_FALSE(std::isnan(kept));
+  EXPECT_DOUBLE_EQ(kept, 2.0);
+  // And the idle window must not poison the next real one.
+  EXPECT_DOUBLE_EQ(est.Update(14, 32.0), 3.0);
+}
+
+TEST(MeanServiceEstimatorTest, BackwardsCountersResyncBaseline) {
+  MeanServiceEstimator est;
+  est.Update(100, 400.0);
+  // The engine's stats were reset underneath the estimator: counters
+  // jump backwards. The estimate survives, and crucially the baseline
+  // resyncs — the next window measures fresh deltas instead of waiting
+  // for the counters to catch their old values back up.
+  EXPECT_DOUBLE_EQ(est.Update(0, 0.0), 4.0);
+  EXPECT_DOUBLE_EQ(est.Update(10, 60.0), 6.0);
+}
+
+TEST(MeanServiceEstimatorTest, NegativeServiceDeltaClampsAtZero) {
+  MeanServiceEstimator est;
+  est.Update(10, 50.0);
+  // Requests advanced but accumulated service went backwards (reset
+  // mid-window): treated as a resync, not a negative estimate.
+  const double out = est.Update(12, 10.0);
+  EXPECT_GE(out, 0.0);
+  EXPECT_FALSE(std::isnan(out));
+  // Fresh deltas from the resynced baseline.
+  EXPECT_DOUBLE_EQ(est.Update(14, 16.0), 3.0);
+}
+
+TEST(MeanServiceEstimatorTest, ResetClearsEverything) {
+  MeanServiceEstimator est;
+  est.Update(10, 20.0);
+  est.Reset();
+  EXPECT_DOUBLE_EQ(est.estimate(), 0.0);
+  EXPECT_DOUBLE_EQ(est.Update(4, 12.0), 3.0);
+}
+
 TEST(AdmissionTest, QueueDelayEstimateIsLittlesLaw) {
   EXPECT_DOUBLE_EQ(EstimateQueueDelayMs(MakeLoad(10, 2.0, 1)), 20.0);
   EXPECT_DOUBLE_EQ(EstimateQueueDelayMs(MakeLoad(10, 2.0, 2)), 10.0);
