@@ -54,6 +54,9 @@ struct FleetLoadFlags {
   int64_t clients = 4;
   int64_t seed = 20230608;
   bool smoke = false;
+  /// Cache-sweep repeat mix: < 0 sweeps the built-in {0.0, 0.5, 0.8}
+  /// grid; >= 0 pins the sweep to that single rate.
+  double repeat_rate = -1.0;
   std::string json;
 };
 
@@ -72,11 +75,30 @@ struct Workload {
   /// are the same user every draw — gate caches and ring placement see
   /// real repetition) over one of the corpus item lists.
   RankRequest RequestFor(int64_t rank, double deadline_ms) const {
+    return RequestFor(rank, /*variant=*/0, deadline_ms);
+  }
+
+  /// Variant-aware request: page `variant` of user `rank` maps to a
+  /// different corpus item list, so a RepeatMixSampler draw with
+  /// repeat=true is a verbatim replay (level-1 score-cache hit) while a
+  /// fresh variant is the same user over new candidates (a miss that
+  /// restamps the session). The 7919 stride is coprime with the corpus
+  /// size, so consecutive variants walk distinct pages.
+  RankRequest RequestFor(int64_t rank, int64_t variant,
+                         double deadline_ms, int64_t pages = 1) const {
     RankRequest request;
     request.session_id = SyntheticSessionId(rank);
     request.deadline_ms = deadline_ms;
-    request.items = sessions[static_cast<size_t>(
-        rank % static_cast<int64_t>(sessions.size()))];
+    // `pages` corpus item lists concatenated into one candidate set:
+    // the cache sweep uses rerank-sized requests (a few dozen
+    // candidates) so the forward pass a level-1 hit skips is the
+    // realistic cost, not a toy one.
+    for (int64_t p = 0; p < pages; ++p) {
+      const auto& page = sessions[static_cast<size_t>(
+          (rank + 7919 * variant + 131 * p) %
+          static_cast<int64_t>(sessions.size()))];
+      request.items.insert(request.items.end(), page.begin(), page.end());
+    }
     return request;
   }
 
@@ -251,13 +273,71 @@ struct SweepRow {
   OpenLoopResult result;
 };
 
+// --- Phase 4: the session-cache sweep (ROADMAP item 3). ---
+
+struct CacheSweepRow {
+  double repeat_rate = 0.0;
+  bool cache_on = false;
+  int64_t requests = 0;
+  double hit_rate = 0.0;  // Level-1: hits / (hits + misses).
+  FleetStats stats;
+};
+
+/// One cache-sweep point: `requests` sequential draws from a
+/// RepeatMixSampler — each request completes before the next is drawn,
+/// so a repeat always lands after the original it replays and the
+/// latency split measures the COMPUTE a level-1 hit saves (no queueing
+/// behind siblings, and a near-zero flush window keeps the batcher's
+/// wait out of both sides of the comparison).
+CacheSweepRow RunCacheLoad(const Workload& workload,
+                           const FleetLoadFlags& flags, double repeat_rate,
+                           bool cache_on, int64_t requests) {
+  FleetOptions options =
+      MakeFleetOptions(flags, /*admission=*/false, /*deadline=*/20.0);
+  options.engine.max_queue_delay_ms = 0.02;
+  if (cache_on) {
+    options.engine.score_cache_capacity = 1 << 15;
+    options.engine.encoding_cache_capacity = 1 << 15;
+  } else {
+    options.engine.score_cache_capacity = 0;
+    options.engine.encoding_cache_capacity = 0;
+  }
+  auto fleet = MakeFleet(workload, options);
+  RepeatMixSampler sampler(workload.users, workload.zipf, repeat_rate,
+                           static_cast<uint64_t>(flags.seed) + 500 +
+                               static_cast<uint64_t>(repeat_rate * 100) +
+                               (cache_on ? 0 : 1));
+  CacheSweepRow row;
+  row.repeat_rate = repeat_rate;
+  row.cache_on = cache_on;
+  row.requests = requests;
+  for (int64_t sent = 0; sent < requests; ++sent) {
+    const RequestDraw draw = sampler.Next();
+    fleet
+        ->Submit(workload.RequestFor(draw.rank, draw.variant,
+                                     /*deadline_ms=*/0.0, /*pages=*/4))
+        .get();
+  }
+  row.stats = fleet->Stats();
+  fleet->Stop();
+  const int64_t lookups = row.stats.merged.score_cache_hits +
+                          row.stats.merged.score_cache_misses;
+  row.hit_rate = lookups > 0 ? static_cast<double>(
+                                   row.stats.merged.score_cache_hits) /
+                                   static_cast<double>(lookups)
+                             : 0.0;
+  return row;
+}
+
 std::string Bool(bool b) { return b ? "true" : "false"; }
 
 void WriteJson(const std::string& path, const FleetLoadFlags& flags,
                int cores, double single_qps, double fleet_qps,
                const OpenLoopResult& uncontended,
                const std::vector<SweepRow>& sweep, double deadline_ms,
-               double max_admitted_p99, double max_unshed_p99) {
+               double max_admitted_p99, double max_unshed_p99,
+               const std::vector<CacheSweepRow>& cache_sweep,
+               bool hit_p99_lt_miss_p99, double hit_p50_speedup) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -306,6 +386,34 @@ void WriteJson(const std::string& path, const FleetLoadFlags& flags,
     out << "]}" << (i + 1 == sweep.size() ? "" : ",") << "\n";
   }
   out << "  ],\n";
+  out << "  \"cache_sweep\": [\n";
+  for (size_t i = 0; i < cache_sweep.size(); ++i) {
+    const CacheSweepRow& row = cache_sweep[i];
+    const ServingStatsSnapshot& merged = row.stats.merged;
+    out << "    {\"repeat_rate\": " << row.repeat_rate
+        << ", \"cache\": " << Bool(row.cache_on)
+        << ", \"requests\": " << row.requests
+        << ", \"hit_rate\": " << row.hit_rate
+        << ", \"score_cache_hits\": " << merged.score_cache_hits
+        << ", \"score_cache_misses\": " << merged.score_cache_misses
+        << ", \"score_cache_invalidations\": "
+        << merged.score_cache_invalidations
+        << ", \"encoding_cache_hits\": " << merged.encoding_cache_hits
+        << ", \"gate_cache_hits\": " << merged.gate_cache_hits
+        << ", \"score_cache_entries\": " << merged.score_cache_entries
+        << ", \"score_cache_bytes\": " << merged.score_cache_bytes
+        << ", \"encoding_cache_bytes\": " << merged.encoding_cache_bytes
+        << ", \"gate_cache_bytes\": " << merged.gate_cache_bytes
+        << ", \"p50_ms\": " << merged.p50_ms
+        << ", \"p99_ms\": " << merged.p99_ms
+        << ", \"score_hit_p50_ms\": " << merged.score_hit_p50_ms
+        << ", \"score_hit_p99_ms\": " << merged.score_hit_p99_ms
+        << ", \"score_miss_p50_ms\": " << merged.score_miss_p50_ms
+        << ", \"score_miss_p99_ms\": " << merged.score_miss_p99_ms
+        << ", \"qps\": " << merged.qps << "}"
+        << (i + 1 == cache_sweep.size() ? "" : ",") << "\n";
+  }
+  out << "  ],\n";
   // The acceptance gates, RECORDED rather than enforced: the fleet/
   // single ratio is a multi-core property (compute-bound at ~1x on one
   // core), so the artifact carries the core count alongside it.
@@ -318,7 +426,12 @@ void WriteJson(const std::string& path, const FleetLoadFlags& flags,
       << Bool(p99_ratio > 0.0 && p99_ratio <= 2.0) << ",\n";
   out << "    \"no_admission_max_p99_ms\": " << max_unshed_p99 << ",\n";
   out << "    \"fleet_vs_single_qps_ratio\": " << ratio << ",\n";
-  out << "    \"fleet_3x_single_qps\": " << Bool(ratio >= 3.0) << "\n";
+  out << "    \"fleet_3x_single_qps\": " << Bool(ratio >= 3.0) << ",\n";
+  out << "    \"cache_hit_p99_lt_miss_p99\": " << Bool(hit_p99_lt_miss_p99)
+      << ",\n";
+  out << "    \"cache_hit_p50_speedup_vs_off\": " << hit_p50_speedup << ",\n";
+  out << "    \"cache_hit_p50_2x_vs_off\": "
+      << Bool(hit_p50_speedup >= 2.0) << "\n";
   out << "  }\n";
   out << "}\n";
   std::printf("[fleet-load] JSON artifact written to %s\n", path.c_str());
@@ -337,6 +450,9 @@ int Run(int argc, char** argv) {
                      "open-loop run duration per sweep point");
   flag_set.AddInt("clients", &flags.clients, "closed-loop client threads");
   flag_set.AddInt("seed", &flags.seed, "base RNG seed");
+  flag_set.AddDouble("repeat_rate", &flags.repeat_rate,
+                     "cache-sweep exact-repeat probability "
+                     "(< 0 sweeps 0.0/0.5/0.8)");
   flag_set.AddBool("smoke", &flags.smoke,
                    "CI smoke sizing (short runs, small corpus)");
   flag_set.AddString("json", &flags.json,
@@ -423,6 +539,74 @@ int Run(int argc, char** argv) {
     }
   }
 
+  // --- Phase 4: session-cache sweep — hit-rate vs memory vs latency. ---
+  const int64_t cache_requests = flags.smoke ? 1500 : 5000;
+  std::vector<CacheSweepRow> cache_sweep;
+  const std::vector<double> repeat_rates =
+      flags.repeat_rate >= 0.0 ? std::vector<double>{flags.repeat_rate}
+                               : std::vector<double>{0.0, 0.5, 0.8};
+  for (double repeat_rate : repeat_rates) {
+    for (bool cache_on : {true, false}) {
+      std::printf("[fleet-load] cache sweep: repeat %.2f, cache %s...\n",
+                  repeat_rate, cache_on ? "ON" : "OFF");
+      cache_sweep.push_back(RunCacheLoad(workload, flags, repeat_rate,
+                                         cache_on, cache_requests));
+    }
+  }
+  // Gates from the highest repeat rate >= 0.5 (where the level-1 cache
+  // should be earning its memory): hit-path p99 strictly below the
+  // miss-path p99 of the SAME run, and hit-path p50 at least 2x faster
+  // than the cache-off p50 at the same repeat mix.
+  bool hit_p99_lt_miss_p99 = false;
+  double hit_p50_speedup = 0.0;
+  for (const CacheSweepRow& row : cache_sweep) {
+    if (!row.cache_on || row.repeat_rate < 0.5) continue;
+    const ServingStatsSnapshot& merged = row.stats.merged;
+    if (merged.score_hit_p99_ms > 0.0 &&
+        merged.score_hit_p99_ms < merged.score_miss_p99_ms) {
+      hit_p99_lt_miss_p99 = true;
+    }
+    for (const CacheSweepRow& off : cache_sweep) {
+      if (off.cache_on || off.repeat_rate != row.repeat_rate) continue;
+      if (merged.score_hit_p50_ms > 0.0 && off.stats.merged.p50_ms > 0.0) {
+        hit_p50_speedup =
+            std::max(hit_p50_speedup,
+                     off.stats.merged.p50_ms / merged.score_hit_p50_ms);
+      }
+    }
+  }
+
+  TablePrinter cache_table(
+      "Session-cache sweep (closed loop; level-1 hit/miss split)");
+  cache_table.SetHeader({"Repeat", "Cache", "Hit rate", "Resident KiB",
+                         "p50 ms", "p99 ms", "Hit p50", "Hit p99",
+                         "Miss p50", "Miss p99", "QPS"});
+  for (const CacheSweepRow& row : cache_sweep) {
+    const ServingStatsSnapshot& merged = row.stats.merged;
+    const double resident_kib =
+        static_cast<double>(merged.score_cache_bytes +
+                            merged.encoding_cache_bytes +
+                            merged.gate_cache_bytes) /
+        1024.0;
+    cache_table.AddRow({FormatDouble(row.repeat_rate, 2),
+                        row.cache_on ? "on" : "off",
+                        FormatDouble(row.hit_rate, 3),
+                        FormatDouble(resident_kib, 1),
+                        FormatDouble(merged.p50_ms, 3),
+                        FormatDouble(merged.p99_ms, 3),
+                        FormatDouble(merged.score_hit_p50_ms, 3),
+                        FormatDouble(merged.score_hit_p99_ms, 3),
+                        FormatDouble(merged.score_miss_p50_ms, 3),
+                        FormatDouble(merged.score_miss_p99_ms, 3),
+                        FormatDouble(merged.qps, 0)});
+  }
+  cache_table.Print();
+  std::printf(
+      "[fleet-load] cache gates: hit p99 < miss p99 %s; hit-path p50 "
+      "%.2fx faster than cache-off (>=2x %s)\n",
+      hit_p99_lt_miss_p99 ? "PASS" : "MISS", hit_p50_speedup,
+      hit_p50_speedup >= 2.0 ? "PASS" : "MISS");
+
   TablePrinter table("Fleet overload sweep (accepted-request percentiles)");
   table.SetHeader({"Offered QPS", "Admission", "Accepted", "Shed rate",
                    "Degraded", "p50 ms", "p99 ms", "QPS", "Imbalance"});
@@ -451,7 +635,8 @@ int Run(int argc, char** argv) {
 
   if (!flags.json.empty()) {
     WriteJson(flags.json, flags, cores, single_qps, fleet_qps, uncontended,
-              sweep, deadline_ms, max_admitted_p99, max_unshed_p99);
+              sweep, deadline_ms, max_admitted_p99, max_unshed_p99,
+              cache_sweep, hit_p99_lt_miss_p99, hit_p50_speedup);
   }
   return 0;
 }

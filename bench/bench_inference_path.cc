@@ -127,7 +127,15 @@ struct InferenceFixture {
   std::unique_ptr<AwMoeRanker> aw_moe;
 };
 
-enum class Path { kLegacy, kScoreInto, kScoreIntoWithGate };
+enum class Path {
+  kLegacy,
+  kScoreInto,
+  kScoreIntoWithGate,
+  // Level-2 session feature store (PR 8) shapes:
+  kEncodeSession,       // candidate-independent half alone
+  kScoreWithEncoding,   // tail pass replaying a cached encoding —
+                        // the compute an encoding-cache hit actually runs
+};
 
 void RunInference(benchmark::State& state, Ranker* model, Path path,
                   std::optional<KernelTier> tier = std::nullopt) {
@@ -155,12 +163,34 @@ void RunInference(benchmark::State& state, Ranker* model, Path path,
     model->GateInto(batch, workspace.get(), gate_rows);
     gate = SessionGate{gate_rows.data(), batch_size, width};
   }
+  const int64_t enc_width = model->SessionEncodingWidth();
+  std::vector<float> enc_rows;
+  SessionEncoding encoding{nullptr, 0, 0};
+  if (path == Path::kEncodeSession || path == Path::kScoreWithEncoding) {
+    if (enc_width == 0) {
+      state.SkipWithError("model has no split encode/score path");
+      return;
+    }
+    enc_rows.resize(static_cast<size_t>(batch_size * enc_width));
+    model->EncodeSessionInto(batch, workspace.get(), enc_rows);
+    encoding = SessionEncoding{enc_rows.data(), batch_size, enc_width};
+  }
   // Warm-up: materialise workspace slabs outside measurement.
-  if (path == Path::kLegacy) {
-    benchmark::DoNotOptimize(model->InferenceLogits(batch));
-  } else {
-    model->ScoreInto(batch, gate.data != nullptr ? &gate : nullptr,
-                     workspace.get(), out);
+  switch (path) {
+    case Path::kLegacy:
+      benchmark::DoNotOptimize(model->InferenceLogits(batch));
+      break;
+    case Path::kEncodeSession:
+      model->EncodeSessionInto(batch, workspace.get(), enc_rows);
+      break;
+    case Path::kScoreWithEncoding:
+      model->ScoreWithSessionInto(batch, nullptr, &encoding,
+                                  workspace.get(), out);
+      break;
+    default:
+      model->ScoreInto(batch, gate.data != nullptr ? &gate : nullptr,
+                       workspace.get(), out);
+      break;
   }
 
   std::vector<double> iteration_us;
@@ -182,6 +212,15 @@ void RunInference(benchmark::State& state, Ranker* model, Path path,
         break;
       case Path::kScoreIntoWithGate:
         model->ScoreInto(batch, &gate, workspace.get(), out);
+        benchmark::DoNotOptimize(out.data());
+        break;
+      case Path::kEncodeSession:
+        model->EncodeSessionInto(batch, workspace.get(), enc_rows);
+        benchmark::DoNotOptimize(enc_rows.data());
+        break;
+      case Path::kScoreWithEncoding:
+        model->ScoreWithSessionInto(batch, nullptr, &encoding,
+                                    workspace.get(), out);
         benchmark::DoNotOptimize(out.data());
         break;
     }
@@ -226,6 +265,16 @@ AWMOE_INFERENCE_BENCH(BM_ScoreInto_AWMoE, aw_moe, Path::kScoreInto);
 // §III-F serving shape: expert path only, gate supplied from cache.
 AWMOE_INFERENCE_BENCH(BM_ScoreIntoSharedGate_AWMoE, aw_moe,
                       Path::kScoreIntoWithGate);
+// Level-2 session feature store shapes (PR 8): the candidate-
+// independent half alone, and the tail pass that replays a cached
+// encoding — the delta between BM_ScoreInto_* and
+// BM_ScoreWithEncoding_* is the compute an encoding-cache hit saves.
+AWMOE_INFERENCE_BENCH(BM_EncodeSession_DIN, din, Path::kEncodeSession);
+AWMOE_INFERENCE_BENCH(BM_ScoreWithEncoding_DIN, din,
+                      Path::kScoreWithEncoding);
+AWMOE_INFERENCE_BENCH(BM_EncodeSession_AWMoE, aw_moe, Path::kEncodeSession);
+AWMOE_INFERENCE_BENCH(BM_ScoreWithEncoding_AWMoE, aw_moe,
+                      Path::kScoreWithEncoding);
 
 // Tier comparison: the same ScoreInto cases pinned to each kernel tier
 // (same fixture, same batches) — the per-tier rows of the smoke JSON.

@@ -85,6 +85,30 @@ std::vector<double> GenerateArrivals(const ArrivalTraceConfig& config) {
   return arrivals;  // Ascending by construction.
 }
 
+RepeatMixSampler::RepeatMixSampler(int64_t users, double zipf_exponent,
+                                   double repeat_rate, uint64_t seed)
+    : zipf_(users, zipf_exponent, seed),
+      repeat_rate_(repeat_rate),
+      rng_(seed + 0x5eed) {
+  AWMOE_CHECK(repeat_rate >= 0.0 && repeat_rate <= 1.0)
+      << "repeat rate " << repeat_rate;
+}
+
+RequestDraw RepeatMixSampler::Next() {
+  RequestDraw draw;
+  draw.rank = zipf_.Next();
+  auto it = last_variant_.find(draw.rank);
+  if (it != last_variant_.end() && rng_.Uniform() < repeat_rate_) {
+    draw.variant = it->second;
+    draw.repeat = true;
+    return draw;
+  }
+  // Fresh page: advance the user's variant counter (first visit -> 0).
+  draw.variant = it == last_variant_.end() ? 0 : it->second + 1;
+  last_variant_[draw.rank] = draw.variant;
+  return draw;
+}
+
 int64_t SyntheticSessionId(int64_t rank) {
   AWMOE_CHECK(rank >= 0) << "rank " << rank;
   // Full-avalanche mix, then drop the sign bit: rank k always maps to

@@ -11,6 +11,7 @@
 // load harness (bench_fleet_load) are comparable across commits.
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "util/rng.h"
@@ -74,6 +75,43 @@ double ArrivalRateAt(const ArrivalTraceConfig& config, double t);
 /// non-homogeneous Poisson draw of the trace, via Lewis-Shedler
 /// thinning against the peak rate. Deterministic for a fixed config.
 std::vector<double> GenerateArrivals(const ArrivalTraceConfig& config);
+
+/// One traffic draw: a popularity rank plus the candidate-page variant
+/// the user is looking at. `repeat` marks a verbatim replay of the
+/// user's previous request — same session, same candidate page — which
+/// is exactly what the engine's level-1 session score cache can answer
+/// without a forward pass.
+struct RequestDraw {
+  int64_t rank = 0;
+  int64_t variant = 0;
+  bool repeat = false;
+};
+
+/// Zipf user draw with a controllable exact-repeat mix: with
+/// probability `repeat_rate` a returning user replays their previous
+/// (rank, variant) draw verbatim; otherwise they advance to a fresh
+/// page variant (same user, new candidate set). A user's first draw is
+/// always fresh. This is the knob the cache sweep in bench_fleet_load
+/// turns to trade level-1 hit-rate against resident cache memory.
+/// Deterministic for a fixed (users, exponent, repeat_rate, seed).
+class RepeatMixSampler {
+ public:
+  RepeatMixSampler(int64_t users, double zipf_exponent, double repeat_rate,
+                   uint64_t seed);
+
+  RequestDraw Next();
+
+  double repeat_rate() const { return repeat_rate_; }
+
+ private:
+  ZipfSampler zipf_;
+  double repeat_rate_;
+  Rng rng_;
+  // rank -> page variant of the user's most recent draw. Only ranks
+  // actually visited are stored, so million-user populations stay
+  // cheap under Zipf concentration.
+  std::unordered_map<int64_t, int64_t> last_variant_;
+};
 
 /// Stable synthetic session id of a popularity rank: a full-avalanche
 /// mix of the rank, so neighbouring ranks (the Zipf head) scatter

@@ -125,6 +125,94 @@ int Run(int argc, char** argv) {
       stats.p95_ms, stats.p99_ms, stats.qps,
       engine.GateSharingActive() ? "ON" : "OFF");
 
+  // --- Two-level result caching on the hot path (docs/serving.md). ---
+  // Level 1: an exact repeat of (session, candidate set) is answered
+  // from the snapshot's score cache without touching a replica lane.
+  // Level 2: the same session over NEW candidates reuses the cached
+  // behaviour-sequence encoding and runs only the candidate tail.
+  // A behaviour-history update invalidates both; a hot swap starts the
+  // new snapshot cache-cold by construction.
+  {
+    const auto& session =
+        sessions[static_cast<size_t>(show_sessions) % sessions.size()];
+    const auto delta = [&engine](ServingStatsSnapshot& prev) {
+      const ServingStatsSnapshot now = engine.Stats();
+      std::printf(
+          "    counters: +%lld score hit, +%lld score miss, +%lld "
+          "invalidation, +%lld encoding hit, +%lld gate hit\n",
+          static_cast<long long>(now.score_cache_hits -
+                                 prev.score_cache_hits),
+          static_cast<long long>(now.score_cache_misses -
+                                 prev.score_cache_misses),
+          static_cast<long long>(now.score_cache_invalidations -
+                                 prev.score_cache_invalidations),
+          static_cast<long long>(now.encoding_cache_hits -
+                                 prev.encoding_cache_hits),
+          static_cast<long long>(now.gate_cache_hits -
+                                 prev.gate_cache_hits));
+      prev = now;
+    };
+    ServingStatsSnapshot prev = engine.Stats();
+
+    RankRequest request;
+    request.session_id = session[0]->session_id;
+    request.items = session;
+    engine.Rank(request);  // Cold: populates all three caches.
+    RankResponse repeat = engine.Rank(request);
+    std::printf(
+        "\nResult cache: warm repeat -> level-1 %s (served without a "
+        "replica lane: replica %d).\n",
+        repeat.score_cache_hit ? "HIT" : "miss", repeat.replica);
+    delta(prev);
+
+    // Same session + history, new candidates: split the page in half
+    // and request the second half (never seen as a set).
+    RankRequest fresh;
+    fresh.session_id = request.session_id;
+    fresh.items.assign(session.begin() + session.size() / 2, session.end());
+    RankResponse tail = engine.Rank(fresh);
+    std::printf(
+        "New candidates, same history -> level-1 miss, level-2 encoding "
+        "%s + gate %s (candidate tail only).\n",
+        tail.encoding_cache_hit ? "HIT" : "miss",
+        tail.gate_cache_hit ? "HIT" : "miss");
+    delta(prev);
+
+    // The user acts: their behaviour history grows, so every cached
+    // score and encoding for the session is stale.
+    std::vector<Example> grown_storage;
+    grown_storage.reserve(session.size());
+    for (const Example* ex : session) {
+      Example g = *ex;
+      g.behavior_items.push_back(g.target_item);
+      g.behavior_cats.push_back(g.target_cat);
+      g.behavior_brands.push_back(g.target_brand);
+      g.behavior_attrs.insert(g.behavior_attrs.end(), {0.5f, 0.5f, 0.5f});
+      g.history_len = static_cast<int64_t>(g.behavior_items.size());
+      grown_storage.push_back(std::move(g));
+    }
+    RankRequest updated;
+    updated.session_id = request.session_id;
+    for (const Example& g : grown_storage) updated.items.push_back(&g);
+    RankResponse after_update = engine.Rank(updated);
+    std::printf(
+        "History update -> invalidated and re-scored (level-1 %s).\n",
+        after_update.score_cache_hit ? "HIT" : "miss");
+    delta(prev);
+
+    const ServingStatsSnapshot gauges = engine.Stats();
+    std::printf(
+        "Resident: %lld score entries (%.1f KiB), %lld encodings "
+        "(%.1f KiB), %lld gate rows (%.1f KiB); caches retire with "
+        "their snapshot on hot swap.\n",
+        static_cast<long long>(gauges.score_cache_entries),
+        static_cast<double>(gauges.score_cache_bytes) / 1024.0,
+        static_cast<long long>(gauges.encoding_cache_entries),
+        static_cast<double>(gauges.encoding_cache_bytes) / 1024.0,
+        static_cast<long long>(gauges.gate_cache_entries),
+        static_cast<double>(gauges.gate_cache_bytes) / 1024.0);
+  }
+
   // The async front: several client threads Submit() their sessions
   // concurrently and block only on their own future. The engine's
   // time-bounded queue coalesces requests that arrive together into
@@ -165,16 +253,24 @@ int Run(int argc, char** argv) {
   RankRequest probe;
   probe.session_id = sessions[0][0]->session_id;
   probe.items = sessions[0];
-  const int64_t v_before = engine.Rank(probe).model_version;
+  engine.Rank(probe);  // Populate the old snapshot's caches.
+  const RankResponse warm = engine.Rank(probe);
+  const int64_t v_before = warm.model_version;
   const int64_t v_after = registry.UpdateModel("aw-moe-cl", model.Clone());
+  // The caches live INSIDE the snapshot, so the swap retires them
+  // wholesale: the same request that just hit now starts cold on v2.
+  const RankResponse post_swap = engine.Rank(probe);
   std::printf(
       "Hot swap: version %lld -> %lld published with zero downtime "
       "(%lld swap(s), %lld live snapshot(s)); next request served on "
-      "v%lld.\n",
+      "v%lld, cache-cold by construction (warm repeat was a level-1 %s, "
+      "post-swap repeat a %s).\n",
       static_cast<long long>(v_before), static_cast<long long>(v_after),
       static_cast<long long>(registry.swap_count()),
       static_cast<long long>(registry.live_snapshots()),
-      static_cast<long long>(engine.Rank(probe).model_version));
+      static_cast<long long>(post_swap.model_version),
+      warm.score_cache_hit ? "HIT" : "miss",
+      post_swap.score_cache_hit ? "HIT" : "MISS");
 
   // Staged rollout: instead of the all-or-nothing cutover above, the
   // next "retrained" model is ramped onto live traffic — the router

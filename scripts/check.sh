@@ -164,13 +164,22 @@ else
 fi
 
 # bench_fleet_load smoke: 2 shards, 10k Zipf users, short closed-loop +
-# overload sweep. Its own JSON (admission + fleet-scaling gates) lands
-# next to the google-benchmark artifacts.
+# overload sweep + the session-cache repeat-rate sweep (0.0/0.5/0.8,
+# cache on vs off). Its own JSON (admission + fleet-scaling + cache
+# gates) lands next to the google-benchmark artifacts. The cache gate
+# is ENFORCED: a level-1 hit must be tail-cheaper than a miss, or the
+# cache is not earning its memory.
 if [ -x "$BUILD_DIR/bench_fleet_load" ]; then
-  echo "== bench_fleet_load (smoke) =="
+  echo "== bench_fleet_load (smoke, cache repeat-rate sweep) =="
   "$BUILD_DIR/bench_fleet_load" --smoke --shards=2 --users=10000 \
     --json="$SMOKE_DIR/fleet_load.json" \
     | tee "$SMOKE_DIR/bench_fleet_load.txt"
+  if ! grep -q '"cache_hit_p99_lt_miss_p99": true' \
+      "$SMOKE_DIR/fleet_load.json"; then
+    echo "bench_fleet_load: cache gate FAILED (hit-path p99 not below" \
+         "miss-path p99 — see $SMOKE_DIR/fleet_load.json cache_sweep)"
+    exit 1
+  fi
 else
   echo "bench_fleet_load not built; skipped"
 fi

@@ -88,6 +88,21 @@ Matrix AwMoeRanker::InferenceLogitsWithGate(const Batch& batch,
 void AwMoeRanker::ScoreInto(const Batch& batch, const SessionGate* gate,
                             InferenceWorkspace* workspace,
                             std::span<float> out) {
+  ScoreCore(batch, gate, /*encoding=*/nullptr, workspace, out);
+}
+
+void AwMoeRanker::ScoreWithSessionInto(const Batch& batch,
+                                       const SessionGate* gate,
+                                       const SessionEncoding* encoding,
+                                       InferenceWorkspace* workspace,
+                                       std::span<float> out) {
+  ScoreCore(batch, gate, encoding, workspace, out);
+}
+
+void AwMoeRanker::ScoreCore(const Batch& batch, const SessionGate* gate,
+                            const SessionEncoding* encoding,
+                            InferenceWorkspace* workspace,
+                            std::span<float> out) {
   CheckScoreIntoArgs(batch, workspace, out.size());
   InferenceArena* arena = workspace->arena();
   arena->Reset();
@@ -95,7 +110,13 @@ void AwMoeRanker::ScoreInto(const Batch& batch, const SessionGate* gate,
   // Algorithm 1 in kernel form, same op order as InferenceLogits:
   // input network -> expert scores -> gate -> row-wise weighted sum.
   MatView v_imp = arena->Alloc(batch.size, input_network_.output_dim());
-  input_network_.InferInto(batch, arena, v_imp);
+  if (encoding != nullptr) {
+    const ConstMatView enc_view = ResolveSessionEncoding(
+        *encoding, batch.size, input_network_.session_encoding_dim());
+    input_network_.InferWithSessionInto(batch, enc_view, arena, v_imp);
+  } else {
+    input_network_.InferInto(batch, arena, v_imp);
+  }
   MatView scores = arena->Alloc(batch.size, k);
   experts_.InferAllInto(v_imp, arena, scores);
   ConstMatView gate_view;
@@ -107,6 +128,24 @@ void AwMoeRanker::ScoreInto(const Batch& batch, const SessionGate* gate,
     gate_view = g;
   }
   DotRowsInto(scores, gate_view, MatView{out.data(), batch.size, 1, 1});
+}
+
+int64_t AwMoeRanker::SessionEncodingWidth() const {
+  return input_network_.session_encoding_dim();
+}
+
+void AwMoeRanker::EncodeSessionInto(const Batch& batch,
+                                    InferenceWorkspace* workspace,
+                                    std::span<float> out) {
+  CheckScoreIntoArgs(batch, workspace, out.size());
+  const int64_t w = input_network_.session_encoding_dim();
+  AWMOE_CHECK(static_cast<int64_t>(out.size()) >= batch.size * w)
+      << "EncodeSessionInto: out span " << out.size() << " for "
+      << batch.size << "x" << w;
+  InferenceArena* arena = workspace->arena();
+  arena->Reset();
+  input_network_.EncodeSessionInto(batch, arena,
+                                   MatView{out.data(), batch.size, w, w});
 }
 
 void AwMoeRanker::GateInto(const Batch& batch, InferenceWorkspace* workspace,

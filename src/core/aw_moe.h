@@ -96,6 +96,31 @@ class AwMoeRanker : public Ranker {
     return !meta.recommendation_mode;
   }
 
+  // --- Session feature store (level-2 cache) overrides. ---
+
+  int64_t SessionEncodingWidth() const override;
+
+  /// Unlike the gate, the candidate-independent half of the input
+  /// network (behaviour-tower outputs + query embedding) never reads the
+  /// target item, so encoding reuse holds in both modes.
+  bool SupportsSessionEncodingReuse(const DatasetMeta& meta) const override {
+    (void)meta;
+    return true;
+  }
+
+  /// Behaviour-tower rows + query embedding [B, SessionEncodingWidth()];
+  /// identical rows within a session. Bitwise: replaying the result via
+  /// ScoreWithSessionInto reproduces ScoreInto exactly.
+  void EncodeSessionInto(const Batch& batch, InferenceWorkspace* workspace,
+                         std::span<float> out) override;
+
+  /// ScoreInto with the candidate-independent blocks replayed from
+  /// `encoding` (null falls through to the fused path verbatim).
+  void ScoreWithSessionInto(const Batch& batch, const SessionGate* gate,
+                            const SessionEncoding* encoding,
+                            InferenceWorkspace* workspace,
+                            std::span<float> out) override;
+
   /// Expert-disagreement penalty for the most recent Forward /
   /// ForwardLogits call (undefined Var when diversity_weight == 0).
   Var PendingAuxiliaryLoss() const { return pending_aux_loss_; }
@@ -110,6 +135,13 @@ class AwMoeRanker : public Ranker {
   const AwMoeConfig& config() const { return config_; }
 
  private:
+  /// Shared body of ScoreInto (encoding == nullptr) and
+  /// ScoreWithSessionInto — one op sequence, so the fused and replay
+  /// paths cannot drift.
+  void ScoreCore(const Batch& batch, const SessionGate* gate,
+                 const SessionEncoding* encoding,
+                 InferenceWorkspace* workspace, std::span<float> out);
+
   DatasetMeta meta_;
   AwMoeConfig config_;
   EmbeddingSet embeddings_;

@@ -6,14 +6,39 @@ namespace {
 
 /// Shared DNN/DIN kernel path: input network -> single FFN, every
 /// intermediate in the workspace arena, logits straight into `out`.
+/// A non-null `encoding` replays the candidate-independent blocks from
+/// the session feature store instead of recomputing them; the op
+/// sequence on values is identical either way (bitwise contract).
 void FfnScoreInto(const InputNetwork& input_network,
                   const ExpertNetwork& ffn, const Batch& batch,
+                  const SessionEncoding* encoding,
                   InferenceWorkspace* workspace, std::span<float> out) {
   InferenceArena* arena = workspace->arena();
   arena->Reset();
   MatView v_imp = arena->Alloc(batch.size, input_network.output_dim());
-  input_network.InferInto(batch, arena, v_imp);
+  if (encoding != nullptr) {
+    const ConstMatView enc_view = ResolveSessionEncoding(
+        *encoding, batch.size, input_network.session_encoding_dim());
+    input_network.InferWithSessionInto(batch, enc_view, arena, v_imp);
+  } else {
+    input_network.InferInto(batch, arena, v_imp);
+  }
   ffn.InferInto(v_imp, arena, MatView{out.data(), batch.size, 1, 1});
+}
+
+/// Shared DNN/DIN EncodeSessionInto body.
+void FfnEncodeSessionInto(const InputNetwork& input_network,
+                          const Batch& batch, InferenceWorkspace* workspace,
+                          std::span<float> out) {
+  CheckScoreIntoArgs(batch, workspace, out.size());
+  const int64_t w = input_network.session_encoding_dim();
+  AWMOE_CHECK(static_cast<int64_t>(out.size()) >= batch.size * w)
+      << "EncodeSessionInto: out span " << out.size() << " for "
+      << batch.size << "x" << w;
+  InferenceArena* arena = workspace->arena();
+  arena->Reset();
+  input_network.EncodeSessionInto(batch, arena,
+                                  MatView{out.data(), batch.size, w, w});
 }
 
 }  // namespace
@@ -44,7 +69,28 @@ void DnnRanker::ScoreInto(const Batch& batch, const SessionGate* gate,
                           std::span<float> out) {
   AWMOE_CHECK(gate == nullptr) << "DNN has no session gate";
   CheckScoreIntoArgs(batch, workspace, out.size());
-  FfnScoreInto(input_network_, ffn_, batch, workspace, out);
+  FfnScoreInto(input_network_, ffn_, batch, /*encoding=*/nullptr, workspace,
+               out);
+}
+
+int64_t DnnRanker::SessionEncodingWidth() const {
+  return input_network_.session_encoding_dim();
+}
+
+void DnnRanker::EncodeSessionInto(const Batch& batch,
+                                  InferenceWorkspace* workspace,
+                                  std::span<float> out) {
+  FfnEncodeSessionInto(input_network_, batch, workspace, out);
+}
+
+void DnnRanker::ScoreWithSessionInto(const Batch& batch,
+                                     const SessionGate* gate,
+                                     const SessionEncoding* encoding,
+                                     InferenceWorkspace* workspace,
+                                     std::span<float> out) {
+  AWMOE_CHECK(gate == nullptr) << "DNN has no session gate";
+  CheckScoreIntoArgs(batch, workspace, out.size());
+  FfnScoreInto(input_network_, ffn_, batch, encoding, workspace, out);
 }
 
 std::vector<Var> DnnRanker::Parameters() const {
@@ -79,7 +125,28 @@ void DinRanker::ScoreInto(const Batch& batch, const SessionGate* gate,
                           std::span<float> out) {
   AWMOE_CHECK(gate == nullptr) << "DIN has no session gate";
   CheckScoreIntoArgs(batch, workspace, out.size());
-  FfnScoreInto(input_network_, ffn_, batch, workspace, out);
+  FfnScoreInto(input_network_, ffn_, batch, /*encoding=*/nullptr, workspace,
+               out);
+}
+
+int64_t DinRanker::SessionEncodingWidth() const {
+  return input_network_.session_encoding_dim();
+}
+
+void DinRanker::EncodeSessionInto(const Batch& batch,
+                                  InferenceWorkspace* workspace,
+                                  std::span<float> out) {
+  FfnEncodeSessionInto(input_network_, batch, workspace, out);
+}
+
+void DinRanker::ScoreWithSessionInto(const Batch& batch,
+                                     const SessionGate* gate,
+                                     const SessionEncoding* encoding,
+                                     InferenceWorkspace* workspace,
+                                     std::span<float> out) {
+  AWMOE_CHECK(gate == nullptr) << "DIN has no session gate";
+  CheckScoreIntoArgs(batch, workspace, out.size());
+  FfnScoreInto(input_network_, ffn_, batch, encoding, workspace, out);
 }
 
 std::vector<Var> DinRanker::Parameters() const {

@@ -31,6 +31,21 @@ class DnnRanker : public Ranker {
                  InferenceWorkspace* workspace,
                  std::span<float> out) override;
 
+  // Session feature store: with sum pooling the pooled user vector
+  // itself is candidate-independent, so the whole behaviour half of the
+  // forward pass is cacheable.
+  int64_t SessionEncodingWidth() const override;
+  bool SupportsSessionEncodingReuse(const DatasetMeta& meta) const override {
+    (void)meta;
+    return true;
+  }
+  void EncodeSessionInto(const Batch& batch, InferenceWorkspace* workspace,
+                         std::span<float> out) override;
+  void ScoreWithSessionInto(const Batch& batch, const SessionGate* gate,
+                            const SessionEncoding* encoding,
+                            InferenceWorkspace* workspace,
+                            std::span<float> out) override;
+
  private:
   DatasetMeta meta_;
   ModelDims dims_;
@@ -54,6 +69,21 @@ class DinRanker : public Ranker {
   void ScoreInto(const Batch& batch, const SessionGate* gate,
                  InferenceWorkspace* workspace,
                  std::span<float> out) override;
+
+  // Session feature store: the per-position behaviour-tower outputs the
+  // activation unit attends over (§III-C) are candidate-independent and
+  // cacheable; only the attention weighting replays per candidate.
+  int64_t SessionEncodingWidth() const override;
+  bool SupportsSessionEncodingReuse(const DatasetMeta& meta) const override {
+    (void)meta;
+    return true;
+  }
+  void EncodeSessionInto(const Batch& batch, InferenceWorkspace* workspace,
+                         std::span<float> out) override;
+  void ScoreWithSessionInto(const Batch& batch, const SessionGate* gate,
+                            const SessionEncoding* encoding,
+                            InferenceWorkspace* workspace,
+                            std::span<float> out) override;
 
  private:
   DatasetMeta meta_;

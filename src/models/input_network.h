@@ -43,12 +43,48 @@ class InputNetwork : public Module {
   void InferInto(const Batch& batch, InferenceArena* arena,
                  MatView out) const;
 
+  /// Materialises the candidate-INDEPENDENT half of the forward pass
+  /// into a cacheable blob `out` [B, session_encoding_dim()] (the
+  /// session feature store payload):
+  ///   kAttention:  h_b(0) | ... | h_b(max_seq_len-1) [| h_query]
+  ///   kSumPool:    v_user [| h_query]
+  /// With attention pooling the per-position behaviour-tower outputs
+  /// h_bj (§III-C attention inputs) are cacheable but the pooled v_user
+  /// is NOT — the activation unit reads the candidate's h_target — so
+  /// the blob carries the positions; with sum pooling v_user itself is
+  /// candidate-independent. Each block is computed by the exact fused-
+  /// path op sequence and copied out, so replaying it through
+  /// InferWithSessionInto reproduces InferInto bit for bit.
+  void EncodeSessionInto(const Batch& batch, InferenceArena* arena,
+                         MatView out) const;
+
+  /// InferInto, but with the candidate-independent blocks replayed from
+  /// `encoding` (an EncodeSessionInto blob, [B, session_encoding_dim()]
+  /// view; stride 0 broadcasts one cached session row) instead of
+  /// recomputed: only the candidate-dependent tail (target tower,
+  /// attention weighting + pooling, other tower) runs. Cached rows are
+  /// first copied into arena storage, so every kernel still reads
+  /// aligned arena views. Bitwise-identical to InferInto.
+  void InferWithSessionInto(const Batch& batch, const ConstMatView& encoding,
+                            InferenceArena* arena, MatView out) const;
+
   /// Width of the impression vector v_imp.
   int64_t output_dim() const;
+
+  /// Width of one EncodeSessionInto row. The padded sequence length is
+  /// snapshot-constant (CollateBatch always pads to meta.max_seq_len),
+  /// so this is too.
+  int64_t session_encoding_dim() const;
 
   void CollectParameters(std::vector<Var>* params) const override;
 
  private:
+  /// Shared body of InferInto (encoding == nullptr: compute everything)
+  /// and InferWithSessionInto (replay the candidate-independent blocks
+  /// from the blob). One implementation, so the two paths cannot drift.
+  void InferCore(const Batch& batch, const ConstMatView* encoding,
+                 InferenceArena* arena, MatView out) const;
+
   DatasetMeta meta_;
   ModelDims dims_;
   const EmbeddingSet* embeddings_;

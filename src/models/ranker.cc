@@ -35,6 +35,27 @@ void Ranker::GateInto(const Batch& batch, InferenceWorkspace* workspace,
                      << " has no session gate (SessionGateWidth() == 0)";
 }
 
+void Ranker::EncodeSessionInto(const Batch& batch,
+                               InferenceWorkspace* workspace,
+                               std::span<float> out) {
+  (void)batch;
+  (void)workspace;
+  (void)out;
+  AWMOE_CHECK(false)
+      << name() << " has no session encoding (SessionEncodingWidth() == 0)";
+}
+
+void Ranker::ScoreWithSessionInto(const Batch& batch, const SessionGate* gate,
+                                  const SessionEncoding* encoding,
+                                  InferenceWorkspace* workspace,
+                                  std::span<float> out) {
+  // Base behaviour: without an encoding this IS the fused path; an
+  // encoding handed to a model without a split path is a caller bug.
+  AWMOE_CHECK(encoding == nullptr)
+      << name() << " has no session encoding (SessionEncodingWidth() == 0)";
+  ScoreInto(batch, gate, workspace, out);
+}
+
 void CheckScoreIntoArgs(const Batch& batch,
                         const InferenceWorkspace* workspace,
                         size_t out_size) {
@@ -58,6 +79,18 @@ ConstMatView ResolveSessionGate(const SessionGate& gate, int64_t batch_size,
   // ForwardLogitsWithGate path.
   const int64_t stride = gate.rows == 1 ? 0 : width;
   return ConstMatView(gate.data, batch_size, width, stride);
+}
+
+ConstMatView ResolveSessionEncoding(const SessionEncoding& encoding,
+                                    int64_t batch_size, int64_t width) {
+  AWMOE_CHECK(encoding.data != nullptr) << "SessionEncoding: null data";
+  AWMOE_CHECK(encoding.width == width)
+      << "SessionEncoding: width " << encoding.width << " vs model " << width;
+  AWMOE_CHECK(encoding.rows == batch_size || encoding.rows == 1)
+      << "SessionEncoding: rows " << encoding.rows << " vs batch "
+      << batch_size;
+  const int64_t stride = encoding.rows == 1 ? 0 : width;
+  return ConstMatView(encoding.data, batch_size, width, stride);
 }
 
 void CopyParametersInto(const Ranker& src, Ranker* dst) {

@@ -24,6 +24,21 @@ struct SessionGate {
   int64_t width = 0;
 };
 
+/// Read-only view of a precomputed candidate-independent session
+/// encoding (the session feature store's payload): the behaviour-
+/// sequence tower outputs (§III-C attention inputs) — or, for sum-pool
+/// models, the pooled user vector — plus the query embedding in search
+/// mode, laid out row-major [rows, SessionEncodingWidth()]. `rows` is
+/// the batch size (one row per candidate, replicated from the cached
+/// per-session row by the serving engine) or 1 for broadcast. Produced
+/// by EncodeSessionInto, consumed by ScoreWithSessionInto; the layout
+/// is a model-private contract between those two methods.
+struct SessionEncoding {
+  const float* data = nullptr;
+  int64_t rows = 0;
+  int64_t width = 0;
+};
+
 /// Common interface of every ranking model in the repo. Implementations
 /// return *logits*; apply a sigmoid for the predicted CTR/CVR (Eq. 1 trains
 /// on the fused logits form for stability).
@@ -113,6 +128,47 @@ class Ranker {
     return false;
   }
 
+  // --- The session feature store (level-2 cache) API. ---
+
+  /// Floats per cached session-encoding row, or 0 when the model has no
+  /// split encode/score path. Non-zero width +
+  /// SupportsSessionEncodingReuse(meta) is the serving engine's
+  /// eligibility test, mirroring the gate pair above.
+  virtual int64_t SessionEncodingWidth() const { return 0; }
+
+  /// True when the candidate-independent half of the forward pass (the
+  /// behaviour-sequence embeddings EncodeSessionInto materialises) is
+  /// identical for every candidate of a session under `meta`, so one
+  /// encoding can be cached across requests.
+  virtual bool SupportsSessionEncodingReuse(const DatasetMeta& meta) const {
+    (void)meta;
+    return false;
+  }
+
+  /// Writes the candidate-independent session encoding of every batch
+  /// row into `out` (row-major [batch.size, SessionEncodingWidth()]),
+  /// graph- and allocation-free. Rows of one session are identical when
+  /// SupportsSessionEncodingReuse holds, so the engine probes one row
+  /// per session and caches it. CHECK-fails when
+  /// SessionEncodingWidth() == 0.
+  virtual void EncodeSessionInto(const Batch& batch,
+                                 InferenceWorkspace* workspace,
+                                 std::span<float> out);
+
+  /// ScoreInto's split-path twin: scores the batch reusing the
+  /// precomputed `encoding` instead of re-running the behaviour
+  /// towers, running only the candidate-dependent tail. Must be
+  /// BITWISE-identical to the fused ScoreInto (regression-tested):
+  /// EncodeSessionInto + ScoreWithSessionInto == ScoreInto ==
+  /// InferenceLogits. A null `encoding` falls back to the fused path
+  /// verbatim; a non-null one CHECK-fails on models with
+  /// SessionEncodingWidth() == 0.
+  virtual void ScoreWithSessionInto(const Batch& batch,
+                                    const SessionGate* gate,
+                                    const SessionEncoding* encoding,
+                                    InferenceWorkspace* workspace,
+                                    std::span<float> out);
+
   /// Deep copy: a new model with identical weights in disjoint storage,
   /// so the copy can run forwards concurrently with (and be retired
   /// independently of) the original. This is what lets the serving
@@ -148,6 +204,13 @@ void CheckScoreIntoArgs(const Batch& batch,
 /// ScoreInto.
 ConstMatView ResolveSessionGate(const SessionGate& gate, int64_t batch_size,
                                 int64_t width);
+
+/// SessionEncoding twin of ResolveSessionGate: validates against the
+/// batch and the model's encoding width and returns a
+/// [batch_size, width] read view (1-row encodings broadcast via
+/// stride 0).
+ConstMatView ResolveSessionEncoding(const SessionEncoding& encoding,
+                                    int64_t batch_size, int64_t width);
 
 /// Copies every parameter matrix of `src` into `dst` (the Clone()
 /// work-horse: implementations rebuild an identically-dimensioned model

@@ -190,7 +190,17 @@ class InferenceArena {
 /// steady state performs zero heap allocations.
 class InferenceWorkspace {
  public:
-  enum StagingSlot { kGateRows = 0, kGateProbe = 1, kNumSlots = 2 };
+  /// kGateRows/kGateProbe stage shared gate rows; kSessionRows/
+  /// kSessionProbe stage cached session encodings (feature store) the
+  /// same way: probe outputs computed once per session, then replicated
+  /// per candidate into the rows slot.
+  enum StagingSlot {
+    kGateRows = 0,
+    kGateProbe = 1,
+    kSessionRows = 2,
+    kSessionProbe = 3,
+    kNumSlots = 4,
+  };
 
   explicit InferenceWorkspace(int64_t max_candidates)
       : max_candidates_(max_candidates) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <limits>
+#include <numeric>
 #include <typeinfo>
 
 #include "data/batcher.h"
@@ -13,40 +14,96 @@
 
 namespace awmoe {
 
+namespace {
+
+/// Per-entry bookkeeping overhead charged by the byte gauges on top of
+/// the float/hash payload: list node + index node + the Entry struct
+/// itself. An estimate (allocator slack is invisible), but a consistent
+/// one, so capacity planning from the gauges errs on the small side by
+/// a bounded constant per entry.
+constexpr int64_t kCacheNodeOverheadBytes = 96;
+
+/// Folds one variable-length section under a leading length tag, so two
+/// records that differ only in where a section boundary falls can never
+/// produce the same stream of mixed words.
+template <typename Container, typename Word>
+uint64_t MixSection(uint64_t h, const Container& values, Word to_word) {
+  h = Fnv1a64Mix(h, static_cast<uint64_t>(values.size()));
+  for (const auto& v : values) h = Fnv1a64Mix(h, to_word(v));
+  return h;
+}
+
+uint64_t MixBehaviorSections(uint64_t h, const Example& ex) {
+  auto id_word = [](int64_t v) { return static_cast<uint64_t>(v); };
+  auto float_word = [](float f) {
+    return static_cast<uint64_t>(std::bit_cast<uint32_t>(f));
+  };
+  h = MixSection(h, ex.behavior_items, id_word);
+  h = MixSection(h, ex.behavior_cats, id_word);
+  h = MixSection(h, ex.behavior_brands, id_word);
+  h = MixSection(h, ex.behavior_attrs, float_word);
+  return h;
+}
+
+}  // namespace
+
 uint64_t GateContextHash(const Example& ex) {
   uint64_t h = kFnv1a64Offset;
-  auto mix = [&h](uint64_t v) { h = Fnv1a64Mix(h, v); };
-  mix(static_cast<uint64_t>(ex.user_id));
-  mix(static_cast<uint64_t>(ex.query_id));
-  mix(static_cast<uint64_t>(ex.query_cat));
-  mix(static_cast<uint64_t>(ex.behavior_items.size()));
-  for (int64_t v : ex.behavior_items) mix(static_cast<uint64_t>(v));
-  for (int64_t v : ex.behavior_cats) mix(static_cast<uint64_t>(v));
-  for (int64_t v : ex.behavior_brands) mix(static_cast<uint64_t>(v));
-  for (float f : ex.behavior_attrs) mix(std::bit_cast<uint32_t>(f));
-  return h;
+  h = Fnv1a64Mix(h, static_cast<uint64_t>(ex.user_id));
+  h = Fnv1a64Mix(h, static_cast<uint64_t>(ex.query_id));
+  h = Fnv1a64Mix(h, static_cast<uint64_t>(ex.query_cat));
+  return MixBehaviorSections(h, ex);
+}
+
+uint64_t SessionHistoryHash(const Example& ex) {
+  uint64_t h = kFnv1a64Offset;
+  h = Fnv1a64Mix(h, static_cast<uint64_t>(ex.user_id));
+  h = Fnv1a64Mix(h, static_cast<uint64_t>(ex.age_segment));
+  h = Fnv1a64Mix(h, static_cast<uint64_t>(ex.query_id));
+  h = Fnv1a64Mix(h, static_cast<uint64_t>(ex.query_cat));
+  return MixBehaviorSections(h, ex);
+}
+
+uint64_t CandidateScoreHash(const Example& ex) {
+  // Session-constant inputs first, then every candidate-side field the
+  // collated batch row carries. Equal hashes (modulo 64-bit collision)
+  // mean equal rows mean bitwise-equal scores.
+  uint64_t h = SessionHistoryHash(ex);
+  h = Fnv1a64Mix(h, static_cast<uint64_t>(ex.target_item));
+  h = Fnv1a64Mix(h, static_cast<uint64_t>(ex.target_cat));
+  h = Fnv1a64Mix(h, static_cast<uint64_t>(ex.target_brand));
+  h = Fnv1a64Mix(h, static_cast<uint64_t>(ex.target_shop));
+  for (int64_t c = 0; c < Example::kItemAttrs; ++c) {
+    h = Fnv1a64Mix(
+        h, static_cast<uint64_t>(std::bit_cast<uint32_t>(ex.target_attrs[c])));
+  }
+  return MixSection(h, ex.numeric, [](float f) {
+    return static_cast<uint64_t>(std::bit_cast<uint32_t>(f));
+  });
 }
 
 // ---------------------------------------------------------------------
 // SessionGateCache.
 // ---------------------------------------------------------------------
 
-bool SessionGateCache::Lookup(int64_t session_id, uint64_t context_hash,
-                              std::vector<float>* row) {
+CacheLookup SessionGateCache::Lookup(int64_t session_id,
+                                     uint64_t context_hash,
+                                     std::vector<float>* row) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(session_id);
-  if (it == index_.end()) return false;
+  if (it == index_.end()) return CacheLookup::kMiss;
   if (it->second->context_hash != context_hash) {
     // Same session id, different gate inputs (e.g. the behaviour
     // sequence grew between pagination requests): drop the stale row so
     // the caller re-probes rather than serves it.
+    bytes_ -= EntryBytes(*it->second);
     lru_.erase(it->second);
     index_.erase(it);
-    return false;
+    return CacheLookup::kStale;
   }
   *row = it->second->row;
   lru_.splice(lru_.begin(), lru_, it->second);
-  return true;
+  return CacheLookup::kHit;
 }
 
 void SessionGateCache::Put(int64_t session_id, uint64_t context_hash,
@@ -56,6 +113,7 @@ void SessionGateCache::Put(int64_t session_id, uint64_t context_hash,
   auto it = index_.find(session_id);
   if (it != index_.end()) {
     // Keep at most one cached row per session id.
+    bytes_ -= EntryBytes(*it->second);
     lru_.erase(it->second);
     index_.erase(it);
   }
@@ -63,9 +121,11 @@ void SessionGateCache::Put(int64_t session_id, uint64_t context_hash,
   entry.session_id = session_id;
   entry.context_hash = context_hash;
   entry.row = std::move(row);
+  bytes_ += EntryBytes(entry);
   lru_.push_front(std::move(entry));
   index_[session_id] = lru_.begin();
   while (static_cast<int64_t>(lru_.size()) > capacity) {
+    bytes_ -= EntryBytes(lru_.back());
     index_.erase(lru_.back().session_id);
     lru_.pop_back();
   }
@@ -74,6 +134,146 @@ void SessionGateCache::Put(int64_t session_id, uint64_t context_hash,
 int64_t SessionGateCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int64_t>(lru_.size());
+}
+
+int64_t SessionGateCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+int64_t SessionGateCache::EntryBytes(const Entry& entry) const {
+  return static_cast<int64_t>(sizeof(Entry)) + kCacheNodeOverheadBytes +
+         static_cast<int64_t>(entry.row.capacity() * sizeof(float));
+}
+
+// ---------------------------------------------------------------------
+// SessionScoreCache.
+// ---------------------------------------------------------------------
+
+CacheLookup SessionScoreCache::Lookup(
+    int64_t session_id, uint64_t set_hash, uint64_t history_hash,
+    const std::vector<uint64_t>& item_hashes, std::span<float> out) {
+  AWMOE_CHECK(out.size() >= item_hashes.size())
+      << "score-cache output span " << out.size() << " for "
+      << item_hashes.size() << " candidates";
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(Key{session_id, set_hash});
+  if (it == index_.end()) {
+    // No entry under this exact candidate set — but if the session's
+    // OTHER entries carry an outdated history stamp (one stamp per
+    // session, so checking the first suffices; ordered keys keep a
+    // session contiguous), the user's history moved on: drop them all
+    // NOW rather than letting stale pages linger until LRU eviction.
+    auto first = index_.lower_bound(Key{session_id, 0});
+    if (first != index_.end() && first->first.first == session_id &&
+        first->second->history_hash != history_hash) {
+      EraseSessionLocked(session_id);
+      return CacheLookup::kStale;
+    }
+    return CacheLookup::kMiss;
+  }
+  Entry& entry = *it->second;
+  if (entry.history_hash != history_hash) {
+    // The session's behaviour history moved on since these scores were
+    // computed. Put() keeps all of a session's entries on ONE history
+    // stamp, so everything cached for the session is equally stale.
+    EraseSessionLocked(session_id);
+    return CacheLookup::kStale;
+  }
+  // Fill by per-candidate content hash (stored sorted): this both
+  // recovers the request's candidate order and verifies the entry
+  // really describes these candidates — a set-hash collision fails the
+  // match and falls through to a miss.
+  for (size_t j = 0; j < item_hashes.size(); ++j) {
+    auto pos = std::lower_bound(entry.item_hashes.begin(),
+                                entry.item_hashes.end(), item_hashes[j]);
+    if (pos == entry.item_hashes.end() || *pos != item_hashes[j]) {
+      return CacheLookup::kMiss;
+    }
+    out[j] = entry.scores[static_cast<size_t>(
+        pos - entry.item_hashes.begin())];
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return CacheLookup::kHit;
+}
+
+void SessionScoreCache::Put(int64_t session_id, uint64_t set_hash,
+                            uint64_t history_hash,
+                            const std::vector<uint64_t>& item_hashes,
+                            const std::vector<float>& scores,
+                            int64_t capacity) {
+  if (capacity <= 0) return;
+  AWMOE_CHECK(item_hashes.size() == scores.size())
+      << "score-cache put: " << item_hashes.size() << " hashes for "
+      << scores.size() << " scores";
+  // Sort (hash, score) pairs by hash so Lookup can binary-search.
+  // Duplicate hashes are fine: duplicates have identical content, hence
+  // identical scores, so which one a lookup lands on cannot matter.
+  std::vector<size_t> order(item_hashes.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return item_hashes[a] < item_hashes[b];
+  });
+  Entry entry;
+  entry.key = Key{session_id, set_hash};
+  entry.history_hash = history_hash;
+  entry.item_hashes.reserve(order.size());
+  entry.scores.reserve(order.size());
+  for (size_t idx : order) {
+    entry.item_hashes.push_back(item_hashes[idx]);
+    entry.scores.push_back(scores[idx]);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // Invariant: all live entries of a session share one history stamp.
+  // A Put under a new history evicts the session's stale entries even
+  // when no Lookup ever touched them.
+  auto it = index_.lower_bound(Key{session_id, 0});
+  while (it != index_.end() && it->first.first == session_id) {
+    if (it->second->history_hash != history_hash ||
+        it->first.second == set_hash) {
+      bytes_ -= EntryBytes(*it->second);
+      lru_.erase(it->second);
+      it = index_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  bytes_ += EntryBytes(entry);
+  const Key key = entry.key;
+  lru_.push_front(std::move(entry));
+  index_[key] = lru_.begin();
+  while (static_cast<int64_t>(lru_.size()) > capacity) {
+    bytes_ -= EntryBytes(lru_.back());
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+int64_t SessionScoreCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(lru_.size());
+}
+
+int64_t SessionScoreCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+int64_t SessionScoreCache::EntryBytes(const Entry& entry) const {
+  return static_cast<int64_t>(sizeof(Entry)) + kCacheNodeOverheadBytes +
+         static_cast<int64_t>(entry.item_hashes.capacity() *
+                              sizeof(uint64_t)) +
+         static_cast<int64_t>(entry.scores.capacity() * sizeof(float));
+}
+
+void SessionScoreCache::EraseSessionLocked(int64_t session_id) {
+  auto it = index_.lower_bound(Key{session_id, 0});
+  while (it != index_.end() && it->first.first == session_id) {
+    bytes_ -= EntryBytes(*it->second);
+    lru_.erase(it->second);
+    it = index_.erase(it);
+  }
 }
 
 // ---------------------------------------------------------------------
@@ -107,6 +307,13 @@ ModelSnapshot::ModelSnapshot(
   gate_width_ = base->SessionGateWidth();
   gate_shareable_ = base->SupportsSessionGateReuse(meta) && gate_width_ > 0;
   if (!gate_shareable_) gate_width_ = 0;
+  // Same declaration pattern for the session feature store: a model
+  // with a candidate-independent behaviour encoding serves the split
+  // EncodeSessionInto / ScoreWithSessionInto path.
+  encoding_width_ = base->SessionEncodingWidth();
+  encoding_shareable_ =
+      base->SupportsSessionEncodingReuse(meta) && encoding_width_ > 0;
+  if (!encoding_shareable_) encoding_width_ = 0;
 
   auto lane0 = std::make_unique<ReplicaLane>();
   lane0->model = base;
@@ -130,6 +337,17 @@ ModelSnapshot::ModelSnapshot(
 
 ModelSnapshot::~ModelSnapshot() {
   if (live_counter_ != nullptr) live_counter_->fetch_sub(1);
+}
+
+CacheUsage ModelSnapshot::cache_usage() const {
+  CacheUsage usage;
+  usage.score_entries = score_cache_.size();
+  usage.score_bytes = score_cache_.bytes();
+  usage.encoding_entries = encoding_cache_.size();
+  usage.encoding_bytes = encoding_cache_.bytes();
+  usage.gate_entries = gate_cache_.size();
+  usage.gate_bytes = gate_cache_.bytes();
+  return usage;
 }
 
 int ModelSnapshot::ActiveLanes() const {
@@ -475,8 +693,17 @@ SnapshotLease ModelPool::Acquire(const std::string& resolved_name) const {
 
 SnapshotLease ModelPool::Acquire(const std::string& resolved_name,
                                  RolloutArm arm) const {
-  std::shared_ptr<const ModelSnapshot> snapshot;
   RolloutArm granted = RolloutArm::kStable;
+  std::shared_ptr<const ModelSnapshot> snapshot =
+      SnapshotForArm(resolved_name, arm, &granted);
+  return LeaseLane(std::move(snapshot), granted);
+}
+
+std::shared_ptr<const ModelSnapshot> ModelPool::SnapshotForArm(
+    const std::string& resolved_name, RolloutArm arm,
+    RolloutArm* granted) const {
+  std::shared_ptr<const ModelSnapshot> snapshot;
+  RolloutArm got = RolloutArm::kStable;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = entries_.find(resolved_name);
@@ -484,13 +711,19 @@ SnapshotLease ModelPool::Acquire(const std::string& resolved_name,
         << "unknown model '" << resolved_name << "'";
     if (arm == RolloutArm::kCandidate && it->second.candidate != nullptr) {
       snapshot = it->second.candidate;
-      granted = RolloutArm::kCandidate;
+      got = RolloutArm::kCandidate;
     } else {
       // Candidate requested but none staged (e.g. the rollout rolled
       // back between routing and acquiring): serve stable.
       snapshot = it->second.stable;
     }
   }
+  if (granted != nullptr) *granted = got;
+  return snapshot;
+}
+
+SnapshotLease ModelPool::LeaseLane(
+    std::shared_ptr<const ModelSnapshot> snapshot, RolloutArm granted) const {
   const int lanes = snapshot->num_replicas();
   // Least-loaded lane, round-robin on ties: N concurrent forwards for
   // one hot model spread across N distinct replicas.
@@ -514,6 +747,22 @@ SnapshotLease ModelPool::Acquire(const std::string& resolved_name,
   lane.leases.fetch_add(1);
   const int active_lanes = snapshot->ActiveLanes();
   return SnapshotLease(std::move(snapshot), pick, active_lanes, granted);
+}
+
+CacheUsage ModelPool::TotalCacheUsage() const {
+  // Collect the snapshot pins under the lock, read the cache gauges
+  // outside it (each cache takes its own mutex).
+  std::vector<std::shared_ptr<const ModelSnapshot>> snapshots;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, entry] : entries_) {
+      if (entry.stable != nullptr) snapshots.push_back(entry.stable);
+      if (entry.candidate != nullptr) snapshots.push_back(entry.candidate);
+    }
+  }
+  CacheUsage total;
+  for (const auto& snapshot : snapshots) total += snapshot->cache_usage();
+  return total;
 }
 
 }  // namespace awmoe

@@ -4,8 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -23,23 +25,56 @@ class Standardizer;
 /// FNV-1a over the features a session-constant gate may read (behaviour
 /// sequence + query + user): the validity stamp of a cached gate row.
 /// Shared by the serving engine's lookups and the pool's gate warm-up,
-/// which MUST agree or warmed rows would never hit.
+/// which MUST agree or warmed rows would never hit. Every variable-
+/// length section is preceded by its own length tag, so contexts that
+/// differ only in where one section ends and the next begins can never
+/// collide. Also the validity stamp of cached session ENCODINGS: the
+/// encoding reads a subset of these fields (behaviour sequence + query
+/// + user + age folds in via SessionHistoryHash on the score cache),
+/// so "same gate context" conservatively implies "same encoding".
 uint64_t GateContextHash(const Example& ex);
 
-/// Per-session gate-row LRU (§III-F across requests). Lives inside a
-/// model snapshot, so a published weight update naturally starts cold —
-/// gate rows computed under old weights can never leak into new-version
-/// scores. Internally locked: lookups and inserts are short critical
-/// sections; the expensive forwards happen under replica-lane locks,
-/// never under this one.
+/// Hash of the SESSION-CONSTANT request fields (user, age, query,
+/// behaviour history) — the score cache's invalidation trigger: when a
+/// session's history hash changes (the user clicked something between
+/// requests), every score cached for that session is stale.
+uint64_t SessionHistoryHash(const Example& ex);
+
+/// Content hash of EVERYTHING a candidate's score depends on: the
+/// session-constant fields plus the candidate's target ids/attrs and
+/// numeric features. Two examples with equal CandidateScoreHash collate
+/// to identical batch rows, so (per-row batch-composition independence,
+/// tests/models/inference_path_test.cc) they score bitwise-identically
+/// — the property that lets the score cache verify per-element hashes
+/// on lookup and makes set-hash collisions harmless.
+uint64_t CandidateScoreHash(const Example& ex);
+
+/// Outcome of a session-cache lookup, for per-level hit/miss/
+/// invalidation counters: kStale means the entry existed but its
+/// validity stamp no longer matched (history moved on) and was evicted.
+enum class CacheLookup {
+  kHit = 0,
+  kMiss = 1,
+  kStale = 2,
+};
+
+/// Per-session row LRU (§III-F gate rows across requests; since the
+/// session feature store, also the candidate-independent behaviour-
+/// sequence encodings, one instance each). Lives inside a model
+/// snapshot, so a published weight update naturally starts cold — rows
+/// computed under old weights can never leak into new-version scores.
+/// Internally locked: lookups and inserts are short critical sections;
+/// the expensive forwards happen under replica-lane locks, never under
+/// this one.
 class SessionGateCache {
  public:
   /// On a fresh hit (same session, same context hash) copies the cached
-  /// row into `row`, touches the LRU, and returns true. A stale entry
+  /// row into `row`, touches the LRU, and returns kHit. A stale entry
   /// (same session, different hash — the behaviour sequence grew) is
-  /// erased so the caller re-probes; returns false.
-  bool Lookup(int64_t session_id, uint64_t context_hash,
-              std::vector<float>* row);
+  /// erased so the caller re-probes and returns kStale; kMiss means the
+  /// session had no entry at all.
+  CacheLookup Lookup(int64_t session_id, uint64_t context_hash,
+                     std::vector<float>* row);
 
   /// Inserts (or overwrites) the session's row and trims the LRU to
   /// `capacity` entries. No-op when capacity <= 0.
@@ -47,6 +82,9 @@ class SessionGateCache {
            std::vector<float> row, int64_t capacity);
 
   int64_t size() const;
+  /// Estimated resident bytes: float payload plus per-entry list/index
+  /// node overhead (the memory-sizing gauge FleetStats reports).
+  int64_t bytes() const;
 
  private:
   struct Entry {
@@ -55,9 +93,99 @@ class SessionGateCache {
     std::vector<float> row;
   };
 
+  int64_t EntryBytes(const Entry& entry) const;
+
   mutable std::mutex mu_;
   std::list<Entry> lru_;  // Front = most recently used.
   std::unordered_map<int64_t, std::list<Entry>::iterator> index_;
+  int64_t bytes_ = 0;
+};
+
+/// Level-1 result cache: full per-candidate scores of exact repeat
+/// requests, keyed by (session_id, order-insensitive candidate-set
+/// hash) and stamped with the session-history hash. A hit serves the
+/// whole request without touching a replica lane. Like the gate cache
+/// it lives inside a ModelSnapshot, so hot swaps retire it wholesale
+/// (new version = cache-cold by construction) and entries can never
+/// cross versions.
+///
+/// Correctness against hash collisions: the SET hash only routes to an
+/// entry; the entry stores every candidate's full CandidateScoreHash,
+/// and Lookup fills the output by matching each requested candidate's
+/// hash against them — a request whose set hash collides with a
+/// different candidate set fails the per-element match and misses.
+class SessionScoreCache {
+ public:
+  /// kHit: every requested candidate's hash matched; `out[j]` holds the
+  /// cached score of `item_hashes[j]` (request order, not stored
+  /// order). kStale: the session's cached entries carry a history stamp
+  /// other than `history_hash` — the session's history moved on — so
+  /// ALL of the session's entries were evicted (detected whether or not
+  /// this exact candidate set was cached: stale pages never linger).
+  /// kMiss: the session has no entries (or none under a conflicting
+  /// stamp) for this set hash, or a per-element hash failed to match
+  /// (set-hash collision).
+  CacheLookup Lookup(int64_t session_id, uint64_t set_hash,
+                     uint64_t history_hash,
+                     const std::vector<uint64_t>& item_hashes,
+                     std::span<float> out);
+
+  /// Inserts (or overwrites) the entry and trims the LRU to `capacity`.
+  /// Entries of this session stamped with a DIFFERENT history hash are
+  /// evicted first: all live entries of a session always share one
+  /// history stamp. `item_hashes[j]` must describe `scores[j]`; both
+  /// are re-ordered internally for lookup. No-op when capacity <= 0.
+  void Put(int64_t session_id, uint64_t set_hash, uint64_t history_hash,
+           const std::vector<uint64_t>& item_hashes,
+           const std::vector<float>& scores, int64_t capacity);
+
+  int64_t size() const;
+  /// Estimated resident bytes (hash + score payload + node overhead).
+  int64_t bytes() const;
+
+ private:
+  /// (session_id, candidate-set hash). Ordered map keys keep one
+  /// session's entries contiguous, so history invalidation is a range
+  /// erase instead of a full scan.
+  using Key = std::pair<int64_t, uint64_t>;
+
+  struct Entry {
+    Key key;
+    uint64_t history_hash = 0;
+    /// Sorted ascending; scores[i] belongs to item_hashes[i].
+    std::vector<uint64_t> item_hashes;
+    std::vector<float> scores;
+  };
+
+  int64_t EntryBytes(const Entry& entry) const;
+  /// Erases every entry of `session_id`. Caller holds mu_.
+  void EraseSessionLocked(int64_t session_id);
+
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // Front = most recently used.
+  std::map<Key, std::list<Entry>::iterator> index_;
+  int64_t bytes_ = 0;
+};
+
+/// Point-in-time cache occupancy of one snapshot (or a pool-wide sum):
+/// the capacity/memory accounting FleetStats surfaces.
+struct CacheUsage {
+  int64_t score_entries = 0;
+  int64_t score_bytes = 0;
+  int64_t encoding_entries = 0;
+  int64_t encoding_bytes = 0;
+  int64_t gate_entries = 0;
+  int64_t gate_bytes = 0;
+
+  CacheUsage& operator+=(const CacheUsage& other) {
+    score_entries += other.score_entries;
+    score_bytes += other.score_bytes;
+    encoding_entries += other.encoding_entries;
+    encoding_bytes += other.encoding_bytes;
+    gate_entries += other.gate_entries;
+    gate_bytes += other.gate_bytes;
+    return *this;
+  }
 };
 
 /// One execution lane of a snapshot: a ranker replica with its own
@@ -119,6 +247,12 @@ class ModelSnapshot {
   /// Width of one cached gate row (SessionGateWidth() of the model; 0
   /// when not gate-shareable).
   int64_t gate_width() const { return gate_width_; }
+  /// Session-feature-store eligibility, same publish-time pattern:
+  /// SupportsSessionEncodingReuse + a non-zero encoding width.
+  bool encoding_shareable() const { return encoding_shareable_; }
+  /// Width of one cached session-encoding row
+  /// (SessionEncodingWidth() of the model; 0 when not shareable).
+  int64_t encoding_width() const { return encoding_width_; }
 
   /// Lane 0's model — the registered/published instance itself.
   Ranker* primary() const { return lanes_[0]->model; }
@@ -129,16 +263,28 @@ class ModelSnapshot {
   int ActiveLanes() const;
 
   SessionGateCache& gate_cache() const { return gate_cache_; }
+  /// Level-2 feature store: cached candidate-independent behaviour-
+  /// sequence encodings, keyed per session under GateContextHash.
+  SessionGateCache& encoding_cache() const { return encoding_cache_; }
+  /// Level-1 result cache: full repeat-request scores.
+  SessionScoreCache& score_cache() const { return score_cache_; }
+
+  /// Current occupancy of all three snapshot-scoped caches.
+  CacheUsage cache_usage() const;
 
  private:
   std::string name_;
   int64_t version_;
   bool gate_shareable_ = false;
   int64_t gate_width_ = 0;
+  bool encoding_shareable_ = false;
+  int64_t encoding_width_ = 0;
   // unique_ptr elements: lanes hold a mutex and atomics, so they must
   // not move once handed out.
   std::vector<std::unique_ptr<ReplicaLane>> lanes_;
   mutable SessionGateCache gate_cache_;
+  mutable SessionGateCache encoding_cache_;
+  mutable SessionScoreCache score_cache_;
   std::shared_ptr<std::atomic<int64_t>> live_counter_;
 };
 
@@ -320,9 +466,29 @@ class ModelPool {
   /// pins the staged candidate, falling back to stable when none is
   /// staged (rollback drains in-flight candidate leases, then every new
   /// acquire lands here). `SnapshotLease::arm()` reports which arm was
-  /// actually granted.
+  /// actually granted. Composition of SnapshotForArm + LeaseLane.
   SnapshotLease Acquire(const std::string& resolved_name,
                         RolloutArm arm) const;
+
+  /// Pins the snapshot `arm` resolves to — the snapshot HALF of
+  /// Acquire, split out so the serving engine can consult the
+  /// snapshot's caches (a full score-cache hit never needs a lane) and
+  /// lease a lane only if real compute remains. Writes the arm actually
+  /// granted (kStable fallback when no candidate is staged) to
+  /// `granted` when non-null.
+  std::shared_ptr<const ModelSnapshot> SnapshotForArm(
+      const std::string& resolved_name, RolloutArm arm,
+      RolloutArm* granted) const;
+
+  /// The lane HALF of Acquire: picks `snapshot`'s least-loaded replica
+  /// lane (round-robin on ties) and returns the lease pinning it.
+  SnapshotLease LeaseLane(std::shared_ptr<const ModelSnapshot> snapshot,
+                          RolloutArm granted) const;
+
+  /// Summed cache occupancy over every live published snapshot (stable
+  /// and staged candidates) — the pool's contribution to the fleet's
+  /// cache-memory gauges.
+  CacheUsage TotalCacheUsage() const;
 
   std::string default_model() const;
 

@@ -68,7 +68,9 @@ struct RankResponse {
   /// that was dropped (rolled back) before its lease was acquired
   /// reports kStable — the arm it was really served by.
   RolloutArm arm = RolloutArm::kStable;
-  /// Replica lane the forward ran on (0-based; informational).
+  /// Replica lane the forward ran on (0-based; informational). -1 when
+  /// the request was served entirely from the snapshot's level-1 score
+  /// cache: no lane was leased and no forward pass ran.
   int replica = 0;
   /// Sigmoid probabilities, one per candidate item.
   std::vector<double> scores;
@@ -85,6 +87,15 @@ struct RankResponse {
   /// (repeat request for a session, e.g. pagination) without re-running
   /// the gate network.
   bool gate_cache_hit = false;
+  /// True when the whole request was served from the level-1 session
+  /// score cache (exact repeat of a scored candidate set, unchanged
+  /// behaviour history): scores are the cached ones, bitwise-equal to
+  /// recompute, and `replica` is -1.
+  bool score_cache_hit = false;
+  /// True when the session's candidate-independent behaviour encoding
+  /// came from the level-2 session feature store, so the forward ran
+  /// only the candidate-dependent tail.
+  bool encoding_cache_hit = false;
 };
 
 /// Groups a flat labelled split into per-session impression lists.

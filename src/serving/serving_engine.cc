@@ -12,6 +12,7 @@
 #include "models/ranker.h"
 #include "nn/inference.h"
 #include "util/check.h"
+#include "util/hash.h"
 
 namespace awmoe {
 
@@ -73,6 +74,15 @@ bool ServingEngine::GateSharingActive(const std::string& model) const {
 ServingStatsSnapshot ServingEngine::Stats() const {
   ServingStatsSnapshot snap = stats_.Snapshot();
   snap.model_swaps = pool_->swap_count();
+  // Live cache occupancy comes from the pool at snapshot time (gauges,
+  // not counters): retired snapshots drop out the moment they free.
+  const CacheUsage usage = pool_->TotalCacheUsage();
+  snap.score_cache_entries += usage.score_entries;
+  snap.score_cache_bytes += usage.score_bytes;
+  snap.encoding_cache_entries += usage.encoding_entries;
+  snap.encoding_cache_bytes += usage.encoding_bytes;
+  snap.gate_cache_entries += usage.gate_entries;
+  snap.gate_cache_bytes += usage.gate_bytes;
   return snap;
 }
 
@@ -97,147 +107,328 @@ void ServingEngine::ExecuteMicroBatch(const MicroBatch& micro,
   const DatasetMeta& meta = pool_->meta();
   const size_t n = micro.request_indices.size();
 
-  // Pin (snapshot, replica lane) for the whole micro-batch: the version
-  // cannot change under us (hot swaps publish a NEW snapshot), and the
-  // lane lock below serialises only forwards sharing this replica. The
-  // arm picks between the stable and staged-candidate snapshots; a
-  // candidate dropped since routing falls back to stable (lease.arm()
-  // reports what was actually granted).
-  SnapshotLease lease = pool_->Acquire(micro.model, micro.arm);
-  const ModelSnapshot& snapshot = lease.snapshot();
-  ReplicaLane& lane = lease.lane();
+  // Pin the snapshot FIRST, without a lane: the version cannot change
+  // under us (hot swaps publish a NEW snapshot), and a micro-batch
+  // fully served from the level-1 score cache below never leases a
+  // replica lane at all. The arm picks between the stable and staged-
+  // candidate snapshots; a candidate dropped since routing falls back
+  // to stable (`granted` reports what was actually served).
+  RolloutArm granted = micro.arm;
+  std::shared_ptr<const ModelSnapshot> snapshot_ptr =
+      pool_->SnapshotForArm(micro.model, micro.arm, &granted);
+  const ModelSnapshot& snapshot = *snapshot_ptr;
 
-  std::vector<const Example*> items;
-  items.reserve(static_cast<size_t>(micro.total_items));
-  for (size_t idx : micro.request_indices) {
-    const RankRequest& request = requests[idx];
-    items.insert(items.end(), request.items.begin(), request.items.end());
+  // --- Level 1: session score cache. An exact repeat request (same
+  // session, same candidate set, unchanged behaviour history) takes its
+  // scores straight from the snapshot's cache; only the rest is
+  // collated and scored. Per-element CandidateScoreHash verification
+  // inside Lookup makes a set-hash collision a miss, never a wrong
+  // score.
+  const bool score_cache_on = options_.score_cache_capacity > 0;
+  std::vector<int> score_lookup(n, -1);  // RequestSample encoding.
+  std::vector<uint64_t> history_hash(n, 0);
+  std::vector<uint64_t> set_hash(n, 0);
+  std::vector<std::vector<uint64_t>> item_hashes(n);
+  std::vector<std::vector<float>> hit_scores(n);
+  if (score_cache_on) {
+    SessionScoreCache& cache = snapshot.score_cache();
+    for (size_t i = 0; i < n; ++i) {
+      const RankRequest& request = requests[micro.request_indices[i]];
+      history_hash[i] = SessionHistoryHash(*request.items[0]);
+      std::vector<uint64_t>& hashes = item_hashes[i];
+      hashes.reserve(request.items.size());
+      uint64_t set = 0;
+      for (const Example* item : request.items) {
+        const uint64_t h = CandidateScoreHash(*item);
+        hashes.push_back(h);
+        set = SetHashAdd(set, h);
+      }
+      set_hash[i] = set;
+      hit_scores[i].resize(request.items.size());
+      const CacheLookup outcome =
+          cache.Lookup(request.session_id, set, history_hash[i], hashes,
+                       hit_scores[i]);
+      score_lookup[i] = outcome == CacheLookup::kHit    ? 1
+                        : outcome == CacheLookup::kStale ? 2
+                                                         : 0;
+    }
   }
-  Batch batch = CollateBatch(items, meta, pool_->standardizer());
+  std::vector<size_t> miss;  // Positions in [0, n) that need compute.
+  miss.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (score_lookup[i] != 1) miss.push_back(i);
+  }
 
   const bool shared = options_.share_gate && snapshot.gate_shareable();
-  std::vector<bool> cache_hit(n, false);
-  // Logits land here straight from ScoreInto — the whole model forward
-  // is allocation-free against the lane's workspace; only this engine-
-  // side collation layer still allocates (batch, response buffers).
-  std::vector<float> logits(static_cast<size_t>(batch.size));
-  const std::span<float> logits_span(logits);
-  // Workspaces are sized to the engine's batching caps once, so a lane
-  // serves every later micro-batch (sync or async) without regrowing.
-  const int64_t workspace_candidates =
-      std::max({options_.max_batch_items, options_.max_batch_candidates,
-                batch.size});
-  if (shared) {
+  const bool encode =
+      options_.share_session_encoding && snapshot.encoding_shareable();
+  std::vector<bool> cache_hit(n, false);       // Gate-cache outcome.
+  std::vector<int> encoding_lookup(n, -1);     // RequestSample encoding.
+  // Logits of the MISS portion land here straight from the model — the
+  // whole forward is allocation-free against the lane's workspace; only
+  // this engine-side collation layer still allocates (batch, response
+  // buffers). logits_row[k] is miss request k's first row.
+  std::vector<float> logits;
+  std::vector<int64_t> logits_row(miss.size(), 0);
+  SnapshotLease lease;
+  int64_t miss_items = 0;
+
+  if (!miss.empty()) {
+    // Real compute remains: NOW lease a replica lane.
+    lease = pool_->LeaseLane(snapshot_ptr, granted);
+    ReplicaLane& lane = lease.lane();
+    const size_t m = miss.size();
+
+    std::vector<const Example*> items;
+    items.reserve(static_cast<size_t>(micro.total_items));
+    for (size_t k = 0; k < m; ++k) {
+      const RankRequest& request = requests[micro.request_indices[miss[k]]];
+      logits_row[k] = static_cast<int64_t>(items.size());
+      items.insert(items.end(), request.items.begin(), request.items.end());
+    }
+    miss_items = static_cast<int64_t>(items.size());
+    Batch batch = CollateBatch(items, meta, pool_->standardizer());
+    logits.resize(static_cast<size_t>(batch.size));
+    const std::span<float> logits_span(logits);
+    // Workspaces are sized to the engine's batching caps once, so a
+    // lane serves every later micro-batch (sync or async) without
+    // regrowing.
+    const int64_t workspace_candidates =
+        std::max({options_.max_batch_items, options_.max_batch_candidates,
+                  batch.size});
+
+    // One context hash per miss request: the validity stamp shared by
+    // the gate cache AND the level-2 session feature store (the
+    // encoding reads a subset of the gate's inputs).
+    std::vector<uint64_t> request_hash(m, 0);
+    if (shared || encode) {
+      for (size_t k = 0; k < m; ++k) {
+        const RankRequest& request = requests[micro.request_indices[miss[k]]];
+        request_hash[k] = GateContextHash(*request.items[0]);
+      }
+    }
+
     // §III-F behind the API: one gate row per session. Rows come from
     // the snapshot's LRU when the session was served before, otherwise
     // from a single fused probe pass (one row per missed session).
-    SessionGateCache& cache = snapshot.gate_cache();
-    const int64_t width = snapshot.gate_width();
-    std::vector<std::vector<float>> session_gates(n);
     // Probe dedup key is (session id, context hash), not session id
-    // alone: two same-session requests with *different* gate inputs
-    // in one micro-batch must each get their own probe, mirroring
-    // the staleness check the cross-request cache does.
-    std::map<std::pair<int64_t, uint64_t>, size_t> probe_slot;
-    std::vector<const Example*> probes;
-    std::vector<uint64_t> request_hash(n, 0);
-    for (size_t i = 0; i < n; ++i) {
-      const RankRequest& request = requests[micro.request_indices[i]];
-      const uint64_t hash = GateContextHash(*request.items[0]);
-      request_hash[i] = hash;
-      if (options_.gate_cache_capacity > 0 &&
-          cache.Lookup(request.session_id, hash, &session_gates[i])) {
-        cache_hit[i] = true;
-        continue;
+    // alone: two same-session requests with *different* gate inputs in
+    // one micro-batch must each get their own probe, mirroring the
+    // staleness check the cross-request cache does.
+    const int64_t gate_width = snapshot.gate_width();
+    std::vector<std::vector<float>> session_gates(m);
+    std::map<std::pair<int64_t, uint64_t>, size_t> gate_probe_slot;
+    std::vector<const Example*> gate_probes;
+    if (shared) {
+      SessionGateCache& cache = snapshot.gate_cache();
+      for (size_t k = 0; k < m; ++k) {
+        const RankRequest& request = requests[micro.request_indices[miss[k]]];
+        if (options_.gate_cache_capacity > 0 &&
+            cache.Lookup(request.session_id, request_hash[k],
+                         &session_gates[k]) == CacheLookup::kHit) {
+          cache_hit[miss[k]] = true;
+          continue;
+        }
+        auto [slot, inserted] = gate_probe_slot.try_emplace(
+            {request.session_id, request_hash[k]}, gate_probes.size());
+        if (inserted) gate_probes.push_back(request.items[0]);
       }
-      auto [slot, inserted] =
-          probe_slot.try_emplace({request.session_id, hash}, probes.size());
-      if (inserted) probes.push_back(request.items[0]);
     }
+
+    // Level 2, same probe-dedup-replicate shape as the gate: one
+    // candidate-independent encoding row per session, cached across
+    // requests under the context stamp.
+    const int64_t enc_width = snapshot.encoding_width();
+    std::vector<std::vector<float>> session_encodings(m);
+    std::map<std::pair<int64_t, uint64_t>, size_t> enc_probe_slot;
+    std::vector<const Example*> enc_probes;
+    if (encode) {
+      SessionGateCache& cache = snapshot.encoding_cache();
+      for (size_t k = 0; k < m; ++k) {
+        const RankRequest& request = requests[micro.request_indices[miss[k]]];
+        if (options_.encoding_cache_capacity > 0) {
+          const CacheLookup outcome = cache.Lookup(
+              request.session_id, request_hash[k], &session_encodings[k]);
+          encoding_lookup[miss[k]] = outcome == CacheLookup::kHit    ? 1
+                                     : outcome == CacheLookup::kStale ? 2
+                                                                      : 0;
+          if (outcome == CacheLookup::kHit) continue;
+        } else {
+          encoding_lookup[miss[k]] = 0;  // Cross-request reuse disabled.
+        }
+        auto [slot, inserted] = enc_probe_slot.try_emplace(
+            {request.session_id, request_hash[k]}, enc_probes.size());
+        if (inserted) enc_probes.push_back(request.items[0]);
+      }
+    }
+
     {
-      // One lane critical section for probe + main forward: both touch
+      // One lane critical section for probes + main forward: all touch
       // this replica's model state and workspace. Other replicas of the
       // same snapshot run their own micro-batches concurrently.
       std::lock_guard<std::mutex> lock(lane.mu);
       InferenceWorkspace* workspace =
           lane.EnsureWorkspace(workspace_candidates);
-      if (!probes.empty()) {
-        Batch probe_batch = CollateBatch(probes, meta, pool_->standardizer());
+      if (!gate_probes.empty()) {
+        Batch probe_batch =
+            CollateBatch(gate_probes, meta, pool_->standardizer());
         std::span<float> fresh = workspace->Staging(
-            InferenceWorkspace::kGateProbe, probe_batch.size * width);
+            InferenceWorkspace::kGateProbe, probe_batch.size * gate_width);
         lane.model->GateInto(probe_batch, workspace, fresh);
-        for (size_t i = 0; i < n; ++i) {
-          if (cache_hit[i]) continue;
-          const RankRequest& request = requests[micro.request_indices[i]];
+        for (size_t k = 0; k < m; ++k) {
+          if (cache_hit[miss[k]] || !session_gates[k].empty()) continue;
+          const RankRequest& request =
+              requests[micro.request_indices[miss[k]]];
           const size_t row =
-              probe_slot.at({request.session_id, request_hash[i]});
-          const float* src = fresh.data() + row * width;
-          session_gates[i].assign(src, src + width);
+              gate_probe_slot.at({request.session_id, request_hash[k]});
+          const float* src = fresh.data() + row * gate_width;
+          session_gates[k].assign(src, src + gate_width);
         }
         if (options_.gate_cache_capacity > 0) {
-          for (const auto& [key, row] : probe_slot) {
-            const float* src = fresh.data() + row * width;
-            cache.Put(key.first, key.second,
-                      std::vector<float>(src, src + width),
-                      options_.gate_cache_capacity);
+          for (const auto& [key, row] : gate_probe_slot) {
+            const float* src = fresh.data() + row * gate_width;
+            snapshot.gate_cache().Put(key.first, key.second,
+                                      std::vector<float>(src, src + gate_width),
+                                      options_.gate_cache_capacity);
           }
         }
       }
-      // Replicate each session's gate row across its candidates into
-      // the workspace's persistent staging buffer, then run the expert
-      // path with the gate supplied — the generic ScoreInto contract
-      // any SupportsSessionGateReuse model serves.
-      std::span<float> gate_rows = workspace->Staging(
-          InferenceWorkspace::kGateRows, batch.size * width);
-      float* dst = gate_rows.data();
-      for (size_t i = 0; i < n; ++i) {
-        const RankRequest& request = requests[micro.request_indices[i]];
-        for (size_t j = 0; j < request.items.size(); ++j, dst += width) {
-          std::copy(session_gates[i].begin(), session_gates[i].end(), dst);
+      if (!enc_probes.empty()) {
+        Batch probe_batch =
+            CollateBatch(enc_probes, meta, pool_->standardizer());
+        std::span<float> fresh = workspace->Staging(
+            InferenceWorkspace::kSessionProbe, probe_batch.size * enc_width);
+        lane.model->EncodeSessionInto(probe_batch, workspace, fresh);
+        for (size_t k = 0; k < m; ++k) {
+          if (!session_encodings[k].empty()) continue;
+          const RankRequest& request =
+              requests[micro.request_indices[miss[k]]];
+          const size_t row =
+              enc_probe_slot.at({request.session_id, request_hash[k]});
+          const float* src = fresh.data() + row * enc_width;
+          session_encodings[k].assign(src, src + enc_width);
+        }
+        if (options_.encoding_cache_capacity > 0) {
+          for (const auto& [key, row] : enc_probe_slot) {
+            const float* src = fresh.data() + row * enc_width;
+            snapshot.encoding_cache().Put(
+                key.first, key.second,
+                std::vector<float>(src, src + enc_width),
+                options_.encoding_cache_capacity);
+          }
         }
       }
-      SessionGate gate{gate_rows.data(), batch.size, width};
-      lane.model->ScoreInto(batch, &gate, workspace, logits_span);
+      // Replicate each session's gate/encoding row across its
+      // candidates into the workspace's persistent staging buffers,
+      // then run the candidate-dependent forward with both supplied —
+      // the generic ScoreWithSessionInto contract (a null gate or
+      // encoding degrades to the respective fused path).
+      SessionGate gate;
+      if (shared) {
+        std::span<float> gate_rows = workspace->Staging(
+            InferenceWorkspace::kGateRows, batch.size * gate_width);
+        float* dst = gate_rows.data();
+        for (size_t k = 0; k < m; ++k) {
+          const RankRequest& request =
+              requests[micro.request_indices[miss[k]]];
+          for (size_t j = 0; j < request.items.size();
+               ++j, dst += gate_width) {
+            std::copy(session_gates[k].begin(), session_gates[k].end(), dst);
+          }
+        }
+        gate = SessionGate{gate_rows.data(), batch.size, gate_width};
+      }
+      SessionEncoding encoding;
+      if (encode) {
+        std::span<float> enc_rows = workspace->Staging(
+            InferenceWorkspace::kSessionRows, batch.size * enc_width);
+        float* dst = enc_rows.data();
+        for (size_t k = 0; k < m; ++k) {
+          const RankRequest& request =
+              requests[micro.request_indices[miss[k]]];
+          for (size_t j = 0; j < request.items.size();
+               ++j, dst += enc_width) {
+            std::copy(session_encodings[k].begin(), session_encodings[k].end(),
+                      dst);
+          }
+        }
+        encoding = SessionEncoding{enc_rows.data(), batch.size, enc_width};
+      }
+      lane.model->ScoreWithSessionInto(batch, shared ? &gate : nullptr,
+                                       encode ? &encoding : nullptr,
+                                       workspace, logits_span);
     }
-  } else {
-    std::lock_guard<std::mutex> lock(lane.mu);
-    InferenceWorkspace* workspace =
-        lane.EnsureWorkspace(workspace_candidates);
-    lane.model->ScoreInto(batch, nullptr, workspace, logits_span);
-  }
 
-  // One vectorised pass over the whole micro-batch's logits (in place;
-  // per-element arithmetic matches the tier's sigmoid, so on the
-  // reference tier this is still StableSigmoid element for element).
-  SigmoidSpanInto(logits_span, logits_span);
+    // One vectorised pass over the miss logits (in place; per-element
+    // arithmetic matches the tier's sigmoid, so on the reference tier
+    // this is still StableSigmoid element for element).
+    SigmoidSpanInto(logits_span, logits_span);
+
+    // Freshly computed scores feed the level-1 cache (outside the lane
+    // lock: the cache has its own mutex and the floats are engine-
+    // owned). Stored post-sigmoid, exactly the floats a later hit
+    // serves — bitwise-equal to recompute by construction.
+    if (score_cache_on) {
+      SessionScoreCache& cache = snapshot.score_cache();
+      for (size_t k = 0; k < m; ++k) {
+        const size_t i = miss[k];
+        const RankRequest& request = requests[micro.request_indices[i]];
+        const float* first = logits.data() + logits_row[k];
+        cache.Put(request.session_id, set_hash[i], history_hash[i],
+                  item_hashes[i],
+                  std::vector<float>(first, first + request.items.size()),
+                  options_.score_cache_capacity);
+      }
+    }
+  }
 
   const double service_ms = service_watch.ElapsedMillis();
   std::vector<RequestSample> samples(n);
-  int64_t row = 0;
+  std::vector<int64_t> next_row(miss.size());
+  for (size_t k = 0; k < miss.size(); ++k) next_row[k] = logits_row[k];
+  size_t miss_cursor = 0;
   for (size_t i = 0; i < n; ++i) {
     const size_t idx = micro.request_indices[i];
     const RankRequest& request = requests[idx];
     RankResponse& response = (*responses)[idx];
     const double queue_ms =
         queue_delays_ms == nullptr ? 0.0 : (*queue_delays_ms)[idx];
+    const bool served_from_cache = score_lookup[i] == 1;
     response.session_id = request.session_id;
     response.model = snapshot.name();
     response.model_version = snapshot.version();
-    response.arm = lease.arm();
-    response.replica = lease.replica();
+    response.arm = granted;
+    response.replica = served_from_cache ? -1 : lease.replica();
     response.latency_ms = service_ms + queue_ms;
     response.queue_ms = queue_ms;
-    response.gate_shared = shared;
-    response.gate_cache_hit = cache_hit[i];
+    response.score_cache_hit = served_from_cache;
     response.scores.resize(request.items.size());
-    for (size_t j = 0; j < request.items.size(); ++j, ++row) {
-      response.scores[j] = logits[static_cast<size_t>(row)];
+    if (served_from_cache) {
+      response.gate_shared = false;
+      response.gate_cache_hit = false;
+      response.encoding_cache_hit = false;
+      for (size_t j = 0; j < request.items.size(); ++j) {
+        response.scores[j] = hit_scores[i][j];
+      }
+    } else {
+      response.gate_shared = shared;
+      response.gate_cache_hit = cache_hit[i];
+      response.encoding_cache_hit = encoding_lookup[i] == 1;
+      int64_t row = next_row[miss_cursor];
+      ++miss_cursor;
+      for (size_t j = 0; j < request.items.size(); ++j, ++row) {
+        response.scores[j] = logits[static_cast<size_t>(row)];
+      }
     }
     RequestSample& sample = samples[i];
     sample.items = static_cast<int64_t>(request.items.size());
     sample.latency_ms = response.latency_ms;
     if (queue_delays_ms != nullptr) sample.queue_ms = queue_ms;
-    if (shared) sample.gate_lookup = cache_hit[i] ? 1 : 0;
+    if (!served_from_cache && shared) {
+      sample.gate_lookup = cache_hit[i] ? 1 : 0;
+    }
+    sample.score_lookup = score_lookup[i];
+    sample.encoding_lookup = encoding_lookup[i];
   }
   // One lock acquisition for the whole micro-batch: workers and the
   // async flusher lanes contend on the stats mutex, so the hot path
@@ -245,10 +436,18 @@ void ServingEngine::ExecuteMicroBatch(const MicroBatch& micro,
   LeaseSample lease_sample;
   lease_sample.model = snapshot.name();
   lease_sample.version = snapshot.version();
-  lease_sample.replica = lease.replica();
   lease_sample.num_replicas = snapshot.num_replicas();
-  lease_sample.active_lanes = lease.active_lanes_at_acquire();
-  stats_.RecordMicroBatch(micro.total_items, samples, &lease_sample);
+  if (miss.empty()) {
+    // Fully served from the score cache: the snapshot is real but no
+    // lane was leased and no forward pass ran.
+    lease_sample.replica = -1;
+    lease_sample.active_lanes = 0;
+    lease_sample.lane_leased = false;
+  } else {
+    lease_sample.replica = lease.replica();
+    lease_sample.active_lanes = lease.active_lanes_at_acquire();
+  }
+  stats_.RecordMicroBatch(miss_items, samples, &lease_sample);
 }
 
 void ServingEngine::RunJobs(std::vector<std::function<void()>> jobs) {

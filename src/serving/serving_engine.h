@@ -51,6 +51,30 @@ struct ServingEngineOptions {
   /// is still shared within a request).
   int64_t gate_cache_capacity = 4096;
 
+  // --- Two-level result/feature caching (snapshot-scoped). ---
+
+  /// Per-snapshot LRU capacity of the LEVEL-1 session score cache: an
+  /// exact repeat request — same session, same candidate set (order-
+  /// insensitive), unchanged behaviour history — is served straight
+  /// from cached scores without collating a batch or leasing a replica
+  /// lane (`RankResponse::replica` is -1). Invalidated per session the
+  /// moment the session's history hash changes, and retired wholesale
+  /// with its snapshot on hot swap. 0 disables.
+  int64_t score_cache_capacity = 4096;
+
+  /// Enables the LEVEL-2 session feature store for models that declare
+  /// SupportsSessionEncodingReuse: the candidate-independent behaviour-
+  /// sequence encoding (EncodeSessionInto) is computed once per session
+  /// and the forward runs only the candidate-dependent tail
+  /// (ScoreWithSessionInto) — bitwise-identical to the fused path.
+  bool share_session_encoding = true;
+
+  /// Per-snapshot LRU capacity of the level-2 feature store (cached
+  /// EncodeSessionInto rows, validated under the same GateContextHash
+  /// stamp as gate rows). 0 disables cross-request reuse; the encoding
+  /// is still computed once per session within a request.
+  int64_t encoding_cache_capacity = 4096;
+
   // --- Async front (Submit) knobs. ---
 
   /// Candidate cap that flushes the async micro-batch queue: once a

@@ -117,6 +117,51 @@ void ServingStats::RecordGateLookupLocked(bool hit) {
   }
 }
 
+void ServingStats::RecordScoreLookup(int outcome) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RecordScoreLookupLocked(outcome);
+}
+
+void ServingStats::RecordScoreLookupLocked(int outcome) {
+  if (outcome == 1) {
+    ++score_cache_hits_;
+  } else {
+    ++score_cache_misses_;
+    if (outcome == 2) ++score_cache_invalidations_;
+  }
+}
+
+void ServingStats::RecordEncodingLookup(int outcome) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RecordEncodingLookupLocked(outcome);
+}
+
+void ServingStats::RecordEncodingLookupLocked(int outcome) {
+  if (outcome == 1) {
+    ++encoding_cache_hits_;
+  } else {
+    ++encoding_cache_misses_;
+    if (outcome == 2) ++encoding_cache_invalidations_;
+  }
+}
+
+void ServingStats::AppendSplitSampleLocked(std::vector<double>* reservoir,
+                                           int64_t* count,
+                                           double latency_ms) {
+  ++*count;
+  if (static_cast<int64_t>(reservoir->size()) < kMaxSamples) {
+    reservoir->push_back(latency_ms);
+    return;
+  }
+  reservoir_rng_ ^= reservoir_rng_ << 13;
+  reservoir_rng_ ^= reservoir_rng_ >> 7;
+  reservoir_rng_ ^= reservoir_rng_ << 17;
+  const uint64_t slot = reservoir_rng_ % static_cast<uint64_t>(*count);
+  if (slot < static_cast<uint64_t>(kMaxSamples)) {
+    (*reservoir)[static_cast<size_t>(slot)] = latency_ms;
+  }
+}
+
 void ServingStats::RecordLease(const LeaseSample& lease) {
   std::lock_guard<std::mutex> lock(mu_);
   RecordLeaseLocked(lease);
@@ -217,7 +262,13 @@ void ServingStats::RecordMicroBatch(
     int64_t batch_items, const std::vector<RequestSample>& samples,
     const LeaseSample* lease) {
   std::lock_guard<std::mutex> lock(mu_);
-  RecordBatchLocked(static_cast<int64_t>(samples.size()), batch_items);
+  // A fully score-cache-served micro-batch leased no lane and ran no
+  // forward pass: the batch (occupancy) and lease counters would
+  // misreport it as compute.
+  const bool forward_ran = lease == nullptr || lease->lane_leased;
+  if (forward_ran) {
+    RecordBatchLocked(static_cast<int64_t>(samples.size()), batch_items);
+  }
   // One map probe for the whole micro-batch: every sample lands in the
   // same (model, version) health window as the shared lease.
   HealthWindow* health =
@@ -227,11 +278,24 @@ void ServingStats::RecordMicroBatch(
     RecordRequestLocked(sample.items, sample.latency_ms);
     if (sample.queue_ms >= 0.0) RecordQueueDelayLocked(sample.queue_ms);
     if (sample.gate_lookup >= 0) RecordGateLookupLocked(sample.gate_lookup != 0);
+    if (sample.score_lookup >= 0) {
+      RecordScoreLookupLocked(sample.score_lookup);
+      if (sample.score_lookup == 1) {
+        AppendSplitSampleLocked(&score_hit_samples_ms_, &score_hit_count_,
+                                sample.latency_ms);
+      } else {
+        AppendSplitSampleLocked(&score_miss_samples_ms_, &score_miss_count_,
+                                sample.latency_ms);
+      }
+    }
+    if (sample.encoding_lookup >= 0) {
+      RecordEncodingLookupLocked(sample.encoding_lookup);
+    }
     if (health != nullptr) {
       AppendHealthSampleLocked(health, sample.latency_ms, /*ok=*/true);
     }
   }
-  if (lease != nullptr) RecordLeaseLocked(*lease);
+  if (lease != nullptr && lease->lane_leased) RecordLeaseLocked(*lease);
 }
 
 int64_t ServingStats::requests() const {
@@ -279,6 +343,36 @@ int64_t ServingStats::gate_cache_misses() const {
   return gate_cache_misses_;
 }
 
+int64_t ServingStats::score_cache_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return score_cache_hits_;
+}
+
+int64_t ServingStats::score_cache_misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return score_cache_misses_;
+}
+
+int64_t ServingStats::score_cache_invalidations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return score_cache_invalidations_;
+}
+
+int64_t ServingStats::encoding_cache_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return encoding_cache_hits_;
+}
+
+int64_t ServingStats::encoding_cache_misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return encoding_cache_misses_;
+}
+
+int64_t ServingStats::encoding_cache_invalidations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return encoding_cache_invalidations_;
+}
+
 int64_t ServingStats::snapshot_leases() const {
   std::lock_guard<std::mutex> lock(mu_);
   return snapshot_leases_;
@@ -307,6 +401,8 @@ double ServingStats::LatencyPercentileMs(double pct) const {
 ServingStatsSnapshot ServingStats::Snapshot() const {
   ServingStatsSnapshot snap;
   std::vector<double> sorted;
+  std::vector<double> score_hit_sorted;
+  std::vector<double> score_miss_sorted;
   std::map<std::pair<std::string, int64_t>, HealthWindow> health;
   double elapsed = 0.0;
   {
@@ -336,6 +432,20 @@ ServingStatsSnapshot ServingStats::Snapshot() const {
     snap.queue_total_ms = queue_total_ms_;
     snap.gate_cache_hits = gate_cache_hits_;
     snap.gate_cache_misses = gate_cache_misses_;
+    snap.score_cache_hits = score_cache_hits_;
+    snap.score_cache_misses = score_cache_misses_;
+    snap.score_cache_invalidations = score_cache_invalidations_;
+    snap.encoding_cache_hits = encoding_cache_hits_;
+    snap.encoding_cache_misses = encoding_cache_misses_;
+    snap.encoding_cache_invalidations = encoding_cache_invalidations_;
+    snap.score_cache_entries = merged_score_cache_entries_;
+    snap.score_cache_bytes = merged_score_cache_bytes_;
+    snap.encoding_cache_entries = merged_encoding_cache_entries_;
+    snap.encoding_cache_bytes = merged_encoding_cache_bytes_;
+    snap.gate_cache_entries = merged_gate_cache_entries_;
+    snap.gate_cache_bytes = merged_gate_cache_bytes_;
+    score_hit_sorted = score_hit_samples_ms_;
+    score_miss_sorted = score_miss_samples_ms_;
     snap.snapshot_leases = snapshot_leases_;
     if (snapshot_leases_ > 0) {
       snap.mean_active_lanes = static_cast<double>(active_lanes_total_) /
@@ -369,11 +479,23 @@ ServingStatsSnapshot ServingStats::Snapshot() const {
     snap.p95_ms = NearestRank(sorted, 95.0);
     snap.p99_ms = NearestRank(sorted, 99.0);
   }
+  std::sort(score_hit_sorted.begin(), score_hit_sorted.end());
+  if (!score_hit_sorted.empty()) {
+    snap.score_hit_p50_ms = NearestRank(score_hit_sorted, 50.0);
+    snap.score_hit_p99_ms = NearestRank(score_hit_sorted, 99.0);
+  }
+  std::sort(score_miss_sorted.begin(), score_miss_sorted.end());
+  if (!score_miss_sorted.empty()) {
+    snap.score_miss_p50_ms = NearestRank(score_miss_sorted, 50.0);
+    snap.score_miss_p99_ms = NearestRank(score_miss_sorted, 99.0);
+  }
   snap.wall_seconds = elapsed;
   if (elapsed > 0.0) {
     snap.qps = static_cast<double>(snap.requests) / elapsed;
   }
   snap.samples_ms = std::move(sorted);
+  snap.score_hit_samples_ms = std::move(score_hit_sorted);
+  snap.score_miss_samples_ms = std::move(score_miss_sorted);
   return snap;
 }
 
@@ -391,6 +513,31 @@ void ServingStats::MergeFrom(const ServingStatsSnapshot& other) {
   queue_max_ms_ = std::max(queue_max_ms_, other.queue_max_ms);
   gate_cache_hits_ += other.gate_cache_hits;
   gate_cache_misses_ += other.gate_cache_misses;
+  score_cache_hits_ += other.score_cache_hits;
+  score_cache_misses_ += other.score_cache_misses;
+  score_cache_invalidations_ += other.score_cache_invalidations;
+  encoding_cache_hits_ += other.encoding_cache_hits;
+  encoding_cache_misses_ += other.encoding_cache_misses;
+  encoding_cache_invalidations_ += other.encoding_cache_invalidations;
+  // Occupancy gauges sum: each shard's snapshot carries its own pool's
+  // live residency, so the sink reports fleet-wide bytes.
+  merged_score_cache_entries_ += other.score_cache_entries;
+  merged_score_cache_bytes_ += other.score_cache_bytes;
+  merged_encoding_cache_entries_ += other.encoding_cache_entries;
+  merged_encoding_cache_bytes_ += other.encoding_cache_bytes;
+  merged_gate_cache_entries_ += other.gate_cache_entries;
+  merged_gate_cache_bytes_ += other.gate_cache_bytes;
+  // Pool the split reservoirs exactly like the main one below.
+  score_hit_samples_ms_.insert(score_hit_samples_ms_.end(),
+                               other.score_hit_samples_ms.begin(),
+                               other.score_hit_samples_ms.end());
+  score_hit_count_ +=
+      static_cast<int64_t>(other.score_hit_samples_ms.size());
+  score_miss_samples_ms_.insert(score_miss_samples_ms_.end(),
+                                other.score_miss_samples_ms.begin(),
+                                other.score_miss_samples_ms.end());
+  score_miss_count_ +=
+      static_cast<int64_t>(other.score_miss_samples_ms.size());
   snapshot_leases_ += other.snapshot_leases;
   active_lanes_total_ += other.active_lanes_total;
   max_active_lanes_ = std::max(max_active_lanes_, other.max_active_lanes);
@@ -437,6 +584,22 @@ void ServingStats::Reset() {
   queue_max_ms_ = 0.0;
   gate_cache_hits_ = 0;
   gate_cache_misses_ = 0;
+  score_cache_hits_ = 0;
+  score_cache_misses_ = 0;
+  score_cache_invalidations_ = 0;
+  encoding_cache_hits_ = 0;
+  encoding_cache_misses_ = 0;
+  encoding_cache_invalidations_ = 0;
+  score_hit_samples_ms_.clear();
+  score_hit_count_ = 0;
+  score_miss_samples_ms_.clear();
+  score_miss_count_ = 0;
+  merged_score_cache_entries_ = 0;
+  merged_score_cache_bytes_ = 0;
+  merged_encoding_cache_entries_ = 0;
+  merged_encoding_cache_bytes_ = 0;
+  merged_gate_cache_entries_ = 0;
+  merged_gate_cache_bytes_ = 0;
   snapshot_leases_ = 0;
   active_lanes_total_ = 0;
   max_active_lanes_ = 0;

@@ -75,6 +75,38 @@ struct ServingStatsSnapshot {
   int64_t gate_cache_hits = 0;
   int64_t gate_cache_misses = 0;
 
+  /// Level-1 session score cache and level-2 session-encoding (feature
+  /// store) lookup outcomes, one lookup per request on each enabled
+  /// level. An invalidation is a lookup that found the session's entry
+  /// stamped with an outdated context (its behaviour history changed)
+  /// and evicted it; every invalidation also counts as a miss.
+  int64_t score_cache_hits = 0;
+  int64_t score_cache_misses = 0;
+  int64_t score_cache_invalidations = 0;
+  int64_t encoding_cache_hits = 0;
+  int64_t encoding_cache_misses = 0;
+  int64_t encoding_cache_invalidations = 0;
+
+  /// End-to-end request latency split by level-1 outcome: the hit path
+  /// skips collation, lane leasing and the forward pass entirely, and
+  /// these two distributions quantify exactly what that buys (the
+  /// bench gate asserts hit p99 < miss p99).
+  double score_hit_p50_ms = 0.0;
+  double score_hit_p99_ms = 0.0;
+  double score_miss_p50_ms = 0.0;
+  double score_miss_p99_ms = 0.0;
+
+  /// Snapshot-scoped cache occupancy gauges (live entries / estimated
+  /// resident bytes across the pool's published snapshots), filled by
+  /// `ServingEngine::Stats` from the pool at snapshot time; MergeFrom
+  /// sums them, so a fleet sink reports fleet-wide residency.
+  int64_t score_cache_entries = 0;
+  int64_t score_cache_bytes = 0;
+  int64_t encoding_cache_entries = 0;
+  int64_t encoding_cache_bytes = 0;
+  int64_t gate_cache_entries = 0;
+  int64_t gate_cache_bytes = 0;
+
   /// Replica-lane accounting: one lease is acquired per executed
   /// micro-batch. `mean/max_active_lanes` sample, at each acquire, how
   /// many of the snapshot's lanes were busy — >1 means forwards for one
@@ -103,6 +135,12 @@ struct ServingStatsSnapshot {
   /// under kMaxSamples requests.
   std::vector<double> samples_ms;
 
+  /// The score-cache hit/miss latency reservoirs behind the split
+  /// percentiles above, ascending-sorted and carried for the same
+  /// pooled-merge reason.
+  std::vector<double> score_hit_samples_ms;
+  std::vector<double> score_miss_samples_ms;
+
   /// Raw sums behind the means above, carried so a merge can re-derive
   /// the pooled means instead of averaging averages.
   int64_t batch_requests_total = 0;
@@ -124,14 +162,24 @@ struct LeaseSample {
   int num_replicas = 1;
   /// Lanes of the snapshot active at acquire time (including this one).
   int active_lanes = 1;
+  /// False for a micro-batch served ENTIRELY from the level-1 score
+  /// cache: the snapshot was pinned (model/version above are real) but
+  /// no replica lane was leased and no forward pass ran, so the batch
+  /// and lease counters are skipped — only the per-request samples and
+  /// the version health window are fed.
+  bool lane_leased = true;
 };
 
-/// One request's contribution to a micro-batch stats record.
+/// One request's contribution to a micro-batch stats record. The
+/// session-cache lookup fields share one encoding: -1 no lookup, 0
+/// miss, 1 hit, 2 stale (counted as a miss AND an invalidation).
 struct RequestSample {
   int64_t items = 0;
   double latency_ms = 0.0;
   double queue_ms = -1.0;  // < 0: not an async (queued) request.
   int gate_lookup = -1;    // -1 no lookup, 0 cache miss, 1 cache hit.
+  int score_lookup = -1;     // Level-1 score-cache outcome.
+  int encoding_lookup = -1;  // Level-2 encoding-cache outcome.
 };
 
 /// Latency accounting for the serving engine. Unlike the old aggregate
@@ -172,6 +220,13 @@ class ServingStats {
   /// Records one gate-LRU lookup outcome on the shared-gate path.
   void RecordGateLookup(bool hit);
 
+  /// Records one level-1 score-cache lookup outcome (RequestSample
+  /// encoding: 0 miss, 1 hit, 2 stale).
+  void RecordScoreLookup(int outcome);
+
+  /// Records one level-2 encoding-cache lookup outcome (same encoding).
+  void RecordEncodingLookup(int outcome);
+
   /// Records one snapshot+replica lease (one per executed micro-batch).
   void RecordLease(const LeaseSample& lease);
 
@@ -196,10 +251,14 @@ class ServingStats {
   /// of one Record* call per request (workers and the async flusher
   /// all contend on this mutex). Equivalent to RecordBatch +, per
   /// sample, RecordRequest / RecordQueueDelay (queue_ms >= 0) /
-  /// RecordGateLookup (gate_lookup >= 0), plus RecordLease when `lease`
-  /// is non-null — in which case each sample's latency also lands in
-  /// the lease's (model, version) health window (ok=true; the engine's
-  /// scored path cannot fail).
+  /// RecordGateLookup (gate_lookup >= 0) / RecordScoreLookup /
+  /// RecordEncodingLookup (each *_lookup >= 0), plus RecordLease when
+  /// `lease` is non-null — in which case each sample's latency also
+  /// lands in the lease's (model, version) health window (ok=true; the
+  /// engine's scored path cannot fail). A lease with lane_leased ==
+  /// false (micro-batch fully served from the score cache) skips the
+  /// batch and lease counters: no forward pass ran. Samples with a
+  /// score_lookup also land in the hit/miss split latency reservoirs.
   void RecordMicroBatch(int64_t batch_items,
                         const std::vector<RequestSample>& samples,
                         const LeaseSample* lease = nullptr);
@@ -231,6 +290,12 @@ class ServingStats {
   double queue_total_ms() const;
   int64_t gate_cache_hits() const;
   int64_t gate_cache_misses() const;
+  int64_t score_cache_hits() const;
+  int64_t score_cache_misses() const;
+  int64_t score_cache_invalidations() const;
+  int64_t encoding_cache_hits() const;
+  int64_t encoding_cache_misses() const;
+  int64_t encoding_cache_invalidations() const;
   int64_t snapshot_leases() const;
   int64_t max_active_lanes() const;
 
@@ -267,7 +332,14 @@ class ServingStats {
   void RecordBatchLocked(int64_t batch_requests, int64_t batch_items);
   void RecordQueueDelayLocked(double delay_ms);
   void RecordGateLookupLocked(bool hit);
+  void RecordScoreLookupLocked(int outcome);
+  void RecordEncodingLookupLocked(int outcome);
   void RecordLeaseLocked(const LeaseSample& lease);
+  /// Reservoir append (Algorithm R, like the main reservoir) into one
+  /// of the score-cache hit/miss split reservoirs; `count` is that
+  /// reservoir's lifetime sample count, bumped here.
+  void AppendSplitSampleLocked(std::vector<double>* reservoir,
+                               int64_t* count, double latency_ms);
   /// Finds-or-creates (model, version)'s window, running the per-model
   /// trim on insert. Returns nullptr when the version is too old to
   /// track (a fresh insert below every retained version is itself what
@@ -303,6 +375,28 @@ class ServingStats {
   double queue_max_ms_ = 0.0;
   int64_t gate_cache_hits_ = 0;
   int64_t gate_cache_misses_ = 0;
+  int64_t score_cache_hits_ = 0;
+  int64_t score_cache_misses_ = 0;
+  int64_t score_cache_invalidations_ = 0;
+  int64_t encoding_cache_hits_ = 0;
+  int64_t encoding_cache_misses_ = 0;
+  int64_t encoding_cache_invalidations_ = 0;
+  /// Score-cache hit/miss split latency reservoirs, each capped at
+  /// kMaxSamples with its own lifetime count driving Algorithm R.
+  std::vector<double> score_hit_samples_ms_;
+  int64_t score_hit_count_ = 0;
+  std::vector<double> score_miss_samples_ms_;
+  int64_t score_miss_count_ = 0;
+  /// Cache occupancy gauges folded in via MergeFrom (a bare
+  /// ServingStats never sets its own: the engine stamps live pool
+  /// gauges onto its snapshot AFTER Snapshot(), so these only carry
+  /// the summed gauges of merged-in shard snapshots).
+  int64_t merged_score_cache_entries_ = 0;
+  int64_t merged_score_cache_bytes_ = 0;
+  int64_t merged_encoding_cache_entries_ = 0;
+  int64_t merged_encoding_cache_bytes_ = 0;
+  int64_t merged_gate_cache_entries_ = 0;
+  int64_t merged_gate_cache_bytes_ = 0;
   int64_t snapshot_leases_ = 0;
   int64_t active_lanes_total_ = 0;  // Sum of per-lease samples; mean numerator.
   int64_t max_active_lanes_ = 0;

@@ -39,6 +39,18 @@ inline uint64_t Mix64(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// Order-insensitive set-hash combiner: folds one element hash into the
+/// running set hash. Addition is commutative, so any permutation of the
+/// same elements produces the same set hash — the property the
+/// candidate-set score cache keys on (a repeat request may carry its
+/// candidates in any order). The avalanche mix first keeps structured
+/// element hashes (e.g. small consecutive ids) from cancelling or
+/// colliding under the sum. Note multiplicity still matters: {a, a, b}
+/// and {a, b} hash differently. Start from 0 for the empty set.
+inline uint64_t SetHashAdd(uint64_t set_hash, uint64_t element_hash) {
+  return set_hash + Mix64(element_hash);
+}
+
 }  // namespace awmoe
 
 #endif  // AWMOE_UTIL_HASH_H_

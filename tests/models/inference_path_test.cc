@@ -407,6 +407,174 @@ TEST(InferencePathGateTest, GateConfigVariantsMatchBitwise) {
   }
 }
 
+// ---------------------------------------------------------------------
+// The session feature store split (level-2 cache contract):
+// EncodeSessionInto + ScoreWithSessionInto == fused ScoreInto ==
+// InferenceLogits, bit for bit.
+// ---------------------------------------------------------------------
+
+// Acceptance gate of the split path for every encoding-reusing ranker
+// (AW-MoE, DIN, DNN) in both dataset modes, across interleaved batch
+// sizes sharing one workspace.
+TEST_P(InferencePathTest, SplitEncodeScoreMatchesFusedBitwise) {
+  const DatasetMeta meta = TestMeta(GetParam());
+  auto sessions = MakeSessions(/*seed=*/2100);
+  auto flat = Flatten(sessions);
+  int covered = 0;
+  for (NamedRanker& ranker : MakeRankers(meta)) {
+    const int64_t width = ranker.model->SessionEncodingWidth();
+    if (width == 0 || !ranker.model->SupportsSessionEncodingReuse(meta)) {
+      continue;
+    }
+    ++covered;
+    auto workspace = ranker.model->CreateInferenceWorkspace(
+        static_cast<int64_t>(flat.size()));
+    const std::vector<std::vector<const Example*>> slices = {
+        flat,
+        {flat[0]},
+        {flat.begin(), flat.begin() + 4},
+        flat,
+    };
+    for (const auto& slice : slices) {
+      Batch batch = Collate(slice, meta);
+      Matrix want = ranker.model->InferenceLogits(batch);
+      std::vector<float> fused =
+          ScoreIntoVector(ranker.model.get(), batch, nullptr,
+                          workspace.get());
+      std::vector<float> encoding(static_cast<size_t>(batch.size * width));
+      ranker.model->EncodeSessionInto(batch, workspace.get(), encoding);
+      SessionEncoding enc{encoding.data(), batch.size, width};
+      std::vector<float> split(static_cast<size_t>(batch.size));
+      ranker.model->ScoreWithSessionInto(batch, nullptr, &enc,
+                                         workspace.get(), split);
+      for (int64_t i = 0; i < batch.size; ++i) {
+        EXPECT_EQ(split[static_cast<size_t>(i)], want(i, 0))
+            << ranker.label << " split-vs-legacy row " << i << " of "
+            << batch.size;
+        EXPECT_EQ(split[static_cast<size_t>(i)],
+                  fused[static_cast<size_t>(i)])
+            << ranker.label << " split-vs-fused row " << i << " of "
+            << batch.size;
+      }
+    }
+  }
+  // AW-MoE, DIN and DNN must all have been exercised.
+  EXPECT_GE(covered, 3);
+}
+
+// The serving engine's actual replay shape: ONE probe row (the
+// session's first item) encoded on a 1-row batch, broadcast across
+// every candidate of the session — exactly how a level-2 cache hit
+// feeds the candidate-dependent tail. Must still be bitwise-fused.
+TEST_P(InferencePathTest, ProbeRowBroadcastEncodingMatchesFusedBitwise) {
+  const DatasetMeta meta = TestMeta(GetParam());
+  auto sessions = MakeSessions(/*seed=*/2400);
+  for (NamedRanker& ranker : MakeRankers(meta)) {
+    const int64_t width = ranker.model->SessionEncodingWidth();
+    if (width == 0 || !ranker.model->SupportsSessionEncodingReuse(meta)) {
+      continue;
+    }
+    auto workspace = ranker.model->CreateInferenceWorkspace(16);
+    for (const auto& session : sessions) {
+      std::vector<const Example*> items;
+      for (const Example& ex : session) items.push_back(&ex);
+      Batch batch = Collate(items, meta);
+      std::vector<float> fused =
+          ScoreIntoVector(ranker.model.get(), batch, nullptr,
+                          workspace.get());
+
+      // Per-row encodings of one session are identical (the property
+      // SupportsSessionEncodingReuse declares)...
+      std::vector<float> rows(static_cast<size_t>(batch.size * width));
+      ranker.model->EncodeSessionInto(batch, workspace.get(), rows);
+      for (int64_t i = 1; i < batch.size; ++i) {
+        for (int64_t c = 0; c < width; ++c) {
+          ASSERT_EQ(rows[static_cast<size_t>(i * width + c)],
+                    rows[static_cast<size_t>(c)])
+              << ranker.label << " row " << i << " col " << c;
+        }
+      }
+
+      // ...so a 1-row probe encode broadcast over the batch reproduces
+      // the fused scores bitwise.
+      Batch probe = Collate({items[0]}, meta);
+      std::vector<float> probe_row(static_cast<size_t>(width));
+      ranker.model->EncodeSessionInto(probe, workspace.get(), probe_row);
+      SessionEncoding broadcast{probe_row.data(), 1, width};
+      std::vector<float> replay(static_cast<size_t>(batch.size));
+      ranker.model->ScoreWithSessionInto(batch, nullptr, &broadcast,
+                                         workspace.get(), replay);
+      for (int64_t i = 0; i < batch.size; ++i) {
+        EXPECT_EQ(replay[static_cast<size_t>(i)],
+                  fused[static_cast<size_t>(i)])
+            << ranker.label << " broadcast row " << i;
+      }
+    }
+  }
+}
+
+// Gate reuse and encoding reuse composed — the serving engine passes
+// both when a request hits the gate cache AND the feature store.
+TEST(InferencePathSessionEncodingTest, GatePlusEncodingMatchesFusedBitwise) {
+  const DatasetMeta meta = TestMeta(false);
+  Rng rng(61);
+  AwMoeConfig config;
+  config.dims = TinyDims();
+  AwMoeRanker model(meta, config, &rng);
+  ASSERT_TRUE(model.SupportsSessionGateReuse(meta));
+  ASSERT_TRUE(model.SupportsSessionEncodingReuse(meta));
+
+  auto session = MakeSession(/*seed=*/88, /*session_id=*/3, /*items=*/6,
+                             /*hist=*/5);
+  std::vector<const Example*> items;
+  for (const Example& ex : session) items.push_back(&ex);
+  Batch batch = CollateBatch(items, meta, nullptr);
+  auto workspace = model.CreateInferenceWorkspace(16);
+
+  std::vector<float> fused =
+      ScoreIntoVector(&model, batch, nullptr, workspace.get());
+
+  const int64_t k = model.SessionGateWidth();
+  std::vector<float> gate_rows(static_cast<size_t>(batch.size * k));
+  model.GateInto(batch, workspace.get(), gate_rows);
+  const int64_t w = model.SessionEncodingWidth();
+  std::vector<float> enc_rows(static_cast<size_t>(batch.size * w));
+  model.EncodeSessionInto(batch, workspace.get(), enc_rows);
+
+  SessionGate gate{gate_rows.data(), batch.size, k};
+  SessionEncoding enc{enc_rows.data(), batch.size, w};
+  std::vector<float> both(static_cast<size_t>(batch.size));
+  model.ScoreWithSessionInto(batch, &gate, &enc, workspace.get(), both);
+  for (int64_t i = 0; i < batch.size; ++i) {
+    EXPECT_EQ(both[static_cast<size_t>(i)], fused[static_cast<size_t>(i)])
+        << "row " << i;
+  }
+}
+
+// A null encoding must degrade ScoreWithSessionInto to the fused path
+// verbatim (the engine relies on this when the feature store is off).
+TEST(InferencePathSessionEncodingTest, NullEncodingFallsBackToFused) {
+  const DatasetMeta meta = TestMeta(false);
+  auto sessions = MakeSessions(/*seed=*/2700);
+  auto flat = Flatten(sessions);
+  for (NamedRanker& ranker : MakeRankers(meta)) {
+    auto workspace = ranker.model->CreateInferenceWorkspace(
+        static_cast<int64_t>(flat.size()));
+    Batch batch = Collate(flat, meta);
+    std::vector<float> fused =
+        ScoreIntoVector(ranker.model.get(), batch, nullptr,
+                        workspace.get());
+    std::vector<float> null_enc(static_cast<size_t>(batch.size));
+    ranker.model->ScoreWithSessionInto(batch, nullptr, nullptr,
+                                       workspace.get(), null_enc);
+    for (int64_t i = 0; i < batch.size; ++i) {
+      EXPECT_EQ(null_enc[static_cast<size_t>(i)],
+                fused[static_cast<size_t>(i)])
+          << ranker.label << " row " << i;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Modes, InferencePathTest, ::testing::Bool());
 
 }  // namespace

@@ -226,6 +226,79 @@ TEST_P(ScoreIntoAllocTest, SteadyStateGatePathAllocatesNothing) {
   }
 }
 
+// The split encode/score path (level-2 session feature store) must be
+// just as allocation-free as the fused one: a cache hit that replays a
+// stored encoding may not pay the allocator on the tail pass, and a
+// miss that materialises the encoding may not pay it either.
+TEST_P(ScoreIntoAllocTest, SteadyStateSplitEncodeScoreAllocatesNothing) {
+  const DatasetMeta meta = TestMeta(GetParam());
+  std::vector<Example> examples = MakeExamples(24, /*seed=*/707);
+  std::vector<const Example*> items;
+  for (const Example& ex : examples) items.push_back(&ex);
+  const Batch batch = CollateBatch(items, meta, nullptr);
+
+  for (NamedRanker& ranker : MakeRankers(meta)) {
+    const int64_t width = ranker.model->SessionEncodingWidth();
+    if (width == 0) continue;
+    auto workspace = ranker.model->CreateInferenceWorkspace(32);
+    std::vector<float> rows(static_cast<size_t>(batch.size * width));
+    std::vector<float> out(static_cast<size_t>(batch.size));
+    ranker.model->EncodeSessionInto(batch, workspace.get(), rows);
+    SessionEncoding enc{rows.data(), batch.size, width};
+    ranker.model->ScoreWithSessionInto(batch, nullptr, &enc,
+                                       workspace.get(), out);
+    {
+      CountingScope scope;
+      for (int pass = 0; pass < 5; ++pass) {
+        ranker.model->EncodeSessionInto(batch, workspace.get(), rows);
+        ranker.model->ScoreWithSessionInto(batch, nullptr, &enc,
+                                           workspace.get(), out);
+      }
+      EXPECT_EQ(scope.count(), 0)
+          << ranker.label << ": steady-state split path hit the heap";
+    }
+  }
+}
+
+// The engine's full cache-miss shape: gate probe + encoding probe
+// replayed together through ScoreWithSessionInto.
+TEST_P(ScoreIntoAllocTest, SteadyStateGatePlusEncodingAllocatesNothing) {
+  const DatasetMeta meta = TestMeta(GetParam());
+  std::vector<Example> examples = MakeExamples(24, /*seed=*/808);
+  std::vector<const Example*> items;
+  for (const Example& ex : examples) items.push_back(&ex);
+  const Batch batch = CollateBatch(items, meta, nullptr);
+
+  for (NamedRanker& ranker : MakeRankers(meta)) {
+    const int64_t gate_width = ranker.model->SessionGateWidth();
+    const int64_t enc_width = ranker.model->SessionEncodingWidth();
+    if (gate_width == 0 || enc_width == 0) continue;
+    auto workspace = ranker.model->CreateInferenceWorkspace(32);
+    std::vector<float> gate_rows(
+        static_cast<size_t>(batch.size * gate_width));
+    std::vector<float> enc_rows(
+        static_cast<size_t>(batch.size * enc_width));
+    std::vector<float> out(static_cast<size_t>(batch.size));
+    ranker.model->GateInto(batch, workspace.get(), gate_rows);
+    ranker.model->EncodeSessionInto(batch, workspace.get(), enc_rows);
+    SessionGate gate{gate_rows.data(), batch.size, gate_width};
+    SessionEncoding enc{enc_rows.data(), batch.size, enc_width};
+    ranker.model->ScoreWithSessionInto(batch, &gate, &enc,
+                                       workspace.get(), out);
+    {
+      CountingScope scope;
+      for (int pass = 0; pass < 5; ++pass) {
+        ranker.model->GateInto(batch, workspace.get(), gate_rows);
+        ranker.model->EncodeSessionInto(batch, workspace.get(), enc_rows);
+        ranker.model->ScoreWithSessionInto(batch, &gate, &enc,
+                                           workspace.get(), out);
+      }
+      EXPECT_EQ(scope.count(), 0)
+          << ranker.label << ": steady-state gate+encoding path hit the heap";
+    }
+  }
+}
+
 // Smaller batches after a big one must also run allocation-free (slabs
 // only ever grow; the engine sizes workspaces to its batching cap).
 TEST_P(ScoreIntoAllocTest, SmallerBatchAfterWarmupAllocatesNothing) {

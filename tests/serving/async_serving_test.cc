@@ -449,6 +449,10 @@ TEST_F(AsyncServingTest, EngineStatsExactAcrossSubmittingThreads) {
   ModelPool& registry = *registry_owner;
   ServingEngineOptions options;
   options.max_queue_delay_ms = 0.5;
+  // Indices wrap around the session list, so repeats exist; with the
+  // score cache on they would (correctly) skip the forward pass and the
+  // exact batch-occupancy identity below would not hold.
+  options.score_cache_capacity = 0;
   ServingEngine engine(&registry, options);
 
   constexpr size_t kThreads = 4;

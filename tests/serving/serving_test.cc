@@ -231,10 +231,16 @@ TEST_F(ServingTest, EngineMatchesLegacyServiceBitwiseSharedGate) {
 TEST_F(ServingTest, SharedGateBitwiseIdenticalToPerItemGate) {
   auto registry_owner = MakeRegistry();
   ModelPool& registry = *registry_owner;
+  // Score caching off: both engines share one pool (one snapshot, one
+  // score cache), and this test must compare two real forward paths,
+  // not a cached replay of the first engine's scores.
   ServingEngineOptions per_item_options;
   per_item_options.share_gate = false;
+  per_item_options.score_cache_capacity = 0;
   ServingEngine per_item(&registry, per_item_options);
-  ServingEngine shared(&registry);
+  ServingEngineOptions shared_options;
+  shared_options.score_cache_capacity = 0;
+  ServingEngine shared(&registry, shared_options);
 
   auto requests = MakeSessionRequests(GroupBySession(data_->full_test));
   auto a = per_item.RankBatch(requests);
@@ -323,7 +329,11 @@ TEST_F(ServingTest, WorkerPoolDoesNotChangeScores) {
 TEST_F(ServingTest, GateCacheHitsOnRepeatSessionWithIdenticalScores) {
   auto registry_owner = MakeRegistry();
   ModelPool& registry = *registry_owner;
-  ServingEngine engine(&registry);
+  // Level-1 caching off: a repeat request must reach the GATE cache
+  // (with scores cached it would short-circuit before the gate lookup).
+  ServingEngineOptions options;
+  options.score_cache_capacity = 0;
+  ServingEngine engine(&registry, options);
   auto sessions = GroupBySession(data_->full_test);
   RankRequest request;
   request.session_id = sessions[0][0]->session_id;
@@ -343,7 +353,9 @@ TEST_F(ServingTest, GateCacheHitsOnRepeatSessionWithIdenticalScores) {
 TEST_F(ServingTest, GateCacheInvalidatesOnChangedSessionContext) {
   auto registry_owner = MakeRegistry();
   ModelPool& registry = *registry_owner;
-  ServingEngine engine(&registry);
+  ServingEngineOptions options;
+  options.score_cache_capacity = 0;  // Repeats must reach the gate cache.
+  ServingEngine engine(&registry, options);
   auto sessions = GroupBySession(data_->full_test);
   RankRequest request;
   request.session_id = sessions[0][0]->session_id;
@@ -406,6 +418,7 @@ TEST_F(ServingTest, GateCacheEvictsLeastRecentlyUsed) {
   ModelPool& registry = *registry_owner;
   ServingEngineOptions options;
   options.gate_cache_capacity = 2;
+  options.score_cache_capacity = 0;  // Repeats must reach the gate cache.
   ServingEngine engine(&registry, options);
   auto sessions = GroupBySession(data_->full_test);
   auto rank = [&](size_t s) {
@@ -427,6 +440,7 @@ TEST_F(ServingTest, GateCacheDisabledStillSharesWithinRequest) {
   ModelPool& registry = *registry_owner;
   ServingEngineOptions options;
   options.gate_cache_capacity = 0;
+  options.score_cache_capacity = 0;  // Repeats must re-run the forward.
   ServingEngine engine(&registry, options);
   auto sessions = GroupBySession(data_->full_test);
   RankRequest request;
@@ -445,7 +459,9 @@ TEST_F(ServingTest, GateCacheDisabledStillSharesWithinRequest) {
 TEST_F(ServingTest, GateCacheCountersTrackHitsAndMisses) {
   auto registry_owner = MakeRegistry();
   ModelPool& registry = *registry_owner;
-  ServingEngine engine(&registry);
+  ServingEngineOptions options;
+  options.score_cache_capacity = 0;  // Repeats must reach the gate cache.
+  ServingEngine engine(&registry, options);
   auto sessions = GroupBySession(data_->full_test);
   RankRequest request;
   request.session_id = sessions[0][0]->session_id;
@@ -481,6 +497,7 @@ TEST_F(ServingTest, GateCacheEvictionShowsUpInMissCounters) {
   ModelPool& registry = *registry_owner;
   ServingEngineOptions options;
   options.gate_cache_capacity = 2;
+  options.score_cache_capacity = 0;  // Repeats must reach the gate cache.
   ServingEngine engine(&registry, options);
   auto sessions = GroupBySession(data_->full_test);
   auto rank = [&](size_t s) {
@@ -504,6 +521,7 @@ TEST_F(ServingTest, GateCacheDisabledCountsEveryLookupAsMiss) {
   ModelPool& registry = *registry_owner;
   ServingEngineOptions options;
   options.gate_cache_capacity = 0;
+  options.score_cache_capacity = 0;  // Repeats must re-run the forward.
   ServingEngine engine(&registry, options);
   auto sessions = GroupBySession(data_->full_test);
   RankRequest request;
@@ -571,10 +589,15 @@ TEST_F(ServingTest, CategoryMoeServesSharedGateThroughGenericApi) {
   ModelPool registry(data_->meta, standardizer_);
   registry.Register("cat-moe", &cat_moe);
 
-  ServingEngine shared(&registry);
+  // Score caching off on both engines: they share one pool snapshot,
+  // and the comparison needs two real forwards, not a cached replay.
+  ServingEngineOptions shared_options;
+  shared_options.score_cache_capacity = 0;
+  ServingEngine shared(&registry, shared_options);
   ASSERT_TRUE(shared.GateSharingActive());
   ServingEngineOptions per_item_options;
   per_item_options.share_gate = false;
+  per_item_options.score_cache_capacity = 0;
   ServingEngine per_item(&registry, per_item_options);
 
   auto requests = MakeSessionRequests(GroupBySession(data_->full_test));
@@ -668,6 +691,297 @@ TEST_F(ServingTest, WarmSessionGatesWithoutShareableGateReturnsZero) {
   EXPECT_EQ(
       registry.WarmSessionGates("dnn", RolloutArm::kStable, sessions, 4096),
       0);
+}
+
+// ---------------------------------------------------------------------
+// Level-1 session score cache and level-2 session feature store.
+// ---------------------------------------------------------------------
+
+TEST_F(ServingTest, ScoreCacheHitServesBitwiseEqualScoresWithoutLane) {
+  auto registry_owner = MakeRegistry();
+  ModelPool& registry = *registry_owner;
+  ServingEngine engine(&registry);
+  auto sessions = GroupBySession(data_->full_test);
+  RankRequest request;
+  request.session_id = sessions[0][0]->session_id;
+  request.items = sessions[0];
+
+  RankResponse first = engine.Rank(request);
+  EXPECT_FALSE(first.score_cache_hit);
+  EXPECT_GE(first.replica, 0);
+  RankResponse second = engine.Rank(request);
+  EXPECT_TRUE(second.score_cache_hit);
+  EXPECT_EQ(second.replica, -1);  // No lane was leased.
+  EXPECT_EQ(second.model_version, first.model_version);
+  ASSERT_EQ(second.scores.size(), first.scores.size());
+  for (size_t i = 0; i < first.scores.size(); ++i) {
+    EXPECT_EQ(second.scores[i], first.scores[i]) << "item " << i;
+  }
+
+  // Cached scores must be bitwise-equal to a full recompute on an
+  // engine that has never cached anything.
+  auto clean_owner = MakeRegistry();
+  ServingEngineOptions cold;
+  cold.score_cache_capacity = 0;
+  ServingEngine clean(&*clean_owner, cold);
+  RankResponse recompute = clean.Rank(request);
+  for (size_t i = 0; i < recompute.scores.size(); ++i) {
+    EXPECT_EQ(second.scores[i], recompute.scores[i]) << "item " << i;
+  }
+}
+
+TEST_F(ServingTest, ScoreCacheHitIsCandidateOrderInsensitive) {
+  auto registry_owner = MakeRegistry();
+  ModelPool& registry = *registry_owner;
+  ServingEngine engine(&registry);
+  auto sessions = GroupBySession(data_->full_test);
+  // Pick a session with at least 2 candidates.
+  size_t s = 0;
+  while (s < sessions.size() && sessions[s].size() < 2) ++s;
+  ASSERT_LT(s, sessions.size());
+  RankRequest request;
+  request.session_id = sessions[s][0]->session_id;
+  request.items = sessions[s];
+  RankResponse first = engine.Rank(request);
+  EXPECT_FALSE(first.score_cache_hit);
+
+  // Same candidate set, reversed order: still a hit, and every item
+  // gets ITS score (matched per candidate hash, not by position).
+  RankRequest reversed = request;
+  std::reverse(reversed.items.begin(), reversed.items.end());
+  RankResponse second = engine.Rank(reversed);
+  EXPECT_TRUE(second.score_cache_hit);
+  ASSERT_EQ(second.scores.size(), first.scores.size());
+  const size_t n = first.scores.size();
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(second.scores[i], first.scores[n - 1 - i]) << "item " << i;
+  }
+}
+
+TEST_F(ServingTest, ScoreCacheInvalidatesOnHistoryChange) {
+  auto registry_owner = MakeRegistry();
+  ModelPool& registry = *registry_owner;
+  ServingEngine engine(&registry);
+  auto sessions = GroupBySession(data_->full_test);
+  RankRequest request;
+  request.session_id = sessions[0][0]->session_id;
+  request.items = sessions[0];
+  EXPECT_FALSE(engine.Rank(request).score_cache_hit);
+  EXPECT_TRUE(engine.Rank(request).score_cache_hit);
+  EXPECT_EQ(engine.stats().score_cache_invalidations(), 0);
+
+  // The user clicked between requests: same items, grown history. The
+  // cached scores are stale and a real forward must run.
+  std::vector<Example> grown = MakeGrownSession(sessions[0]);
+  RankRequest grown_request;
+  grown_request.session_id = request.session_id;
+  for (const Example& ex : grown) grown_request.items.push_back(&ex);
+  RankResponse fresh = engine.Rank(grown_request);
+  EXPECT_FALSE(fresh.score_cache_hit);
+  EXPECT_GE(fresh.replica, 0);
+  EXPECT_EQ(engine.stats().score_cache_invalidations(), 1);
+
+  // The recomputed scores match an engine that never saw the old state.
+  auto clean_owner = MakeRegistry();
+  ServingEngine clean(&*clean_owner);
+  RankResponse expected = clean.Rank(grown_request);
+  ASSERT_EQ(fresh.scores.size(), expected.scores.size());
+  for (size_t i = 0; i < expected.scores.size(); ++i) {
+    EXPECT_EQ(fresh.scores[i], expected.scores[i]) << "item " << i;
+  }
+
+  // And the old (pre-click) request no longer hits either: the whole
+  // session was invalidated, not just the new key.
+  EXPECT_FALSE(engine.Rank(request).score_cache_hit);
+}
+
+TEST_F(ServingTest, ScoreCacheColdAfterHotSwap) {
+  auto registry_owner = MakeRegistry();
+  ModelPool& registry = *registry_owner;
+  ServingEngine engine(&registry);
+  auto sessions = GroupBySession(data_->full_test);
+  RankRequest request;
+  request.session_id = sessions[0][0]->session_id;
+  request.items = sessions[0];
+  EXPECT_FALSE(engine.Rank(request).score_cache_hit);
+  EXPECT_TRUE(engine.Rank(request).score_cache_hit);
+
+  // Publish a new version (identical weights — the point is the cache
+  // scoping, not the scores): the new snapshot starts cache-cold.
+  const int64_t v2 = registry.UpdateModel("aw-moe", model_->Clone());
+  RankResponse after = engine.Rank(request);
+  EXPECT_FALSE(after.score_cache_hit);
+  EXPECT_EQ(after.model_version, v2);
+  // The repeat on the new snapshot caches again.
+  EXPECT_TRUE(engine.Rank(request).score_cache_hit);
+}
+
+TEST_F(ServingTest, ScoreCacheCountersAndGaugesTrack) {
+  auto registry_owner = MakeRegistry();
+  ModelPool& registry = *registry_owner;
+  ServingEngine engine(&registry);
+  auto sessions = GroupBySession(data_->full_test);
+  RankRequest request;
+  request.session_id = sessions[0][0]->session_id;
+  request.items = sessions[0];
+
+  engine.Rank(request);  // Cold: one miss.
+  EXPECT_EQ(engine.stats().score_cache_hits(), 0);
+  EXPECT_EQ(engine.stats().score_cache_misses(), 1);
+  engine.Rank(request);  // Repeat: one hit.
+  EXPECT_EQ(engine.stats().score_cache_hits(), 1);
+  EXPECT_EQ(engine.stats().score_cache_misses(), 1);
+
+  ServingStatsSnapshot snap = engine.Stats();
+  EXPECT_EQ(snap.score_cache_hits, 1);
+  EXPECT_EQ(snap.score_cache_misses, 1);
+  // Live occupancy gauges from the pool: one score entry, one gate row,
+  // one encoding row resident, all with non-zero byte estimates.
+  EXPECT_EQ(snap.score_cache_entries, 1);
+  EXPECT_GT(snap.score_cache_bytes, 0);
+  EXPECT_EQ(snap.encoding_cache_entries, 1);
+  EXPECT_GT(snap.encoding_cache_bytes, 0);
+  EXPECT_EQ(snap.gate_cache_entries, 1);
+  EXPECT_GT(snap.gate_cache_bytes, 0);
+  // Split latency reservoirs: one sample each.
+  EXPECT_EQ(static_cast<int64_t>(snap.score_hit_samples_ms.size()), 1);
+  EXPECT_EQ(static_cast<int64_t>(snap.score_miss_samples_ms.size()), 1);
+  EXPECT_GT(snap.score_miss_p99_ms, 0.0);
+
+  // A hot swap retires the old snapshot's caches: gauges drop to zero.
+  registry.UpdateModel("aw-moe", model_->Clone());
+  ServingStatsSnapshot after = engine.Stats();
+  EXPECT_EQ(after.score_cache_entries, 0);
+  EXPECT_EQ(after.score_cache_bytes, 0);
+}
+
+TEST_F(ServingTest, ScoreCacheDisabledNeverHits) {
+  auto registry_owner = MakeRegistry();
+  ModelPool& registry = *registry_owner;
+  ServingEngineOptions options;
+  options.score_cache_capacity = 0;
+  ServingEngine engine(&registry, options);
+  auto sessions = GroupBySession(data_->full_test);
+  RankRequest request;
+  request.session_id = sessions[0][0]->session_id;
+  request.items = sessions[0];
+  engine.Rank(request);
+  RankResponse second = engine.Rank(request);
+  EXPECT_FALSE(second.score_cache_hit);
+  EXPECT_GE(second.replica, 0);
+  EXPECT_EQ(engine.stats().score_cache_hits(), 0);
+  EXPECT_EQ(engine.stats().score_cache_misses(), 0);  // No lookups at all.
+}
+
+TEST_F(ServingTest, EncodingCacheHitsOnNewCandidatesSameSession) {
+  auto registry_owner = MakeRegistry();
+  ModelPool& registry = *registry_owner;
+  ServingEngine engine(&registry);
+  auto sessions = GroupBySession(data_->full_test);
+  // Page 1: session 0's own candidates. Page 2: same session context,
+  // DIFFERENT candidates (borrowed items re-stamped with session 0's
+  // user/query/history) — a score-cache miss by construction, but the
+  // session encoding and gate row are reusable.
+  RankRequest page1;
+  page1.session_id = sessions[0][0]->session_id;
+  page1.items = sessions[0];
+  std::vector<Example> page2_items;
+  for (const Example* ex : sessions[1]) {
+    Example copy = *ex;
+    const Example& ctx = *sessions[0][0];
+    copy.session_id = ctx.session_id;
+    copy.user_id = ctx.user_id;
+    copy.age_segment = ctx.age_segment;
+    copy.query_id = ctx.query_id;
+    copy.query_cat = ctx.query_cat;
+    copy.behavior_items = ctx.behavior_items;
+    copy.behavior_cats = ctx.behavior_cats;
+    copy.behavior_brands = ctx.behavior_brands;
+    copy.behavior_attrs = ctx.behavior_attrs;
+    page2_items.push_back(std::move(copy));
+  }
+  RankRequest page2;
+  page2.session_id = page1.session_id;
+  for (const Example& ex : page2_items) page2.items.push_back(&ex);
+
+  RankResponse first = engine.Rank(page1);
+  EXPECT_FALSE(first.encoding_cache_hit);
+  RankResponse second = engine.Rank(page2);
+  EXPECT_FALSE(second.score_cache_hit);  // New candidates.
+  EXPECT_TRUE(second.encoding_cache_hit);
+  EXPECT_TRUE(second.gate_cache_hit);
+  EXPECT_EQ(engine.stats().encoding_cache_hits(), 1);
+
+  // The encoding-replay scores are bitwise-equal to a cold engine's.
+  auto clean_owner = MakeRegistry();
+  ServingEngine clean(&*clean_owner);
+  RankResponse expected = clean.Rank(page2);
+  ASSERT_EQ(second.scores.size(), expected.scores.size());
+  for (size_t i = 0; i < expected.scores.size(); ++i) {
+    EXPECT_EQ(second.scores[i], expected.scores[i]) << "item " << i;
+  }
+}
+
+TEST_F(ServingTest, EncodingPathBitwiseIdenticalToDisabled) {
+  // The level-2 split path (EncodeSessionInto + ScoreWithSessionInto)
+  // on the full test traffic must reproduce the plain fused engine
+  // bitwise — cache hits, probes and replication included.
+  auto registry_owner = MakeRegistry();
+  ModelPool& registry = *registry_owner;
+  ServingEngineOptions split_options;
+  split_options.score_cache_capacity = 0;  // Force every forward to run.
+  ServingEngine split_engine(&registry, split_options);
+
+  auto fused_owner = MakeRegistry();
+  ServingEngineOptions fused_options;
+  fused_options.score_cache_capacity = 0;
+  fused_options.share_session_encoding = false;
+  ServingEngine fused_engine(&*fused_owner, fused_options);
+
+  auto requests = MakeSessionRequests(GroupBySession(data_->full_test));
+  auto a = split_engine.RankBatch(requests);
+  auto b = fused_engine.RankBatch(requests);
+  // Run the same traffic twice so cross-request encoding hits serve.
+  auto a2 = split_engine.RankBatch(requests);
+  ASSERT_EQ(a.size(), b.size());
+  int64_t encoding_hits = 0;
+  for (size_t s = 0; s < a.size(); ++s) {
+    ASSERT_EQ(a[s].scores.size(), b[s].scores.size());
+    for (size_t i = 0; i < a[s].scores.size(); ++i) {
+      EXPECT_EQ(a[s].scores[i], b[s].scores[i])
+          << "cold session " << a[s].session_id << " item " << i;
+      EXPECT_EQ(a2[s].scores[i], b[s].scores[i])
+          << "warm session " << a[s].session_id << " item " << i;
+    }
+    if (a2[s].encoding_cache_hit) ++encoding_hits;
+  }
+  EXPECT_GT(encoding_hits, 0);
+}
+
+TEST_F(ServingTest, EncodingDisabledStillScoresIdentically) {
+  auto registry_owner = MakeRegistry();
+  ModelPool& registry = *registry_owner;
+  ServingEngineOptions options;
+  options.score_cache_capacity = 0;
+  options.encoding_cache_capacity = 0;  // Within-request sharing only.
+  ServingEngine engine(&registry, options);
+
+  auto fused_owner = MakeRegistry();
+  ServingEngineOptions fused_options;
+  fused_options.score_cache_capacity = 0;
+  fused_options.share_session_encoding = false;
+  ServingEngine fused(&*fused_owner, fused_options);
+
+  auto requests = MakeSessionRequests(GroupBySession(data_->full_test));
+  auto a = engine.RankBatch(requests);
+  auto b = fused.RankBatch(requests);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t s = 0; s < a.size(); ++s) {
+    EXPECT_FALSE(a[s].encoding_cache_hit);
+    for (size_t i = 0; i < a[s].scores.size(); ++i) {
+      EXPECT_EQ(a[s].scores[i], b[s].scores[i]) << "item " << i;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,289 @@
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "serving/model_pool.h"
+#include "util/hash.h"
+
+namespace awmoe {
+namespace {
+
+// ---------------------------------------------------------------------
+// SessionGateCache (also backs the level-2 encoding store).
+// ---------------------------------------------------------------------
+
+TEST(SessionGateCacheTest, CapacityOneKeepsOnlyNewestSession) {
+  SessionGateCache cache;
+  cache.Put(1, 10, {1.0f}, /*capacity=*/1);
+  cache.Put(2, 20, {2.0f}, /*capacity=*/1);
+  EXPECT_EQ(cache.size(), 1);
+
+  std::vector<float> row;
+  EXPECT_EQ(cache.Lookup(1, 10, &row), CacheLookup::kMiss);
+  EXPECT_EQ(cache.Lookup(2, 20, &row), CacheLookup::kHit);
+  ASSERT_EQ(row.size(), 1u);
+  EXPECT_EQ(row[0], 2.0f);
+}
+
+TEST(SessionGateCacheTest, LookupRefreshesLruOrder) {
+  SessionGateCache cache;
+  cache.Put(1, 10, {1.0f}, 2);
+  cache.Put(2, 20, {2.0f}, 2);
+  std::vector<float> row;
+  // Touch 1, making 2 the LRU entry; inserting 3 must evict 2.
+  EXPECT_EQ(cache.Lookup(1, 10, &row), CacheLookup::kHit);
+  cache.Put(3, 30, {3.0f}, 2);
+  EXPECT_EQ(cache.Lookup(2, 20, &row), CacheLookup::kMiss);
+  EXPECT_EQ(cache.Lookup(1, 10, &row), CacheLookup::kHit);
+  EXPECT_EQ(cache.Lookup(3, 30, &row), CacheLookup::kHit);
+  EXPECT_EQ(cache.size(), 2);
+}
+
+TEST(SessionGateCacheTest, InterleavedPutsAndLookupsEvictLeastRecent) {
+  SessionGateCache cache;
+  std::vector<float> row;
+  cache.Put(1, 1, {1.0f}, 3);
+  cache.Put(2, 2, {2.0f}, 3);
+  cache.Put(3, 3, {3.0f}, 3);
+  EXPECT_EQ(cache.Lookup(1, 1, &row), CacheLookup::kHit);  // LRU: {1,3,2}.
+  EXPECT_EQ(cache.Lookup(2, 2, &row), CacheLookup::kHit);  // LRU: {2,1,3}.
+  cache.Put(4, 4, {4.0f}, 3);                              // Evicts 3.
+  EXPECT_EQ(cache.Lookup(3, 3, &row), CacheLookup::kMiss);
+  cache.Put(5, 5, {5.0f}, 3);  // Evicts 1.
+  EXPECT_EQ(cache.Lookup(1, 1, &row), CacheLookup::kMiss);
+  EXPECT_EQ(cache.Lookup(2, 2, &row), CacheLookup::kHit);
+  EXPECT_EQ(cache.size(), 3);
+}
+
+TEST(SessionGateCacheTest, ChangedContextHashIsStaleAndEvicts) {
+  SessionGateCache cache;
+  cache.Put(7, 100, {1.0f}, 8);
+  std::vector<float> row;
+  EXPECT_EQ(cache.Lookup(7, 200, &row), CacheLookup::kStale);
+  // The stale entry is gone: a repeat of the OLD context now misses
+  // instead of serving a row computed under different inputs.
+  EXPECT_EQ(cache.Lookup(7, 100, &row), CacheLookup::kMiss);
+  EXPECT_EQ(cache.size(), 0);
+}
+
+TEST(SessionGateCacheTest, PutOverwritesSameSession) {
+  SessionGateCache cache;
+  cache.Put(7, 100, {1.0f}, 8);
+  cache.Put(7, 200, {2.0f}, 8);
+  EXPECT_EQ(cache.size(), 1);
+  std::vector<float> row;
+  EXPECT_EQ(cache.Lookup(7, 200, &row), CacheLookup::kHit);
+  EXPECT_EQ(row[0], 2.0f);
+}
+
+TEST(SessionGateCacheTest, BytesTrackInsertAndEvict) {
+  SessionGateCache cache;
+  EXPECT_EQ(cache.bytes(), 0);
+  cache.Put(1, 1, std::vector<float>(16, 0.5f), 2);
+  const int64_t one = cache.bytes();
+  EXPECT_GE(one, static_cast<int64_t>(16 * sizeof(float)));
+  cache.Put(2, 2, std::vector<float>(16, 0.5f), 2);
+  EXPECT_EQ(cache.bytes(), 2 * one);
+  cache.Put(3, 3, std::vector<float>(16, 0.5f), 2);  // Evicts 1.
+  EXPECT_EQ(cache.bytes(), 2 * one);
+  cache.Put(4, 4, std::vector<float>(16, 0.5f), 0);  // No-op: disabled.
+  EXPECT_EQ(cache.bytes(), 2 * one);
+  EXPECT_EQ(cache.size(), 2);
+}
+
+TEST(SessionGateCacheTest, SizeConsistentUnderConcurrentAccess) {
+  SessionGateCache cache;
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 500;
+  constexpr int64_t kCapacity = 32;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &cache, &failed] {
+      std::vector<float> row;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int64_t session = (t * kOpsPerThread + i) % 64;
+        cache.Put(session, static_cast<uint64_t>(session), {1.0f}, kCapacity);
+        cache.Lookup(session, static_cast<uint64_t>(session), &row);
+        const int64_t size = cache.size();
+        if (size < 0 || size > kCapacity) failed = true;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_FALSE(failed);
+  EXPECT_LE(cache.size(), kCapacity);
+  EXPECT_GT(cache.size(), 0);
+}
+
+// ---------------------------------------------------------------------
+// SessionScoreCache (level-1 result cache).
+// ---------------------------------------------------------------------
+
+/// Builds the (set hash, per-item hashes) pair the engine would compute
+/// for a candidate list with the given element hashes.
+uint64_t SetOf(const std::vector<uint64_t>& hashes) {
+  uint64_t set = 0;
+  for (uint64_t h : hashes) set = SetHashAdd(set, h);
+  return set;
+}
+
+TEST(SessionScoreCacheTest, HitReturnsScoresInRequestOrder) {
+  SessionScoreCache cache;
+  const std::vector<uint64_t> hashes = {30, 10, 20};
+  cache.Put(1, SetOf(hashes), /*history_hash=*/5, hashes,
+            {0.3f, 0.1f, 0.2f}, 8);
+
+  // Same candidate set, permuted request order: still a hit, and each
+  // slot gets ITS candidate's score, not the stored order's.
+  const std::vector<uint64_t> permuted = {10, 20, 30};
+  std::vector<float> out(3);
+  EXPECT_EQ(cache.Lookup(1, SetOf(permuted), 5, permuted, out),
+            CacheLookup::kHit);
+  EXPECT_EQ(out[0], 0.1f);
+  EXPECT_EQ(out[1], 0.2f);
+  EXPECT_EQ(out[2], 0.3f);
+}
+
+TEST(SessionScoreCacheTest, DifferentCandidateSetMisses) {
+  SessionScoreCache cache;
+  const std::vector<uint64_t> hashes = {10, 20};
+  cache.Put(1, SetOf(hashes), 5, hashes, {0.1f, 0.2f}, 8);
+  std::vector<float> out(2);
+  const std::vector<uint64_t> other = {10, 21};
+  EXPECT_EQ(cache.Lookup(1, SetOf(other), 5, other, out),
+            CacheLookup::kMiss);
+  // Subset with the same elements but different size also misses.
+  std::vector<float> one(1);
+  const std::vector<uint64_t> subset = {10};
+  EXPECT_EQ(cache.Lookup(1, SetOf(subset), 5, subset, one),
+            CacheLookup::kMiss);
+}
+
+TEST(SessionScoreCacheTest, SetHashCollisionFailsPerElementMatchAndMisses) {
+  SessionScoreCache cache;
+  const std::vector<uint64_t> hashes = {10, 20};
+  const uint64_t set = SetOf(hashes);
+  cache.Put(1, set, 5, hashes, {0.1f, 0.2f}, 8);
+  // Forge a lookup that routes to the same entry (same set hash) but
+  // carries different element hashes: the per-element verification
+  // must refuse to serve it.
+  std::vector<float> out(2);
+  EXPECT_EQ(cache.Lookup(1, set, 5, {11, 21}, out), CacheLookup::kMiss);
+}
+
+TEST(SessionScoreCacheTest, HistoryChangeInvalidatesWholeSession) {
+  SessionScoreCache cache;
+  const std::vector<uint64_t> page1 = {10, 20};
+  const std::vector<uint64_t> page2 = {30, 40};
+  cache.Put(1, SetOf(page1), /*history_hash=*/5, page1, {0.1f, 0.2f}, 8);
+  cache.Put(1, SetOf(page2), /*history_hash=*/5, page2, {0.3f, 0.4f}, 8);
+  cache.Put(2, SetOf(page1), /*history_hash=*/5, page1, {0.5f, 0.6f}, 8);
+  EXPECT_EQ(cache.size(), 3);
+
+  // Session 1's history moved on: BOTH its pages are stale; session 2
+  // is untouched.
+  std::vector<float> out(2);
+  EXPECT_EQ(cache.Lookup(1, SetOf(page1), /*history_hash=*/6, page1, out),
+            CacheLookup::kStale);
+  EXPECT_EQ(cache.Lookup(1, SetOf(page2), 6, page2, out),
+            CacheLookup::kMiss);
+  EXPECT_EQ(cache.size(), 1);
+  EXPECT_EQ(cache.Lookup(2, SetOf(page1), 5, page1, out),
+            CacheLookup::kHit);
+}
+
+TEST(SessionScoreCacheTest, PutWithNewHistoryEvictsOldStampEntries) {
+  SessionScoreCache cache;
+  const std::vector<uint64_t> page1 = {10, 20};
+  const std::vector<uint64_t> page2 = {30, 40};
+  cache.Put(1, SetOf(page1), /*history_hash=*/5, page1, {0.1f, 0.2f}, 8);
+  cache.Put(1, SetOf(page2), /*history_hash=*/6, page2, {0.3f, 0.4f}, 8);
+  // One history stamp per session: the page-1 entry (old stamp) is gone.
+  EXPECT_EQ(cache.size(), 1);
+  std::vector<float> out(2);
+  EXPECT_EQ(cache.Lookup(1, SetOf(page2), 6, page2, out),
+            CacheLookup::kHit);
+  // Asking with the OLD stamp is a history mismatch in its own right:
+  // stale, and the session's entries are dropped.
+  EXPECT_EQ(cache.Lookup(1, SetOf(page1), 5, page1, out),
+            CacheLookup::kStale);
+  EXPECT_EQ(cache.size(), 0);
+}
+
+TEST(SessionScoreCacheTest, CapacityOneEvictsOldestEntry) {
+  SessionScoreCache cache;
+  const std::vector<uint64_t> a = {10};
+  const std::vector<uint64_t> b = {20};
+  cache.Put(1, SetOf(a), 5, a, {0.1f}, 1);
+  cache.Put(2, SetOf(b), 5, b, {0.2f}, 1);
+  EXPECT_EQ(cache.size(), 1);
+  std::vector<float> out(1);
+  EXPECT_EQ(cache.Lookup(1, SetOf(a), 5, a, out), CacheLookup::kMiss);
+  EXPECT_EQ(cache.Lookup(2, SetOf(b), 5, b, out), CacheLookup::kHit);
+}
+
+TEST(SessionScoreCacheTest, LookupRefreshesLruOrder) {
+  SessionScoreCache cache;
+  const std::vector<uint64_t> a = {10};
+  const std::vector<uint64_t> b = {20};
+  const std::vector<uint64_t> c = {30};
+  cache.Put(1, SetOf(a), 5, a, {0.1f}, 2);
+  cache.Put(2, SetOf(b), 5, b, {0.2f}, 2);
+  std::vector<float> out(1);
+  EXPECT_EQ(cache.Lookup(1, SetOf(a), 5, a, out), CacheLookup::kHit);
+  cache.Put(3, SetOf(c), 5, c, {0.3f}, 2);  // Evicts 2, not the touched 1.
+  EXPECT_EQ(cache.Lookup(2, SetOf(b), 5, b, out), CacheLookup::kMiss);
+  EXPECT_EQ(cache.Lookup(1, SetOf(a), 5, a, out), CacheLookup::kHit);
+}
+
+TEST(SessionScoreCacheTest, BytesTrackPayloadAndEviction) {
+  SessionScoreCache cache;
+  EXPECT_EQ(cache.bytes(), 0);
+  const std::vector<uint64_t> a = {10, 20, 30, 40};
+  cache.Put(1, SetOf(a), 5, a, {0.1f, 0.2f, 0.3f, 0.4f}, 4);
+  const int64_t one = cache.bytes();
+  EXPECT_GE(one, static_cast<int64_t>(4 * (sizeof(float) + sizeof(uint64_t))));
+  const std::vector<uint64_t> b = {50, 60, 70, 80};
+  cache.Put(2, SetOf(b), 5, b, {0.5f, 0.6f, 0.7f, 0.8f}, 4);
+  EXPECT_EQ(cache.bytes(), 2 * one);
+  cache.Put(3, SetOf(a), 5, a, {0.1f, 0.2f, 0.3f, 0.4f}, 1);  // Trims to 1.
+  EXPECT_EQ(cache.bytes(), one);
+}
+
+TEST(SessionScoreCacheTest, SizeConsistentUnderConcurrentAccess) {
+  SessionScoreCache cache;
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 400;
+  constexpr int64_t kCapacity = 16;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &cache, &failed] {
+      std::vector<float> out(2);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int64_t session = (t * kOpsPerThread + i) % 24;
+        const std::vector<uint64_t> hashes = {
+            static_cast<uint64_t>(session * 2),
+            static_cast<uint64_t>(session * 2 + 1)};
+        // Alternate history stamps so invalidation paths run too.
+        const uint64_t history = static_cast<uint64_t>(i % 2);
+        cache.Put(session, SetOf(hashes), history, hashes, {0.1f, 0.2f},
+                  kCapacity);
+        cache.Lookup(session, SetOf(hashes), history, hashes, out);
+        const int64_t size = cache.size();
+        if (size < 0 || size > kCapacity) failed = true;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_FALSE(failed);
+  EXPECT_LE(cache.size(), kCapacity);
+  EXPECT_GE(cache.bytes(), 0);
+}
+
+}  // namespace
+}  // namespace awmoe

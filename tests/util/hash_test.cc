@@ -1,0 +1,252 @@
+#include "util/hash.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "data/example.h"
+#include "gtest/gtest.h"
+#include "serving/model_pool.h"
+
+namespace awmoe {
+namespace {
+
+// ---------------------------------------------------------------------
+// SetHashAdd: the order-insensitive combiner the score cache keys on.
+// ---------------------------------------------------------------------
+
+uint64_t SetOf(const std::vector<uint64_t>& elements) {
+  uint64_t h = 0;
+  for (uint64_t e : elements) h = SetHashAdd(h, e);
+  return h;
+}
+
+TEST(SetHashAddTest, PermutationInvariant) {
+  const std::vector<uint64_t> abc = {11, 22, 33};
+  EXPECT_EQ(SetOf({11, 22, 33}), SetOf({33, 11, 22}));
+  EXPECT_EQ(SetOf({11, 22, 33}), SetOf({22, 33, 11}));
+  EXPECT_EQ(SetOf(abc), SetOf({33, 22, 11}));
+}
+
+TEST(SetHashAddTest, MultiplicityMatters) {
+  EXPECT_NE(SetOf({7, 7, 9}), SetOf({7, 9}));
+  EXPECT_NE(SetOf({7}), SetOf({7, 7}));
+}
+
+TEST(SetHashAddTest, EmptySetIsZeroAndDistinctFromZeroElement) {
+  EXPECT_EQ(SetOf({}), 0u);
+  // A set containing the element hash 0 must not look like the empty
+  // set: the combiner mixes before summing.
+  EXPECT_NE(SetOf({0}), SetOf({}));
+}
+
+TEST(SetHashAddTest, StructuredElementsDoNotCancel) {
+  // Consecutive small hashes, the worst case for a plain sum: {n, n+2}
+  // vs {n+1, n+1} sum identically without the avalanche mix.
+  EXPECT_NE(SetOf({100, 102}), SetOf({101, 101}));
+  EXPECT_NE(SetOf({1, 4}), SetOf({2, 3}));
+}
+
+// ---------------------------------------------------------------------
+// GateContextHash: section-boundary and zero-value collision audit.
+// ---------------------------------------------------------------------
+
+Example BaseExample() {
+  Example ex;
+  ex.user_id = 5;
+  ex.query_id = 9;
+  ex.query_cat = 3;
+  ex.behavior_items = {1, 2};
+  ex.behavior_cats = {4, 6};
+  ex.behavior_brands = {7, 8};
+  ex.behavior_attrs = {0.5f, 1.0f, -1.0f, 0.25f, 2.0f, 0.0f};
+  ex.target_item = 42;
+  ex.target_cat = 4;
+  ex.target_brand = 7;
+  ex.target_shop = 2;
+  ex.target_attrs[0] = 0.1f;
+  ex.target_attrs[1] = -0.2f;
+  ex.target_attrs[2] = 0.3f;
+  ex.age_segment = 1;
+  ex.numeric = {1.0f, 2.0f, 3.0f};
+  return ex;
+}
+
+TEST(GateContextHashTest, SectionBoundaryShiftChangesHash) {
+  // The same id stream split differently across adjacent sections: the
+  // per-section length tags must keep these apart.
+  Example a = BaseExample();
+  a.behavior_items = {1, 2};
+  a.behavior_cats = {};
+  Example b = BaseExample();
+  b.behavior_items = {1};
+  b.behavior_cats = {2};
+  EXPECT_NE(GateContextHash(a), GateContextHash(b));
+}
+
+TEST(GateContextHashTest, EmptyVersusZeroElementDiffers) {
+  // Padding id 0 as a real element is not the same context as no
+  // element at all (the classic FNV zero-absorption trap: x ^= 0 is a
+  // no-op, only the length tag tells them apart).
+  Example a = BaseExample();
+  a.behavior_items = {};
+  Example b = BaseExample();
+  b.behavior_items = {0};
+  EXPECT_NE(GateContextHash(a), GateContextHash(b));
+
+  Example c = BaseExample();
+  c.behavior_attrs = {};
+  Example d = BaseExample();
+  d.behavior_attrs = {0.0f};
+  EXPECT_NE(GateContextHash(c), GateContextHash(d));
+}
+
+TEST(GateContextHashTest, FieldOrderIsNotCommutative) {
+  // Swapping values across fields must change the hash (FNV-1a chains
+  // state, so field order is significant by construction).
+  Example a = BaseExample();
+  a.user_id = 1;
+  a.query_id = 2;
+  Example b = BaseExample();
+  b.user_id = 2;
+  b.query_id = 1;
+  EXPECT_NE(GateContextHash(a), GateContextHash(b));
+}
+
+TEST(GateContextHashTest, EverySessionFieldIsCovered) {
+  const Example base = BaseExample();
+  const uint64_t h = GateContextHash(base);
+
+  Example ex = base;
+  ex.user_id += 1;
+  EXPECT_NE(GateContextHash(ex), h);
+  ex = base;
+  ex.query_id += 1;
+  EXPECT_NE(GateContextHash(ex), h);
+  ex = base;
+  ex.query_cat += 1;
+  EXPECT_NE(GateContextHash(ex), h);
+  ex = base;
+  ex.behavior_items[0] += 1;
+  EXPECT_NE(GateContextHash(ex), h);
+  ex = base;
+  ex.behavior_cats[1] += 1;
+  EXPECT_NE(GateContextHash(ex), h);
+  ex = base;
+  ex.behavior_brands[0] += 1;
+  EXPECT_NE(GateContextHash(ex), h);
+  ex = base;
+  ex.behavior_attrs[2] += 0.5f;
+  EXPECT_NE(GateContextHash(ex), h);
+  ex = base;
+  ex.behavior_items.push_back(3);
+  EXPECT_NE(GateContextHash(ex), h);
+}
+
+TEST(GateContextHashTest, IgnoresCandidateFields) {
+  // The gate (and the session encoding it stamps) never reads the
+  // target item, so two candidates of one session share the stamp.
+  Example a = BaseExample();
+  Example b = BaseExample();
+  b.target_item = 77;
+  b.target_cat = 8;
+  b.target_brand = 9;
+  b.target_shop = 1;
+  b.target_attrs[0] = 9.0f;
+  b.numeric[0] = 5.0f;
+  EXPECT_EQ(GateContextHash(a), GateContextHash(b));
+}
+
+TEST(GateContextHashTest, NegativeZeroAttrDiffersFromPositiveZero) {
+  // Attrs hash bitwise (bit_cast), so -0.0f and 0.0f are distinct
+  // contexts — conservative staleness: never a wrong reuse.
+  Example a = BaseExample();
+  a.behavior_attrs[0] = 0.0f;
+  Example b = BaseExample();
+  b.behavior_attrs[0] = -0.0f;
+  EXPECT_NE(GateContextHash(a), GateContextHash(b));
+}
+
+// ---------------------------------------------------------------------
+// SessionHistoryHash: the score cache's invalidation trigger.
+// ---------------------------------------------------------------------
+
+TEST(SessionHistoryHashTest, ChangesWhenHistoryGrows) {
+  const Example base = BaseExample();
+  Example grown = base;
+  grown.behavior_items.push_back(3);
+  grown.behavior_cats.push_back(4);
+  grown.behavior_brands.push_back(7);
+  EXPECT_NE(SessionHistoryHash(base), SessionHistoryHash(grown));
+}
+
+TEST(SessionHistoryHashTest, CoversAgeSegmentUnlikeGateContext) {
+  Example a = BaseExample();
+  Example b = BaseExample();
+  b.age_segment += 1;
+  EXPECT_NE(SessionHistoryHash(a), SessionHistoryHash(b));
+}
+
+TEST(SessionHistoryHashTest, IgnoresCandidateFields) {
+  Example a = BaseExample();
+  Example b = BaseExample();
+  b.target_item = 99;
+  b.numeric[1] = -4.0f;
+  EXPECT_EQ(SessionHistoryHash(a), SessionHistoryHash(b));
+}
+
+// ---------------------------------------------------------------------
+// CandidateScoreHash: full score-relevant content coverage.
+// ---------------------------------------------------------------------
+
+TEST(CandidateScoreHashTest, CoversEveryScoreRelevantField) {
+  const Example base = BaseExample();
+  const uint64_t h = CandidateScoreHash(base);
+
+  Example ex = base;
+  ex.target_item += 1;
+  EXPECT_NE(CandidateScoreHash(ex), h);
+  ex = base;
+  ex.target_cat += 1;
+  EXPECT_NE(CandidateScoreHash(ex), h);
+  ex = base;
+  ex.target_brand += 1;
+  EXPECT_NE(CandidateScoreHash(ex), h);
+  ex = base;
+  ex.target_shop += 1;
+  EXPECT_NE(CandidateScoreHash(ex), h);
+  ex = base;
+  ex.target_attrs[1] += 0.5f;
+  EXPECT_NE(CandidateScoreHash(ex), h);
+  ex = base;
+  ex.numeric[2] += 1.0f;
+  EXPECT_NE(CandidateScoreHash(ex), h);
+  ex = base;
+  ex.numeric.push_back(0.0f);
+  EXPECT_NE(CandidateScoreHash(ex), h);
+  ex = base;
+  ex.user_id += 1;
+  EXPECT_NE(CandidateScoreHash(ex), h);
+  ex = base;
+  ex.age_segment += 1;
+  EXPECT_NE(CandidateScoreHash(ex), h);
+  ex = base;
+  ex.behavior_items[0] += 1;
+  EXPECT_NE(CandidateScoreHash(ex), h);
+}
+
+TEST(CandidateScoreHashTest, IgnoresLabelsAndAnnotations) {
+  // Labels, oracle scores and grouping annotations never reach a batch
+  // row, so they must not invalidate cached scores.
+  Example a = BaseExample();
+  Example b = BaseExample();
+  b.label = 1.0f;
+  b.session_id = 777;
+  b.latent_style = 4;
+  b.is_category_new = true;
+  b.history_len = 12;
+  b.oracle_utility = 0.9;
+  EXPECT_EQ(CandidateScoreHash(a), CandidateScoreHash(b));
+}
+
+}  // namespace
+}  // namespace awmoe
