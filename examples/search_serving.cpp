@@ -18,6 +18,7 @@
 #include "serving/rollout.h"
 #include "serving/serving_engine.h"
 #include "serving/shard.h"
+#include "train/retrain_driver.h"
 #include "util/flags.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -323,6 +324,94 @@ int Run(int argc, char** argv) {
       static_cast<long long>(registry.live_snapshots()),
       static_cast<long long>(replay.total_candidate_requests),
       static_cast<long long>(replay.total_requests));
+
+  // --- Continuous retraining: the loop closes (docs/training.md). ---
+  // The rollouts above ramped hand-made clones; production retrains on
+  // a cadence. The RetrainDriver owns a training replica of the served
+  // model and, per round: generates the next data window, retrains the
+  // replica with the data-parallel ParallelTrainer, stages the clone,
+  // and ticks the health-gated ramp while shadow-scoring holdout
+  // sessions on both arms — so the accuracy-drift gate can compare
+  // engagement and auto-roll-back a regressed retrain. Round 1 below is
+  // sabotaged (untrained weights shipped) to show exactly that: its
+  // latency and error health are perfect, only the drift gate objects.
+  RetrainOptions retrain;
+  retrain.data = jd;
+  retrain.data.train_sessions = std::min<int64_t>(train_sessions, 1500);
+  retrain.data.test_sessions = 200;
+  retrain.trainer.base.epochs = 1;
+  retrain.trainer.base.contrastive = true;
+  retrain.trainer.base.seed = static_cast<uint64_t>(seed) + 3;
+  retrain.trainer.num_workers = 2;
+  retrain.trainer.grad_accumulation = 2;
+  retrain.rollout.ramp_permille = {250, 500, 1000};
+  retrain.rollout.min_stage_requests = 10;
+  retrain.rollout.max_p99_ratio = 50.0;  // Same net on both arms; the
+  retrain.rollout.p99_slack_ms = 500.0;  // drift gate is the star here.
+  retrain.rollout.min_drift_sessions = 40;
+  retrain.rollout.max_engagement_drop = 0.10;
+  retrain.rollout.engagement_slack = 0.05;
+  RetrainDriver retrainer(&engine, &registry, "aw-moe-cl", model.Clone(),
+                          retrain);
+  std::printf(
+      "\nContinuous retraining: 3 rounds (round 1 sabotaged with "
+      "untrained weights), drift gate armed at %lld shadow sessions "
+      "per arm.\n",
+      static_cast<long long>(retrain.rollout.min_drift_sessions));
+  std::vector<std::future<RankResponse>> retrain_live;
+  size_t retrain_session = 0;
+  const auto live_traffic = [&] {
+    // Live Submit() traffic keeps flowing while each ramp ticks.
+    for (int i = 0; i < 4; ++i) {
+      RankRequest request;
+      const auto& session = sessions[retrain_session++ % sessions.size()];
+      request.session_id = session[0]->session_id;
+      request.items = session;
+      retrain_live.push_back(engine.Submit(std::move(request)));
+    }
+  };
+  TablePrinter retrain_table("Retrain rounds through the drift gate");
+  retrain_table.SetHeader({"Round", "Version", "State", "Ticks",
+                           "Cand engage", "Stable engage", "Decision"});
+  for (int round = 0; round < 3; ++round) {
+    if (round == 1) {
+      retrainer.set_post_train_hook([&data](Ranker* staged) {
+        Rng garbage_rng(991);
+        AwMoeRanker garbage(data.meta, AwMoeConfig{}, &garbage_rng);
+        CopyParametersInto(garbage, staged);
+      });
+    } else {
+      retrainer.set_post_train_hook(nullptr);
+    }
+    const RetrainRoundResult result = retrainer.RunRound(live_traffic);
+    for (auto& future : retrain_live) future.get();
+    retrain_live.clear();
+    retrain_table.AddRow(
+        {std::to_string(result.round),
+         std::to_string(result.staged_version),
+         std::string(RolloutStateToString(result.final_state)),
+         std::to_string(result.ticks),
+         FormatDouble(result.candidate_engagement, 3),
+         FormatDouble(result.stable_engagement, 3), result.last_decision});
+  }
+  retrain_table.Print();
+  const ServingStatsSnapshot retrain_stats = engine.Stats();
+  const int64_t final_version =
+      registry.CurrentSnapshot("aw-moe-cl")->version();
+  std::printf(
+      "Retrain loop: %d promoted, %d rolled back; stable now v%lld; "
+      "drift evidence %lld shadow sessions engine-wide (%lld engaged), "
+      "v%lld window %lld sessions at %.3f engagement.\n",
+      retrainer.promoted(), retrainer.rolled_back(),
+      static_cast<long long>(final_version),
+      static_cast<long long>(retrain_stats.drift_sessions),
+      static_cast<long long>(retrain_stats.drift_engaged),
+      static_cast<long long>(final_version),
+      static_cast<long long>(
+          engine.stats().VersionHealth("aw-moe-cl", final_version)
+              .drift_sessions),
+      engine.stats().VersionHealth("aw-moe-cl", final_version)
+          .drift_engaged_rate);
   engine.Stop();
 
   // --- Fleet-scale serving: the same model behind 4 shards. ---

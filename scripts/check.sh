@@ -184,4 +184,33 @@ else
   echo "bench_fleet_load not built; skipped"
 fi
 
+# bench_retrain_loop smoke: three continuous-retraining rounds through
+# the drift-gated rollout, one of them sabotaged with untrained weights.
+# Both gates are ENFORCED: at least one healthy round must auto-promote
+# and the sabotaged round must auto-roll-back, or the train->serve loop
+# is broken (see docs/training.md).
+if [ -x "$BUILD_DIR/bench_retrain_loop" ]; then
+  echo "== bench_retrain_loop (smoke, drift-gated retrain rounds) =="
+  "$BUILD_DIR/bench_retrain_loop" --smoke --rounds=3 \
+    --json="$SMOKE_DIR/retrain_loop.json" \
+    | tee "$SMOKE_DIR/bench_retrain_loop.txt"
+  if ! grep -q '"promoted_at_least_one": true' \
+      "$SMOKE_DIR/retrain_loop.json"; then
+    echo "bench_retrain_loop: promote gate FAILED (no healthy round" \
+         "promoted — see $SMOKE_DIR/retrain_loop.json round_results)"
+    exit 1
+  fi
+  if ! grep -q '"sabotage_rolled_back": true' \
+      "$SMOKE_DIR/retrain_loop.json"; then
+    echo "bench_retrain_loop: rollback gate FAILED (sabotaged round was" \
+         "not rolled back — see $SMOKE_DIR/retrain_loop.json round_results)"
+    exit 1
+  fi
+else
+  echo "bench_retrain_loop not built; skipped"
+fi
+
+echo "== docs link check =="
+"$REPO_ROOT/scripts/check_docs.sh"
+
 echo "== check.sh OK (bench smoke artifacts in $SMOKE_DIR) =="

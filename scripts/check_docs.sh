@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# Validates cross-references across the repo's markdown: every relative
+# link target must exist, every `#anchor` must match a heading in the
+# target file (GitHub slugification), and every textual section
+# reference of the form `path/to/doc.md §Section` (quoted or bare) must
+# name a real heading. External http(s) links are not checked.
+#
+# Runs standalone (`scripts/check_docs.sh`) and as the last step of the
+# CI check job via scripts/check.sh. Exit code 1 lists every broken
+# reference; nothing is written.
+set -uo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$REPO_ROOT"
+
+FILES=()
+for f in *.md docs/*.md examples/*.md; do
+  [ -f "$f" ] && FILES+=("$f")
+done
+
+FAILURES=0
+
+fail() {
+  echo "check_docs: $1"
+  FAILURES=$((FAILURES + 1))
+}
+
+# GitHub heading slug: lowercase, drop backticks, drop everything that
+# is not alnum/space/hyphen/underscore, then spaces -> hyphens.
+slugify() {
+  printf '%s' "$1" | tr '[:upper:]' '[:lower:]' \
+    | sed -e 's/`//g' -e 's/[^a-z0-9 _-]//g' -e 's/ /-/g'
+}
+
+# All heading texts of a markdown file (leading #'s stripped). ATX
+# headings only, which is all this repo uses; fenced code blocks are
+# excluded so `# comment` lines inside ```sh fences don't count.
+headings_of() {
+  awk '
+    /^```/ { in_code = !in_code; next }
+    !in_code && /^#+ / { sub(/^#+ /, ""); print }
+  ' "$1"
+}
+
+anchor_exists() {
+  local file="$1" anchor="$2" heading
+  while IFS= read -r heading; do
+    if [ "$(slugify "$heading")" = "$anchor" ]; then
+      return 0
+    fi
+  done < <(headings_of "$file")
+  return 1
+}
+
+# Case-insensitive prefix match lets `§Staged rollout` satisfy the
+# heading "Staged rollout: health-gated traffic ramps".
+section_exists() {
+  local file="$1" section="$2" heading
+  local want
+  want="$(printf '%s' "$section" | tr '[:upper:]' '[:lower:]')"
+  while IFS= read -r heading; do
+    local have
+    have="$(printf '%s' "$heading" | tr '[:upper:]' '[:lower:]')"
+    case "$have" in
+      "$want"*) return 0 ;;
+    esac
+  done < <(headings_of "$file")
+  return 1
+}
+
+for file in "${FILES[@]}"; do
+  dir="$(dirname "$file")"
+
+  # --- Markdown links: [text](target) ---
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    path="${target%%#*}"
+    anchor=""
+    case "$target" in *'#'*) anchor="${target#*#}" ;; esac
+    if [ -z "$path" ]; then
+      resolved="$file"  # Pure in-page anchor: #section.
+    else
+      resolved="$dir/$path"
+      if [ ! -e "$resolved" ]; then
+        fail "$file: broken link target '$target' ($resolved not found)"
+        continue
+      fi
+    fi
+    if [ -n "$anchor" ]; then
+      case "$resolved" in
+        *.md)
+          if ! anchor_exists "$resolved" "$anchor"; then
+            fail "$file: anchor '#$anchor' not found in $resolved"
+          fi
+          ;;
+      esac
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$file" | sed -e 's/^](//' -e 's/)$//')
+
+  # --- Textual section refs: path/to/doc.md §Section or §"Section" ---
+  while IFS= read -r ref; do
+    path="${ref%% §*}"
+    section="${ref#* §}"
+    section="${section%\"}"
+    section="${section#\"}"
+    # Resolve relative to the referencing file first, then repo root
+    # (ROADMAP-style refs are written root-relative everywhere).
+    if [ -e "$dir/$path" ]; then
+      resolved="$dir/$path"
+    elif [ -e "$path" ]; then
+      resolved="$path"
+    else
+      fail "$file: section ref to missing file '$path' (§$section)"
+      continue
+    fi
+    if ! section_exists "$resolved" "$section"; then
+      fail "$file: §\"$section\" is not a heading in $resolved"
+    fi
+  done < <(grep -oE '[A-Za-z0-9_./-]+\.md §("[^"]+"|[A-Za-z0-9][A-Za-z0-9 -]*[A-Za-z0-9])' "$file")
+done
+
+if [ "$FAILURES" -gt 0 ]; then
+  echo "check_docs: $FAILURES broken reference(s)"
+  exit 1
+fi
+echo "check_docs: all markdown cross-references OK (${#FILES[@]} files)"

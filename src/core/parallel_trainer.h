@@ -1,0 +1,154 @@
+#ifndef AWMOE_CORE_PARALLEL_TRAINER_H_
+#define AWMOE_CORE_PARALLEL_TRAINER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/trainer.h"
+#include "data/batcher.h"
+#include "data/example.h"
+#include "mat/matrix.h"
+#include "models/ranker.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+namespace awmoe {
+
+/// Data-parallel training configuration. `base` carries the objective
+/// and optimizer hyper-parameters (shared with the serial Trainer);
+/// the two knobs below shape the parallel schedule.
+struct ParallelTrainerConfig {
+  TrainerConfig base;
+
+  /// Worker threads computing shard gradients on private model clones.
+  /// 1 runs every shard on the calling thread (no threads spawned) —
+  /// and, by the determinism contract below, produces BITWISE the same
+  /// parameters as any other worker count.
+  int num_workers = 2;
+
+  /// Shards (micro-batches of `base.batch_size` rows) accumulated into
+  /// one synchronous optimizer step. The reduced gradient is the
+  /// row-weighted average of the shard gradients, i.e. the gradient of
+  /// the mean loss over the union of the shards — a step over an
+  /// effective batch of grad_accumulation * batch_size rows without
+  /// ever materialising it.
+  int64_t grad_accumulation = 1;
+};
+
+/// Data-parallel synchronous trainer: each global step takes the next
+/// `grad_accumulation` shards off the (serial-Trainer-identical)
+/// shuffled batch stream, fans them out to `num_workers` threads — each
+/// holding a private deep clone of the model, because autograd gradient
+/// accumulation on shared leaves is not thread-safe — and reduces the
+/// shard gradients into one averaged update on the primary model, after
+/// which every clone is re-synchronised from the primary's weights.
+///
+/// Determinism contract (pinned by core_parallel_trainer_test):
+///  - WORKER-COUNT INDEPENDENCE, bitwise: shard gradients are reduced
+///    in shard-index order with float weights rows_s / total_rows, no
+///    matter which worker computed which shard, and each shard's
+///    contrastive augmentation Rng is forked from a single root in
+///    shard order on the coordinator. Training with N workers yields
+///    bit-for-bit the parameters of training with 1.
+///  - SERIAL EQUIVALENCE, bitwise, when grad_accumulation == 1 and
+///    contrastive is off: one shard per step weighted 1.0f (an IEEE
+///    identity) walks exactly the serial Trainer's sequence of
+///    forwards, clips and AdamW steps. (With contrastive ON the serial
+///    Trainer consumes one evolving augmentation stream while shards
+///    use per-shard forks, so equivalence is statistical, not bitwise.)
+class ParallelTrainer {
+ public:
+  /// `model` is not owned and must outlive the trainer; it is the
+  /// primary replica the optimizer steps and the clones sync from.
+  ParallelTrainer(Ranker* model, const ParallelTrainerConfig& config);
+  ~ParallelTrainer();
+
+  ParallelTrainer(const ParallelTrainer&) = delete;
+  ParallelTrainer& operator=(const ParallelTrainer&) = delete;
+
+  /// Runs one epoch over `train` (shuffled); returns loss statistics.
+  /// `num_batches` counts shards (micro-batches), matching the serial
+  /// Trainer's notion of a batch.
+  EpochStats TrainEpoch(const std::vector<Example>& train,
+                        const DatasetMeta& meta,
+                        const Standardizer* standardizer);
+
+  /// Runs config.base.epochs epochs.
+  std::vector<EpochStats> Train(const std::vector<Example>& train,
+                                const DatasetMeta& meta,
+                                const Standardizer* standardizer);
+
+  const ParallelTrainerConfig& config() const { return config_; }
+
+  /// Optimizer steps taken so far (one per reduced shard group).
+  int64_t steps() const { return steps_; }
+
+ private:
+  /// One micro-batch of work: the collated rows plus a private
+  /// augmentation Rng forked in shard order (worker-count independent).
+  struct Shard {
+    Batch batch;
+    Rng augment_rng;
+    int64_t rows = 0;
+  };
+
+  /// One worker's private replica: a deep clone plus its parameter
+  /// handles (construction-order aligned with the primary's).
+  struct WorkerReplica {
+    std::unique_ptr<Ranker> clone;
+    std::vector<Var> params;
+  };
+
+  /// Computes shard `s`'s gradients on worker `w`'s clone into
+  /// shard_grads_[s] (one Matrix per parameter; empty = no gradient).
+  void ComputeShard(int worker, size_t s);
+
+  /// Reduces shard_grads_ in shard order into the primary parameters,
+  /// clips, steps the optimizer, and re-syncs every clone.
+  void ReduceAndStep();
+
+  /// Persistent worker thread body (num_workers > 1 only).
+  void WorkerLoop(int worker);
+
+  /// Runs the staged shards_ to completion across the workers (or
+  /// inline when single-threaded).
+  void RunShards();
+
+  Ranker* model_;
+  ParallelTrainerConfig config_;
+  Rng rng_;
+  Rng shuffle_rng_;
+  /// Root of the per-shard augmentation forks (fork order == shard
+  /// order, so streams do not depend on worker scheduling).
+  Rng augment_root_rng_;
+  std::vector<Var> params_;
+  std::unique_ptr<AdamW> optimizer_;
+  std::vector<WorkerReplica> replicas_;
+  int64_t steps_ = 0;
+
+  // Per-group staging: written by the coordinator before workers are
+  // released (the generation handshake under mu_ orders the accesses),
+  // then each slot written by exactly one worker.
+  std::vector<Shard> shards_;
+  std::vector<std::vector<Matrix>> shard_grads_;
+  std::vector<BatchLossTerms> shard_terms_;
+
+  // Worker pool handshake (threads exist only when num_workers > 1).
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  int64_t generation_ = 0;
+  int pending_workers_ = 0;
+  bool stopping_ = false;
+  std::atomic<size_t> next_shard_{0};
+};
+
+}  // namespace awmoe
+
+#endif  // AWMOE_CORE_PARALLEL_TRAINER_H_

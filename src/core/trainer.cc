@@ -23,6 +23,40 @@ Trainer::Trainer(Ranker* model, const TrainerConfig& config)
   }
 }
 
+Var BuildTrainingLoss(Ranker* model, const Batch& batch,
+                      const TrainerConfig& config,
+                      ContrastiveAugmenter* augmenter, BatchLossTerms* terms) {
+  Var logits = model->ForwardLogits(batch);
+  Var loss = ag::BceWithLogitsLoss(logits, batch.labels);
+  if (terms != nullptr) terms->rank_loss = loss.value()(0, 0);
+
+  if (config.contrastive && config.cl.weight > 0.0 && augmenter != nullptr) {
+    // Anchor g(u_i), positive g(u'_i) from the masked sequence, and l
+    // in-batch negatives gathered from the anchor matrix (Fig. 5).
+    Var anchor = model->GateRepresentation(batch);
+    AWMOE_CHECK(anchor.defined())
+        << model->name() << " has no gate representation for CL";
+    Batch augmented = augmenter->Augment(batch);
+    Var positive = model->GateRepresentation(augmented);
+    std::vector<Var> negatives;
+    for (const auto& idx : augmenter->SampleNegatives(batch.size)) {
+      negatives.push_back(ag::GatherRows(anchor, idx));
+    }
+    Var cl_loss = ag::InfoNceLoss(anchor, positive, negatives);
+    if (terms != nullptr) terms->cl_loss = cl_loss.value()(0, 0);
+    loss = ag::Add(loss,
+                   ag::Scale(cl_loss, static_cast<float>(config.cl.weight)));
+  }
+
+  // Model-specific auxiliary losses (the expert-disagreement
+  // regulariser) attach to the most recent forward pass.
+  if (auto* aw = dynamic_cast<AwMoeRanker*>(model)) {
+    Var aux = aw->PendingAuxiliaryLoss();
+    if (aux.defined()) loss = ag::Add(loss, aux);
+  }
+  return loss;
+}
+
 EpochStats Trainer::TrainEpoch(const std::vector<Example>& train,
                                const DatasetMeta& meta,
                                const Standardizer* standardizer) {
@@ -35,34 +69,11 @@ EpochStats Trainer::TrainEpoch(const std::vector<Example>& train,
   while (it.Next(&batch)) {
     optimizer_->ZeroGrad();
 
-    Var logits = model_->ForwardLogits(batch);
-    Var loss = ag::BceWithLogitsLoss(logits, batch.labels);
-    rank_total += loss.value()(0, 0);
-
-    if (config_.contrastive && config_.cl.weight > 0.0) {
-      // Anchor g(u_i), positive g(u'_i) from the masked sequence, and l
-      // in-batch negatives gathered from the anchor matrix (Fig. 5).
-      Var anchor = model_->GateRepresentation(batch);
-      AWMOE_CHECK(anchor.defined())
-          << model_->name() << " has no gate representation for CL";
-      Batch augmented = augmenter_->Augment(batch);
-      Var positive = model_->GateRepresentation(augmented);
-      std::vector<Var> negatives;
-      for (const auto& idx : augmenter_->SampleNegatives(batch.size)) {
-        negatives.push_back(ag::GatherRows(anchor, idx));
-      }
-      Var cl_loss = ag::InfoNceLoss(anchor, positive, negatives);
-      cl_total += cl_loss.value()(0, 0);
-      loss = ag::Add(loss,
-                     ag::Scale(cl_loss, static_cast<float>(config_.cl.weight)));
-    }
-
-    // Model-specific auxiliary losses (the expert-disagreement
-    // regulariser) attach to the most recent forward pass.
-    if (auto* aw = dynamic_cast<AwMoeRanker*>(model_)) {
-      Var aux = aw->PendingAuxiliaryLoss();
-      if (aux.defined()) loss = ag::Add(loss, aux);
-    }
+    BatchLossTerms terms;
+    Var loss =
+        BuildTrainingLoss(model_, batch, config_, augmenter_.get(), &terms);
+    rank_total += terms.rank_loss;
+    cl_total += terms.cl_loss;
 
     loss.Backward();
     std::vector<Var> params = model_->Parameters();

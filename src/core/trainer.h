@@ -39,6 +39,26 @@ struct EpochStats {
   double seconds = 0.0;
 };
 
+/// Scalar loss terms of one training batch (diagnostics; the graph node
+/// returned by BuildTrainingLoss is what Backward runs on).
+struct BatchLossTerms {
+  double rank_loss = 0.0;
+  double cl_loss = 0.0;
+};
+
+/// Builds the full training-loss graph of one mini-batch (Eq. 11):
+///   L_total = L_rank + lambda * L_cl (+ model auxiliary losses)
+/// — the BCE ranking loss, the InfoNCE contrastive term when
+/// `augmenter` is non-null and `config.contrastive` is set, and any
+/// model-specific auxiliary loss attached to the forward pass (the
+/// AW-MoE expert-disagreement regulariser). Shared by the serial
+/// `Trainer` and the data-parallel `ParallelTrainer`
+/// (core/parallel_trainer.h) so both optimise the exact same objective;
+/// all randomness flows through `augmenter`'s Rng.
+Var BuildTrainingLoss(Ranker* model, const Batch& batch,
+                      const TrainerConfig& config,
+                      ContrastiveAugmenter* augmenter, BatchLossTerms* terms);
+
 /// Mini-batch trainer implementing the paper's objective (Eq. 11):
 ///   L_total = L_rank + lambda * L_cl
 /// where L_rank is the negative log-likelihood (Eq. 1) and L_cl the

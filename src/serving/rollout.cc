@@ -141,6 +141,15 @@ RolloutController::RolloutController(ModelPool* pool, TrafficRouter* router,
       << "RolloutController: max_p99_ratio " << options_.max_p99_ratio;
   AWMOE_CHECK(options_.max_error_rate >= 0.0 && options_.max_error_rate <= 1.0)
       << "RolloutController: max_error_rate " << options_.max_error_rate;
+  AWMOE_CHECK(options_.min_drift_sessions >= 0)
+      << "RolloutController: min_drift_sessions "
+      << options_.min_drift_sessions;
+  AWMOE_CHECK(options_.max_engagement_drop >= 0.0 &&
+              options_.max_engagement_drop <= 1.0)
+      << "RolloutController: max_engagement_drop "
+      << options_.max_engagement_drop;
+  AWMOE_CHECK(options_.engagement_slack >= 0.0)
+      << "RolloutController: engagement_slack " << options_.engagement_slack;
 }
 
 int64_t RolloutController::Begin(std::unique_ptr<Ranker> candidate) {
@@ -229,6 +238,40 @@ RolloutState RolloutController::Advance() {
         stage_, static_cast<long long>(candidate_version_), candidate.p99_ms,
         p99_budget, static_cast<long long>(stable_version), stable.p99_ms));
     return state_;
+  }
+
+  // Accuracy-drift gate: candidate engaged-rate (shadow-scored UCTR
+  // proxy) vs stable's. Evidence-held like min_stage_requests — drift
+  // samples arrive on the shadow cadence, not the traffic ramp, so the
+  // hold is on lifetime per-version evidence.
+  if (options_.min_drift_sessions > 0) {
+    if (candidate.drift_sessions < options_.min_drift_sessions ||
+        stable.drift_sessions < options_.min_drift_sessions) {
+      last_decision_ = StrFormat(
+          "holding stage %d (%d permille): drift evidence %lld/%lld "
+          "candidate, %lld/%lld stable sessions",
+          stage_, options_.ramp_permille[stage_],
+          static_cast<long long>(candidate.drift_sessions),
+          static_cast<long long>(options_.min_drift_sessions),
+          static_cast<long long>(stable.drift_sessions),
+          static_cast<long long>(options_.min_drift_sessions));
+      return state_;
+    }
+    const double engagement_floor =
+        stable.drift_engaged_rate * (1.0 - options_.max_engagement_drop) -
+        options_.engagement_slack;
+    if (candidate.drift_engaged_rate < engagement_floor) {
+      RollbackLocked(StrFormat(
+          "rolled back at stage %d: candidate v%lld engagement %.4f < floor "
+          "%.4f (stable v%lld engagement %.4f over %lld/%lld shadow "
+          "sessions)",
+          stage_, static_cast<long long>(candidate_version_),
+          candidate.drift_engaged_rate, engagement_floor,
+          static_cast<long long>(stable_version), stable.drift_engaged_rate,
+          static_cast<long long>(candidate.drift_sessions),
+          static_cast<long long>(stable.drift_sessions)));
+      return state_;
+    }
   }
 
   // Gate passed. Last stage -> promote; otherwise open the next stage.

@@ -117,6 +117,21 @@ struct RolloutOptions {
   /// not lifetime: a late-ramp failure burst must trip the gate even
   /// after thousands of healthy early-stage requests.
   double max_error_rate = 0.01;
+
+  /// Accuracy-drift gate (UCTR-style), fed by shadow-scored sessions
+  /// recorded through `ServingStats::RecordDriftSample` (see
+  /// docs/training.md §Drift gate and train/retrain_driver.h for the
+  /// shadow loop). 0 disables the gate — the default, so pure
+  /// latency/error rollouts behave exactly as before. When > 0,
+  /// Advance() additionally HOLDS each stage until both arms have at
+  /// least this many drift sessions, then rolls back when the
+  /// candidate's engaged rate falls below
+  ///   stable_rate * (1 - max_engagement_drop) - engagement_slack.
+  /// The relative term scales with how engaged the surface is; the
+  /// absolute slack keeps low-traffic rates from flapping the gate.
+  int64_t min_drift_sessions = 0;
+  double max_engagement_drop = 0.05;
+  double engagement_slack = 0.02;
 };
 
 /// Orchestrates one zero-downtime staged rollout of a model: stages the

@@ -174,6 +174,10 @@ class ServingEngine {
   const TrafficRouter& router() const { return router_; }
 
   const ServingStats& stats() const { return stats_; }
+  /// Mutable stats access for out-of-band recorders — e.g. the retrain
+  /// driver's shadow-scoring loop attributing drift samples to the arm
+  /// versions it just scored (train/retrain_driver.h).
+  ServingStats& stats() { return stats_; }
   /// Counter snapshot; `model_swaps` is merged in from the pool.
   ServingStatsSnapshot Stats() const;
   void ResetStats() { stats_.Reset(); }

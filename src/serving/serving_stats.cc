@@ -196,6 +196,36 @@ void ServingStats::RecordVersionSample(const std::string& model,
   if (window != nullptr) AppendHealthSampleLocked(window, latency_ms, ok);
 }
 
+void ServingStats::RecordDriftSample(const std::string& model,
+                                     int64_t version, bool engaged) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++drift_sessions_;
+  if (engaged) ++drift_engaged_;
+  HealthWindow* window = HealthWindowLocked(model, version);
+  if (window == nullptr) return;  // Older than every retained version.
+  ++window->drift_sessions;
+  if (engaged) ++window->drift_engaged;
+}
+
+void ServingStats::ResetDriftCounters(const std::string& model,
+                                      int64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = version_health_.find({model, version});
+  if (it == version_health_.end()) return;
+  it->second.drift_sessions = 0;
+  it->second.drift_engaged = 0;
+}
+
+int64_t ServingStats::drift_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return drift_sessions_;
+}
+
+int64_t ServingStats::drift_engaged() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return drift_engaged_;
+}
+
 ServingStats::HealthWindow* ServingStats::HealthWindowLocked(
     const std::string& model, int64_t version) {
   auto [it, inserted] = version_health_.try_emplace({model, version});
@@ -235,6 +265,12 @@ VersionHealthSnapshot ServingStats::HealthSnapshotOf(const std::string& model,
   if (window.requests > 0) {
     snap.error_rate = static_cast<double>(window.errors) /
                       static_cast<double>(window.requests);
+  }
+  snap.drift_sessions = window.drift_sessions;
+  snap.drift_engaged = window.drift_engaged;
+  if (window.drift_sessions > 0) {
+    snap.drift_engaged_rate = static_cast<double>(window.drift_engaged) /
+                              static_cast<double>(window.drift_sessions);
   }
   snap.window = static_cast<int64_t>(window.ring.size());
   if (!window.ring.empty()) {
@@ -453,6 +489,8 @@ ServingStatsSnapshot ServingStats::Snapshot() const {
     }
     snap.max_active_lanes = max_active_lanes_;
     snap.active_lanes_total = active_lanes_total_;
+    snap.drift_sessions = drift_sessions_;
+    snap.drift_engaged = drift_engaged_;
     for (const auto& [key, lanes] : version_lane_leases_) {
       ModelVersionStatsSnapshot version;
       version.model = key.first;
@@ -541,6 +579,10 @@ void ServingStats::MergeFrom(const ServingStatsSnapshot& other) {
   snapshot_leases_ += other.snapshot_leases;
   active_lanes_total_ += other.active_lanes_total;
   max_active_lanes_ = std::max(max_active_lanes_, other.max_active_lanes);
+  // Drift totals sum (per-version drift counters ride the health
+  // windows and are, like them, deliberately not merged).
+  drift_sessions_ += other.drift_sessions;
+  drift_engaged_ += other.drift_engaged;
   // Pool the reservoirs. The concatenation may exceed kMaxSamples in an
   // aggregation sink — that is intentional (it IS the exact union);
   // RecordRequest's reservoir math only ever overwrites slots below
@@ -603,6 +645,8 @@ void ServingStats::Reset() {
   snapshot_leases_ = 0;
   active_lanes_total_ = 0;
   max_active_lanes_ = 0;
+  drift_sessions_ = 0;
+  drift_engaged_ = 0;
   version_lane_leases_.clear();
   version_health_.clear();
   wall_started_ = false;

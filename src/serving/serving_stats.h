@@ -39,6 +39,17 @@ struct VersionHealthSnapshot {
   double p99_ms = 0.0;
   /// Latency samples currently in the window (<= kHealthWindow).
   int64_t window = 0;
+
+  /// Accuracy-drift evidence: shadow-scored sessions attributed to this
+  /// version (via `ServingStats::RecordDriftSample`) and how many of
+  /// them ENGAGED — a positive-labelled item surfaced in the version's
+  /// top-K (a UCTR-style proxy). Lifetime-exact per version, like
+  /// `requests`/`errors`; the rollout drift gate compares
+  /// `drift_engaged_rate` between the candidate and stable arms.
+  int64_t drift_sessions = 0;
+  int64_t drift_engaged = 0;
+  /// drift_engaged / drift_sessions (0 when nothing recorded).
+  double drift_engaged_rate = 0.0;
 };
 
 /// Point-in-time view of the serving counters (safe to copy around and
@@ -119,6 +130,13 @@ struct ServingStatsSnapshot {
   /// lifetime (filled by `ServingEngine::Stats` from the pool; 0 when
   /// snapshotting a bare ServingStats).
   int64_t model_swaps = 0;
+
+  /// Engine-wide accuracy-drift totals (sum over all versions'
+  /// drift counters, including trimmed ones). Unlike the per-version
+  /// health windows these DO merge — MergeFrom sums them — so a fleet
+  /// sink reports how much shadow-scoring evidence the fleet has seen.
+  int64_t drift_sessions = 0;
+  int64_t drift_engaged = 0;
 
   /// Per model-version lease counters, ordered by (model, version).
   std::vector<ModelVersionStatsSnapshot> versions;
@@ -241,6 +259,28 @@ class ServingStats {
   void RecordVersionSample(const std::string& model, int64_t version,
                            double latency_ms, bool ok);
 
+  /// Records one shadow-scored session outcome into `(model,
+  /// version)`'s drift counters: `engaged` is true when a
+  /// positive-labelled item surfaced in the version's top-K for that
+  /// session (UCTR-style engagement; see train/retrain_driver.h for
+  /// the shadow-scoring loop that feeds this). Also bumps the
+  /// engine-wide drift totals. Ignored per-version (totals still
+  /// count) when the version is older than every retained one.
+  void RecordDriftSample(const std::string& model, int64_t version,
+                         bool engaged);
+
+  /// Zeroes `(model, version)`'s drift counters (latency/error health
+  /// and the engine-wide totals are untouched). The drift gate compares
+  /// ENGAGEMENT RATES across arms, which is only fair over the same
+  /// shadow population — the retrain driver calls this on the stable
+  /// arm at the start of each round so a long-lived stable's evidence
+  /// from earlier (differently difficult) windows does not skew the
+  /// floor the fresh candidate must clear.
+  void ResetDriftCounters(const std::string& model, int64_t version);
+
+  int64_t drift_sessions() const;
+  int64_t drift_engaged() const;
+
   /// The health window of `(model, version)`; zeros when that version
   /// has recorded nothing (or was trimmed as one of the oldest).
   VersionHealthSnapshot VersionHealth(const std::string& model,
@@ -325,6 +365,9 @@ class ServingStats {
     size_t next = 0;           // Ring write cursor.
     int64_t requests = 0;
     int64_t errors = 0;
+    /// Shadow-scored drift evidence (lifetime, like requests/errors).
+    int64_t drift_sessions = 0;
+    int64_t drift_engaged = 0;
   };
 
   // Unlocked cores of the Record* methods; caller holds mu_.
@@ -400,6 +443,10 @@ class ServingStats {
   int64_t snapshot_leases_ = 0;
   int64_t active_lanes_total_ = 0;  // Sum of per-lease samples; mean numerator.
   int64_t max_active_lanes_ = 0;
+  /// Engine-wide drift totals (per-version counters live in the health
+  /// windows; these survive version trims and merge across shards).
+  int64_t drift_sessions_ = 0;
+  int64_t drift_engaged_ = 0;
   /// Keyed by (model, version), so one model's versions are contiguous
   /// and ascending; lane_leases sized on first use per lane. Trimmed to
   /// the newest kMaxVersionsPerModel versions per model on insert.

@@ -1,0 +1,177 @@
+#include "train/retrain_driver.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "serving/model_pool.h"
+#include "serving/request.h"
+#include "serving/serving_engine.h"
+#include "serving/serving_stats.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace awmoe {
+
+RetrainDriver::RetrainDriver(ServingEngine* engine, ModelPool* pool,
+                             std::string model,
+                             std::unique_ptr<Ranker> training_replica,
+                             RetrainOptions options)
+    : engine_(engine),
+      pool_(pool),
+      model_(std::move(model)),
+      options_(std::move(options)),
+      training_replica_(std::move(training_replica)) {
+  AWMOE_CHECK(engine_ != nullptr) << "RetrainDriver: null engine";
+  AWMOE_CHECK(pool_ != nullptr) << "RetrainDriver: null pool";
+  AWMOE_CHECK(training_replica_ != nullptr)
+      << "RetrainDriver: null training replica";
+  AWMOE_CHECK(pool_->CurrentSnapshot(pool_->ResolveName(model_)) != nullptr)
+      << "RetrainDriver: model '" << model_ << "' not in pool";
+  AWMOE_CHECK(options_.shadow_sessions_per_tick > 0)
+      << "RetrainDriver: shadow_sessions_per_tick "
+      << options_.shadow_sessions_per_tick;
+  AWMOE_CHECK(options_.shadow_top_k > 0)
+      << "RetrainDriver: shadow_top_k " << options_.shadow_top_k;
+  AWMOE_CHECK(options_.max_ticks_per_round > 0)
+      << "RetrainDriver: max_ticks_per_round " << options_.max_ticks_per_round;
+  controller_ = std::make_unique<RolloutController>(
+      pool_, engine_->router(), &engine_->stats(),
+      pool_->ResolveName(model_), options_.rollout);
+}
+
+RetrainDriver::~RetrainDriver() = default;
+
+bool RetrainDriver::EngagedTopK(const std::vector<const Example*>& session,
+                                const std::vector<double>& scores) const {
+  const size_t k = std::min(static_cast<size_t>(options_.shadow_top_k),
+                            scores.size());
+  if (k == 0) return false;
+  // Indices of the top-k scores (ties broken by lower index, matching
+  // how a result page would be cut).
+  std::vector<size_t> order(scores.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(k),
+                    order.end(), [&](size_t a, size_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  for (size_t i = 0; i < k; ++i) {
+    if (session[order[i]]->label > 0.5f) return true;
+  }
+  return false;
+}
+
+void RetrainDriver::ShadowScoreTick() {
+  if (holdout_sessions_.empty()) return;
+  std::vector<RankRequest> requests;
+  requests.reserve(
+      static_cast<size_t>(options_.shadow_sessions_per_tick) * 2);
+  std::vector<size_t> session_indices;
+  for (int64_t i = 0; i < options_.shadow_sessions_per_tick; ++i) {
+    const size_t s = shadow_cursor_ % holdout_sessions_.size();
+    shadow_cursor_++;
+    session_indices.push_back(s);
+    for (ArmPolicy policy :
+         {ArmPolicy::kForceCandidate, ArmPolicy::kForceStable}) {
+      RankRequest request;
+      request.session_id = holdout_sessions_[s].front()->session_id;
+      request.model = model_;
+      request.arm_policy = policy;
+      request.items = holdout_sessions_[s];
+      requests.push_back(std::move(request));
+    }
+  }
+  const std::vector<RankResponse> responses = engine_->RankBatch(requests);
+  for (size_t r = 0; r < responses.size(); ++r) {
+    const RankResponse& response = responses[r];
+    if (!response.status.ok()) continue;
+    const std::vector<const Example*>& session =
+        holdout_sessions_[session_indices[r / 2]];
+    // Attribute the sample to the version that ACTUALLY served it: a
+    // forced-candidate request after a drop legitimately reports the
+    // stable version, and its evidence belongs there.
+    engine_->stats().RecordDriftSample(response.model, response.model_version,
+                                       EngagedTopK(session, response.scores));
+  }
+}
+
+RetrainRoundResult RetrainDriver::RunRound(
+    const std::function<void()>& between_ticks) {
+  RetrainRoundResult result;
+  result.round = rounds_;
+
+  // (a) The next streaming window: same world, fresh sessions.
+  JdConfig window_config = options_.data;
+  window_config.seed = options_.data.seed + static_cast<uint64_t>(rounds_);
+  window_ = std::make_unique<JdDataset>(
+      JdSyntheticGenerator(window_config).Generate());
+  AWMOE_CHECK(window_->meta.num_items == pool_->meta().num_items &&
+              window_->meta.num_queries == pool_->meta().num_queries)
+      << "RetrainDriver: window dims drifted from the pool's meta";
+  holdout_sessions_ = GroupBySession(window_->full_test);
+  shadow_cursor_ = 0;
+
+  // (b) Train the replica on the window (data-parallel, deterministic).
+  ParallelTrainerConfig trainer_config = options_.trainer;
+  trainer_config.base.seed =
+      options_.trainer.base.seed + static_cast<uint64_t>(rounds_);
+  Stopwatch train_watch;
+  ParallelTrainer trainer(training_replica_.get(), trainer_config);
+  const std::vector<EpochStats> epochs = trainer.Train(
+      window_->train, window_->meta, pool_->standardizer());
+  result.train_seconds = train_watch.ElapsedSeconds();
+  if (!epochs.empty()) result.final_rank_loss = epochs.back().mean_rank_loss;
+
+  // (c) Stage a deep snapshot of the trained weights as the candidate.
+  std::unique_ptr<Ranker> candidate = training_replica_->Clone();
+  AWMOE_CHECK(candidate != nullptr)
+      << training_replica_->name() << " does not implement Clone()";
+  if (post_train_hook_) post_train_hook_(candidate.get());
+  result.staged_version = controller_->Begin(std::move(candidate));
+  const int64_t stable_version = controller_->stable_version();
+  // Scope the drift comparison to THIS round's shadow population: the
+  // stable arm may carry engagement evidence from earlier windows of
+  // different difficulty, which would skew the floor the candidate has
+  // to clear. The candidate's version is freshly minted, so only the
+  // stable side needs the reset.
+  engine_->stats().ResetDriftCounters(controller_->model(), stable_version);
+
+  // (d) Tick the ramp to a terminal state, feeding the drift gate.
+  RolloutState state = RolloutState::kRamping;
+  while (result.ticks < options_.max_ticks_per_round) {
+    if (between_ticks) between_ticks();
+    ShadowScoreTick();
+    ++result.ticks;
+    state = controller_->Advance();
+    if (state != RolloutState::kRamping) break;
+  }
+  if (state == RolloutState::kRamping) {
+    state = controller_->Rollback(
+        "retrain round exhausted max_ticks_per_round without a verdict");
+  }
+
+  const VersionHealthSnapshot candidate_health =
+      engine_->stats().VersionHealth(controller_->model(),
+                                     result.staged_version);
+  const VersionHealthSnapshot stable_health = engine_->stats().VersionHealth(
+      controller_->model(), stable_version);
+  result.candidate_engagement = candidate_health.drift_engaged_rate;
+  result.stable_engagement = stable_health.drift_engaged_rate;
+  result.final_state = state;
+  result.last_decision = controller_->last_decision();
+  ++rounds_;
+  if (state == RolloutState::kPromoted) {
+    ++promoted_;
+  } else {
+    ++rolled_back_;
+    // A rejected round must not leave its weights in the warm-start
+    // lineage: reset the replica to the surviving stable snapshot so
+    // the next round retrains from production, not from the regression.
+    const auto stable = pool_->CurrentSnapshot(controller_->model());
+    CopyParametersInto(*stable->primary(), training_replica_.get());
+  }
+  history_.push_back(result);
+  return result;
+}
+
+}  // namespace awmoe

@@ -1,0 +1,161 @@
+#ifndef AWMOE_TRAIN_RETRAIN_DRIVER_H_
+#define AWMOE_TRAIN_RETRAIN_DRIVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/parallel_trainer.h"
+#include "data/batcher.h"
+#include "data/example.h"
+#include "data/jd_synthetic.h"
+#include "models/ranker.h"
+#include "serving/rollout.h"
+
+namespace awmoe {
+
+class ServingEngine;
+class ModelPool;
+
+/// Continuous-retraining configuration: how each round's data window is
+/// generated, how it is trained, and how the resulting candidate is
+/// ramped (see docs/training.md for the full lifecycle).
+struct RetrainOptions {
+  /// Shape of each round's fresh synthetic JD window. The per-round
+  /// generator seed is `data.seed + round`, so rounds draw fresh
+  /// sessions from the same world — a deterministic stand-in for a
+  /// streaming log — while the vocabulary dims (and thus the model
+  /// shapes) stay fixed.
+  JdConfig data;
+
+  /// Data-parallel trainer settings; `trainer.base.seed + round` seeds
+  /// each round, so retrains are deterministic but not identical.
+  ParallelTrainerConfig trainer;
+
+  /// Ramp schedule and health/drift gates of each round's rollout.
+  /// Set `rollout.min_drift_sessions > 0` to arm the accuracy-drift
+  /// gate the shadow loop below feeds.
+  RolloutOptions rollout;
+
+  /// Labelled holdout sessions shadow-scored per ramp tick — each is
+  /// scored once with ArmPolicy::kForceCandidate and once with
+  /// kForceStable, and the per-session engagement outcome (a
+  /// positive-labelled item in the arm's top-K) is recorded into that
+  /// arm's version via ServingStats::RecordDriftSample.
+  int64_t shadow_sessions_per_tick = 32;
+
+  /// Top-K cut of the UCTR-style engagement proxy.
+  int64_t shadow_top_k = 3;
+
+  /// Advance() ticks a round may spend ramping before the driver
+  /// forces an operator rollback (a stuck ramp must not wedge the
+  /// retrain loop forever).
+  int max_ticks_per_round = 300;
+};
+
+/// Outcome of one retrain round.
+struct RetrainRoundResult {
+  int round = 0;
+  int64_t staged_version = 0;
+  RolloutState final_state = RolloutState::kIdle;
+  /// The controller's last gate verdict (promote/rollback reason).
+  std::string last_decision;
+  double train_seconds = 0.0;
+  /// Final epoch's mean rank loss on the round's window.
+  double final_rank_loss = 0.0;
+  /// Advance() ticks the ramp took to reach a terminal state.
+  int ticks = 0;
+  /// Shadow engagement rates at the end of the ramp (0 when the gate
+  /// never accumulated evidence).
+  double candidate_engagement = 0.0;
+  double stable_engagement = 0.0;
+};
+
+/// Closes the train->serve loop (ROADMAP item 5): owns a TRAINING
+/// REPLICA of a served model, and per round (a) generates the next
+/// streaming data window, (b) trains the replica on it with the
+/// data-parallel ParallelTrainer, (c) deep-snapshots the result into
+/// `ModelPool::StageCandidate` via a RolloutController, and (d) ticks
+/// the health-gated ramp — shadow-scoring holdout sessions on both
+/// arms each tick so the controller's accuracy-drift gate has
+/// evidence — until the candidate is PROMOTED to stable or ROLLED
+/// BACK. Live traffic keeps flowing through the engine the whole time;
+/// the caller injects it through `RunRound`'s between_ticks callback.
+///
+/// Single-threaded by design: the driver is tick-driven like the
+/// RolloutController so retrain cadence is owned by the caller (a
+/// timer loop in production, a deterministic loop in tests/benches).
+class RetrainDriver {
+ public:
+  /// `engine` and `pool` are not owned and must outlive the driver.
+  /// `model` must resolve in the pool. `training_replica` is the
+  /// driver's private warm-start weights — typically a Clone() of the
+  /// currently served model — trained further on every round's window
+  /// (the pool only ever receives deep clones of it). Its shapes must
+  /// match what `options.data` generates.
+  RetrainDriver(ServingEngine* engine, ModelPool* pool, std::string model,
+                std::unique_ptr<Ranker> training_replica,
+                RetrainOptions options);
+  ~RetrainDriver();
+
+  RetrainDriver(const RetrainDriver&) = delete;
+  RetrainDriver& operator=(const RetrainDriver&) = delete;
+
+  /// Test/demo hook run on the freshly trained replica's STAGED CLONE
+  /// before it enters the pool — the regression-injection point (e.g.
+  /// overwrite the clone's weights with garbage and watch the drift
+  /// gate roll it back). The training replica itself is untouched, so
+  /// a sabotaged round does not poison later ones.
+  void set_post_train_hook(std::function<void(Ranker*)> hook) {
+    post_train_hook_ = std::move(hook);
+  }
+
+  /// Runs one full retrain round to a terminal rollout state. The
+  /// optional `between_ticks` callback runs once per ramp tick, before
+  /// that tick's shadow scoring and Advance() — the caller's slot for
+  /// driving live Submit/RankBatch traffic through the engine.
+  RetrainRoundResult RunRound(
+      const std::function<void()>& between_ticks = nullptr);
+
+  int rounds() const { return rounds_; }
+  int promoted() const { return promoted_; }
+  int rolled_back() const { return rolled_back_; }
+  const RolloutController& controller() const { return *controller_; }
+  const std::vector<RetrainRoundResult>& history() const { return history_; }
+
+ private:
+  /// Shadow-scores the next `shadow_sessions_per_tick` holdout
+  /// sessions on both arms and records drift samples against the
+  /// versions that actually served them.
+  void ShadowScoreTick();
+
+  /// True when a positive-labelled item of `session` lands in the
+  /// top-`shadow_top_k` by `scores`.
+  bool EngagedTopK(const std::vector<const Example*>& session,
+                   const std::vector<double>& scores) const;
+
+  ServingEngine* engine_;
+  ModelPool* pool_;
+  const std::string model_;
+  RetrainOptions options_;
+  std::unique_ptr<Ranker> training_replica_;
+  std::unique_ptr<RolloutController> controller_;
+  std::function<void(Ranker*)> post_train_hook_;
+
+  /// The current round's window (kept alive: shadow requests reference
+  /// its holdout examples until the round ends).
+  std::unique_ptr<JdDataset> window_;
+  std::vector<std::vector<const Example*>> holdout_sessions_;
+  size_t shadow_cursor_ = 0;
+
+  int rounds_ = 0;
+  int promoted_ = 0;
+  int rolled_back_ = 0;
+  std::vector<RetrainRoundResult> history_;
+};
+
+}  // namespace awmoe
+
+#endif  // AWMOE_TRAIN_RETRAIN_DRIVER_H_

@@ -633,6 +633,115 @@ TEST_F(RolloutTest, ControllerRollsBackOnP99Regression) {
 }
 
 // ---------------------------------------------------------------------
+// RolloutController: the accuracy-drift gate (PR 9). Samples are fed by
+// hand here; tests/serving/retrain_driver_test.cc covers the shadow-
+// scoring loop that feeds them in production.
+// ---------------------------------------------------------------------
+
+TEST_F(RolloutTest, DriftGateHoldsUntilBothArmsHaveEvidence) {
+  ModelPool pool(data_->meta, standardizer_);
+  pool.Register("aw-moe", model_a_);
+  TrafficRouter router;
+  ServingStats stats;
+  RolloutOptions options;
+  options.ramp_permille = {500, 1000};
+  options.min_stage_requests = 10;
+  options.min_drift_sessions = 25;
+  RolloutController controller(&pool, &router, &stats, "aw-moe", options);
+  controller.Begin(model_b_->Clone());
+
+  auto feed_latency = [&stats](int64_t version, int n) {
+    for (int i = 0; i < n; ++i) {
+      stats.RecordVersionSample("aw-moe", version, 1.0, true);
+    }
+  };
+  feed_latency(1, 20);
+  feed_latency(2, 20);
+  // Latency/error evidence is in, drift evidence is not: hold.
+  EXPECT_EQ(controller.Advance(), RolloutState::kRamping);
+  EXPECT_EQ(controller.stage(), 0);
+  EXPECT_NE(controller.last_decision().find("drift evidence"),
+            std::string::npos);
+
+  // Candidate-only evidence still holds: the gate compares arms, so it
+  // needs BOTH sides before it may pass judgement.
+  for (int i = 0; i < 30; ++i) stats.RecordDriftSample("aw-moe", 2, true);
+  EXPECT_EQ(controller.Advance(), RolloutState::kRamping);
+  EXPECT_EQ(controller.stage(), 0);
+  EXPECT_NE(controller.last_decision().find("drift evidence"),
+            std::string::npos);
+
+  // Stable evidence arrives and the arms are equally engaged: advance.
+  for (int i = 0; i < 30; ++i) stats.RecordDriftSample("aw-moe", 1, true);
+  feed_latency(2, 10);  // Fresh stage evidence for the latency gates.
+  EXPECT_EQ(controller.Advance(), RolloutState::kRamping);
+  EXPECT_EQ(controller.stage(), 1);
+
+  // The counters surface everywhere the gate's inputs are observable.
+  EXPECT_EQ(stats.VersionHealth("aw-moe", 2).drift_sessions, 30);
+  EXPECT_EQ(stats.VersionHealth("aw-moe", 2).drift_engaged, 30);
+  EXPECT_DOUBLE_EQ(stats.VersionHealth("aw-moe", 2).drift_engaged_rate, 1.0);
+  EXPECT_EQ(stats.drift_sessions(), 60);
+  EXPECT_EQ(stats.Snapshot().drift_sessions, 60);
+}
+
+TEST_F(RolloutTest, DriftGateRollsBackRegressedEngagement) {
+  ModelPool pool(data_->meta, standardizer_);
+  pool.Register("aw-moe", model_a_);
+  TrafficRouter router;
+  ServingStats stats;
+  RolloutOptions options;
+  options.ramp_permille = {500, 1000};
+  options.min_stage_requests = 10;
+  options.min_drift_sessions = 20;
+  options.max_engagement_drop = 0.05;
+  options.engagement_slack = 0.02;
+  RolloutController controller(&pool, &router, &stats, "aw-moe", options);
+  controller.Begin(model_b_->Clone());
+
+  for (int i = 0; i < 20; ++i) {
+    stats.RecordVersionSample("aw-moe", 1, 1.0, true);
+    stats.RecordVersionSample("aw-moe", 2, 1.0, true);
+  }
+  // Stable engages 90% of shadow sessions, the candidate only 40% —
+  // far below the floor 0.90 * 0.95 - 0.02 = 0.835.
+  for (int i = 0; i < 50; ++i) stats.RecordDriftSample("aw-moe", 1, i < 45);
+  for (int i = 0; i < 50; ++i) stats.RecordDriftSample("aw-moe", 2, i < 20);
+  EXPECT_EQ(controller.Advance(), RolloutState::kRolledBack);
+  EXPECT_FALSE(pool.HasCandidate("aw-moe"));
+  EXPECT_EQ(pool.CurrentSnapshot("aw-moe")->version(), 1);
+  EXPECT_EQ(router.split_permille("aw-moe"), 0);
+  EXPECT_NE(controller.last_decision().find("engagement"), std::string::npos);
+}
+
+TEST_F(RolloutTest, DriftGatePassesComparableEngagementToPromotion) {
+  ModelPool pool(data_->meta, standardizer_);
+  pool.Register("aw-moe", model_a_);
+  TrafficRouter router;
+  ServingStats stats;
+  RolloutOptions options;
+  options.ramp_permille = {1000};
+  options.min_stage_requests = 10;
+  options.min_drift_sessions = 20;
+  options.max_engagement_drop = 0.05;
+  options.engagement_slack = 0.02;
+  RolloutController controller(&pool, &router, &stats, "aw-moe", options);
+  controller.Begin(model_b_->Clone());
+
+  for (int i = 0; i < 20; ++i) {
+    stats.RecordVersionSample("aw-moe", 1, 1.0, true);
+    stats.RecordVersionSample("aw-moe", 2, 1.0, true);
+  }
+  // Candidate 78% vs stable 80%: inside the tolerated drop (floor
+  // 0.80 * 0.95 - 0.02 = 0.74), so a small wobble does not kill it.
+  for (int i = 0; i < 50; ++i) stats.RecordDriftSample("aw-moe", 1, i < 40);
+  for (int i = 0; i < 50; ++i) stats.RecordDriftSample("aw-moe", 2, i < 39);
+  EXPECT_EQ(controller.Advance(), RolloutState::kPromoted);
+  EXPECT_EQ(pool.CurrentSnapshot("aw-moe")->version(), 2);
+  EXPECT_EQ(controller.stable_version(), 2);
+}
+
+// ---------------------------------------------------------------------
 // Acceptance storms: a full ramp under concurrent Submit() load.
 // ---------------------------------------------------------------------
 
