@@ -71,10 +71,13 @@ if [ "$TSAN" = 1 ]; then
   # stats contention) are where TSan has signal.
   # models_kernel_tier rides along: its row-parallel matmul tests are
   # the only place the kernel worker pool runs under TSan.
-  echo "== ctest (serving + kernel-tier suites under TSan) =="
+  # models_listwise rides along too: ParallelTrainer workers share the
+  # listwise graph ops, and serving_slate_serving (matched by the
+  # serving_ prefix) storms the slate path from four threads.
+  echo "== ctest (serving + kernel-tier + listwise suites under TSan) =="
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir "$BUILD_DIR" --output-on-failure \
-    -R "^(serving_|models_kernel_tier)"
+    -R "^(serving_|models_kernel_tier|models_listwise)"
 
   echo "== check.sh --tsan OK =="
   exit 0
@@ -208,6 +211,26 @@ if [ -x "$BUILD_DIR/bench_retrain_loop" ]; then
   fi
 else
   echo "bench_retrain_loop not built; skipped"
+fi
+
+# bench_rerank smoke: trains the pointwise retriever and the listwise
+# reranker, runs the two-stage pipeline over the holdout, and measures
+# the slate path at sizes 10/25/50. The accuracy gate is ENFORCED: the
+# two-stage NDCG@10 must not fall below pointwise-only, or the reranker
+# stopped earning its serving cost (see docs/reranking.md).
+if [ -x "$BUILD_DIR/bench_rerank" ]; then
+  echo "== bench_rerank (smoke, two-stage retrieve->rerank) =="
+  "$BUILD_DIR/bench_rerank" --smoke \
+    --json="$SMOKE_DIR/rerank.json" \
+    | tee "$SMOKE_DIR/bench_rerank.txt"
+  if ! grep -q '"rerank_ndcg_ge_pointwise": true' \
+      "$SMOKE_DIR/rerank.json"; then
+    echo "bench_rerank: accuracy gate FAILED (two-stage NDCG@10 below" \
+         "pointwise-only — see $SMOKE_DIR/rerank.json accuracy)"
+    exit 1
+  fi
+else
+  echo "bench_rerank not built; skipped"
 fi
 
 echo "== docs link check =="

@@ -29,6 +29,21 @@ Var MatMul(const Var& a, const Var& b) {
       });
 }
 
+Var MatMulNT(const Var& a, const Var& b) {
+  Matrix value = ::awmoe::MatMulTransB(a.value(), b.value());
+  Impl ai = a.impl(), bi = b.impl();
+  return MakeOpResult(
+      std::move(value), "matmul_nt", {a, b}, [ai, bi](const VarImpl& self) {
+        // C[i,j] = sum_p A[i,p] B[j,p]  =>  dA = G B, dB = G^T A.
+        if (ai->requires_grad) {
+          AccumulateGrad(ai.get(), ::awmoe::MatMul(self.grad, bi->value));
+        }
+        if (bi->requires_grad) {
+          AccumulateGrad(bi.get(), MatMulTransA(self.grad, ai->value));
+        }
+      });
+}
+
 Var Add(const Var& a, const Var& b) {
   Matrix value = ::awmoe::Add(a.value(), b.value());
   Impl ai = a.impl(), bi = b.impl();
@@ -273,6 +288,22 @@ Var SoftmaxRows(const Var& a) {
       });
 }
 
+Var MaskedSoftmaxRows(const Var& a, const Matrix& mask) {
+  Matrix value = ::awmoe::MaskedSoftmaxRows(a.value(), mask);
+  Impl ai = a.impl();
+  return MakeOpResult(
+      std::move(value), "masked_softmax_rows", {a},
+      [ai](const VarImpl& self) {
+        // Same Jacobian as SoftmaxRows: masked columns carry y == 0, so
+        // they contribute nothing to the row sum and receive dx == 0.
+        Matrix gy = ::awmoe::Mul(self.grad, self.value);
+        Matrix s = ::awmoe::RowSum(gy);
+        Matrix centered = ::awmoe::Sub(
+            self.grad, ::awmoe::BroadcastCol(s, self.grad.cols()));
+        AccumulateGrad(ai.get(), ::awmoe::Mul(self.value, centered));
+      });
+}
+
 Var LogSumExpRows(const Var& a) {
   Matrix value = ::awmoe::LogSumExpRows(a.value());
   Impl ai = a.impl();
@@ -328,6 +359,89 @@ Var BceWithLogitsLoss(const Var& logits, const Matrix& targets) {
         const float* pt = targets.data();
         for (int64_t i = 0; i < g.size(); ++i) {
           pg[i] = (pg[i] - pt[i]) * scale;
+        }
+        AccumulateGrad(li.get(), g);
+      });
+}
+
+Var ListwiseSoftmaxCrossEntropy(const Var& logits, const Matrix& targets,
+                                const std::vector<int64_t>& slate_starts) {
+  const Matrix& x = logits.value();
+  AWMOE_CHECK(x.cols() == 1)
+      << "ListwiseSoftmaxCrossEntropy expects [m,1] logits, got "
+      << x.ShapeString();
+  AWMOE_CHECK(x.SameShape(targets))
+      << "ListwiseSoftmaxCrossEntropy: logits " << x.ShapeString()
+      << " vs targets " << targets.ShapeString();
+  const int64_t m = x.rows();
+  AWMOE_CHECK(m > 0) << "ListwiseSoftmaxCrossEntropy on empty batch";
+  AWMOE_CHECK(!slate_starts.empty() && slate_starts[0] == 0)
+      << "ListwiseSoftmaxCrossEntropy: slate_starts must begin at 0";
+  for (size_t i = 1; i < slate_starts.size(); ++i) {
+    AWMOE_CHECK(slate_starts[i] > slate_starts[i - 1] && slate_starts[i] < m)
+        << "ListwiseSoftmaxCrossEntropy: bad slate start "
+        << slate_starts[i];
+  }
+
+  const size_t num_slates = slate_starts.size();
+  double total = 0.0;
+  int64_t counted = 0;
+  for (size_t s = 0; s < num_slates; ++s) {
+    const int64_t begin = slate_starts[s];
+    const int64_t end = s + 1 < num_slates ? slate_starts[s + 1] : m;
+    float target_sum = 0.0f;
+    for (int64_t r = begin; r < end; ++r) target_sum += targets(r, 0);
+    if (target_sum <= 0.0f) continue;  // No positive: undefined, skip.
+    float max_val = x(begin, 0);
+    for (int64_t r = begin + 1; r < end; ++r) {
+      max_val = std::max(max_val, x(r, 0));
+    }
+    double denom = 0.0;
+    for (int64_t r = begin; r < end; ++r) {
+      denom += std::exp(static_cast<double>(x(r, 0) - max_val));
+    }
+    const double log_denom = std::log(denom);
+    for (int64_t r = begin; r < end; ++r) {
+      const double y = targets(r, 0) / target_sum;
+      if (y == 0.0) continue;
+      total -= y * (static_cast<double>(x(r, 0) - max_val) - log_denom);
+    }
+    ++counted;
+  }
+  Matrix value = Matrix::Full(
+      1, 1,
+      counted > 0 ? static_cast<float>(total / counted) : 0.0f);
+
+  Impl li = logits.impl();
+  return MakeOpResult(
+      std::move(value), "listwise_softmax_xent", {logits},
+      [li, targets, slate_starts, m, counted](const VarImpl& self) {
+        if (!li->requires_grad || counted == 0) return;
+        // d/dx_j = (p_j - y_j) / counted per counted slate.
+        const float scale = self.grad(0, 0) / static_cast<float>(counted);
+        Matrix g(m, 1);
+        const Matrix& x = li->value;
+        const size_t num_slates = slate_starts.size();
+        for (size_t s = 0; s < num_slates; ++s) {
+          const int64_t begin = slate_starts[s];
+          const int64_t end = s + 1 < num_slates ? slate_starts[s + 1] : m;
+          float target_sum = 0.0f;
+          for (int64_t r = begin; r < end; ++r) target_sum += targets(r, 0);
+          if (target_sum <= 0.0f) continue;
+          float max_val = x(begin, 0);
+          for (int64_t r = begin + 1; r < end; ++r) {
+            max_val = std::max(max_val, x(r, 0));
+          }
+          double denom = 0.0;
+          for (int64_t r = begin; r < end; ++r) {
+            denom += std::exp(static_cast<double>(x(r, 0) - max_val));
+          }
+          for (int64_t r = begin; r < end; ++r) {
+            const double p =
+                std::exp(static_cast<double>(x(r, 0) - max_val)) / denom;
+            const double y = targets(r, 0) / target_sum;
+            g(r, 0) = static_cast<float>(p - y) * scale;
+          }
         }
         AccumulateGrad(li.get(), g);
       });

@@ -17,6 +17,10 @@ namespace ag {
 /// C = A[m,k] * B[k,n].
 Var MatMul(const Var& a, const Var& b);
 
+/// C = A[m,k] * B[n,k]^T: attention score matrix Q K^T without forming
+/// the transpose.
+Var MatMulNT(const Var& a, const Var& b);
+
 /// Elementwise a + b (same shape).
 Var Add(const Var& a, const Var& b);
 
@@ -72,6 +76,13 @@ Var MeanAll(const Var& a);
 /// Row-wise softmax.
 Var SoftmaxRows(const Var& a);
 
+/// Row-wise softmax over the columns where mask(r,c) != 0 (constant,
+/// non-differentiated); masked columns are exact 0.0f in both the value
+/// and the gradient. With a block-diagonal mask this is slate-local
+/// attention: each row's included block matches a per-block SoftmaxRows
+/// bitwise (see mat/kernels.h MaskedSoftmaxRows).
+Var MaskedSoftmaxRows(const Var& a, const Matrix& mask);
+
 /// Row-wise log-sum-exp: [m,1].
 Var LogSumExpRows(const Var& a);
 
@@ -84,6 +95,17 @@ Var StopGradient(const Var& a);
 /// Mean binary cross-entropy over logits[m,1] against targets[m,1] in
 /// {0,1}; numerically stable fused form. Returns a scalar.
 Var BceWithLogitsLoss(const Var& logits, const Matrix& targets);
+
+/// ListNet-style listwise softmax cross-entropy over logits[m,1].
+/// `slate_starts` partitions the rows into contiguous slates
+/// (slate_starts[0] == 0, ascending; slate i spans
+/// [slate_starts[i], slate_starts[i+1]) with the last ending at m).
+/// Per slate with at least one positive target: y = targets / sum(targets),
+/// p = softmax(slate logits), L = -sum(y * log p). Slates with no positive
+/// are skipped (no gradient). Returns the mean over counted slates as a
+/// scalar (0 when no slate has a positive).
+Var ListwiseSoftmaxCrossEntropy(const Var& logits, const Matrix& targets,
+                                const std::vector<int64_t>& slate_starts);
 
 /// InfoNCE contrastive loss (Eq. 10): anchor/positive are [B,D] user
 /// representations; negatives[r] is the r-th [B,D] matrix of in-batch

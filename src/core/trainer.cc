@@ -3,6 +3,7 @@
 #include "autograd/ops.h"
 #include "core/aw_moe.h"
 #include "mat/kernels.h"
+#include "models/listwise/listwise_reranker.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -27,7 +28,17 @@ Var BuildTrainingLoss(Ranker* model, const Batch& batch,
                       const TrainerConfig& config,
                       ContrastiveAugmenter* augmenter, BatchLossTerms* terms) {
   Var logits = model->ForwardLogits(batch);
-  Var loss = ag::BceWithLogitsLoss(logits, batch.labels);
+  Var loss;
+  if (model->SupportsSlateScoring()) {
+    // Listwise models rank a slate against itself: ListNet softmax
+    // cross-entropy per session run. Requires the iterator's
+    // group_by_session mode so slates arrive whole.
+    std::vector<int64_t> starts;
+    SlateStartsFromBatch(batch, &starts);
+    loss = ag::ListwiseSoftmaxCrossEntropy(logits, batch.labels, starts);
+  } else {
+    loss = ag::BceWithLogitsLoss(logits, batch.labels);
+  }
   if (terms != nullptr) terms->rank_loss = loss.value()(0, 0);
 
   if (config.contrastive && config.cl.weight > 0.0 && augmenter != nullptr) {
@@ -63,7 +74,7 @@ EpochStats Trainer::TrainEpoch(const std::vector<Example>& train,
   Stopwatch watch;
   EpochStats stats;
   BatchIterator it(&train, meta, config_.batch_size, standardizer,
-                   &shuffle_rng_);
+                   &shuffle_rng_, model_->SupportsSlateScoring());
   Batch batch;
   double rank_total = 0.0, cl_total = 0.0;
   while (it.Next(&batch)) {
@@ -115,7 +126,7 @@ std::vector<double> Predict(Ranker* model,
   std::vector<double> scores;
   scores.reserve(examples.size());
   BatchIterator it(&examples, meta, batch_size, standardizer,
-                   /*rng=*/nullptr);
+                   /*rng=*/nullptr, model->SupportsSlateScoring());
   Batch batch;
   while (it.Next(&batch)) {
     Matrix probs = Sigmoid(model->ForwardLogits(batch).value());

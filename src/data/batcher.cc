@@ -127,15 +127,31 @@ Batch CollateBatch(const std::vector<const Example*>& examples,
 
 BatchIterator::BatchIterator(const std::vector<Example>* data,
                              const DatasetMeta& meta, int64_t batch_size,
-                             const Standardizer* standardizer, Rng* rng)
+                             const Standardizer* standardizer, Rng* rng,
+                             bool group_by_session)
     : data_(data),
       meta_(meta),
       batch_size_(batch_size),
       standardizer_(standardizer),
-      rng_(rng) {
+      rng_(rng),
+      group_by_session_(group_by_session) {
   AWMOE_CHECK(batch_size_ > 0) << "batch_size=" << batch_size_;
   AWMOE_CHECK(data_ != nullptr);
-  order_.resize(data_->size());
+  if (group_by_session_) {
+    const int64_t n = static_cast<int64_t>(data_->size());
+    int64_t begin = 0;
+    for (int64_t i = 1; i <= n; ++i) {
+      if (i == n ||
+          (*data_)[static_cast<size_t>(i)].session_id !=
+              (*data_)[static_cast<size_t>(i - 1)].session_id) {
+        groups_.emplace_back(begin, i);
+        begin = i;
+      }
+    }
+    order_.resize(groups_.size());
+  } else {
+    order_.resize(data_->size());
+  }
   for (size_t i = 0; i < order_.size(); ++i) {
     order_[i] = static_cast<int64_t>(i);
   }
@@ -148,20 +164,57 @@ void BatchIterator::Reset() {
 }
 
 int64_t BatchIterator::num_batches() const {
-  return (static_cast<int64_t>(data_->size()) + batch_size_ - 1) /
-         batch_size_;
+  if (!group_by_session_) {
+    return (static_cast<int64_t>(data_->size()) + batch_size_ - 1) /
+           batch_size_;
+  }
+  // Replay the packing over the current epoch order.
+  int64_t batches = 0;
+  int64_t rows = 0;
+  for (int64_t group : order_) {
+    const int64_t len = groups_[static_cast<size_t>(group)].second -
+                        groups_[static_cast<size_t>(group)].first;
+    if (rows > 0 && rows + len > batch_size_) {
+      ++batches;
+      rows = 0;
+    }
+    rows += len;
+  }
+  if (rows > 0) ++batches;
+  return batches;
 }
 
 bool BatchIterator::Next(Batch* out) {
-  const int64_t n = static_cast<int64_t>(data_->size());
-  if (cursor_ >= n) return false;
-  const int64_t end = std::min(cursor_ + batch_size_, n);
+  const int64_t total =
+      group_by_session_ ? static_cast<int64_t>(order_.size())
+                        : static_cast<int64_t>(data_->size());
+  if (cursor_ >= total) return false;
   std::vector<const Example*> slice;
-  slice.reserve(static_cast<size_t>(end - cursor_));
-  for (int64_t i = cursor_; i < end; ++i) {
-    slice.push_back(&(*data_)[static_cast<size_t>(order_[i])]);
+  if (group_by_session_) {
+    // Pack whole sessions until the next one would overflow batch_size
+    // (the first session of a batch always fits by fiat, so oversized
+    // sessions still get served — as their own batch).
+    int64_t i = cursor_;
+    int64_t rows = 0;
+    while (i < total) {
+      const auto& group = groups_[static_cast<size_t>(order_[i])];
+      const int64_t len = group.second - group.first;
+      if (rows > 0 && rows + len > batch_size_) break;
+      for (int64_t r = group.first; r < group.second; ++r) {
+        slice.push_back(&(*data_)[static_cast<size_t>(r)]);
+      }
+      rows += len;
+      ++i;
+    }
+    cursor_ = i;
+  } else {
+    const int64_t end = std::min(cursor_ + batch_size_, total);
+    slice.reserve(static_cast<size_t>(end - cursor_));
+    for (int64_t i = cursor_; i < end; ++i) {
+      slice.push_back(&(*data_)[static_cast<size_t>(order_[i])]);
+    }
+    cursor_ = end;
   }
-  cursor_ = end;
   *out = CollateBatch(slice, meta_, standardizer_);
   return true;
 }

@@ -2,6 +2,7 @@
 #define AWMOE_DATA_BATCHER_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "data/example.h"
@@ -44,9 +45,16 @@ Batch CollateBatch(const std::vector<const Example*>& examples,
 class BatchIterator {
  public:
   /// `data` must outlive the iterator. `rng` null = sequential order.
+  /// With `group_by_session` set, rows sharing a session_id (contiguous
+  /// runs in `data`, which the generators emit) always travel together:
+  /// each batch packs WHOLE sessions up to `batch_size` rows (a session
+  /// larger than batch_size forms its own batch), and shuffling permutes
+  /// sessions, not rows. Slate-scoring models (listwise rerankers) and
+  /// the listwise loss require this — a slate split across batches would
+  /// attend over a truncated candidate set.
   BatchIterator(const std::vector<Example>* data, const DatasetMeta& meta,
                 int64_t batch_size, const Standardizer* standardizer,
-                Rng* rng);
+                Rng* rng, bool group_by_session = false);
 
   /// Fills `out` with the next batch; returns false at epoch end (call
   /// Reset to start the next epoch).
@@ -55,6 +63,8 @@ class BatchIterator {
   /// Restarts the epoch (reshuffles when an Rng was supplied).
   void Reset();
 
+  /// Batches the current epoch order yields (session packing depends on
+  /// the shuffle, so with grouping this is per-epoch, not a constant).
   int64_t num_batches() const;
 
  private:
@@ -63,6 +73,10 @@ class BatchIterator {
   int64_t batch_size_;
   const Standardizer* standardizer_;
   Rng* rng_;
+  bool group_by_session_;
+  /// [begin, end) row ranges of each session run (grouping mode only).
+  std::vector<std::pair<int64_t, int64_t>> groups_;
+  /// Indexes groups_ in grouping mode, rows otherwise.
   std::vector<int64_t> order_;
   int64_t cursor_ = 0;
 };

@@ -361,6 +361,40 @@ Matrix SoftmaxRows(const Matrix& a) {
   return out;
 }
 
+Matrix MaskedSoftmaxRows(const Matrix& a, const Matrix& mask) {
+  AWMOE_CHECK(a.cols() > 0);
+  CheckSameShape(a, mask, "MaskedSoftmaxRows");
+  Matrix out(a.rows(), a.cols());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* arow = a.row(r);
+    const float* mrow = mask.row(r);
+    float* orow = out.row(r);
+    // Max over included columns; mirrors SoftmaxRows' first-then-max order.
+    bool seen = false;
+    float max_val = 0.0f;
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      if (mrow[c] == 0.0f) continue;
+      max_val = seen ? std::max(max_val, arow[c]) : arow[c];
+      seen = true;
+    }
+    AWMOE_CHECK(seen) << "MaskedSoftmaxRows: row " << r << " masks out every "
+                      << "column";
+    float denom = 0.0f;
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      if (mrow[c] == 0.0f) {
+        orow[c] = 0.0f;
+        continue;
+      }
+      orow[c] = std::exp(arow[c] - max_val);
+      denom += orow[c];
+    }
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      if (mrow[c] != 0.0f) orow[c] /= denom;
+    }
+  }
+  return out;
+}
+
 Matrix LogSumExpRows(const Matrix& a) {
   AWMOE_CHECK(a.cols() > 0);
   Matrix out(a.rows(), 1);

@@ -105,6 +105,13 @@ Matrix DotRows(const Matrix& a, const Matrix& b);
 /// Row-wise softmax.
 Matrix SoftmaxRows(const Matrix& a);
 
+/// Row-wise softmax restricted to the columns where mask(r,c) != 0; masked
+/// columns get exact 0.0f. The arithmetic over the included columns (in
+/// ascending column order) is identical to SoftmaxRows, so a row whose
+/// included columns form a contiguous block is bitwise-equal to running
+/// SoftmaxRows on that block alone. Every row must include >= 1 column.
+Matrix MaskedSoftmaxRows(const Matrix& a, const Matrix& mask);
+
 /// Row-wise log-sum-exp: [m,1], numerically stable.
 Matrix LogSumExpRows(const Matrix& a);
 

@@ -56,6 +56,18 @@ void Ranker::ScoreWithSessionInto(const Batch& batch, const SessionGate* gate,
   ScoreInto(batch, gate, workspace, out);
 }
 
+void Ranker::ScoreSlateInto(const Batch& batch,
+                            std::span<const int64_t> slate_starts,
+                            InferenceWorkspace* workspace,
+                            std::span<float> out) {
+  (void)batch;
+  (void)slate_starts;
+  (void)workspace;
+  (void)out;
+  AWMOE_CHECK(false) << name()
+                     << " is pointwise (SupportsSlateScoring() == false)";
+}
+
 void CheckScoreIntoArgs(const Batch& batch,
                         const InferenceWorkspace* workspace,
                         size_t out_size) {

@@ -169,6 +169,32 @@ class Ranker {
                                     InferenceWorkspace* workspace,
                                     std::span<float> out);
 
+  // --- The slate-scoring (listwise) capability. ---
+
+  /// True when the model scores candidates JOINTLY: each row's logit
+  /// depends on the other rows of its slate (self-attention rerankers),
+  /// so the serving engine must (a) keep each request's rows atomic
+  /// within one forward — never split or interleaved with other
+  /// sessions' rows — and (b) bypass the level-1 session score cache,
+  /// whose order-insensitive candidate-set key assumes pointwise,
+  /// position-independent scores. Pointwise models return false and
+  /// keep today's row-fused micro-batching bitwise-unchanged.
+  virtual bool SupportsSlateScoring() const { return false; }
+
+  /// Scores a batch of whole slates into `out` (ranking logits, one per
+  /// batch row), graph- and allocation-free like ScoreInto.
+  /// `slate_starts` partitions the batch rows into contiguous slates:
+  /// slate_starts[0] == 0, ascending, slate i spanning
+  /// [slate_starts[i], slate_starts[i+1]) with the last ending at
+  /// batch.size. Attention runs strictly within each slate, so a
+  /// slate's scores are independent of which other slates share the
+  /// micro-batch (regression-tested). CHECK-fails when
+  /// SupportsSlateScoring() is false.
+  virtual void ScoreSlateInto(const Batch& batch,
+                              std::span<const int64_t> slate_starts,
+                              InferenceWorkspace* workspace,
+                              std::span<float> out);
+
   /// Deep copy: a new model with identical weights in disjoint storage,
   /// so the copy can run forwards concurrently with (and be retired
   /// independently of) the original. This is what lets the serving

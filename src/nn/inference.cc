@@ -481,6 +481,54 @@ void SoftmaxRowsInPlace(MatView a) {
   }
 }
 
+void MatMulViewInto(const ConstMatView& a, const ConstMatView& b,
+                    MatView out) {
+  AWMOE_CHECK(a.cols == b.rows)
+      << "MatMulViewInto: " << a.rows << "x" << a.cols << " * " << b.rows
+      << "x" << b.cols;
+  AWMOE_CHECK(out.rows == a.rows && out.cols == b.cols)
+      << "MatMulViewInto: out " << out.rows << "x" << out.cols;
+  const int64_t m = a.rows, k = a.cols, n = b.cols;
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* crow = out.row(i);
+    std::fill(crow, crow + n, 0.0f);
+    for (int64_t p = 0; p < k; ++p) {
+      const float aip = arow[p];
+      if (aip == 0.0f) continue;
+      const float* brow = b.row(p);
+      for (int64_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+    }
+  }
+}
+
+void MatMulNTViewInto(const ConstMatView& a, const ConstMatView& b,
+                      MatView out) {
+  AWMOE_CHECK(a.cols == b.cols)
+      << "MatMulNTViewInto: " << a.rows << "x" << a.cols << " * " << b.rows
+      << "x" << b.cols << "^T";
+  AWMOE_CHECK(out.rows == a.rows && out.cols == b.rows)
+      << "MatMulNTViewInto: out " << out.rows << "x" << out.cols;
+  const int64_t m = a.rows, k = a.cols, n = b.rows;
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* crow = out.row(i);
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b.row(j);
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  }
+}
+
+void ScaleInPlace(MatView a, float s) {
+  for (int64_t r = 0; r < a.rows; ++r) {
+    float* arow = a.row(r);
+    for (int64_t c = 0; c < a.cols; ++c) arow[c] = arow[c] * s;
+  }
+}
+
 void TopKMulInPlace(MatView a, int64_t k, InferenceArena* arena) {
   AWMOE_CHECK(k >= 1 && k <= a.cols)
       << "TopKMulInPlace: k=" << k << " cols=" << a.cols;

@@ -354,6 +354,23 @@ void DotRowsInto(const ConstMatView& a, const ConstMatView& b, MatView out);
 /// SoftmaxRows).
 void SoftmaxRowsInPlace(MatView a);
 
+/// out = a[m,k] * b[k,n] over views. Scalar-only (NOT tier-dispatched):
+/// zeroes `out`, then accumulates in the exact ikj order of kernels.cc
+/// MatMul, including its skip of zero `a` elements — the attention
+/// probs * V product of the listwise reranker, whose bitwise contract
+/// against the graph path holds at every tier because the slate core
+/// always runs these scalar kernels.
+void MatMulViewInto(const ConstMatView& a, const ConstMatView& b,
+                    MatView out);
+
+/// out = a[m,k] * b[n,k]^T over views (Q K^T). Scalar-only, mirroring
+/// kernels.cc MatMulTransB's i/j/p dot-product order bitwise.
+void MatMulNTViewInto(const ConstMatView& a, const ConstMatView& b,
+                      MatView out);
+
+/// a *= s elementwise (same per-element arithmetic as MulScalar).
+void ScaleInPlace(MatView a, float s);
+
 /// Multiplies each row by its top-k mask: entries among the k largest
 /// (ties broken by lower column index, matching TopKMaskRows) are
 /// multiplied by 1, the rest by 0 — a multiply, not an assignment, so

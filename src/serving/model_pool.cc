@@ -314,6 +314,9 @@ ModelSnapshot::ModelSnapshot(
   encoding_shareable_ =
       base->SupportsSessionEncodingReuse(meta) && encoding_width_ > 0;
   if (!encoding_shareable_) encoding_width_ = 0;
+  // Listwise capability, same publish-time pattern: the engine reads
+  // this flag to keep request slates atomic and bypass the score cache.
+  slate_scoring_ = base->SupportsSlateScoring();
 
   auto lane0 = std::make_unique<ReplicaLane>();
   lane0->model = base;

@@ -253,6 +253,12 @@ class ModelSnapshot {
   /// Width of one cached session-encoding row
   /// (SessionEncodingWidth() of the model; 0 when not shareable).
   int64_t encoding_width() const { return encoding_width_; }
+  /// True when the model scores SLATES jointly (SupportsSlateScoring at
+  /// publish time): the engine must keep each request's rows atomic in
+  /// one forward and must NOT serve level-1 cached scores — a cached
+  /// score was computed against a possibly different slate, so reusing
+  /// it would silently change the candidate's context.
+  bool slate_scoring() const { return slate_scoring_; }
 
   /// Lane 0's model — the registered/published instance itself.
   Ranker* primary() const { return lanes_[0]->model; }
@@ -279,6 +285,7 @@ class ModelSnapshot {
   int64_t gate_width_ = 0;
   bool encoding_shareable_ = false;
   int64_t encoding_width_ = 0;
+  bool slate_scoring_ = false;
   // unique_ptr elements: lanes hold a mutex and atomics, so they must
   // not move once handed out.
   std::vector<std::unique_ptr<ReplicaLane>> lanes_;

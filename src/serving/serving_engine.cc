@@ -124,7 +124,13 @@ void ServingEngine::ExecuteMicroBatch(const MicroBatch& micro,
   // collated and scored. Per-element CandidateScoreHash verification
   // inside Lookup makes a set-hash collision a miss, never a wrong
   // score.
-  const bool score_cache_on = options_.score_cache_capacity > 0;
+  // A slate-scoring model ranks each request's rows JOINTLY, so its
+  // level-1 cache entries would be wrong to reuse: a cached score was
+  // computed against one particular slate, and serving it to a repeat
+  // request would freeze the candidate's context. Bypass the cache
+  // entirely (no lookups, no puts) and score every request fresh.
+  const bool slate = snapshot.slate_scoring();
+  const bool score_cache_on = options_.score_cache_capacity > 0 && !slate;
   std::vector<int> score_lookup(n, -1);  // RequestSample encoding.
   std::vector<uint64_t> history_hash(n, 0);
   std::vector<uint64_t> set_hash(n, 0);
@@ -159,9 +165,12 @@ void ServingEngine::ExecuteMicroBatch(const MicroBatch& micro,
     if (score_lookup[i] != 1) miss.push_back(i);
   }
 
-  const bool shared = options_.share_gate && snapshot.gate_shareable();
-  const bool encode =
-      options_.share_session_encoding && snapshot.encoding_shareable();
+  // Gate/encoding sharing is a pointwise-path optimisation; a slate
+  // forward goes through ScoreSlateInto, which takes neither.
+  const bool shared =
+      options_.share_gate && snapshot.gate_shareable() && !slate;
+  const bool encode = options_.share_session_encoding &&
+                      snapshot.encoding_shareable() && !slate;
   std::vector<bool> cache_hit(n, false);       // Gate-cache outcome.
   std::vector<int> encoding_lookup(n, -1);     // RequestSample encoding.
   // Logits of the MISS portion land here straight from the model — the
@@ -262,6 +271,7 @@ void ServingEngine::ExecuteMicroBatch(const MicroBatch& micro,
       }
     }
 
+    Stopwatch rerank_watch;  // Slate-stage latency (slate models only).
     {
       // One lane critical section for probes + main forward: all touch
       // this replica's model state and workspace. Other replicas of the
@@ -354,9 +364,31 @@ void ServingEngine::ExecuteMicroBatch(const MicroBatch& micro,
         }
         encoding = SessionEncoding{enc_rows.data(), batch.size, enc_width};
       }
-      lane.model->ScoreWithSessionInto(batch, shared ? &gate : nullptr,
-                                       encode ? &encoding : nullptr,
-                                       workspace, logits_span);
+      if (slate) {
+        // Collation inserted each request's items as one contiguous
+        // block, so logits_row IS the slate-starts vector: one slate
+        // per request, whole and in request order. The request is the
+        // atomicity unit — a micro-batch may carry many requests, but
+        // no request's rows are ever split across forwards or
+        // interleaved with another's, so every candidate attends over
+        // exactly its own slate regardless of batch composition.
+        lane.model->ScoreSlateInto(batch, logits_row, workspace,
+                                   logits_span);
+      } else {
+        lane.model->ScoreWithSessionInto(batch, shared ? &gate : nullptr,
+                                         encode ? &encoding : nullptr,
+                                         workspace, logits_span);
+      }
+    }
+    if (slate) {
+      // Slate-occupancy histogram + rerank-stage latency (the lane
+      // critical section above), one stats lock for the micro-batch.
+      std::vector<int64_t> slate_sizes(m);
+      for (size_t k = 0; k < m; ++k) {
+        slate_sizes[k] = static_cast<int64_t>(
+            requests[micro.request_indices[miss[k]]].items.size());
+      }
+      stats_.RecordSlateBatch(slate_sizes, rerank_watch.ElapsedMillis());
     }
 
     // One vectorised pass over the miss logits (in place; per-element

@@ -188,6 +188,25 @@ void ServingStats::RecordLeaseLocked(const LeaseSample& lease) {
   ++lanes[static_cast<size_t>(lease.replica)];
 }
 
+void ServingStats::RecordSlateBatch(std::span<const int64_t> slate_sizes,
+                                    double rerank_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int64_t size : slate_sizes) {
+    ++slates_;
+    slate_items_ += size;
+    if (size <= 10) {
+      ++slates_le10_;
+    } else if (size <= 25) {
+      ++slates_le25_;
+    } else if (size <= 50) {
+      ++slates_le50_;
+    } else {
+      ++slates_gt50_;
+    }
+  }
+  AppendSplitSampleLocked(&rerank_samples_ms_, &rerank_count_, rerank_ms);
+}
+
 void ServingStats::RecordVersionSample(const std::string& model,
                                        int64_t version, double latency_ms,
                                        bool ok) {
@@ -419,6 +438,16 @@ int64_t ServingStats::max_active_lanes() const {
   return max_active_lanes_;
 }
 
+int64_t ServingStats::slates() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slates_;
+}
+
+int64_t ServingStats::slate_items() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slate_items_;
+}
+
 double ServingStats::MeanSessionLatencyMs() const {
   std::lock_guard<std::mutex> lock(mu_);
   return requests_ == 0 ? 0.0 : total_ms_ / static_cast<double>(requests_);
@@ -439,6 +468,7 @@ ServingStatsSnapshot ServingStats::Snapshot() const {
   std::vector<double> sorted;
   std::vector<double> score_hit_sorted;
   std::vector<double> score_miss_sorted;
+  std::vector<double> rerank_sorted;
   std::map<std::pair<std::string, int64_t>, HealthWindow> health;
   double elapsed = 0.0;
   {
@@ -482,6 +512,17 @@ ServingStatsSnapshot ServingStats::Snapshot() const {
     snap.gate_cache_bytes = merged_gate_cache_bytes_;
     score_hit_sorted = score_hit_samples_ms_;
     score_miss_sorted = score_miss_samples_ms_;
+    snap.slates = slates_;
+    snap.slate_items = slate_items_;
+    if (slates_ > 0) {
+      snap.mean_slate_items =
+          static_cast<double>(slate_items_) / static_cast<double>(slates_);
+    }
+    snap.slates_le10 = slates_le10_;
+    snap.slates_le25 = slates_le25_;
+    snap.slates_le50 = slates_le50_;
+    snap.slates_gt50 = slates_gt50_;
+    rerank_sorted = rerank_samples_ms_;
     snap.snapshot_leases = snapshot_leases_;
     if (snapshot_leases_ > 0) {
       snap.mean_active_lanes = static_cast<double>(active_lanes_total_) /
@@ -527,6 +568,11 @@ ServingStatsSnapshot ServingStats::Snapshot() const {
     snap.score_miss_p50_ms = NearestRank(score_miss_sorted, 50.0);
     snap.score_miss_p99_ms = NearestRank(score_miss_sorted, 99.0);
   }
+  std::sort(rerank_sorted.begin(), rerank_sorted.end());
+  if (!rerank_sorted.empty()) {
+    snap.rerank_p50_ms = NearestRank(rerank_sorted, 50.0);
+    snap.rerank_p99_ms = NearestRank(rerank_sorted, 99.0);
+  }
   snap.wall_seconds = elapsed;
   if (elapsed > 0.0) {
     snap.qps = static_cast<double>(snap.requests) / elapsed;
@@ -534,6 +580,7 @@ ServingStatsSnapshot ServingStats::Snapshot() const {
   snap.samples_ms = std::move(sorted);
   snap.score_hit_samples_ms = std::move(score_hit_sorted);
   snap.score_miss_samples_ms = std::move(score_miss_sorted);
+  snap.rerank_samples_ms = std::move(rerank_sorted);
   return snap;
 }
 
@@ -576,6 +623,18 @@ void ServingStats::MergeFrom(const ServingStatsSnapshot& other) {
                                 other.score_miss_samples_ms.end());
   score_miss_count_ +=
       static_cast<int64_t>(other.score_miss_samples_ms.size());
+  // Slate counters sum exactly; the rerank reservoir pools like the
+  // score-cache split ones (exact union under kMaxSamples per source).
+  slates_ += other.slates;
+  slate_items_ += other.slate_items;
+  slates_le10_ += other.slates_le10;
+  slates_le25_ += other.slates_le25;
+  slates_le50_ += other.slates_le50;
+  slates_gt50_ += other.slates_gt50;
+  rerank_samples_ms_.insert(rerank_samples_ms_.end(),
+                            other.rerank_samples_ms.begin(),
+                            other.rerank_samples_ms.end());
+  rerank_count_ += static_cast<int64_t>(other.rerank_samples_ms.size());
   snapshot_leases_ += other.snapshot_leases;
   active_lanes_total_ += other.active_lanes_total;
   max_active_lanes_ = std::max(max_active_lanes_, other.max_active_lanes);
@@ -636,6 +695,14 @@ void ServingStats::Reset() {
   score_hit_count_ = 0;
   score_miss_samples_ms_.clear();
   score_miss_count_ = 0;
+  slates_ = 0;
+  slate_items_ = 0;
+  slates_le10_ = 0;
+  slates_le25_ = 0;
+  slates_le50_ = 0;
+  slates_gt50_ = 0;
+  rerank_samples_ms_.clear();
+  rerank_count_ = 0;
   merged_score_cache_entries_ = 0;
   merged_score_cache_bytes_ = 0;
   merged_encoding_cache_entries_ = 0;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -117,6 +118,27 @@ struct ServingStatsSnapshot {
   int64_t encoding_cache_bytes = 0;
   int64_t gate_cache_entries = 0;
   int64_t gate_cache_bytes = 0;
+
+  /// Slate-scoring (listwise) accounting: slates rerank-scored, their
+  /// total candidate count, and a size-occupancy histogram (slate
+  /// length <= 10 / <= 25 / <= 50 / > 50 candidates). All counters sum
+  /// exactly through MergeFrom, so a fleet sink reports fleet-wide
+  /// slate load.
+  int64_t slates = 0;
+  int64_t slate_items = 0;
+  double mean_slate_items = 0.0;
+  int64_t slates_le10 = 0;
+  int64_t slates_le25 = 0;
+  int64_t slates_le50 = 0;
+  int64_t slates_gt50 = 0;
+
+  /// Rerank-stage latency: one sample per slate-scoring forward pass
+  /// (the lane critical section of a slate micro-batch — collation and
+  /// response fan-out excluded). Percentiles come from the carried
+  /// reservoir below, pooled exactly by MergeFrom like the others.
+  double rerank_p50_ms = 0.0;
+  double rerank_p99_ms = 0.0;
+  std::vector<double> rerank_samples_ms;
 
   /// Replica-lane accounting: one lease is acquired per executed
   /// micro-batch. `mean/max_active_lanes` sample, at each acquire, how
@@ -248,6 +270,14 @@ class ServingStats {
   /// Records one snapshot+replica lease (one per executed micro-batch).
   void RecordLease(const LeaseSample& lease);
 
+  /// Records the rerank stage of one slate-scoring micro-batch: one
+  /// size-histogram entry per slate in `slate_sizes` (the per-request
+  /// candidate counts the forward scored atomically) plus the stage's
+  /// forward latency into the rerank reservoir. One lock acquisition
+  /// for the whole micro-batch, like RecordMicroBatch.
+  void RecordSlateBatch(std::span<const int64_t> slate_sizes,
+                        double rerank_ms);
+
   /// Records one request outcome into `(model, version)`'s health
   /// window: `ok` requests contribute their latency to the sliding
   /// percentile window, failed ones count toward the error rate the
@@ -338,6 +368,8 @@ class ServingStats {
   int64_t encoding_cache_invalidations() const;
   int64_t snapshot_leases() const;
   int64_t max_active_lanes() const;
+  int64_t slates() const;
+  int64_t slate_items() const;
 
   ServingStatsSnapshot Snapshot() const;
 
@@ -440,6 +472,17 @@ class ServingStats {
   int64_t merged_encoding_cache_bytes_ = 0;
   int64_t merged_gate_cache_entries_ = 0;
   int64_t merged_gate_cache_bytes_ = 0;
+  /// Slate-scoring counters and the rerank-stage latency reservoir
+  /// (capped at kMaxSamples with its own lifetime count, like the
+  /// score-cache split reservoirs).
+  int64_t slates_ = 0;
+  int64_t slate_items_ = 0;
+  int64_t slates_le10_ = 0;
+  int64_t slates_le25_ = 0;
+  int64_t slates_le50_ = 0;
+  int64_t slates_gt50_ = 0;
+  std::vector<double> rerank_samples_ms_;
+  int64_t rerank_count_ = 0;
   int64_t snapshot_leases_ = 0;
   int64_t active_lanes_total_ = 0;  // Sum of per-lease samples; mean numerator.
   int64_t max_active_lanes_ = 0;

@@ -1,0 +1,84 @@
+#include "serving/two_stage.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace awmoe {
+
+TwoStageRanker::TwoStageRanker(ServingEngine* engine, TwoStageOptions options)
+    : engine_(engine), options_(std::move(options)) {
+  AWMOE_CHECK(engine_ != nullptr) << "TwoStageRanker: null engine";
+  AWMOE_CHECK(options_.top_k > 0) << "TwoStageRanker: top_k "
+                                  << options_.top_k;
+}
+
+TwoStageResult TwoStageRanker::Rank(const RankRequest& request) {
+  TwoStageResult result;
+  const size_t n = request.items.size();
+
+  // Stage 1: pointwise retrieval over the full candidate set.
+  Stopwatch retrieve_watch;
+  RankRequest retrieve = request;
+  retrieve.model = options_.retrieval_model;
+  RankResponse stage1 = engine_->Rank(retrieve);
+  result.retrieve_ms = retrieve_watch.ElapsedMillis();
+  if (!stage1.status.ok()) {
+    result.status = stage1.status;
+    return result;
+  }
+  result.retrieval_scores = stage1.scores;
+
+  // Top-K selection, stable: descending retrieval score, ties by
+  // ascending item index, so the slate order (= position embedding
+  // input) is a deterministic function of the scores alone.
+  std::vector<size_t> by_retrieval(n);
+  std::iota(by_retrieval.begin(), by_retrieval.end(), size_t{0});
+  std::stable_sort(by_retrieval.begin(), by_retrieval.end(),
+                   [&](size_t a, size_t b) {
+                     return result.retrieval_scores[a] >
+                            result.retrieval_scores[b];
+                   });
+  const size_t k = std::min(static_cast<size_t>(options_.top_k), n);
+  result.slate.assign(by_retrieval.begin(), by_retrieval.begin() + k);
+
+  // Stage 2: the slate through the listwise model, one request = one
+  // slate (the engine keeps it atomic in a single forward).
+  Stopwatch rerank_watch;
+  RankRequest rerank;
+  rerank.session_id = request.session_id;
+  rerank.model = options_.rerank_model;
+  rerank.arm_policy = request.arm_policy;
+  rerank.deadline_ms = request.deadline_ms;
+  rerank.items.reserve(k);
+  for (size_t idx : result.slate) rerank.items.push_back(request.items[idx]);
+  RankResponse stage2 = engine_->Rank(rerank);
+  result.rerank_ms = rerank_watch.ElapsedMillis();
+  if (!stage2.status.ok()) {
+    result.status = stage2.status;
+    result.retrieval_scores.clear();
+    result.slate.clear();
+    return result;
+  }
+  result.rerank_scores = stage2.scores;
+
+  // Blend: slate members get 1 + rerank score (both stages emit
+  // sigmoids in (0, 1), so every slate member outranks every
+  // non-member), the tail keeps its retrieval score.
+  result.final_scores = result.retrieval_scores;
+  for (size_t j = 0; j < k; ++j) {
+    result.final_scores[result.slate[j]] = 1.0 + result.rerank_scores[j];
+  }
+  result.ranking.resize(n);
+  std::iota(result.ranking.begin(), result.ranking.end(), size_t{0});
+  std::stable_sort(result.ranking.begin(), result.ranking.end(),
+                   [&](size_t a, size_t b) {
+                     return result.final_scores[a] > result.final_scores[b];
+                   });
+  return result;
+}
+
+}  // namespace awmoe

@@ -1,6 +1,7 @@
 #include "autograd/ops.h"
 
 #include <cmath>
+#include <functional>
 
 #include <gtest/gtest.h>
 
@@ -169,6 +170,138 @@ TEST(OpsTest, LogSumExpRowsForward) {
   float expected =
       std::log(std::exp(1.0f) + std::exp(2.0f) + std::exp(3.0f));
   EXPECT_NEAR(ag::LogSumExpRows(a).value()(0, 0), expected, 1e-5f);
+}
+
+/// Central-difference gradient check of `leaf` through `forward` (a
+/// scalar-loss graph builder over the same leaf). Rebuilds the graph per
+/// perturbation; `forward` must be pure in the leaf's current value.
+void CheckGradFiniteDifference(Var leaf, const std::function<Var()>& forward,
+                               float tol) {
+  leaf.ZeroGrad();  // Backward accumulates; a prior check must not leak in.
+  Var loss = forward();
+  loss.Backward();
+  ASSERT_TRUE(leaf.has_grad());
+  const Matrix grad = leaf.grad();
+  const float eps = 1e-2f;
+  float* data = leaf.mutable_value().data();
+  for (int64_t i = 0; i < leaf.value().size(); ++i) {
+    const float orig = data[i];
+    data[i] = orig + eps;
+    const float up = forward().value()(0, 0);
+    data[i] = orig - eps;
+    const float down = forward().value()(0, 0);
+    data[i] = orig;
+    const float want = (up - down) / (2.0f * eps);
+    EXPECT_NEAR(grad.data()[i], want, tol) << "entry " << i;
+  }
+}
+
+TEST(OpsTest, MatMulNTForwardMatchesRowDots) {
+  Rng rng(21);
+  Var a = RandomVar(3, 4, &rng, false);
+  Var b = RandomVar(5, 4, &rng, false);
+  Matrix got = ag::MatMulNT(a, b).value();
+  ASSERT_EQ(got.rows(), 3);
+  ASSERT_EQ(got.cols(), 5);
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 5; ++j) {
+      float want = 0.0f;
+      for (int64_t p = 0; p < 4; ++p) {
+        want += a.value()(i, p) * b.value()(j, p);
+      }
+      EXPECT_NEAR(got(i, j), want, 1e-5f);
+    }
+  }
+}
+
+TEST(OpsTest, MatMulNTBackwardFiniteDifference) {
+  Rng rng(22);
+  Var a = RandomVar(3, 4, &rng, true);
+  Var b = RandomVar(5, 4, &rng, true);
+  // Random fixed weights make the loss sensitive to every entry with a
+  // distinct coefficient, so a transposed gradient cannot pass.
+  Var w = RandomVar(3, 5, &rng, false);
+  const auto forward = [&] { return ag::SumAll(ag::Mul(ag::MatMulNT(a, b), w)); };
+  CheckGradFiniteDifference(a, forward, 5e-2f);
+  CheckGradFiniteDifference(b, forward, 5e-2f);
+}
+
+TEST(OpsTest, MaskedSoftmaxRowsMatchesBlockSoftmaxBitwise) {
+  // A row whose included columns form a contiguous block must equal
+  // SoftmaxRows run on that block alone, bit for bit — the property the
+  // listwise reranker's graph-vs-workspace equality rests on.
+  Rng rng(23);
+  Var a = RandomVar(2, 5, &rng, false);
+  Matrix mask(2, 5);
+  for (int64_t c = 1; c <= 3; ++c) mask(0, c) = 1.0f;  // Row 0: cols 1..3.
+  for (int64_t c = 0; c <= 4; ++c) mask(1, c) = 1.0f;  // Row 1: all.
+  Matrix got = ag::MaskedSoftmaxRows(a, mask).value();
+
+  Matrix block0(1, 3);
+  for (int64_t c = 0; c < 3; ++c) block0(0, c) = a.value()(0, c + 1);
+  Matrix want0 = SoftmaxRows(block0);
+  EXPECT_EQ(got(0, 0), 0.0f);
+  EXPECT_EQ(got(0, 4), 0.0f);
+  for (int64_t c = 0; c < 3; ++c) EXPECT_EQ(got(0, c + 1), want0(0, c));
+
+  Matrix row1(1, 5);
+  for (int64_t c = 0; c < 5; ++c) row1(0, c) = a.value()(1, c);
+  Matrix want1 = SoftmaxRows(row1);
+  for (int64_t c = 0; c < 5; ++c) EXPECT_EQ(got(1, c), want1(0, c));
+}
+
+TEST(OpsTest, MaskedSoftmaxRowsBackwardFiniteDifference) {
+  Rng rng(24);
+  Var a = RandomVar(2, 4, &rng, true);
+  Matrix mask(2, 4);
+  for (int64_t c = 0; c <= 2; ++c) mask(0, c) = 1.0f;
+  for (int64_t c = 1; c <= 3; ++c) mask(1, c) = 1.0f;
+  Var w = RandomVar(2, 4, &rng, false);
+  CheckGradFiniteDifference(
+      a, [&] { return ag::SumAll(ag::Mul(ag::MaskedSoftmaxRows(a, mask), w)); },
+      5e-2f);
+}
+
+TEST(OpsTest, ListwiseSoftmaxCrossEntropyValue) {
+  // One slate of three, single positive at row 1: loss is -log p_1.
+  Var logits(Matrix::FromVector(3, 1, {1.0f, 2.0f, 0.5f}));
+  Matrix targets = Matrix::FromVector(3, 1, {0.0f, 1.0f, 0.0f});
+  Var loss =
+      ag::ListwiseSoftmaxCrossEntropy(logits, targets, {0});
+  const double denom =
+      std::exp(1.0 - 2.0) + std::exp(2.0 - 2.0) + std::exp(0.5 - 2.0);
+  EXPECT_NEAR(loss.value()(0, 0), std::log(denom), 1e-5f);
+}
+
+TEST(OpsTest, ListwiseSoftmaxCrossEntropySkipsSlatesWithoutPositives) {
+  // Second slate has no positive: it contributes neither loss nor count.
+  Var logits(Matrix::FromVector(4, 1, {1.0f, 2.0f, 3.0f, -1.0f}));
+  Matrix targets = Matrix::FromVector(4, 1, {0.0f, 1.0f, 0.0f, 0.0f});
+  Var with_empty =
+      ag::ListwiseSoftmaxCrossEntropy(logits, targets, {0, 2});
+  Var first_only = ag::ListwiseSoftmaxCrossEntropy(
+      Var(Matrix::FromVector(2, 1, {1.0f, 2.0f})),
+      Matrix::FromVector(2, 1, {0.0f, 1.0f}), {0});
+  EXPECT_NEAR(with_empty.value()(0, 0), first_only.value()(0, 0), 1e-6f);
+
+  // No slate has a positive anywhere: the loss is exactly zero.
+  Matrix all_negative(4, 1);
+  Var empty_loss = ag::ListwiseSoftmaxCrossEntropy(
+      Var(Matrix::FromVector(4, 1, {1.0f, 2.0f, 3.0f, -1.0f})), all_negative,
+      {0, 2});
+  EXPECT_EQ(empty_loss.value()(0, 0), 0.0f);
+}
+
+TEST(OpsTest, ListwiseSoftmaxCrossEntropyBackwardFiniteDifference) {
+  Rng rng(25);
+  Var logits = RandomVar(7, 1, &rng, true);
+  Matrix targets = Matrix::FromVector(7, 1,
+                                      {1.0f, 0.0f, 0.0f,    // Slate 0.
+                                       0.0f, 1.0f, 1.0f, 0.0f});  // Slate 1.
+  CheckGradFiniteDifference(
+      logits,
+      [&] { return ag::ListwiseSoftmaxCrossEntropy(logits, targets, {0, 3}); },
+      5e-2f);
 }
 
 TEST(OpsTest, InferenceUnderNoGradBuildsNoGraph) {
