@@ -167,7 +167,8 @@ EpochStats ParallelTrainer::TrainEpoch(const std::vector<Example>& train,
   Stopwatch watch;
   EpochStats stats;
   BatchIterator it(&train, meta, config_.base.batch_size, standardizer,
-                   &shuffle_rng_, model_->SupportsSlateScoring());
+                   &shuffle_rng_, model_->SupportsSlateScoring(),
+                   model_->MaxSlateItems());
   Batch batch;
   double rank_total = 0.0, cl_total = 0.0;
   bool exhausted = false;

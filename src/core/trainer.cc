@@ -31,10 +31,15 @@ Var BuildTrainingLoss(Ranker* model, const Batch& batch,
   Var loss;
   if (model->SupportsSlateScoring()) {
     // Listwise models rank a slate against itself: ListNet softmax
-    // cross-entropy per session run. Requires the iterator's
-    // group_by_session mode so slates arrive whole.
-    std::vector<int64_t> starts;
-    SlateStartsFromBatch(batch, &starts);
+    // cross-entropy per slate. Requires the iterator's group_by_session
+    // mode so slates arrive whole; the iterator's explicit group
+    // boundaries are the slate identity (sub-slates of a split
+    // oversized session, duplicate session-id runs), with the
+    // session-run derivation as the fallback for hand-built batches.
+    std::vector<int64_t> derived;
+    if (batch.slate_starts.empty()) SlateStartsFromBatch(batch, &derived);
+    const std::vector<int64_t>& starts =
+        batch.slate_starts.empty() ? derived : batch.slate_starts;
     loss = ag::ListwiseSoftmaxCrossEntropy(logits, batch.labels, starts);
   } else {
     loss = ag::BceWithLogitsLoss(logits, batch.labels);
@@ -74,7 +79,8 @@ EpochStats Trainer::TrainEpoch(const std::vector<Example>& train,
   Stopwatch watch;
   EpochStats stats;
   BatchIterator it(&train, meta, config_.batch_size, standardizer,
-                   &shuffle_rng_, model_->SupportsSlateScoring());
+                   &shuffle_rng_, model_->SupportsSlateScoring(),
+                   model_->MaxSlateItems());
   Batch batch;
   double rank_total = 0.0, cl_total = 0.0;
   while (it.Next(&batch)) {
@@ -126,7 +132,8 @@ std::vector<double> Predict(Ranker* model,
   std::vector<double> scores;
   scores.reserve(examples.size());
   BatchIterator it(&examples, meta, batch_size, standardizer,
-                   /*rng=*/nullptr, model->SupportsSlateScoring());
+                   /*rng=*/nullptr, model->SupportsSlateScoring(),
+                   model->MaxSlateItems());
   Batch batch;
   while (it.Next(&batch)) {
     Matrix probs = Sigmoid(model->ForwardLogits(batch).value());

@@ -128,7 +128,7 @@ Batch CollateBatch(const std::vector<const Example*>& examples,
 BatchIterator::BatchIterator(const std::vector<Example>* data,
                              const DatasetMeta& meta, int64_t batch_size,
                              const Standardizer* standardizer, Rng* rng,
-                             bool group_by_session)
+                             bool group_by_session, int64_t max_group_rows)
     : data_(data),
       meta_(meta),
       batch_size_(batch_size),
@@ -136,6 +136,7 @@ BatchIterator::BatchIterator(const std::vector<Example>* data,
       rng_(rng),
       group_by_session_(group_by_session) {
   AWMOE_CHECK(batch_size_ > 0) << "batch_size=" << batch_size_;
+  AWMOE_CHECK(max_group_rows >= 0) << "max_group_rows=" << max_group_rows;
   AWMOE_CHECK(data_ != nullptr);
   if (group_by_session_) {
     const int64_t n = static_cast<int64_t>(data_->size());
@@ -144,6 +145,15 @@ BatchIterator::BatchIterator(const std::vector<Example>* data,
       if (i == n ||
           (*data_)[static_cast<size_t>(i)].session_id !=
               (*data_)[static_cast<size_t>(i - 1)].session_id) {
+        // A run longer than max_group_rows becomes consecutive chunk
+        // groups of at most that many rows: each chunk is its own slate
+        // (Next emits group boundaries as Batch::slate_starts), so a
+        // long session trains as sub-slates instead of aborting on the
+        // model's slate-length cap.
+        while (max_group_rows > 0 && i - begin > max_group_rows) {
+          groups_.emplace_back(begin, begin + max_group_rows);
+          begin += max_group_rows;
+        }
         groups_.emplace_back(begin, i);
         begin = i;
       }
@@ -190,16 +200,23 @@ bool BatchIterator::Next(Batch* out) {
                         : static_cast<int64_t>(data_->size());
   if (cursor_ >= total) return false;
   std::vector<const Example*> slice;
+  std::vector<int64_t> slate_starts;
   if (group_by_session_) {
-    // Pack whole sessions until the next one would overflow batch_size
-    // (the first session of a batch always fits by fiat, so oversized
-    // sessions still get served — as their own batch).
+    // Pack whole groups until the next one would overflow batch_size
+    // (the first group of a batch always fits by fiat, so a group
+    // larger than batch_size still gets served — as its own batch).
+    // Group boundaries are recorded as the batch's slate starts: slate
+    // identity comes from the GROUPING, not from comparing adjacent
+    // session ids, so two chunks of one split oversized session — or
+    // two non-contiguous runs of a duplicated session id — stay
+    // distinct slates even when the shuffle lands them adjacent.
     int64_t i = cursor_;
     int64_t rows = 0;
     while (i < total) {
       const auto& group = groups_[static_cast<size_t>(order_[i])];
       const int64_t len = group.second - group.first;
       if (rows > 0 && rows + len > batch_size_) break;
+      slate_starts.push_back(rows);
       for (int64_t r = group.first; r < group.second; ++r) {
         slice.push_back(&(*data_)[static_cast<size_t>(r)]);
       }
@@ -216,6 +233,7 @@ bool BatchIterator::Next(Batch* out) {
     cursor_ = end;
   }
   *out = CollateBatch(slice, meta_, standardizer_);
+  out->slate_starts = std::move(slate_starts);
   return true;
 }
 

@@ -51,10 +51,20 @@ class BatchIterator {
   /// larger than batch_size forms its own batch), and shuffling permutes
   /// sessions, not rows. Slate-scoring models (listwise rerankers) and
   /// the listwise loss require this — a slate split across batches would
-  /// attend over a truncated candidate set.
+  /// attend over a truncated candidate set. In grouping mode each
+  /// emitted batch carries its group boundaries in `Batch::slate_starts`
+  /// (the authoritative slate identity — see the field's comment).
+  ///
+  /// `max_group_rows` (grouping mode only; 0 = unlimited) caps one
+  /// group's rows: a session run longer than the cap is SPLIT into
+  /// consecutive sub-slates of at most `max_group_rows` rows instead of
+  /// crashing the epoch. Listwise training passes the model's
+  /// MaxSlateItems() so no slate ever exceeds the position table; the
+  /// split costs only cross-sub-slate attention, never training rows.
   BatchIterator(const std::vector<Example>* data, const DatasetMeta& meta,
                 int64_t batch_size, const Standardizer* standardizer,
-                Rng* rng, bool group_by_session = false);
+                Rng* rng, bool group_by_session = false,
+                int64_t max_group_rows = 0);
 
   /// Fills `out` with the next batch; returns false at epoch end (call
   /// Reset to start the next epoch).

@@ -141,6 +141,18 @@ struct Batch {
   std::vector<int64_t> user_ids;
   std::vector<UserGroup> user_groups;
 
+  /// Explicit slate boundaries for listwise consumers: first-row index
+  /// of each slate, ascending from 0 (same contract as the
+  /// `slate_starts` argument of Ranker::ScoreSlateInto). Filled by
+  /// BatchIterator in group-by-session mode from its GROUP boundaries —
+  /// authoritative where set, because groups need not coincide with
+  /// session-id runs (an oversized session is split into sub-slates,
+  /// and a dataset with non-contiguous duplicate session ids keeps each
+  /// run a distinct slate even if shuffling lands two runs adjacent).
+  /// Empty when the producer tracked no slates; consumers then fall
+  /// back to deriving runs via SlateStartsFromBatch.
+  std::vector<int64_t> slate_starts;
+
   /// Ids at sequence position `j` across the batch: [size] values.
   std::vector<int64_t> BehaviorColumn(const std::vector<int64_t>& field,
                                       int64_t j) const;

@@ -82,8 +82,14 @@ ListwiseReranker::ListwiseReranker(const DatasetMeta& meta,
 
 Var ListwiseReranker::ForwardLogits(const Batch& batch) {
   AWMOE_CHECK(batch.size > 0) << "ForwardLogits on empty batch";
-  std::vector<int64_t> starts;
-  SlateStartsFromBatch(batch, &starts);
+  // Slate identity: the batch's explicit group boundaries when the
+  // producer tracked them (the grouping BatchIterator sets them, with
+  // oversized sessions pre-split to the slate cap), else derived from
+  // contiguous session-id runs.
+  std::vector<int64_t> derived;
+  if (batch.slate_starts.empty()) SlateStartsFromBatch(batch, &derived);
+  const std::vector<int64_t>& starts =
+      batch.slate_starts.empty() ? derived : batch.slate_starts;
   CheckSlateStarts(starts, batch.size, ldims_.max_slate_len);
 
   // Per-row slate rank + the block-diagonal attention mask (exact 0/1;
@@ -201,6 +207,11 @@ void ListwiseReranker::ScoreInto(const Batch& batch, const SessionGate* gate,
                                  InferenceWorkspace* workspace,
                                  std::span<float> out) {
   AWMOE_CHECK(gate == nullptr) << "Listwise-Attn has no session gate";
+  if (!batch.slate_starts.empty()) {
+    ScoreSlateInto(batch, std::span<const int64_t>(batch.slate_starts),
+                   workspace, out);
+    return;
+  }
   // Reused across calls (thread-local: workspaces are lane-serialised
   // but one model may score on several lanes at once), so the steady
   // state stays allocation-free.

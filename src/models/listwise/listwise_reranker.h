@@ -39,7 +39,12 @@ struct ListwiseDims {
 /// slate per contiguous run of equal session_id, in batch order.
 /// Appends each run's first row index to `starts` (cleared first;
 /// capacity is reused, so a warmed vector allocates nothing). An empty
-/// batch yields an empty vector.
+/// batch yields an empty vector. FALLBACK ONLY: when the batch carries
+/// explicit `Batch::slate_starts` (the grouping BatchIterator always
+/// sets them), those are authoritative — run derivation cannot tell
+/// apart two adjacent slates that happen to share a session id (a
+/// split oversized session, or non-contiguous duplicate ids the
+/// shuffle made adjacent) and would silently merge them.
 void SlateStartsFromBatch(const Batch& batch, std::vector<int64_t>* starts);
 
 /// The listwise context-aware reranker (ROADMAP item 4): scores every
@@ -73,6 +78,7 @@ class ListwiseReranker : public Ranker {
   std::unique_ptr<Ranker> Clone() const override;
 
   bool SupportsSlateScoring() const override { return true; }
+  int64_t MaxSlateItems() const override { return ldims_.max_slate_len; }
   void ScoreSlateInto(const Batch& batch,
                       std::span<const int64_t> slate_starts,
                       InferenceWorkspace* workspace,

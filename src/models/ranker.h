@@ -181,6 +181,15 @@ class Ranker {
   /// keep today's row-fused micro-batching bitwise-unchanged.
   virtual bool SupportsSlateScoring() const { return false; }
 
+  /// Hard cap on one slate's length for slate-scoring models (the
+  /// position-embedding table size): ScoreSlateInto CHECK-fails on a
+  /// longer slate, so callers must never build one. The serving engine
+  /// reads this at publish time and REJECTS oversized requests with
+  /// kInvalidArgument at admission; the training batcher splits longer
+  /// sessions into sub-slates of at most this many rows. 0 = unlimited
+  /// (pointwise models, which have no slate notion, return 0).
+  virtual int64_t MaxSlateItems() const { return 0; }
+
   /// Scores a batch of whole slates into `out` (ranking logits, one per
   /// batch row), graph- and allocation-free like ScoreInto.
   /// `slate_starts` partitions the batch rows into contiguous slates:

@@ -317,6 +317,7 @@ ModelSnapshot::ModelSnapshot(
   // Listwise capability, same publish-time pattern: the engine reads
   // this flag to keep request slates atomic and bypass the score cache.
   slate_scoring_ = base->SupportsSlateScoring();
+  max_slate_items_ = slate_scoring_ ? base->MaxSlateItems() : 0;
 
   auto lane0 = std::make_unique<ReplicaLane>();
   lane0->model = base;

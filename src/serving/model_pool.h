@@ -259,6 +259,12 @@ class ModelSnapshot {
   /// score was computed against a possibly different slate, so reusing
   /// it would silently change the candidate's context.
   bool slate_scoring() const { return slate_scoring_; }
+  /// Hard per-slate length cap of a slate-scoring model
+  /// (Ranker::MaxSlateItems at publish time; 0 when pointwise or
+  /// unlimited). The engine's ADMISSION check: a request with more
+  /// candidates than this is rejected with kInvalidArgument instead of
+  /// reaching a forward that CHECK-fails on it.
+  int64_t max_slate_items() const { return max_slate_items_; }
 
   /// Lane 0's model — the registered/published instance itself.
   Ranker* primary() const { return lanes_[0]->model; }
@@ -286,6 +292,7 @@ class ModelSnapshot {
   bool encoding_shareable_ = false;
   int64_t encoding_width_ = 0;
   bool slate_scoring_ = false;
+  int64_t max_slate_items_ = 0;
   // unique_ptr elements: lanes hold a mutex and atomics, so they must
   // not move once handed out.
   std::vector<std::unique_ptr<ReplicaLane>> lanes_;

@@ -49,8 +49,11 @@ struct RankResponse {
   /// OK when `scores` is valid. The async `Submit` front resolves
   /// futures with a non-OK status instead of scores when a request is
   /// rejected (queue full -> kResourceExhausted, empty candidate list
-  /// -> kInvalidArgument) or abandoned (engine stopped without drain ->
-  /// kUnavailable). The synchronous path never returns non-OK.
+  /// or a slate longer than a slate-scoring model's max slate length ->
+  /// kInvalidArgument) or abandoned (engine stopped without drain ->
+  /// kUnavailable). The synchronous path returns non-OK only for the
+  /// oversized-slate rejection (`scores` stays empty); its other client
+  /// errors CHECK-fail as before.
   Status status;
   int64_t session_id = 0;
   /// Resolved model name (never empty).

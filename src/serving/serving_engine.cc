@@ -131,6 +131,23 @@ void ServingEngine::ExecuteMicroBatch(const MicroBatch& micro,
   // entirely (no lookups, no puts) and score every request fresh.
   const bool slate = snapshot.slate_scoring();
   const bool score_cache_on = options_.score_cache_capacity > 0 && !slate;
+
+  // Slate-length admission backstop against the PINNED snapshot.
+  // RankBatch and Submit already rejected oversized requests against
+  // the snapshot current at admission time; a hot swap to a model with
+  // a smaller cap between admission and this lease still lands here.
+  // An oversized slate must never reach ScoreSlateInto, whose slate-
+  // length CHECK treats it as a programmer error and aborts — data-
+  // dependent input resolves as a per-request kInvalidArgument instead.
+  const int64_t max_slate = snapshot.max_slate_items();
+  std::vector<bool> rejected(n, false);
+  if (slate && max_slate > 0) {
+    for (size_t i = 0; i < n; ++i) {
+      rejected[i] = static_cast<int64_t>(
+                        requests[micro.request_indices[i]].items.size()) >
+                    max_slate;
+    }
+  }
   std::vector<int> score_lookup(n, -1);  // RequestSample encoding.
   std::vector<uint64_t> history_hash(n, 0);
   std::vector<uint64_t> set_hash(n, 0);
@@ -162,7 +179,7 @@ void ServingEngine::ExecuteMicroBatch(const MicroBatch& micro,
   std::vector<size_t> miss;  // Positions in [0, n) that need compute.
   miss.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    if (score_lookup[i] != 1) miss.push_back(i);
+    if (score_lookup[i] != 1 && !rejected[i]) miss.push_back(i);
   }
 
   // Gate/encoding sharing is a pointwise-path optimisation; a slate
@@ -271,12 +288,17 @@ void ServingEngine::ExecuteMicroBatch(const MicroBatch& micro,
       }
     }
 
-    Stopwatch rerank_watch;  // Slate-stage latency (slate models only).
+    double rerank_ms = 0.0;  // Slate-stage latency (slate models only).
     {
       // One lane critical section for probes + main forward: all touch
       // this replica's model state and workspace. Other replicas of the
       // same snapshot run their own micro-batches concurrently.
       std::lock_guard<std::mutex> lock(lane.mu);
+      // Started AFTER the lock is held: the rerank reservoir samples
+      // the lane critical section as documented, so lock-wait behind a
+      // contended replica shows up in request latency, not in the
+      // rerank-stage percentiles.
+      const Stopwatch rerank_watch;
       InferenceWorkspace* workspace =
           lane.EnsureWorkspace(workspace_candidates);
       if (!gate_probes.empty()) {
@@ -379,6 +401,7 @@ void ServingEngine::ExecuteMicroBatch(const MicroBatch& micro,
                                          encode ? &encoding : nullptr,
                                          workspace, logits_span);
       }
+      rerank_ms = rerank_watch.ElapsedMillis();
     }
     if (slate) {
       // Slate-occupancy histogram + rerank-stage latency (the lane
@@ -388,7 +411,7 @@ void ServingEngine::ExecuteMicroBatch(const MicroBatch& micro,
         slate_sizes[k] = static_cast<int64_t>(
             requests[micro.request_indices[miss[k]]].items.size());
       }
-      stats_.RecordSlateBatch(slate_sizes, rerank_watch.ElapsedMillis());
+      stats_.RecordSlateBatch(slate_sizes, rerank_ms);
     }
 
     // One vectorised pass over the miss logits (in place; per-element
@@ -415,7 +438,8 @@ void ServingEngine::ExecuteMicroBatch(const MicroBatch& micro,
   }
 
   const double service_ms = service_watch.ElapsedMillis();
-  std::vector<RequestSample> samples(n);
+  std::vector<RequestSample> samples;
+  samples.reserve(n);
   std::vector<int64_t> next_row(miss.size());
   for (size_t k = 0; k < miss.size(); ++k) next_row[k] = logits_row[k];
   size_t miss_cursor = 0;
@@ -425,6 +449,22 @@ void ServingEngine::ExecuteMicroBatch(const MicroBatch& micro,
     RankResponse& response = (*responses)[idx];
     const double queue_ms =
         queue_delays_ms == nullptr ? 0.0 : (*queue_delays_ms)[idx];
+    if (rejected[i]) {
+      // Client error, not a serve: no scores, no request sample (the
+      // latency/occupancy metrics count served traffic only).
+      response.status = Status::InvalidArgument(
+          "Rank: slate of " + std::to_string(request.items.size()) +
+          " candidates exceeds model '" + snapshot.name() +
+          "' max slate length " + std::to_string(max_slate));
+      response.session_id = request.session_id;
+      response.model = snapshot.name();
+      response.model_version = snapshot.version();
+      response.arm = granted;
+      response.replica = -1;
+      response.latency_ms = service_ms + queue_ms;
+      response.queue_ms = queue_ms;
+      continue;
+    }
     const bool served_from_cache = score_lookup[i] == 1;
     response.session_id = request.session_id;
     response.model = snapshot.name();
@@ -452,7 +492,7 @@ void ServingEngine::ExecuteMicroBatch(const MicroBatch& micro,
         response.scores[j] = logits[static_cast<size_t>(row)];
       }
     }
-    RequestSample& sample = samples[i];
+    RequestSample& sample = samples.emplace_back();
     sample.items = static_cast<int64_t>(request.items.size());
     sample.latency_ms = response.latency_ms;
     if (queue_delays_ms != nullptr) sample.queue_ms = queue_ms;
@@ -462,6 +502,9 @@ void ServingEngine::ExecuteMicroBatch(const MicroBatch& micro,
     sample.score_lookup = score_lookup[i];
     sample.encoding_lookup = encoding_lookup[i];
   }
+  // Every request rejected at the slate backstop: nothing was served,
+  // so there is no micro-batch to account.
+  if (samples.empty()) return;
   // One lock acquisition for the whole micro-batch: workers and the
   // async flusher lanes contend on the stats mutex, so the hot path
   // must not take it per request.
@@ -540,12 +583,46 @@ std::vector<RankResponse> ServingEngine::RankBatch(
   // that one micro-batch runs on exactly one snapshot.
   std::vector<std::string> route_order;
   std::unordered_map<std::string, std::vector<size_t>> by_route;
+  // Slate-length admission, resolved once per route: a request with
+  // more candidates than the route snapshot's max_slate_items is
+  // rejected with kInvalidArgument here — retrieval sets larger than a
+  // listwise model's position table are ordinary client input, and they
+  // must never reach a forward whose slate-length CHECK would abort the
+  // process. (ExecuteMicroBatch re-validates against the snapshot it
+  // actually pins, covering a hot swap between here and the lease.)
+  struct RouteAdmission {
+    int64_t max_slate = 0;  // 0 = pointwise / unlimited.
+    int64_t version = 0;
+  };
+  std::unordered_map<std::string, RouteAdmission> admission;
   for (size_t i = 0; i < requests.size(); ++i) {
     AWMOE_CHECK(!requests[i].items.empty())
         << "RankBatch: empty candidate list for session "
         << requests[i].session_id;
     const std::string name = pool_->ResolveName(requests[i].model);
-    const std::string key = EncodeRouteKey(name, RouteArm(name, requests[i]));
+    const RolloutArm arm = RouteArm(name, requests[i]);
+    const std::string key = EncodeRouteKey(name, arm);
+    auto [limit_it, limit_new] = admission.try_emplace(key);
+    if (limit_new) {
+      std::shared_ptr<const ModelSnapshot> snapshot =
+          pool_->SnapshotForArm(name, arm, nullptr);
+      limit_it->second.max_slate = snapshot->max_slate_items();
+      limit_it->second.version = snapshot->version();
+    }
+    const RouteAdmission& limit = limit_it->second;
+    if (limit.max_slate > 0 &&
+        static_cast<int64_t>(requests[i].items.size()) > limit.max_slate) {
+      RankResponse& response = responses[i];
+      response.status = Status::InvalidArgument(
+          "Rank: slate of " + std::to_string(requests[i].items.size()) +
+          " candidates exceeds model '" + name + "' max slate length " +
+          std::to_string(limit.max_slate));
+      response.session_id = requests[i].session_id;
+      response.model = name;
+      response.model_version = limit.version;
+      response.replica = -1;
+      continue;
+    }
     auto [it, inserted] = by_route.try_emplace(key);
     if (inserted) route_order.push_back(key);
     it->second.push_back(i);
@@ -601,6 +678,29 @@ std::future<RankResponse> ServingEngine::Submit(RankRequest request) {
   const std::string resolved = pool_->ResolveName(request.model);
   const RolloutArm arm = RouteArm(resolved, request);
   const std::string route_key = EncodeRouteKey(resolved, arm);
+  // Slate-length admission, mirroring RankBatch: reject before the
+  // request ever occupies queue space. A client error like the empty
+  // candidate list below — no version health sample is recorded.
+  {
+    std::shared_ptr<const ModelSnapshot> snapshot =
+        pool_->SnapshotForArm(resolved, arm, nullptr);
+    const int64_t max_slate = snapshot->max_slate_items();
+    if (max_slate > 0 &&
+        static_cast<int64_t>(request.items.size()) > max_slate) {
+      std::promise<RankResponse> promise;
+      RankResponse response;
+      response.status = Status::InvalidArgument(
+          "Submit: slate of " + std::to_string(request.items.size()) +
+          " candidates exceeds model '" + resolved + "' max slate length " +
+          std::to_string(max_slate));
+      response.session_id = request.session_id;
+      response.model = resolved;
+      response.model_version = snapshot->version();
+      response.replica = -1;
+      promise.set_value(std::move(response));
+      return promise.get_future();
+    }
+  }
   AsyncBatchQueue* queue = nullptr;
   {
     std::lock_guard<std::mutex> lock(async_mu_);

@@ -129,7 +129,11 @@ class ServingEngine {
   /// and dispatching micro-batches over the worker pool. Responses are
   /// returned in request order. Request latency is measured from call
   /// entry to that request's micro-batch completing, so queueing behind
-  /// other micro-batches shows up in the percentiles.
+  /// other micro-batches shows up in the percentiles. A request whose
+  /// candidate count exceeds its route model's max slate length (slate-
+  /// scoring models only) is rejected at admission: its response
+  /// carries kInvalidArgument and no scores, and the rest of the batch
+  /// is served normally.
   std::vector<RankResponse> RankBatch(
       const std::vector<RankRequest>& requests);
 
@@ -142,7 +146,8 @@ class ServingEngine {
   /// caller's future with its own slice of the scores. Scores are
   /// bitwise-identical to the synchronous path. The future ALWAYS
   /// becomes ready: rejected requests (queue full, empty candidate
-  /// list, stopped engine) resolve immediately with a non-OK
+  /// list, slate longer than a slate-scoring model's max slate length,
+  /// stopped engine) resolve immediately with a non-OK
   /// `RankResponse::status` and no scores.
   ///
   /// The candidate `Example`s must stay alive until the future

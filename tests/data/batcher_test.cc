@@ -187,6 +187,92 @@ TEST(BatchIteratorTest, ResetStartsNewEpoch) {
   EXPECT_TRUE(it.Next(&batch));
 }
 
+// Grouping mode: every batch carries its group boundaries as explicit
+// slate starts, and a session longer than max_group_rows is split into
+// consecutive sub-slates of at most the cap instead of emitting a
+// slate a listwise model's length CHECK would abort on.
+TEST(BatchIteratorTest, GroupingEmitsSlateStartsAndSplitsOversizedSessions) {
+  DatasetMeta meta = TestMeta();
+  std::vector<Example> data;
+  const int64_t sizes[] = {3, 10, 2};
+  int64_t id = 0;
+  for (int64_t s = 0; s < 3; ++s) {
+    for (int64_t r = 0; r < sizes[s]; ++r) {
+      Example ex = MakeExample(id++, 1, 0.0f);
+      ex.session_id = s;
+      data.push_back(ex);
+    }
+  }
+  BatchIterator it(&data, meta, /*batch_size=*/6, nullptr, /*rng=*/nullptr,
+                   /*group_by_session=*/true, /*max_group_rows=*/4);
+  Batch batch;
+  std::multiset<int64_t> seen;
+  std::vector<int64_t> slate_sizes;
+  while (it.Next(&batch)) {
+    ASSERT_FALSE(batch.slate_starts.empty());
+    EXPECT_EQ(batch.slate_starts[0], 0);
+    for (size_t s = 0; s < batch.slate_starts.size(); ++s) {
+      const int64_t begin = batch.slate_starts[s];
+      const int64_t end = s + 1 < batch.slate_starts.size()
+                              ? batch.slate_starts[s + 1]
+                              : batch.size;
+      ASSERT_GT(end, begin);
+      EXPECT_LE(end - begin, 4);
+      slate_sizes.push_back(end - begin);
+      // A slate never mixes sessions, even after splitting.
+      for (int64_t r = begin; r < end; ++r) {
+        EXPECT_EQ(batch.session_ids[static_cast<size_t>(r)],
+                  batch.session_ids[static_cast<size_t>(begin)]);
+      }
+    }
+    for (int64_t t : batch.target_items) seen.insert(t);
+  }
+  EXPECT_EQ(seen.size(), 15u);  // Every row served exactly once.
+  // Sequential order: the 10-row session splits 4+4+2, and 6-row
+  // packing yields batches [3], [4], [4,2], [2].
+  EXPECT_EQ(slate_sizes, (std::vector<int64_t>{3, 4, 4, 2, 2}));
+}
+
+// Two chunks of one split session can share a batch; the explicit
+// slate starts keep them distinct slates even though every row carries
+// the same session id (session-run derivation would merge them back
+// into one over-long slate).
+TEST(BatchIteratorTest, AdjacentChunksOfOneSessionStayDistinctSlates) {
+  DatasetMeta meta = TestMeta();
+  std::vector<Example> data;
+  for (int64_t r = 0; r < 10; ++r) {
+    Example ex = MakeExample(r, 1, 0.0f);
+    ex.session_id = 7;
+    data.push_back(ex);
+  }
+  BatchIterator it(&data, meta, /*batch_size=*/8, nullptr, /*rng=*/nullptr,
+                   /*group_by_session=*/true, /*max_group_rows=*/4);
+  Batch batch;
+  ASSERT_TRUE(it.Next(&batch));
+  EXPECT_EQ(batch.size, 8);
+  EXPECT_EQ(batch.slate_starts, (std::vector<int64_t>{0, 4}));
+  for (int64_t r = 0; r < batch.size; ++r) {
+    EXPECT_EQ(batch.session_ids[static_cast<size_t>(r)], 7);
+  }
+  ASSERT_TRUE(it.Next(&batch));
+  EXPECT_EQ(batch.size, 2);
+  EXPECT_EQ(batch.slate_starts, (std::vector<int64_t>{0}));
+  EXPECT_FALSE(it.Next(&batch));
+}
+
+// Row mode (no grouping) tracks no slates: slate_starts stays empty so
+// listwise consumers fall back to session-run derivation.
+TEST(BatchIteratorTest, RowModeLeavesSlateStartsEmpty) {
+  DatasetMeta meta = TestMeta();
+  std::vector<Example> data;
+  for (int i = 0; i < 7; ++i) data.push_back(MakeExample(i, 1, 0.0f));
+  BatchIterator it(&data, meta, 4, nullptr, nullptr);
+  Batch batch;
+  while (it.Next(&batch)) {
+    EXPECT_TRUE(batch.slate_starts.empty());
+  }
+}
+
 TEST(CollateBatchTest, StandardizerApplied) {
   DatasetMeta meta = TestMeta();
   std::vector<Example> data;

@@ -6,7 +6,9 @@
 // through both Trainer and ParallelTrainer with session-grouped
 // batches.
 
+#include <cmath>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -266,6 +268,79 @@ TEST(ListwiseRerankerTest, TrainerLowersListwiseLoss) {
   ASSERT_EQ(history.size(), 5u);
   EXPECT_GT(history.front().mean_rank_loss, 0.0);
   EXPECT_LT(history.back().mean_rank_loss, history.front().mean_rank_loss);
+}
+
+// An oversized session (more rows than max_slate_len) must not abort
+// training: the grouping iterator splits it into sub-slates of at most
+// the cap (carried as Batch::slate_starts) and the ListNet loss ranks
+// each sub-slate against itself.
+TEST(ListwiseRerankerTest, TrainerSplitsOversizedSessionsInsteadOfAborting) {
+  auto model = MakeModel(37);
+  std::vector<Example> train = TrainingSplit(/*seed=*/970, 4);
+  auto big = MakeSession(/*seed=*/971, /*session_id=*/2000,
+                         /*items=*/3 * TinyListwiseDims().max_slate_len + 5,
+                         /*hist=*/3);
+  for (Example& ex : big) train.push_back(std::move(ex));
+  TrainerConfig config;
+  config.batch_size = 12;
+  config.epochs = 2;
+  config.lr = 5e-3f;
+  Trainer trainer(model.get(), config);
+  auto history = trainer.Train(train, TestMeta(), nullptr);
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_TRUE(std::isfinite(history.back().mean_rank_loss));
+  EXPECT_GT(history.back().mean_rank_loss, 0.0);
+}
+
+// Two distinct slates that happen to share a session id (a split
+// oversized session, or non-contiguous duplicate ids a shuffle made
+// adjacent) must NOT merge: explicit Batch::slate_starts are
+// authoritative over session-id run derivation in both forward paths.
+TEST(ListwiseRerankerTest, ExplicitSlateStartsKeepSameIdSlatesDistinct) {
+  const DatasetMeta meta = TestMeta();
+  auto model = MakeModel(38);
+  auto a = MakeSession(/*seed=*/980, /*session_id=*/500, /*items=*/4,
+                       /*hist=*/2);
+  auto b = MakeSession(/*seed=*/981, /*session_id=*/500, /*items=*/3,
+                       /*hist=*/5);  // Same id, different slate.
+  std::vector<const Example*> joint;
+  for (const Example& ex : a) joint.push_back(&ex);
+  for (const Example& ex : b) joint.push_back(&ex);
+
+  Batch batch = CollateBatch(joint, meta, nullptr);
+  batch.slate_starts = {0, 4};
+  Matrix got = model->InferenceLogits(batch);
+
+  // Reference: each slate scored alone.
+  std::vector<const Example*> only_a(joint.begin(), joint.begin() + 4);
+  std::vector<const Example*> only_b(joint.begin() + 4, joint.end());
+  Matrix want_a = model->InferenceLogits(CollateBatch(only_a, meta, nullptr));
+  Matrix want_b = model->InferenceLogits(CollateBatch(only_b, meta, nullptr));
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(got(i, 0), want_a(i, 0)) << "slate a row " << i;
+  }
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(got(4 + i, 0), want_b(i, 0)) << "slate b row " << i;
+  }
+
+  // The workspace path honours the explicit starts identically.
+  auto workspace = model->CreateInferenceWorkspace(batch.size);
+  std::vector<float> inferred(static_cast<size_t>(batch.size));
+  model->ScoreInto(batch, /*gate=*/nullptr, workspace.get(),
+                   std::span<float>(inferred));
+  for (int64_t i = 0; i < batch.size; ++i) {
+    EXPECT_EQ(inferred[static_cast<size_t>(i)], got(i, 0)) << "row " << i;
+  }
+
+  // Without the explicit starts the runs merge into one 7-row slate —
+  // a different attention context, hence different scores.
+  Batch merged = CollateBatch(joint, meta, nullptr);
+  Matrix fallback = model->InferenceLogits(merged);
+  bool differs = false;
+  for (int64_t i = 0; i < batch.size && !differs; ++i) {
+    differs = fallback(i, 0) != got(i, 0);
+  }
+  EXPECT_TRUE(differs);
 }
 
 // ParallelTrainer's determinism contract extends to listwise models:

@@ -179,6 +179,67 @@ TEST_F(SlateServingTest, ScoreCacheBypassedForSlateScoringModel) {
 }
 
 // ---------------------------------------------------------------------
+// Oversized-slate admission: a request with more candidates than the
+// listwise model's max slate length is REJECTED with kInvalidArgument
+// on both serving fronts — it must never reach the forward path, whose
+// slate-length CHECK would abort the whole process. Valid requests in
+// the same batch are served normally, and the pointwise route (no
+// slate cap) still accepts arbitrarily large candidate sets.
+// ---------------------------------------------------------------------
+
+TEST_F(SlateServingTest, OversizedSlateRejectedNotAborted) {
+  auto registry = MakeRegistry();
+  ServingEngine engine(registry.get());
+  const int64_t cap = listwise_->MaxSlateItems();
+  ASSERT_GT(cap, 0);
+
+  RankRequest oversized = RequestFor(0, "listwise");
+  const Example* filler = oversized.items[0];
+  while (static_cast<int64_t>(oversized.items.size()) <= cap) {
+    oversized.items.push_back(filler);
+  }
+
+  // Sync front: the oversized request is rejected, its neighbours in
+  // the same RankBatch are served.
+  std::vector<RankRequest> mixed;
+  mixed.push_back(RequestFor(1, "listwise"));
+  mixed.push_back(oversized);
+  mixed.push_back(RequestFor(2, "listwise"));
+  std::vector<RankResponse> responses = engine.RankBatch(mixed);
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_TRUE(responses[0].status.ok()) << responses[0].status;
+  EXPECT_EQ(responses[0].scores.size(), mixed[0].items.size());
+  EXPECT_EQ(responses[1].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(responses[1].scores.empty());
+  EXPECT_EQ(responses[1].replica, -1);
+  EXPECT_EQ(responses[1].model, "listwise");
+  EXPECT_TRUE(responses[2].status.ok()) << responses[2].status;
+  EXPECT_EQ(responses[2].scores.size(), mixed[2].items.size());
+  // Only the served slates hit the counters.
+  EXPECT_EQ(engine.stats().slates(), 2);
+
+  // Async front: rejected before occupying queue space, future resolves
+  // with the same status.
+  RankResponse async_response = engine.Submit(oversized).get();
+  EXPECT_EQ(async_response.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(async_response.scores.empty());
+  EXPECT_EQ(async_response.model, "listwise");
+
+  // The engine survives both rejections and keeps serving.
+  RankResponse after = engine.Rank(RequestFor(3, "listwise"));
+  ASSERT_TRUE(after.status.ok()) << after.status;
+  EXPECT_EQ(after.scores.size(), (*sessions_)[3 % sessions_->size()].size());
+
+  // The pointwise route has no slate cap: the same oversized candidate
+  // set serves fine.
+  RankRequest pointwise = oversized;
+  pointwise.model = "aw-moe";
+  RankResponse served = engine.Rank(pointwise);
+  ASSERT_TRUE(served.status.ok()) << served.status;
+  EXPECT_EQ(served.scores.size(), pointwise.items.size());
+}
+
+// ---------------------------------------------------------------------
 // Slate atomicity under concurrent async load: four threads storm
 // Submit with mixed slate sizes; every response must be bitwise what a
 // solo synchronous Rank of just that slate computes, no matter which
